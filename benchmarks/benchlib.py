@@ -1,0 +1,15 @@
+"""Report helper shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def report(title: str, rows: list[str]) -> None:
+    """Print one regenerated artifact as an aligned block.
+
+    Run pytest with ``-s`` (or read captured stdout) to see the
+    paper-vs-measured tables these produce.
+    """
+    print()
+    print(f"== {title} ==")
+    for row in rows:
+        print(f"   {row}")

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every module here regenerates one paper artifact (a table, a figure's
+claim, or an inline number).  Each benchmark calls ``benchmark(...)`` on
+the computation that regenerates the artifact, so
+``pytest benchmarks/ --benchmark-only`` both *times* the reproduction and
+*checks* its shape via asserts.  The regenerated rows are printed through
+:func:`benchlib.report`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.adcp.config import ADCPConfig
+from repro.rmt.config import RMTConfig
+from repro.units import GBPS
+
+
+@pytest.fixture
+def bench_rmt_config() -> RMTConfig:
+    """8-port, 2-pipeline RMT switch: small enough to simulate quickly,
+    big enough to exhibit every cross-pipeline effect."""
+    return RMTConfig(
+        num_ports=8,
+        pipelines=2,
+        port_speed_bps=100 * GBPS,
+        min_wire_packet_bytes=84.0,
+        frequency_hz=1.25e9,
+    )
+
+
+@pytest.fixture
+def bench_adcp_config() -> ADCPConfig:
+    """Matching 8-port ADCP switch (1:2 demux, 4 central pipelines)."""
+    return ADCPConfig(
+        num_ports=8,
+        port_speed_bps=100 * GBPS,
+        demux_factor=2,
+        central_pipelines=4,
+    )

@@ -1,0 +1,80 @@
+"""Experiment A8 — ablation: how the ADCP advantage scales with coflow width.
+
+The paper's thesis is about *coflows* — coordinated sets of flows.  A
+single flow barely suffers on RMT; the taxes (cross-pipeline state,
+recirculated results, scalar packets) compound as the coflow widens
+across more ports and pipelines.  Sweep the worker count of the
+aggregation coflow and track the CCT ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchlib import report
+from repro.adcp.switch import ADCPSwitch
+from repro.apps import ParameterServerApp
+from repro.rmt.switch import RMTSwitch
+
+
+VECTOR = 128
+WORKER_SETS = {
+    2: [0, 4],          # one port per pipeline
+    4: [0, 1, 4, 5],
+    8: [0, 1, 2, 3, 4, 5, 6, 7],
+}
+
+
+def _sweep(bench_rmt_config, bench_adcp_config):
+    rows = {}
+    for width, workers in WORKER_SETS.items():
+        adcp_app = ParameterServerApp(workers, VECTOR, elements_per_packet=16)
+        adcp = ADCPSwitch(bench_adcp_config, adcp_app)
+        adcp_result = adcp.run(
+            adcp_app.workload(bench_adcp_config.port_speed_bps)
+        )
+        assert (
+            adcp_app.collect_results(adcp_result.delivered)
+            == adcp_app.expected_result()
+        )
+
+        rmt_app = ParameterServerApp(workers, VECTOR, elements_per_packet=1)
+        rmt = RMTSwitch(bench_rmt_config, rmt_app)
+        rmt_result = rmt.run(rmt_app.workload(bench_rmt_config.port_speed_bps))
+        assert (
+            rmt_app.collect_results(rmt_result.delivered)
+            == rmt_app.expected_result()
+        )
+        rows[width] = (
+            adcp_result.duration_s,
+            rmt_result.duration_s,
+            rmt_result.recirculated_wire_bytes,
+        )
+    return rows
+
+
+def test_ablation_advantage_grows_with_coflow_width(
+    benchmark, bench_rmt_config, bench_adcp_config
+):
+    rows = benchmark(_sweep, bench_rmt_config, bench_adcp_config)
+
+    lines = [f"{'workers':>7} {'ADCP CCT':>10} {'RMT CCT':>10} "
+             f"{'ratio':>6} {'recirc bytes':>12}"]
+    for width, (adcp_cct, rmt_cct, recirc) in rows.items():
+        lines.append(
+            f"{width:>7} {adcp_cct * 1e9:>8.0f}ns {rmt_cct * 1e9:>8.0f}ns "
+            f"{rmt_cct / adcp_cct:>5.1f}x {recirc:>12}"
+        )
+    report("Ablation: coflow width vs architecture gap", lines)
+
+    ratios = {w: rmt / adcp for w, (adcp, rmt, _) in rows.items()}
+    # The gap exists at every width, widens with it, and the
+    # recirculation bill never shrinks as the coflow's footprint grows.
+    assert all(ratio > 1.5 for ratio in ratios.values())
+    ordered = [ratios[w] for w in sorted(ratios)]
+    assert ordered == sorted(ordered)
+    recirc_bytes = [rows[w][2] for w in sorted(rows)]
+    assert recirc_bytes == sorted(recirc_bytes)
+    # Wider coflows pay RMT more in absolute terms.
+    rmt_ccts = [rows[w][1] for w in sorted(rows)]
+    assert rmt_ccts == sorted(rmt_ccts)

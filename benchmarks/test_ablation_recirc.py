@@ -1,0 +1,71 @@
+"""Experiment A7 — ablation: provisioning RMT's recirculation escape hatch.
+
+If recirculation is RMT's answer to coflows (Figure 2), can a deployment
+simply buy its way out with more loopback bandwidth?  Sweep the
+recirculation ports per pipeline and measure the aggregation coflow's
+CCT and the residual gap to the ADCP: extra loopback bandwidth shaves the
+queueing component of the tax but cannot remove the extra passes, so the
+gap never closes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from benchlib import report
+from repro.adcp.switch import ADCPSwitch
+from repro.apps import ParameterServerApp
+from repro.rmt.config import StateMode
+from repro.rmt.switch import RMTSwitch
+
+
+WORKERS = [0, 1, 4, 5]
+VECTOR = 128
+
+
+def _sweep(bench_rmt_config, bench_adcp_config):
+    adcp_app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=16)
+    adcp = ADCPSwitch(bench_adcp_config, adcp_app)
+    adcp_cct = adcp.run(
+        adcp_app.workload(bench_adcp_config.port_speed_bps)
+    ).duration_s
+
+    rows = {}
+    for ports in (1, 2, 4, 8):
+        config = dataclasses.replace(
+            bench_rmt_config,
+            state_mode=StateMode.RECIRCULATE,
+            recirculation_ports_per_pipeline=ports,
+        )
+        app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=1)
+        switch = RMTSwitch(config, app)
+        result = switch.run(app.workload(config.port_speed_bps))
+        assert app.collect_results(result.delivered) == app.expected_result()
+        rows[ports] = (result.duration_s, result.recirculated_packets)
+    return adcp_cct, rows
+
+
+def test_ablation_recirc_bandwidth_cannot_close_the_gap(
+    benchmark, bench_rmt_config, bench_adcp_config
+):
+    adcp_cct, rows = benchmark(_sweep, bench_rmt_config, bench_adcp_config)
+
+    lines = [f"ADCP reference CCT: {adcp_cct * 1e9:.0f} ns"]
+    for ports, (cct, recirc) in rows.items():
+        lines.append(
+            f"RMT recirc x{ports}: CCT {cct * 1e9:7.0f} ns "
+            f"({cct / adcp_cct:4.1f}x ADCP), {recirc} loops"
+        )
+    report("Ablation: recirculation bandwidth provisioning", lines)
+
+    ccts = [rows[p][0] for p in (1, 2, 4, 8)]
+    # More loopback bandwidth helps monotonically (or is neutral)...
+    assert all(b <= a * 1.001 for a, b in zip(ccts, ccts[1:]))
+    # ...but even 8x provisioning never reaches the ADCP: the extra
+    # passes and the scalar format stay.
+    assert min(ccts) > 1.5 * adcp_cct
+    # The loop count is structural, independent of bandwidth.
+    loop_counts = {rows[p][1] for p in (1, 2, 4, 8)}
+    assert len(loop_counts) == 1

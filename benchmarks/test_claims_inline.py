@@ -1,0 +1,117 @@
+"""Experiment C1 — the paper's inline quantitative claims.
+
+Section 2(3): "64x 10 Gbps ports ... around 952 Mpps. Therefore, running
+this pipeline at 952 MHz can achieve line speed"; "64x 100 Gbps ports can
+generate just about 9.5 Bpps"; "current RMT-based switches have 12.8 Tbps
+throughput, they can 'only' process 5-6 billion packets per second".
+Section 3.3: "each of these [1.6 Tbps] ports can deliver around 2.38
+Bpps"; "demultiplexing a port at a 1:2 ratio, we can reduce the clock
+speed by half".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchlib import report
+from repro.analytical.scaling import mux_config
+from repro.units import BPPS, ETHERNET_MIN_WIRE_BYTES, GBPS, GHZ, MPPS, packet_rate
+
+
+def test_claim_952_mpps_at_64x10g(benchmark):
+    rate = benchmark(packet_rate, 64 * 10 * GBPS, ETHERNET_MIN_WIRE_BYTES)
+    report(
+        "Claim: original RMT pipeline packet rate",
+        [f"64 x 10 G at 84 B wire -> {rate / MPPS:.1f} Mpps (paper: ~952)"],
+    )
+    assert rate / MPPS == pytest.approx(952.4, abs=1.0)
+
+
+def test_claim_9_5_bpps_at_64x100g(benchmark):
+    rate = benchmark(packet_rate, 64 * 100 * GBPS, ETHERNET_MIN_WIRE_BYTES)
+    report(
+        "Claim: 64 x 100 G aggregate packet rate",
+        [f"-> {rate / BPPS:.2f} Bpps (paper: ~9.5)"],
+    )
+    assert rate / BPPS == pytest.approx(9.52, abs=0.1)
+
+
+def test_claim_12_8t_rmt_does_5_to_6_bpps(benchmark):
+    """The Table 2 row-3 design point: 4 pipelines x 1.62 GHz = 6.5 Bpps
+    nominal, 5-6 Bpps at the published clock figures."""
+
+    def total_rate():
+        config = mux_config(12.8e12, 400 * GBPS, 4, 247)
+        return config.total_packet_rate_pps
+
+    rate = benchmark(total_rate)
+    report(
+        "Claim: 12.8 Tbps RMT switch packet budget",
+        [f"4 pipelines x 1.62 GHz -> {rate / BPPS:.2f} Bpps (paper: 5-6)"],
+    )
+    assert 5.0 <= rate / BPPS <= 6.9
+
+
+def test_claim_2_38_bpps_at_1600g(benchmark):
+    rate = benchmark(packet_rate, 1600 * GBPS, ETHERNET_MIN_WIRE_BYTES)
+    report(
+        "Claim: one 1.6 Tbps port packet rate",
+        [f"-> {rate / BPPS:.2f} Bpps (paper: ~2.38)"],
+    )
+    assert rate / BPPS == pytest.approx(2.38, abs=0.01)
+
+
+def test_claim_demux_halves_clock(benchmark):
+    from repro.units import pipeline_frequency
+
+    def clocks():
+        full = pipeline_frequency(1600 * GBPS, 1, ETHERNET_MIN_WIRE_BYTES)
+        half = pipeline_frequency(1600 * GBPS, 0.5, ETHERNET_MIN_WIRE_BYTES)
+        return full, half
+
+    full, half = benchmark(clocks)
+    report(
+        "Claim: 1:2 demux halves the clock",
+        [
+            f"1.6 T undemuxed -> {full / GHZ:.2f} GHz",
+            f"1.6 T at 1:2    -> {half / GHZ:.2f} GHz",
+        ],
+    )
+    assert half == pytest.approx(full / 2)
+    assert full / GHZ == pytest.approx(2.38, abs=0.01)
+    assert half / GHZ == pytest.approx(1.19, abs=0.01)
+
+
+def test_claim_tm_pipeline_count_scales(benchmark):
+    """Section 3.3: 'We anticipate that this number will increase to 64 in
+    51.2 Tbps switches and double for 102.4 Tbps, but this will keep clock
+    rates in the same range as today's.'"""
+    from repro.analytical.frontier import required_demux_factor
+
+    def pipeline_counts():
+        counts = {}
+        for total_tbps, port_gbps in ((51.2, 1600), (102.4, 3200)):
+            ports = int(total_tbps * 1000 / port_gbps)
+            m = required_demux_factor(port_gbps)
+            counts[total_tbps] = (ports * m, port_gbps, m)
+        return counts
+
+    counts = benchmark(pipeline_counts)
+    report(
+        "Claim: TM-facing pipeline counts at future throughputs",
+        [
+            f"{total:>6} Tbps: {ports} ports x 1:{m} demux -> {lanes} pipelines"
+            for total, (lanes, port, m) in counts.items()
+            for ports in [lanes // m]
+        ],
+    )
+    lanes_51, _, m51 = counts[51.2]
+    lanes_102, _, m102 = counts[102.4]
+    assert lanes_51 == 64
+    assert lanes_102 == 128
+    # Clock rates stay "in the same range as today's" (at or under 1.62).
+    from repro.units import pipeline_frequency
+
+    for port_gbps, m in ((1600, m51), (3200, m102)):
+        clock = pipeline_frequency(port_gbps * GBPS, 1.0 / m, ETHERNET_MIN_WIRE_BYTES)
+        assert clock / GHZ <= 1.7

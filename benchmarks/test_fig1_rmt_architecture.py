@@ -1,0 +1,92 @@
+"""Experiment F1 — Figure 1, the RMT architecture and its structure.
+
+Figure 1 is a block diagram; the reproducible content is the structural
+inventory (n ports muxed n/p into pipelines, shared-nothing stages, one
+TM) and the baseline behaviour of the simulated device: line-rate
+forwarding through ingress -> TM -> egress.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchlib import report
+from repro.net.traffic import DeterministicSource, make_coflow_packet
+from repro.rmt.switch import RMTSwitch
+from repro.units import BITS_PER_BYTE
+
+
+def _line_rate_run(config, packets_count=400):
+    switch = RMTSwitch(config)
+    packets = []
+    for i in range(packets_count):
+        packet = make_coflow_packet(1, 0, i, [(i, i)])
+        packet.meta.egress_port = 7
+        packets.append(packet)
+    source = DeterministicSource(0, config.port_speed_bps, packets)
+    result = switch.run(source.packets())
+    return switch, result
+
+
+def test_fig1_structural_inventory(benchmark, bench_rmt_config):
+    switch = benchmark(RMTSwitch, bench_rmt_config)
+    config = bench_rmt_config
+
+    lines = [
+        f"ports: {config.num_ports} x {config.port_speed_bps / 1e9:.0f} G",
+        f"ingress pipelines: {len(switch.ingress)} "
+        f"({config.ports_per_pipeline} ports each)",
+        f"egress pipelines: {len(switch.egress)}",
+        f"stages per pipeline: {config.stages_per_pipeline} "
+        f"x {config.maus_per_stage} MAUs",
+        f"traffic managers: 1 (shared-memory, output-buffered)",
+        f"pipeline clock: {config.frequency_hz / 1e9:.2f} GHz",
+    ]
+    report("Figure 1: RMT structural inventory", lines)
+
+    assert len(switch.ingress) == config.pipelines
+    assert len(switch.egress) == config.pipelines
+    for pipeline in switch.ingress:
+        assert len(pipeline.stages) == config.stages_per_pipeline
+        assert len(pipeline.attached_ports) == config.ports_per_pipeline
+        assert pipeline.array_width == 1  # scalar MAUs
+    # Every port is attached to exactly one ingress and one egress pipeline.
+    covered = [p for pipe in switch.ingress for p in pipe.attached_ports]
+    assert sorted(covered) == list(range(config.num_ports))
+
+
+def test_fig1_line_rate_forwarding(benchmark, bench_rmt_config):
+    switch, result = benchmark(_line_rate_run, bench_rmt_config)
+
+    packets = 400
+    wire = result.delivered[0].wire_bytes * BITS_PER_BYTE
+    source_duration = packets * wire / bench_rmt_config.port_speed_bps
+    lines = [
+        f"delivered {result.delivered_count}/{packets} packets",
+        f"source duration {source_duration * 1e9:.0f} ns, "
+        f"last departure {result.last_departure() * 1e9:.0f} ns",
+    ]
+    report("Figure 1: line-rate forwarding baseline", lines)
+
+    assert result.delivered_count == packets
+    assert not result.dropped
+    assert result.recirculated_packets == 0
+    # Line rate: the switch adds latency but not throughput loss.
+    assert result.last_departure() <= source_duration * 1.05 + 1e-6
+
+
+def test_fig1_stage_registers_are_shared_nothing(benchmark, bench_rmt_config):
+    """'Pipelines have shared-nothing stages': state written on one
+    pipeline is invisible to its siblings."""
+
+    def probe():
+        switch = RMTSwitch(bench_rmt_config)
+        switch.ingress[0].get_register("probe", 8).add(0, 7)
+        return switch.ingress[1].get_register("probe", 8).read(0)
+
+    other_value = benchmark(probe)
+    report(
+        "Figure 1: shared-nothing pipeline state",
+        [f"write 7 on pipeline 0; read on pipeline 1 -> {other_value}"],
+    )
+    assert other_value == 0

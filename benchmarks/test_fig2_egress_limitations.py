@@ -1,0 +1,108 @@
+"""Experiment F2 — Figure 2, egress-pipeline processing limitations.
+
+The figure's claims, measured on the simulator:
+
+1. Coflows whose input ports span ingress pipelines cannot converge at
+   ingress (state is pipeline-local).
+2. Converging them at an egress pipeline restricts the result's direct
+   reachability to that pipeline's ports; anything else recirculates.
+3. Egress-side processing "forego[es] using the ingress pipeline stages"
+   — half the stage budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from benchlib import report
+from repro.apps import ParameterServerApp
+from repro.rmt.switch import RMTSwitch
+
+
+WORKERS = [0, 1, 4, 5]  # straddle both pipelines of the 8-port config
+VECTOR = 64
+
+
+def _pin_run(config):
+    app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=1)
+    switch = RMTSwitch(config, app)
+    result = switch.run(app.workload(config.port_speed_bps))
+    return app, switch, result
+
+
+def test_fig2_coflow_cannot_converge_at_ingress(benchmark, bench_rmt_config):
+    """Input flows land on the pipelines their ports attach to: the
+    coflow's ingress state is split, never unified."""
+
+    def ingress_pipelines_of_coflow():
+        config = bench_rmt_config
+        return {config.pipeline_of_port(port) for port in WORKERS}
+
+    pipelines = benchmark(ingress_pipelines_of_coflow)
+    report(
+        "Figure 2: coflow ingress spread",
+        [f"worker ports {WORKERS} land on ingress pipelines {sorted(pipelines)}"],
+    )
+    assert len(pipelines) > 1  # cannot converge without help
+
+
+def test_fig2_egress_pinning_restricts_direct_reachability(
+    benchmark, bench_rmt_config
+):
+    """With recirculation disabled, the aggregation's outputs cannot reach
+    the full worker set: the egress pipeline's ports are the universe."""
+    config = dataclasses.replace(bench_rmt_config, allow_recirculation=False)
+    app, switch, result = benchmark(_pin_run, config)
+
+    reachable = {p.meta.egress_port for p in result.delivered}
+    report(
+        "Figure 2: reachability under egress pinning (no recirculation)",
+        [
+            f"workers expecting results: {set(WORKERS)}",
+            f"ports actually reached: {reachable or '{}'}",
+            f"unreachable emissions: {result.unreachable_emissions}",
+        ],
+    )
+    assert result.unreachable_emissions > 0
+    assert app.collect_results(result.delivered) != app.expected_result()
+
+
+def test_fig2_recirculation_tax(benchmark, bench_rmt_config):
+    """With recirculation enabled the answer is correct, but a measurable
+    fraction of switch bandwidth is spent re-forwarding packets."""
+    app, switch, result = benchmark(_pin_run, bench_rmt_config)
+
+    useful_bytes = result.delivered_wire_bytes
+    tax_bytes = result.recirculated_wire_bytes
+    report(
+        "Figure 2: recirculation bandwidth tax (egress pinning)",
+        [
+            f"delivered wire bytes: {useful_bytes}",
+            f"recirculated wire bytes: {tax_bytes} "
+            f"({tax_bytes / useful_bytes:.1%} of delivered)",
+            f"recirculated packets: {result.recirculated_packets}",
+        ],
+    )
+    assert app.collect_results(result.delivered) == app.expected_result()
+    assert result.recirculated_packets > 0
+    assert tax_bytes > 0.1 * useful_bytes
+
+
+def test_fig2_stage_budget_halved(benchmark, bench_rmt_config):
+    """Computation delayed to the egress pipeline uses only the egress
+    stages; the ADCP's central area adds a third pipeline's worth."""
+
+    def stage_budgets():
+        config = bench_rmt_config
+        total = 2 * config.stages_per_pipeline
+        egress_only = config.stages_per_pipeline
+        return total, egress_only
+
+    total, egress_only = benchmark(stage_budgets)
+    report(
+        "Figure 2: usable stages when computing at egress",
+        [f"full path {total} stages; egress-pinned computation {egress_only}"],
+    )
+    assert egress_only == total // 2

@@ -1,0 +1,118 @@
+"""Experiment F3 — Figure 3, replication due to scalar processing.
+
+"If we need to match many keys against the same table and those keys came
+from the same packet, that table must be replicated."  Regenerated as a
+sweep: keys-per-packet in {1, 2, 4, 8, 16}; on the scalar target the
+compiler must place k copies (k x memory, same capacity), on the array
+target always one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchlib import report
+from repro.program.compiler import Compiler, adcp_target, rmt_target
+from repro.program.graph import ProgramGraph
+from repro.program.spec import TableSpec
+from repro.tables.mat import MatchKind
+
+
+WIDTHS = (1, 2, 4, 8, 16)
+
+
+def _allocate_sweep():
+    rows = []
+    for keys in WIDTHS:
+        spec = TableSpec(
+            "kv", MatchKind.EXACT, key_width_bits=64, capacity=16384,
+            keys_per_packet=keys,
+        )
+        program = ProgramGraph()
+        program.add_table(spec)
+        scalar = Compiler(rmt_target()).allocate(program)
+
+        program2 = ProgramGraph()
+        program2.add_table(spec)
+        array = Compiler(adcp_target(array_width=16)).allocate(program2)
+        rows.append(
+            (
+                keys,
+                scalar.replication_factor("kv"),
+                scalar.total_sram_blocks,
+                array.replication_factor("kv"),
+                array.total_sram_blocks,
+            )
+        )
+    return rows
+
+
+def test_fig3_replication_sweep(benchmark):
+    rows = benchmark(_allocate_sweep)
+
+    lines = [f"{'k/pkt':>5} {'RMT copies':>10} {'RMT blocks':>10} "
+             f"{'ADCP copies':>11} {'ADCP blocks':>11}"]
+    for keys, r_copies, r_blocks, a_copies, a_blocks in rows:
+        lines.append(
+            f"{keys:>5} {r_copies:>10} {r_blocks:>10} {a_copies:>11} {a_blocks:>11}"
+        )
+    report("Figure 3: table copies vs keys per packet", lines)
+
+    base_blocks = rows[0][2]
+    for keys, r_copies, r_blocks, a_copies, a_blocks in rows:
+        assert r_copies == keys            # linear replication on RMT
+        assert r_blocks == keys * base_blocks
+        assert a_copies == 1               # single copy on ADCP
+        assert a_blocks == base_blocks
+
+
+def test_fig3_effective_capacity_collapse(benchmark):
+    """Replicas hold the same entries: at 16 keys/packet the same memory
+    budget holds 16x fewer distinct entries on RMT."""
+
+    def capacity_per_block():
+        results = {}
+        for keys in (1, 16):
+            spec = TableSpec(
+                "kv", MatchKind.EXACT, key_width_bits=64, capacity=16384,
+                keys_per_packet=keys,
+            )
+            program = ProgramGraph()
+            program.add_table(spec)
+            allocation = Compiler(rmt_target()).allocate(program)
+            results[keys] = (
+                allocation.effective_capacity("kv") / allocation.total_sram_blocks
+            )
+        return results
+
+    density = benchmark(capacity_per_block)
+    report(
+        "Figure 3: distinct entries per SRAM block on RMT",
+        [f"{keys:>2} keys/pkt -> {value:8.1f} entries/block"
+         for keys, value in density.items()],
+    )
+    assert density[1] == pytest.approx(16 * density[16])
+
+
+def test_fig3_stateful_tables_cannot_replicate(benchmark, bench_rmt_config):
+    """Replication only works for read-only tables; read-write state
+    diverges across copies, so stateful apps must go scalar — enforced by
+    the switch model at admission."""
+    from repro.apps import ParameterServerApp
+    from repro.errors import CompileError
+    from repro.rmt.switch import RMTSwitch
+
+    def try_wide_stateful():
+        app = ParameterServerApp([0, 1], 64, elements_per_packet=4)
+        try:
+            RMTSwitch(bench_rmt_config, app)
+            return False
+        except CompileError:
+            return True
+
+    rejected = benchmark(try_wide_stateful)
+    report(
+        "Figure 3: stateful multi-key packets on RMT",
+        [f"4-key stateful packet format rejected at compile time: {rejected}"],
+    )
+    assert rejected

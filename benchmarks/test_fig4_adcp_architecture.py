@@ -1,0 +1,89 @@
+"""Experiment F4 — Figure 4, the ADCP architecture.
+
+Regenerates the structural delta against RMT: demuxed ports (muxes become
+demuxes), a second traffic manager, a central pipeline bank, and
+array-capable stages — then checks baseline forwarding through the longer
+path still works at line rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchlib import report
+from repro.adcp.switch import ADCPSwitch
+from repro.net.traffic import DeterministicSource, make_coflow_packet
+from repro.units import BITS_PER_BYTE, GHZ
+
+
+def test_fig4_structural_inventory(benchmark, bench_adcp_config):
+    switch = benchmark(ADCPSwitch, bench_adcp_config)
+    config = bench_adcp_config
+
+    lines = [
+        f"ports: {config.num_ports} x {config.port_speed_bps / 1e9:.0f} G, "
+        f"demux 1:{config.demux_factor}",
+        f"ingress lanes: {len(switch.ingress)} at "
+        f"{config.lane_frequency_hz / GHZ:.3f} GHz",
+        f"central pipelines: {len(switch.central)} at "
+        f"{config.central_clock_hz / GHZ:.3f} GHz (global partitioned area)",
+        f"egress lanes: {len(switch.egress)}",
+        f"traffic managers: 2 (TM1 app-aware, TM2 classic)",
+        f"array width: {config.array_width} (vs 1 on RMT)",
+    ]
+    report("Figure 4: ADCP structural inventory (red deltas vs Figure 1)", lines)
+
+    assert len(switch.ingress) == config.num_ports * config.demux_factor
+    assert len(switch.egress) == config.num_ports * config.demux_factor
+    assert len(switch.central) == config.central_pipelines
+    assert switch.tm1 is not switch.tm2
+    for pipeline in switch.central:
+        assert pipeline.attached_ports == ()  # reachable from anywhere
+        assert pipeline.array_width == config.array_width
+    # Demux inverts the RMT relationship: lanes outnumber ports.
+    assert len(switch.ingress) > config.num_ports
+
+
+def test_fig4_lane_clock_below_rmt(benchmark, bench_adcp_config, bench_rmt_config):
+    """The demux dividend: ADCP lanes clock below the RMT pipeline at the
+    same port speed and honest minimum packets."""
+
+    def clocks():
+        return (
+            bench_adcp_config.lane_frequency_hz,
+            bench_rmt_config.frequency_hz,
+        )
+
+    lane, rmt = benchmark(clocks)
+    report(
+        "Figure 4: lane clock vs RMT pipeline clock",
+        [f"ADCP lane {lane / GHZ:.3f} GHz vs RMT {rmt / GHZ:.3f} GHz"],
+    )
+    assert lane < rmt
+
+
+def test_fig4_forwarding_through_central_area(benchmark, bench_adcp_config):
+    def run():
+        switch = ADCPSwitch(bench_adcp_config)
+        packets = []
+        for i in range(400):
+            packet = make_coflow_packet(1, 0, i, [(i, i)])
+            packet.meta.egress_port = 7
+            packets.append(packet)
+        source = DeterministicSource(0, bench_adcp_config.port_speed_bps, packets)
+        return switch.run(source.packets())
+
+    result = benchmark(run)
+    wire = result.delivered[0].wire_bytes * BITS_PER_BYTE
+    source_duration = 400 * wire / bench_adcp_config.port_speed_bps
+    report(
+        "Figure 4: line-rate forwarding through ingress->TM1->central->TM2->egress",
+        [
+            f"delivered {result.delivered_count}/400",
+            f"last departure {result.last_departure() * 1e9:.0f} ns "
+            f"(source {source_duration * 1e9:.0f} ns)",
+        ],
+    )
+    assert result.delivered_count == 400
+    assert all(p.meta.central_pipeline is not None for p in result.delivered)
+    assert result.last_departure() <= source_duration * 1.05 + 1e-6

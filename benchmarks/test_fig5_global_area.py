@@ -1,0 +1,116 @@
+"""Experiment F5 — Figure 5, the global partitioned area.
+
+"We can place a given weight to aggregate on a pipeline based on the
+weight's ID hash.  However, this choice does not force us to output the
+aggregated weight to the port connected to that pipeline.  Thanks to the
+second traffic manager, we can forward the aggregated weight to any port,
+or even to multiple ports."
+
+Measured as: hash-partitioned aggregation on the ADCP reaches every
+worker port at full rate with zero recirculation, versus the two RMT
+workarounds (egress pinning and recirculate-to-state), which either
+restrict reachability or pay bandwidth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from benchlib import report
+from repro.adcp.switch import ADCPSwitch
+from repro.apps import ParameterServerApp
+from repro.rmt.config import StateMode
+from repro.rmt.switch import RMTSwitch
+
+
+WORKERS = [0, 1, 4, 5]
+VECTOR = 128
+
+
+def _adcp_run(config):
+    app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=16)
+    switch = ADCPSwitch(config, app)
+    result = switch.run(app.workload(config.port_speed_bps))
+    return app, switch, result
+
+
+def test_fig5_any_port_reachability(benchmark, bench_adcp_config):
+    app, switch, result = benchmark(_adcp_run, bench_adcp_config)
+
+    placements = switch.tm1.partition_histogram()
+    reachable = sorted({p.meta.egress_port for p in result.delivered})
+    report(
+        "Figure 5: hash placement with any-port output (ADCP)",
+        [
+            f"TM1 placement histogram over central pipelines: {placements}",
+            f"ports reached by results: {reachable}",
+            f"recirculated packets: {result.recirculated_packets}",
+        ],
+    )
+    assert app.collect_results(result.delivered) == app.expected_result()
+    assert reachable == sorted(WORKERS)
+    assert result.recirculated_packets == 0
+    assert sum(1 for c in placements if c > 0) >= 2  # truly partitioned
+
+
+def test_fig5_multicast_of_aggregates(benchmark, bench_adcp_config):
+    """'...or even to multiple ports': each aggregated chunk is multicast
+    to every worker without extra passes."""
+    app, switch, result = benchmark(_adcp_run, bench_adcp_config)
+
+    from repro.apps.base import OP_RESULT
+
+    per_port: dict[int, int] = {}
+    for packet in result.delivered:
+        if packet.header("coflow")["opcode"] == OP_RESULT:
+            per_port[packet.meta.egress_port] = (
+                per_port.get(packet.meta.egress_port, 0) + 1
+            )
+    report(
+        "Figure 5: result multicast fan-out",
+        [f"result packets per worker port: {per_port}"],
+    )
+    assert set(per_port) == set(WORKERS)
+    assert len(set(per_port.values())) == 1
+
+
+def test_fig5_three_way_comparison(benchmark, bench_rmt_config, bench_adcp_config):
+    """CCT and bandwidth tax: ADCP vs RMT egress-pin vs RMT recirculate,
+    same coflow, same port speed."""
+
+    def run_all():
+        rows = {}
+        app, _, result = _adcp_run(bench_adcp_config)
+        rows["adcp"] = (result.duration_s, 0.0, True)
+
+        for label, mode in (
+            ("rmt_pin", StateMode.EGRESS_PIN),
+            ("rmt_recirc", StateMode.RECIRCULATE),
+        ):
+            config = dataclasses.replace(bench_rmt_config, state_mode=mode)
+            rmt_app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=1)
+            switch = RMTSwitch(config, rmt_app)
+            result = switch.run(rmt_app.workload(config.port_speed_bps))
+            correct = rmt_app.collect_results(result.delivered) == rmt_app.expected_result()
+            tax = result.recirculated_wire_bytes / max(1, result.delivered_wire_bytes)
+            rows[label] = (result.duration_s, tax, correct)
+        return rows
+
+    rows = benchmark(run_all)
+    report(
+        "Figure 5: aggregation coflow, three architectures",
+        [
+            f"{label:>11}: CCT {duration * 1e9:8.0f} ns, recirc tax {tax:6.1%}, "
+            f"correct={correct}"
+            for label, (duration, tax, correct) in rows.items()
+        ],
+    )
+    assert all(correct for _, _, correct in rows.values())
+    adcp_cct = rows["adcp"][0]
+    assert rows["rmt_pin"][0] > 2 * adcp_cct
+    assert rows["rmt_recirc"][0] > 2 * adcp_cct
+    assert rows["adcp"][1] == 0.0
+    assert rows["rmt_pin"][1] > 0.0
+    assert rows["rmt_recirc"][1] > 0.0

@@ -1,0 +1,110 @@
+"""Experiments F6 + C2 — Figure 6, array matching, and the 16x key-rate
+headroom claim of section 3.2.
+
+Two levels:
+
+- Analytical: key rate = packet rate x array width; at the 12.8 Tbps
+  design point the scalar ceiling is ~6 Bops/s and the 16-wide ceiling is
+  ~96 Bops/s ("misses a potential 16x performance boost").
+- Simulated: the same aggregation coflow shipped at widths 1..16 through
+  the ADCP model; element throughput must scale close to linearly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchlib import report
+from repro.adcp.switch import ADCPSwitch
+from repro.analytical.keyrate import KeyRateModel, rmt_key_rate_ceiling
+from repro.apps import ParameterServerApp
+
+
+WIDTHS = (1, 2, 4, 8, 16)
+
+
+def test_fig6_analytical_key_rate_sweep(benchmark):
+    def sweep():
+        model = KeyRateModel(packet_rate_pps=6e9)
+        return {w: (model.key_rate(w), model.goodput(w), model.speedup(w))
+                for w in WIDTHS}
+
+    rows = benchmark(sweep)
+    lines = [f"{'width':>5} {'keys/s':>10} {'goodput':>8} {'speedup':>8}"]
+    for width, (rate, goodput, speedup) in rows.items():
+        lines.append(
+            f"{width:>5} {rate / 1e9:>8.1f} B {goodput:>7.1%} {speedup:>7.1f}x"
+        )
+    report("Figure 6: key rate vs array width (analytical, 6 Bpps budget)", lines)
+
+    for width, (rate, goodput, speedup) in rows.items():
+        assert speedup == pytest.approx(width)
+    assert rows[16][1] > 4 * rows[1][1]  # goodput amortization
+
+
+def test_fig6_section32_headline(benchmark):
+    ceiling = benchmark(rmt_key_rate_ceiling)
+    report(
+        "Section 3.2 headline: the missed 16x",
+        [
+            f"scalar ceiling: {ceiling['scalar_ops_per_s'] / 1e9:.0f} Bops/s",
+            f"MAUs per stage: {ceiling['maus_per_stage']:.0f}",
+            f"array ceiling:  {ceiling['array_ops_per_s'] / 1e9:.0f} Bops/s "
+            f"({ceiling['missed_factor']:.0f}x)",
+        ],
+    )
+    assert ceiling["missed_factor"] == 16.0
+
+
+def test_fig6_simulated_element_rate_sweep(benchmark, bench_adcp_config):
+    """End-to-end: the same 256-element aggregation at each packing
+    factor.  Two measurements per width:
+
+    - *keys per central-pipeline cycle* — the section 3.2 quantity, which
+      must equal the width (one packet retires per cycle, carrying
+      ``width`` keys);
+    - *end-to-end element rate* — bounded by port wire time, where the
+      win is the goodput ratio (~7x from 1 to 16 at this header size)
+      rather than the full 16x.
+    """
+
+    def sweep():
+        rows = {}
+        for width in WIDTHS:
+            app = ParameterServerApp(
+                [0, 1, 4, 5], 256, elements_per_packet=width
+            )
+            switch = ADCPSwitch(bench_adcp_config, app)
+            result = switch.run(app.workload(bench_adcp_config.port_speed_bps))
+            assert app.collect_results(result.delivered) == app.expected_result()
+            central_packets = sum(
+                switch.stats.value(f"{c.path}.packets") for c in switch.central
+            )
+            central_elements = sum(
+                switch.stats.value(f"{c.path}.elements") for c in switch.central
+            )
+            keys_per_cycle = central_elements / central_packets
+            elements = 256 * 4  # vector x workers
+            rows[width] = (keys_per_cycle, elements / result.duration_s)
+        return rows
+
+    rows = benchmark(sweep)
+    base_rate = rows[1][1]
+    report(
+        "Figure 6: aggregation across array widths (ADCP simulation)",
+        [
+            f"{w:>2}-wide: {kpc:5.2f} keys/pipeline-cycle, "
+            f"{rate / 1e9:6.2f} Gelem/s end-to-end ({rate / base_rate:4.1f}x)"
+            for w, (kpc, rate) in rows.items()
+        ],
+    )
+    # Pipeline-level: keys per cycle ~= array width (input packets are
+    # full-width; tiny deviation from result/flush traffic).
+    for width in WIDTHS:
+        assert rows[width][0] == pytest.approx(width, rel=0.1)
+    assert rows[16][0] > 15 * rows[1][0]
+    # End-to-end: monotone, bounded by the goodput ratio.
+    rates = [rows[w][1] for w in WIDTHS]
+    assert all(b > a for a, b in zip(rates, rates[1:]))
+    assert rows[16][1] > 3 * rows[1][1]
+    assert rows[16][1] / rows[1][1] < 16.5

@@ -1,0 +1,108 @@
+"""Experiment A3 — section 3.1's expanded TM semantics.
+
+"The first TM could ... keep a sort order while it merges flows that are
+themselves sorted."  Compared against the classic FIFO TM discipline on
+the same interleaved arrival pattern: the merge releases a globally
+sorted stream (zero inversions) at bounded buffer occupancy; FIFO's
+output carries inversions that grow with the flow count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchlib import report
+from repro.adcp.scheduler import (
+    FifoScheduler,
+    KWayMergeScheduler,
+    order_violations,
+)
+from repro.net.traffic import make_coflow_packet
+from repro.sim.rng import make_rng
+
+
+def _interleaved_sorted_flows(flows: int, per_flow: int, rng):
+    """Round-robin-ish interleaving of ``flows`` sorted key streams."""
+    streams = []
+    for flow in range(flows):
+        start = int(rng.integers(0, 50))
+        keys = sorted(
+            int(k) for k in rng.integers(start, start + 1000, size=per_flow)
+        )
+        streams.append([(flow, key) for key in keys])
+    arrivals = []
+    cursors = [0] * flows
+    remaining = flows * per_flow
+    flow = 0
+    while remaining:
+        if cursors[flow] < per_flow:
+            arrivals.append(streams[flow][cursors[flow]])
+            cursors[flow] += 1
+            remaining -= 1
+        flow = (flow + 1) % flows
+    return arrivals
+
+
+def _packet(flow: int, key: int):
+    return make_coflow_packet(1, flow, seq=key, elements=[(key, key)])
+
+
+def _run_disciplines(flows: int, per_flow: int, seed: int):
+    arrivals = _interleaved_sorted_flows(flows, per_flow, make_rng(seed))
+
+    fifo = FifoScheduler()
+    for flow, key in arrivals:
+        fifo.offer(_packet(flow, key))
+    fifo_out = fifo.drain()
+
+    merge = KWayMergeScheduler(flows=list(range(flows)))
+    merge_out = []
+    for flow, key in arrivals:
+        merge_out.extend(merge.offer(_packet(flow, key)))
+    for flow in range(flows):
+        merge_out.extend(merge.finish_flow(flow))
+    return fifo_out, merge_out, merge.max_buffered
+
+
+@pytest.mark.parametrize("flows", [2, 4, 8])
+def test_merge_vs_fifo(benchmark, flows):
+    fifo_out, merge_out, buffered = benchmark(
+        _run_disciplines, flows, 64, seed=flows
+    )
+
+    fifo_violations = order_violations(fifo_out)
+    merge_violations = order_violations(merge_out)
+    report(
+        f"Section 3.1: TM1 merge vs classic FIFO ({flows} sorted flows)",
+        [
+            f"FIFO inversions:  {fifo_violations}",
+            f"merge inversions: {merge_violations}",
+            f"merge peak buffer: {buffered} packets",
+        ],
+    )
+    assert len(merge_out) == len(fifo_out) == flows * 64
+    assert merge_violations == 0
+    assert fifo_violations > flows * 5
+    assert buffered <= flows * 64  # bounded, no global sort buffer
+
+
+def test_merge_is_not_general_sorting(benchmark):
+    """The paper is explicit that TM1 does *not* sort: an unsorted input
+    flow is rejected rather than silently reordered."""
+    from repro.errors import ConfigError
+
+    def probe():
+        merge = KWayMergeScheduler(flows=[0])
+        merge.offer(_packet(0, 10))
+        try:
+            merge.offer(_packet(0, 5))
+            return False
+        except ConfigError:
+            return True
+
+    rejected = benchmark(probe)
+    report(
+        "Section 3.1: unsorted flow handling",
+        [f"unsorted input rejected (merge != sort): {rejected}"],
+    )
+    assert rejected

@@ -1,0 +1,119 @@
+"""Experiment A6 — section 4's whole-chip feasibility argument.
+
+"A significant portion of the ADCP architectural elements can run on a
+clock frequency that is a fraction of what RMT chips use today ... it can
+lower the power requirements of the resulting chip.  Lower frequency can
+also translate into using potentially smaller gates and, therefore,
+improving the area requirements."
+
+Composed chip budgets at equal 12.8 Tbps throughput and equal per-stage
+memory: the ADCP pays pipeline *count* (area) and buys back dynamic power
+and per-instance logic area via its slower clocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchlib import report
+from repro.adcp.config import ADCPConfig
+from repro.feasibility.chip import ChipModel
+from repro.rmt.config import RMTConfig
+from repro.units import GBPS, GHZ
+
+
+def _designs():
+    rmt = RMTConfig(
+        num_ports=32, port_speed_bps=400 * GBPS, pipelines=4,
+        min_wire_packet_bytes=247.0, frequency_hz=1.62 * GHZ,
+    )
+    adcp = ADCPConfig(
+        num_ports=32, port_speed_bps=400 * GBPS, demux_factor=2,
+        central_pipelines=8, array_width=8,
+    )
+    return rmt, adcp
+
+
+def test_sec4_chip_budget_comparison(benchmark):
+    def compose():
+        model = ChipModel()
+        rmt_config, adcp_config = _designs()
+        return model.rmt_chip(rmt_config), model.adcp_chip(adcp_config)
+
+    rmt, adcp = benchmark(compose)
+
+    report(
+        "Section 4: whole-chip budgets at 12.8 Tbps, equal per-stage memory",
+        [
+            f"{'':>6} {'area':>10} {'logic':>9} {'dynamic':>9} {'total pwr':>9}",
+            f"{'RMT':>6} {rmt.total_mm2:>8.0f}mm2 {rmt.logic_mm2:>7.0f}mm2 "
+            f"{rmt.dynamic_w:>8.1f}W {rmt.total_w:>8.1f}W",
+            f"{'ADCP':>6} {adcp.total_mm2:>8.0f}mm2 {adcp.logic_mm2:>7.0f}mm2 "
+            f"{adcp.dynamic_w:>8.1f}W {adcp.total_w:>8.1f}W",
+            f"dynamic power density: RMT "
+            f"{rmt.dynamic_w / rmt.logic_mm2:.2f} vs ADCP "
+            f"{adcp.dynamic_w / adcp.logic_mm2:.2f} W/mm2 of logic",
+        ],
+    )
+    # The trade as the paper frames it: more instances (area up), much
+    # lower switching energy per unit of logic (clock + voltage down).
+    assert adcp.total_mm2 > rmt.total_mm2
+    assert adcp.dynamic_w / adcp.logic_mm2 < 0.5 * rmt.dynamic_w / rmt.logic_mm2
+
+
+def test_sec4_lane_logic_shrinks_with_clock(benchmark):
+    """Gate-sizing relief: one ADCP lane's logic is smaller than one RMT
+    pipeline's, despite identical stage/MAU counts."""
+
+    def lane_vs_pipeline():
+        model = ChipModel()
+        rmt_config, adcp_config = _designs()
+        rmt_budget = model.rmt_chip(rmt_config)
+        adcp_budget = model.adcp_chip(adcp_config)
+        return (
+            rmt_budget.block("ingress0").logic_mm2,
+            adcp_budget.block("ingress0").logic_mm2,
+        )
+
+    rmt_logic, lane_logic = benchmark(lane_vs_pipeline)
+    report(
+        "Section 4: per-instance logic area",
+        [
+            f"RMT pipeline @1.62 GHz: {rmt_logic:6.2f} mm2 of logic",
+            f"ADCP lane   @demuxed:   {lane_logic:6.2f} mm2 of logic",
+        ],
+    )
+    assert lane_logic < rmt_logic
+
+
+def test_sec4_power_vs_demux_factor(benchmark):
+    """Sweep the demux factor: total dynamic power falls as lanes slow
+    down, until leakage of the extra instances dominates — the design
+    window the paper gestures at."""
+
+    def sweep():
+        model = ChipModel()
+        budgets = {}
+        for m in (1, 2, 4):
+            config = ADCPConfig(
+                num_ports=32, port_speed_bps=400 * GBPS, demux_factor=m,
+                central_pipelines=8, array_width=8,
+            )
+            budget = model.adcp_chip(config)
+            budgets[m] = (budget.dynamic_w, budget.leakage_w, budget.total_mm2)
+        return budgets
+
+    budgets = benchmark(sweep)
+    report(
+        "Section 4: ADCP chip vs demux factor (32 x 400 G)",
+        [
+            f"1:{m} -> dynamic {dyn:7.1f} W, leakage {leak:7.1f} W, "
+            f"area {area:6.0f} mm2"
+            for m, (dyn, leak, area) in budgets.items()
+        ],
+    )
+    # Dynamic power per lane falls faster than lane count rises.
+    assert budgets[2][0] < budgets[1][0]
+    # But area and leakage grow monotonically: the trade is real.
+    areas = [budgets[m][2] for m in (1, 2, 4)]
+    assert areas == sorted(areas)

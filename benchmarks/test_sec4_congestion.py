@@ -1,0 +1,126 @@
+"""Experiment A1 — section 4's routing-congestion analysis.
+
+"The traffic managers represent a possible source of routing congestion
+... To minimize the congestion, it is important to avoid monolithic and
+area-efficient designs for that component.  Instead, their floorplan
+should be spread across the layout and interleaved with other logic
+elements, e.g., pipelines."
+
+Regenerated as: per-g-cell congestion maps for the monolithic and
+interleaved TM floorplans across pipeline counts, plus the ADCP's own
+two-TM floorplan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchlib import report
+from repro.feasibility.congestion import (
+    Net,
+    RoutingEstimator,
+    tm_netlist_interleaved,
+    tm_netlist_monolithic,
+)
+from repro.feasibility.floorplan import (
+    adcp_floorplan,
+    interleaved_tm_floorplan,
+    monolithic_tm_floorplan,
+)
+
+WIRES_PER_PIPELINE = 512  # a PHV-wide bus worth of signal wires
+
+
+def _compare(pipelines: int):
+    mono = RoutingEstimator(monolithic_tm_floorplan(pipelines)).estimate(
+        tm_netlist_monolithic(pipelines, WIRES_PER_PIPELINE)
+    )
+    inter = RoutingEstimator(interleaved_tm_floorplan(pipelines)).estimate(
+        tm_netlist_interleaved(pipelines, WIRES_PER_PIPELINE)
+    )
+    return mono, inter
+
+
+def test_sec4_monolithic_vs_interleaved_sweep(benchmark):
+    def sweep():
+        return {n: _compare(n) for n in (2, 4, 8, 16)}
+
+    results = benchmark(sweep)
+    lines = [f"{'pipes':>5} {'mono max':>9} {'mono p95':>9} "
+             f"{'inter max':>9} {'inter p95':>9} {'relief':>7}"]
+    for n, (mono, inter) in results.items():
+        lines.append(
+            f"{n:>5} {mono.max_congestion:>9.2f} {mono.percentile(95):>9.2f} "
+            f"{inter.max_congestion:>9.2f} {inter.percentile(95):>9.2f} "
+            f"{mono.max_congestion / inter.max_congestion:>6.1f}x"
+        )
+    report("Section 4: TM g-cell congestion, monolithic vs interleaved", lines)
+
+    for n, (mono, inter) in results.items():
+        if n >= 4:
+            assert inter.max_congestion < mono.max_congestion
+    # Monolithic peak grows with pipeline count; interleaved stays flat.
+    monos = [results[n][0].max_congestion for n in (2, 4, 8, 16)]
+    inters = [results[n][1].max_congestion for n in (2, 4, 8, 16)]
+    assert monos == sorted(monos) and monos[-1] > 2 * monos[0]
+    assert max(inters) <= 2 * min(inters)
+
+
+def test_sec4_hotspot_sits_at_the_shared_tm(benchmark):
+    """'Routing congestion ... most likely to occur in the proximity of
+    heavily shared IP blocks': the hottest g-cell lies inside or adjacent
+    to the monolithic TM."""
+
+    def hotspot_distance():
+        plan = monolithic_tm_floorplan(8)
+        result = RoutingEstimator(plan).estimate(
+            tm_netlist_monolithic(8, WIRES_PER_PIPELINE)
+        )
+        x, y = result.hotspot
+        tm = plan.block("tm")
+        cx, cy = tm.center
+        return abs(x - cx) + abs(y - cy), result.max_congestion
+
+    distance, peak = benchmark(hotspot_distance)
+    report(
+        "Section 4: congestion hotspot location",
+        [f"hotspot at Manhattan distance {distance:.1f} g-cells from TM "
+         f"center (peak {peak:.1f})"],
+    )
+    assert distance < 12
+
+
+def test_sec4_adcp_two_tm_floorplan(benchmark):
+    """The ADCP doubles the TM count; with both TMs interleaved per the
+    paper's advice, peak congestion stays in the same class as a single
+    interleaved RMT TM."""
+
+    def adcp_congestion():
+        lanes, central = 8, 4
+        plan = adcp_floorplan(lanes, central)
+        nets = []
+        per_lane = WIRES_PER_PIPELINE
+        for i in range(lanes):
+            nets.append(Net(f"ingress{i}", f"tm1_slice{i}", per_lane))
+            nets.append(Net(f"tm2_slice{i}", f"egress{i}", per_lane))
+        for i in range(central):
+            nets.append(Net(f"tm1_slice{i}", f"central{i}", per_lane))
+            nets.append(Net(f"central{i}", f"tm2_slice{i}", per_lane))
+        for i in range(lanes):
+            nets.append(Net(f"tm1_slice{i}", f"tm1_slice{(i + 1) % lanes}", per_lane // 4))
+            nets.append(Net(f"tm2_slice{i}", f"tm2_slice{(i + 1) % lanes}", per_lane // 4))
+        return RoutingEstimator(plan).estimate(nets)
+
+    result = benchmark(adcp_congestion)
+    rmt_inter = RoutingEstimator(interleaved_tm_floorplan(8)).estimate(
+        tm_netlist_interleaved(8, WIRES_PER_PIPELINE)
+    )
+    report(
+        "Section 4: ADCP two-TM interleaved floorplan",
+        [
+            f"ADCP peak congestion: {result.max_congestion:.2f}",
+            f"RMT interleaved peak: {rmt_inter.max_congestion:.2f}",
+            f"ADCP total wirelength: {result.total_wirelength:.0f} cell-wires",
+        ],
+    )
+    assert result.max_congestion <= 2 * rmt_inter.max_congestion

@@ -1,0 +1,130 @@
+"""Experiment A2 — section 4's multi-clock MAT memory design study.
+
+"We can leverage the lower clock frequency of the pipelines and clock the
+MAT table memory at a much higher frequency ... this design links the
+memory frequency with the array width we aim to support, which could
+potentially restrict scalability."
+
+Regenerated as the design-space table the authors say they are assessing:
+for each (pipeline clock, array width), the multi-clock design's memory
+frequency and feasibility, the banked alternative's expected throughput
+under random keys, and both designs' area factors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchlib import report
+from repro.adcp.multiclock import BankedMatMemory, MultiClockMatMemory
+from repro.sim.rng import make_rng
+from repro.units import GHZ
+
+LANE_CLOCKS_GHZ = (0.6, 1.19, 1.62)
+WIDTHS = (2, 4, 8, 16)
+
+
+def _design_space():
+    rows = []
+    rng = make_rng(5)
+    for clock_ghz in LANE_CLOCKS_GHZ:
+        for width in WIDTHS:
+            multi = MultiClockMatMemory(clock_ghz * GHZ, width)
+            banked = BankedMatMemory(clock_ghz * GHZ, width)
+            banked_kpc = width / banked.expected_batch_cycles(
+                width, trials=200, rng=rng
+            )
+            rows.append(
+                (
+                    clock_ghz,
+                    width,
+                    multi.memory_frequency_hz / GHZ,
+                    multi.is_feasible,
+                    multi.area_factor(),
+                    banked_kpc,
+                    banked.area_factor(),
+                )
+            )
+    return rows
+
+
+def test_sec4_design_space_table(benchmark):
+    rows = benchmark(_design_space)
+
+    lines = [
+        f"{'lane':>5} {'width':>5} {'memclk':>7} {'multi ok':>8} "
+        f"{'multi area':>10} {'banked k/cyc':>12} {'banked area':>11}"
+    ]
+    for clock, width, memclk, feasible, marea, bkpc, barea in rows:
+        lines.append(
+            f"{clock:>4.2f}G {width:>5} {memclk:>6.1f}G {str(feasible):>8} "
+            f"{marea:>10.2f} {bkpc:>12.2f} {barea:>11.2f}"
+        )
+    report("Section 4: array MAT-memory design space", lines)
+
+    by_key = {(c, w): row for row in rows for c, w in [(row[0], row[1])]}
+    # The paper's synergy: slow demuxed lanes leave clock headroom.
+    assert by_key[(0.6, 4)][3] is True       # 2.4 GHz memory: fine
+    assert by_key[(0.6, 8)][3] is False      # 4.8 GHz: over the wall
+    assert by_key[(1.62, 4)][3] is False     # RMT-class clocks lose headroom
+    # The scalability restriction: no lane clock supports 16-wide multi-clock.
+    assert all(not by_key[(c, 16)][3] for c in LANE_CLOCKS_GHZ)
+    # Banked is always buildable but loses throughput to conflicts.
+    for row in rows:
+        assert 1.0 <= row[5] < row[1]
+    # Banked area grows with width; multi-clock area does not.
+    assert by_key[(0.6, 16)][6] > by_key[(0.6, 2)][6]
+    assert by_key[(0.6, 16)][4] == by_key[(0.6, 2)][4]
+
+
+def test_sec4_effective_key_rate_comparison(benchmark):
+    """Keys per second per stage for the three implementable options at
+    the Table 3 lane clock: scalar, banked-8, multi-clock-4."""
+
+    def key_rates():
+        clock = 0.6 * GHZ
+        rng = make_rng(9)
+        scalar = clock * 1
+        multi4 = clock * MultiClockMatMemory(clock, 4).lookups_per_pipeline_cycle(
+            [1, 2, 3, 4]
+        )
+        banked8 = clock * 8 / BankedMatMemory(clock, 8).expected_batch_cycles(
+            8, trials=300, rng=rng
+        )
+        return scalar, multi4, banked8
+
+    scalar, multi4, banked8 = benchmark(key_rates)
+    report(
+        "Section 4: per-stage key rate at a 0.6 GHz lane",
+        [
+            f"scalar:            {scalar / 1e9:5.2f} Bkeys/s",
+            f"multi-clock x4:    {multi4 / 1e9:5.2f} Bkeys/s",
+            f"banked x8 (rand):  {banked8 / 1e9:5.2f} Bkeys/s",
+        ],
+    )
+    assert multi4 == pytest.approx(4 * scalar)
+    assert banked8 > 1.5 * scalar
+    assert banked8 < 8 * scalar  # conflicts forbid the ideal 8x
+
+
+def test_sec4_max_feasible_width_vs_lane_clock(benchmark):
+    """The width/frequency coupling: the slower the lane, the wider the
+    feasible multi-clock array — quantifying why demux and arrays are
+    synergistic."""
+
+    def widths():
+        return {
+            clock: MultiClockMatMemory(clock * GHZ, 1).max_feasible_width
+            for clock in (0.3, 0.6, 1.19, 1.62)
+        }
+
+    result = benchmark(widths)
+    report(
+        "Section 4: max multi-clock array width per lane clock",
+        [f"{clock:>5.2f} GHz lane -> width {width}"
+         for clock, width in result.items()],
+    )
+    values = list(result.values())
+    assert values == sorted(values, reverse=True)
+    assert result[0.3] >= 13
+    assert result[1.62] <= 2

@@ -1,0 +1,175 @@
+"""Experiment T1 — Table 1, the coflow application classes.
+
+Runs each of the four application patterns on both architectures and
+reports the metrics the paper's argument predicts: correctness parity,
+ADCP's zero recirculation, and the CCT gap opened by scalar packets plus
+state-placement workarounds on RMT.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from benchlib import report
+from repro.adcp.switch import ADCPSwitch
+from repro.apps import (
+    DBShuffleApp,
+    GraphMiningApp,
+    GroupCommApp,
+    ParameterServerApp,
+)
+from repro.rmt.switch import RMTSwitch
+from repro.sim.rng import make_rng
+
+
+WORKERS = [0, 1, 4, 5]
+
+
+def _run_pair(bench_rmt_config, bench_adcp_config, build_app, run_app):
+    """Run one app on both targets; returns per-target (cct, recirc)."""
+    rows = {}
+    adcp_app = build_app(16)
+    adcp = ADCPSwitch(bench_adcp_config, adcp_app)
+    result = run_app(adcp_app, adcp, bench_adcp_config.port_speed_bps)
+    rows["adcp"] = (result.duration_s, result.recirculated_packets, adcp_app)
+
+    rmt_app = build_app(1)
+    rmt = RMTSwitch(bench_rmt_config, rmt_app)
+    result = run_app(rmt_app, rmt, bench_rmt_config.port_speed_bps)
+    rows["rmt"] = (result.duration_s, result.recirculated_packets, rmt_app)
+    return rows
+
+
+class TestMLTraining:
+    def test_parameter_aggregation(self, benchmark, bench_rmt_config, bench_adcp_config):
+        results_store = {}
+
+        def run():
+            def build(width):
+                return ParameterServerApp(WORKERS, 128, elements_per_packet=width)
+
+            def drive(app, switch, speed):
+                result = switch.run(app.workload(speed))
+                results_store[app.elements_per_packet] = app.collect_results(
+                    result.delivered
+                )
+                return result
+
+            return _run_pair(bench_rmt_config, bench_adcp_config, build, drive)
+
+        rows = benchmark(run)
+        report(
+            "Table 1 / ML training: parameter aggregation",
+            [
+                f"{label:>5}: CCT {cct * 1e9:8.0f} ns, recirc {recirc}"
+                for label, (cct, recirc, _) in rows.items()
+            ],
+        )
+        assert results_store[16] == results_store[1]  # same answer
+        assert rows["adcp"][1] == 0
+        assert rows["rmt"][1] > 0
+        assert rows["rmt"][0] > 3 * rows["adcp"][0]
+
+
+class TestDatabaseAnalytics:
+    def test_filter_aggregate_reshuffle(
+        self, benchmark, bench_rmt_config, bench_adcp_config
+    ):
+        answers = {}
+
+        def run():
+            def build(width):
+                return DBShuffleApp(
+                    [0, 1], [4, 5], groups=16, elements_per_packet=width
+                )
+
+            def drive(app, switch, speed):
+                result = switch.run(app.workload(speed, elements_per_mapper=96))
+                answers[app.elements_per_packet] = app.collect_results(
+                    result.delivered
+                )
+                return result
+
+            return _run_pair(bench_rmt_config, bench_adcp_config, build, drive)
+
+        rows = benchmark(run)
+        report(
+            "Table 1 / database analytics: filter-aggregate-reshuffle",
+            [
+                f"{label:>5}: CCT {cct * 1e9:8.0f} ns, recirc {recirc}"
+                for label, (cct, recirc, _) in rows.items()
+            ],
+        )
+        assert answers[16] == answers[1]
+        assert rows["adcp"][1] == 0
+        assert rows["rmt"][0] > rows["adcp"][0]
+
+
+class TestGraphMining:
+    def test_bsp_frontier_dedup(self, benchmark, bench_rmt_config, bench_adcp_config):
+        forwarded = {}
+
+        def run():
+            def build(width):
+                return GraphMiningApp(WORKERS, 512, elements_per_packet=width)
+
+            def drive(app, switch, speed):
+                result = switch.run(
+                    app.superstep_workload(speed, 120, 2.0, make_rng(21))
+                )
+                forwarded[app.elements_per_packet] = app.collect_forwarded(
+                    result.delivered
+                )
+                return result
+
+            return _run_pair(bench_rmt_config, bench_adcp_config, build, drive)
+
+        rows = benchmark(run)
+        dedup_ratio = rows["adcp"][2].duplicates_absorbed / max(
+            1, rows["adcp"][2].uniques_forwarded
+        )
+        report(
+            "Table 1 / graph pattern mining: BSP frontier dedup",
+            [
+                f"{label:>5}: CCT {cct * 1e9:8.0f} ns, recirc {recirc}"
+                for label, (cct, recirc, _) in rows.items()
+            ]
+            + [f"switch absorbed {dedup_ratio:.1f} duplicates per unique vertex"],
+        )
+        assert forwarded[16] == forwarded[1]
+        assert rows["adcp"][1] == 0
+        assert rows["rmt"][0] > rows["adcp"][0]
+
+
+class TestGroupCommunications:
+    def test_group_fanout(self, benchmark, bench_rmt_config, bench_adcp_config):
+        deliveries = {}
+
+        def run():
+            def build(width):
+                return GroupCommApp({1: [2, 4, 6]}, elements_per_packet=width)
+
+            def drive(app, switch, speed):
+                result = switch.run(
+                    app.workload(speed, senders={0: 1}, transfers_per_sender=8)
+                )
+                deliveries[app.elements_per_packet] = app.deliveries_per_port(
+                    result.delivered
+                )
+                return result
+
+            return _run_pair(bench_rmt_config, bench_adcp_config, build, drive)
+
+        rows = benchmark(run)
+        report(
+            "Table 1 / group communications: switch-resolved multicast",
+            [
+                f"{label:>5}: CCT {cct * 1e9:8.0f} ns, recirc {recirc}"
+                for label, (cct, recirc, _) in rows.items()
+            ],
+        )
+        assert deliveries[16] == deliveries[1] == {2: 8, 4: 8, 6: 8}
+        assert rows["adcp"][1] == 0
+        assert rows["rmt"][1] > 0

@@ -1,0 +1,70 @@
+"""Experiment T2 — regenerate Table 2, "Port multiplexing poor scalability".
+
+For each published switch generation, recompute the pipeline frequency
+from (port speed, ports per pipeline, minimum wire packet) and diff it
+against the paper's number.  Every row must land within 1%.
+"""
+
+from __future__ import annotations
+
+from benchlib import report
+from repro.analytical.scaling import table2_rows
+
+
+def test_table2_rows_reproduce(benchmark):
+    rows = benchmark(table2_rows)
+
+    lines = [
+        f"{'thru':>9} {'port':>6} {'pipes':>5} {'p/pipe':>6} "
+        f"{'minpkt':>6} {'paper':>6} {'model':>7} {'err':>6}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.throughput_gbps or 0:>7.0f} G {row.port_speed_gbps:>4.0f} G "
+            f"{row.pipelines or 0:>5} {str(row.ports_per_pipeline):>6} "
+            f"{row.min_packet_bytes:>5.0f}B {row.paper_freq_ghz:>5.2f}G "
+            f"{row.computed_freq_ghz:>6.3f}G {row.freq_error:>6.2%}"
+        )
+    report("Table 2: port multiplexing poor scalability", lines)
+
+    assert len(rows) == 5
+    for row in rows:
+        assert row.freq_error < 0.01, row
+
+    # The paper's trend assertions: packet-size tax grows, ports per
+    # pipeline shrink, frequency saturates at the 1.62 GHz wall.
+    packets = [row.min_packet_bytes for row in rows]
+    assert packets == sorted(packets) and packets[-1] / packets[0] > 5.8
+    assert rows[-1].ports_per_pipeline < rows[0].ports_per_pipeline
+    assert max(row.computed_freq_ghz for row in rows) < 1.7
+
+
+def test_table2_frequency_wall_without_packet_tax(benchmark):
+    """Counterfactual: holding honest 84 B packets, what clock would each
+    Table 2 generation need?  This is the unsustainability argument in
+    one sweep."""
+    from repro.analytical.scaling import PAPER_TABLE2_ROWS
+    from repro.units import GBPS, GHZ, pipeline_frequency
+
+    def required_clocks():
+        return [
+            pipeline_frequency(
+                row.port_speed_gbps * GBPS, float(row.ports_per_pipeline), 84.0
+            )
+            / GHZ
+            for row in PAPER_TABLE2_ROWS
+        ]
+
+    clocks = benchmark(required_clocks)
+    report(
+        "Table 2 counterfactual: clock needed at honest 84 B minimum",
+        [
+            f"{row.port_speed_gbps:>5.0f} G x {str(row.ports_per_pipeline):>3} "
+            f"ports/pipe -> {clock:5.2f} GHz"
+            for row, clock in zip(PAPER_TABLE2_ROWS, clocks)
+        ],
+    )
+    # 10G generation was honest; everything after needs > 2 GHz clocks.
+    assert clocks[0] < 1.0
+    assert all(clock > 2.0 for clock in clocks[1:])
+    assert max(clocks) > 9.0  # "a 10 GHz processor is not a viable option"

@@ -1,0 +1,81 @@
+"""Experiment T3 — regenerate Table 3, "Port demultiplexing examples".
+
+The ADCP lever: splitting each port across m pipelines divides the needed
+clock by m while restoring honest 84 B minimum packets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchlib import report
+from repro.analytical.scaling import table3_rows
+from repro.adcp.config import table3_config
+from repro.units import GHZ
+
+
+def test_table3_rows_reproduce(benchmark):
+    rows = benchmark(table3_rows)
+
+    lines = [
+        f"{'port':>6} {'p/pipe':>6} {'minpkt':>6} {'paper':>6} {'model':>7} {'err':>6}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.port_speed_gbps:>4.0f} G {str(row.ports_per_pipeline):>6} "
+            f"{row.min_packet_bytes:>5.0f}B {row.paper_freq_ghz:>5.2f}G "
+            f"{row.computed_freq_ghz:>6.3f}G {row.freq_error:>6.2%}"
+        )
+    report("Table 3: port demultiplexing examples", lines)
+
+    assert len(rows) == 4
+    for row in rows:
+        assert row.freq_error < 0.01, row
+
+    # Shape: each demuxed row keeps the honest 84 B minimum AND clocks
+    # well below its multiplexed sibling.
+    mux_800, demux_800, mux_1600, demux_1600 = rows
+    assert demux_800.min_packet_bytes == 84
+    assert demux_800.computed_freq_ghz < mux_800.computed_freq_ghz / 2
+    assert demux_1600.min_packet_bytes == 84
+    assert demux_1600.computed_freq_ghz < mux_1600.computed_freq_ghz
+
+
+def test_table3_simulated_switch_matches_analytics(benchmark, bench_adcp_config):
+    """Cross-check: the ADCP switch model's derived lane clock equals the
+    analytical Table 3 frequency for the same design point."""
+
+    def lane_clock_ghz():
+        return table3_config(800).lane_frequency_hz / GHZ
+
+    clock = benchmark(lane_clock_ghz)
+    report(
+        "Table 3 cross-check: simulated ADCP lane clock",
+        [f"800 G, 1:2 demux, 84 B -> lane clock {clock:.3f} GHz (paper 0.60)"],
+    )
+    assert clock == pytest.approx(0.60, rel=0.02)
+
+
+def test_table3_demux_sweep(benchmark):
+    """Extension sweep: demux factors 1..8 at both Table 3 port speeds."""
+    from repro.analytical.frontier import demux_frontier
+
+    def sweep():
+        return {
+            speed: demux_frontier(speed, demux_factors=(1, 2, 4, 8))
+            for speed in (800, 1600)
+        }
+
+    points = benchmark(sweep)
+    lines = []
+    for speed, frontier in points.items():
+        for point in frontier:
+            lines.append(
+                f"{speed:>5} G 1:{point.demux_factor} -> "
+                f"{point.freq_ghz:5.2f} GHz"
+            )
+    report("Table 3 extension: demux factor sweep", lines)
+    for speed, frontier in points.items():
+        clocks = [p.freq_ghz for p in frontier]
+        assert clocks == sorted(clocks, reverse=True)
+        assert clocks[1] == pytest.approx(clocks[0] / 2)

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""The switch-design space: Tables 2 and 3, the feasibility frontier, and
+the section 4 physical-design models, all in one report.
+
+Run:
+    python examples/design_space.py
+"""
+
+from __future__ import annotations
+
+from repro.adcp.multiclock import BankedMatMemory, MultiClockMatMemory
+from repro.analytical.frontier import (
+    demux_frontier,
+    mux_frontier,
+    required_demux_factor,
+)
+from repro.analytical.scaling import table2_rows, table3_rows
+from repro.feasibility.area import AreaModel
+from repro.feasibility.congestion import (
+    RoutingEstimator,
+    tm_netlist_interleaved,
+    tm_netlist_monolithic,
+)
+from repro.feasibility.floorplan import (
+    interleaved_tm_floorplan,
+    monolithic_tm_floorplan,
+)
+from repro.feasibility.power import PowerModel
+from repro.units import GHZ
+
+
+def print_table2() -> None:
+    print("Table 2 — port multiplexing poor scalability (model vs paper)")
+    print(f"  {'port':>6} {'p/pipe':>6} {'minpkt':>7} {'paper':>6} {'model':>7}")
+    for row in table2_rows():
+        print(
+            f"  {row.port_speed_gbps:>4.0f} G {str(row.ports_per_pipeline):>6} "
+            f"{row.min_packet_bytes:>6.0f}B {row.paper_freq_ghz:>5.2f}G "
+            f"{row.computed_freq_ghz:>6.3f}G"
+        )
+
+
+def print_table3() -> None:
+    print("Table 3 — port demultiplexing examples (model vs paper)")
+    print(f"  {'port':>6} {'p/pipe':>6} {'minpkt':>7} {'paper':>6} {'model':>7}")
+    for row in table3_rows():
+        print(
+            f"  {row.port_speed_gbps:>4.0f} G {str(row.ports_per_pipeline):>6} "
+            f"{row.min_packet_bytes:>6.0f}B {row.paper_freq_ghz:>5.2f}G "
+            f"{row.computed_freq_ghz:>6.3f}G"
+        )
+
+
+def print_frontier() -> None:
+    print("Feasibility frontier — minimum-packet tax (mux) vs clock relief (demux)")
+    for speed in (400, 800, 1600, 3200):
+        best_mux = min(
+            (p for p in mux_frontier(speed) if p.ports_per_pipeline >= 1),
+            key=lambda p: p.min_wire_packet_bytes,
+        )
+        m = required_demux_factor(speed)
+        demux = next(p for p in demux_frontier(speed, (m,)))
+        print(
+            f"  {speed:>5} G: mux needs {best_mux.min_wire_packet_bytes:4.0f} B "
+            f"min packets; demux 1:{m} runs 84 B at {demux.freq_ghz:4.2f} GHz"
+        )
+
+
+def print_power_area() -> None:
+    print("Section 4 — area and power at the two design points")
+    area = AreaModel()
+    power = PowerModel()
+    rmt = area.pipeline_area("rmt", 12, 16, 10, 2, 1.62 * GHZ)
+    lane = area.pipeline_area("lane", 12, 16, 10, 2, 0.60 * GHZ)
+    print(f"  RMT pipeline @1.62 GHz: {rmt.total_mm2:6.1f} mm^2 "
+          f"({rmt.logic_mm2:.1f} logic)")
+    print(f"  ADCP lane    @0.60 GHz: {lane.total_mm2:6.1f} mm^2 "
+          f"({lane.logic_mm2:.1f} logic)")
+    ratio = power.dynamic_power_w(rmt.logic_mm2, 1.62 * GHZ) / power.dynamic_power_w(
+        lane.logic_mm2, 0.60 * GHZ
+    )
+    print(f"  dynamic power per pipeline: RMT burns {ratio:.1f}x an ADCP lane")
+
+
+def print_congestion() -> None:
+    print("Section 4 — TM routing congestion (8 pipelines, 512-wire buses)")
+    mono = RoutingEstimator(monolithic_tm_floorplan(8)).estimate(
+        tm_netlist_monolithic(8, 512)
+    )
+    inter = RoutingEstimator(interleaved_tm_floorplan(8)).estimate(
+        tm_netlist_interleaved(8, 512)
+    )
+    print(f"  monolithic TM: peak g-cell congestion {mono.max_congestion:5.1f}")
+    print(f"  interleaved TM: peak g-cell congestion {inter.max_congestion:5.1f} "
+          f"({mono.max_congestion / inter.max_congestion:.1f}x relief)")
+
+
+def print_multiclock() -> None:
+    print("Section 4 — array MAT memory designs at a 0.6 GHz lane")
+    for width in (2, 4, 8, 16):
+        multi = MultiClockMatMemory(0.6 * GHZ, width)
+        banked = BankedMatMemory(0.6 * GHZ, width)
+        status = "ok" if multi.is_feasible else "infeasible"
+        print(
+            f"  width {width:>2}: multi-clock memory at "
+            f"{multi.memory_frequency_hz / GHZ:4.1f} GHz ({status}); "
+            f"banked always buildable at {banked.area_factor():.2f}x area"
+        )
+
+
+def main() -> None:
+    for section in (
+        print_table2,
+        print_table3,
+        print_frontier,
+        print_power_area,
+        print_congestion,
+        print_multiclock,
+    ):
+        section()
+        print()
+
+
+if __name__ == "__main__":
+    main()

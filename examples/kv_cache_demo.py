@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""In-network key/value caching under a skewed workload (NetCache-style).
+
+The switch caches the hottest items of a storage server.  A Zipf request
+stream hits the cache for popular keys and falls through to the server
+otherwise — the load absorbed by the switch is the fraction the server
+never sees.
+
+Run:
+    python examples/kv_cache_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import ADCPConfig, ADCPSwitch
+from repro.apps import KVCacheApp
+from repro.apps.base import OP_GET, OP_REPLY
+from repro.sim.rng import make_rng
+from repro.units import GBPS
+
+SERVER_PORT = 7
+CLIENTS = [0, 1, 2, 3]
+
+
+def run(cache_size: int, requests: int = 2000) -> tuple[float, int, int]:
+    config = ADCPConfig(
+        num_ports=8, port_speed_bps=100 * GBPS, demux_factor=2,
+        central_pipelines=4,
+    )
+    hot_items = {key: key * 7 + 1 for key in range(cache_size)}
+    app = KVCacheApp(SERVER_PORT, CLIENTS, hot_items, elements_per_packet=1)
+    switch = ADCPSwitch(config, app)
+
+    stream = app.request_stream(requests, make_rng(3), zipf_s=1.2, key_space=8192)
+    from repro.net.traffic import DeterministicSource, merge_sources
+
+    per_client: dict[int, list] = {}
+    for packet in stream:
+        per_client.setdefault(packet.meta.ingress_port, []).append(packet)
+    sources = [
+        DeterministicSource(port, config.port_speed_bps, packets)
+        for port, packets in per_client.items()
+    ]
+    result = switch.run(merge_sources(sources))
+
+    replies = sum(
+        1 for p in result.delivered
+        if p.header("coflow")["opcode"] == OP_REPLY
+    )
+    to_server = sum(
+        1 for p in result.delivered
+        if p.header("coflow")["opcode"] == OP_GET
+        and p.meta.egress_port == SERVER_PORT
+    )
+    return app.hit_rate, replies, to_server
+
+
+def main() -> None:
+    print("Zipf(1.2) GET stream over 8192 keys, 4 clients, one server")
+    print(f"{'cache':>6} {'hit rate':>8} {'answered by switch':>18} "
+          f"{'reached server':>14}")
+    for cache_size in (16, 64, 256, 1024):
+        hit_rate, replies, to_server = run(cache_size)
+        print(f"{cache_size:>6} {hit_rate:>7.1%} {replies:>18} {to_server:>14}")
+    print()
+    print("a few hundred switch-resident items absorb most of a skewed load")
+    print("— the hash table that, per section 2, RMT can only build with")
+    print("scalar packets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Streaming sort-merge join through TM1's order-preserving merge (§3.1).
+
+Two database servers stream sorted relations at the switch; TM1 merges
+the flows in key order, and the central partitions join matching keys
+with tiny, bounded state — a query operator that is impossible on a
+classic FIFO traffic manager without buffering a whole relation.
+
+Run:
+    python examples/sorted_merge_join.py
+"""
+
+from __future__ import annotations
+
+from repro import ADCPConfig, ADCPSwitch
+from repro.apps import SortMergeJoinApp
+from repro.sim.rng import make_rng
+from repro.units import GBPS
+
+
+def make_relation(rng, rows: int, key_space: int) -> list[tuple[int, int]]:
+    keys = rng.integers(0, key_space, size=rows)
+    values = rng.integers(0, 1000, size=rows)
+    return sorted((int(k), int(v)) for k, v in zip(keys, values))
+
+
+def main() -> None:
+    rng = make_rng(7)
+    left = make_relation(rng, rows=300, key_space=150)
+    right = make_relation(rng, rows=300, key_space=150)
+
+    app = SortMergeJoinApp(left_port=0, right_port=1, output_port=7)
+    config = ADCPConfig(
+        num_ports=8, port_speed_bps=100 * GBPS, demux_factor=2,
+        central_pipelines=4,
+    )
+    switch = ADCPSwitch(config, app, ordered_flows=app.ordered_flows())
+    result = switch.run(app.workload(config.port_speed_bps, left, right))
+
+    got = app.collect_matches(result.delivered)
+    expected = app.expected_join(left, right)
+    assert got == expected, "join mismatch"
+
+    print(f"SELECT * FROM left JOIN right USING (key)")
+    print(f"  left: {len(left)} rows, right: {len(right)} rows")
+    print(f"  matches: {len(got)} (verified against ground truth)")
+    print(f"  switch state high-water mark: {app.max_buffered_values} "
+          f"buffered values")
+    print(f"  join time: {result.duration_s * 1e6:.2f} us at 100 G")
+    print()
+    print("a FIFO TM would force the switch to buffer an entire relation;")
+    print("TM1's k-way merge keeps state bounded by per-key duplicates.")
+
+
+if __name__ == "__main__":
+    main()

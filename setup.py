@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs fail with "invalid command 'bdist_wheel'".  With
+this shim (and no [build-system] table in pyproject.toml) pip falls back to
+the legacy ``setup.py develop`` editable path, which needs no wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Entry point: ``python -m repro [artifact ...]``."""
+
+from __future__ import annotations
+
+import sys
+
+from .errors import ConfigError
+from .report import run
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] in ("-h", "--help"):
+        from .report import ARTIFACTS
+
+        print("usage: python -m repro [artifact ...]")
+        print("artifacts:", ", ".join(sorted(ARTIFACTS)), "(default: all)")
+        return 0
+    try:
+        for line in run(args or None):
+            print(line)
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Behavioral model of the ADCP — Application-Defined Coflow Processor.
+
+The proposed architecture (Figure 4) makes three changes to RMT, each
+modeled here:
+
+1. **Global partitioned area** (section 3.1): a second traffic manager
+   creates a bank of *central* pipelines.  TM1 places packets across them
+   by an application-defined criterion (hash/range over a data element);
+   TM2 then forwards results to *any* egress port.  State in the central
+   area is therefore reachable from every ingress and can feed every
+   egress — :class:`~repro.adcp.switch.ADCPSwitch`.
+2. **Array support** (section 3.2): central (and optionally ingress/
+   egress) pipeline stages gang several match-action units against shared
+   table memory, retiring a whole element array per cycle —
+   ``array_width`` on the pipelines, with the physical design alternatives
+   in :mod:`~repro.adcp.multiclock`.
+3. **Port demultiplexing** (section 3.3): each port is split 1:m across
+   ingress pipelines, so pipeline clocks *fall* as port speeds rise —
+   :class:`~repro.adcp.config.ADCPConfig` derives the lane frequency.
+
+TM1's expanded scheduling semantics (order-preserving merge of sorted
+flows) live in :mod:`~repro.adcp.scheduler`.
+"""
+
+from .config import ADCPConfig
+from .multiclock import BankedMatMemory, MatMemoryDesign, MultiClockMatMemory
+from .scheduler import FifoScheduler, KWayMergeScheduler, order_violations
+from .switch import ADCPSwitch
+from .traffic_manager import ApplicationTrafficManager
+
+__all__ = [
+    "ADCPConfig",
+    "ADCPSwitch",
+    "ApplicationTrafficManager",
+    "BankedMatMemory",
+    "FifoScheduler",
+    "KWayMergeScheduler",
+    "MatMemoryDesign",
+    "MultiClockMatMemory",
+    "order_violations",
+]

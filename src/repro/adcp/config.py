@@ -1,0 +1,149 @@
+"""ADCP switch configuration.
+
+The defining knobs relative to :class:`repro.rmt.config.RMTConfig`:
+
+- ``demux_factor`` (m): every port is *de*multiplexed across m ingress
+  lanes (and multiplexed back from m egress lanes), so each lane carries
+  1/m of the port's packet rate and the lane clock is
+  ``port_rate / m`` — Table 3's arithmetic.
+- ``central_pipelines``: the global partitioned area's width.  Central
+  pipelines are not attached to any port; TM2 can forward their output
+  anywhere.
+- ``array_width``: parallel lookups per stage (8 or 16 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..net.phv import PHVLayout
+from ..units import ETHERNET_MIN_WIRE_BYTES, GBPS, packet_rate
+
+
+@dataclass(frozen=True)
+class ADCPConfig:
+    """Design parameters of one ADCP switch instance.
+
+    Defaults model the paper's forward-looking point: 800 Gbps ports split
+    1:2, honest 84 B minimum packets, lanes at ~0.6 GHz (Table 3 row 2),
+    16-wide arrays.
+    """
+
+    num_ports: int = 16
+    port_speed_bps: float = 800 * GBPS
+    demux_factor: int = 2
+    central_pipelines: int = 4
+    stages_per_pipeline: int = 12
+    maus_per_stage: int = 16
+    array_width: int = 16
+    min_wire_packet_bytes: float = ETHERNET_MIN_WIRE_BYTES
+    frequency_margin: float = 1.01
+    phv_layout: PHVLayout = PHVLayout()
+    tm_buffer_packets: int = 4096
+    tm_latency_cycles: int = 8
+    parser_latency_cycles: int = 4
+    central_frequency_hz: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_ports < 1:
+            raise ConfigError("switch needs at least one port")
+        if self.demux_factor < 1:
+            raise ConfigError(
+                f"demux factor must be >= 1, got {self.demux_factor}"
+            )
+        if self.central_pipelines < 1:
+            raise ConfigError("need at least one central pipeline")
+        if self.array_width < 1:
+            raise ConfigError("array width must be >= 1")
+        if self.array_width > self.maus_per_stage:
+            raise ConfigError(
+                f"array width {self.array_width} exceeds the "
+                f"{self.maus_per_stage} MAUs available per stage"
+            )
+        if self.min_wire_packet_bytes < ETHERNET_MIN_WIRE_BYTES:
+            raise ConfigError(
+                f"minimum wire packet below the {ETHERNET_MIN_WIRE_BYTES} B "
+                f"Ethernet floor"
+            )
+        if self.frequency_margin < 1.0:
+            raise ConfigError("frequency margin must be >= 1.0")
+
+    # --- derived geometry ---------------------------------------------------------
+
+    @property
+    def lanes_per_port(self) -> int:
+        return self.demux_factor
+
+    @property
+    def ingress_pipelines(self) -> int:
+        """Total ingress lanes: one pipeline per (port, lane)."""
+        return self.num_ports * self.demux_factor
+
+    @property
+    def egress_pipelines(self) -> int:
+        return self.num_ports * self.demux_factor
+
+    @property
+    def throughput_bps(self) -> float:
+        return self.num_ports * self.port_speed_bps
+
+    # --- derived clocks --------------------------------------------------------------
+
+    @property
+    def port_packet_rate_pps(self) -> float:
+        """Peak packet rate of one port at the minimum packet size."""
+        return packet_rate(self.port_speed_bps, self.min_wire_packet_bytes)
+
+    @property
+    def lane_frequency_hz(self) -> float:
+        """Clock of one ingress/egress lane: 1/m of the port rate.
+
+        ``frequency_margin`` adds headroom so lanes are never the exact
+        bottleneck (real designs clock slightly above the requirement).
+        """
+        return (
+            self.port_packet_rate_pps / self.demux_factor * self.frequency_margin
+        )
+
+    @property
+    def central_clock_hz(self) -> float:
+        """Clock of a central pipeline.
+
+        Defaults to the aggregate ingress packet rate divided across the
+        central bank (each central pipeline must absorb its share of the
+        whole switch's packets), unless pinned by ``central_frequency_hz``.
+        """
+        if self.central_frequency_hz is not None:
+            return self.central_frequency_hz
+        aggregate = self.port_packet_rate_pps * self.num_ports
+        return aggregate / self.central_pipelines * self.frequency_margin
+
+    # --- topology -----------------------------------------------------------------
+
+    def lane_of(self, port: int, lane: int) -> int:
+        """Global ingress/egress pipeline index of a (port, lane) pair."""
+        if not 0 <= port < self.num_ports:
+            raise ConfigError(f"port {port} out of range [0, {self.num_ports})")
+        if not 0 <= lane < self.demux_factor:
+            raise ConfigError(
+                f"lane {lane} out of range [0, {self.demux_factor})"
+            )
+        return port * self.demux_factor + lane
+
+    def port_of_lane(self, pipeline: int) -> int:
+        if not 0 <= pipeline < self.ingress_pipelines:
+            raise ConfigError(
+                f"pipeline {pipeline} out of range [0, {self.ingress_pipelines})"
+            )
+        return pipeline // self.demux_factor
+
+
+def table3_config(port_speed_gbps: float = 800, num_ports: int = 16) -> ADCPConfig:
+    """ADCP config matching Table 3's demultiplexed rows (1:2, 84 B)."""
+    return ADCPConfig(
+        num_ports=num_ports,
+        port_speed_bps=port_speed_gbps * GBPS,
+        demux_factor=2,
+        min_wire_packet_bytes=ETHERNET_MIN_WIRE_BYTES,
+    )

@@ -1,0 +1,157 @@
+"""Physical design alternatives for array-wide MAT memory (section 4).
+
+To let ``n`` match-action units look up one shared table per cycle, the
+paper sketches a **multi-clock** design: "we can leverage the lower clock
+frequency of the pipelines and clock the MAT table memory at a much higher
+frequency ... that memory could be clocked n times faster than the
+pipeline.  The lookups ... would be done one at a time, but thanks to the
+clocking difference, we could retire n lookups at once from the point of
+view of the pipeline."
+
+The obvious alternative is **banking**: n independent memory banks, each a
+full copy-free partition, with conflicts when two keys of one array hash
+to the same bank.  Both are modeled so the A2 ablation can sweep array
+width and show where each design stops being feasible — the paper's
+concern that the multi-clock design "links the memory frequency with the
+array width we aim to support, which could potentially restrict
+scalability".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..sim.rng import stable_hash64
+from ..units import GHZ
+
+MAX_SRAM_FREQUENCY_HZ = 4.0 * GHZ
+"""Practical SRAM macro clock ceiling for current processes (~4 GHz)."""
+
+
+@dataclass(frozen=True)
+class MatMemoryDesign:
+    """Common interface: timing and feasibility of one design point."""
+
+    pipeline_frequency_hz: float
+    array_width: int
+
+    def __post_init__(self) -> None:
+        if self.pipeline_frequency_hz <= 0:
+            raise ConfigError("pipeline frequency must be positive")
+        if self.array_width < 1:
+            raise ConfigError("array width must be >= 1")
+
+    @property
+    def memory_frequency_hz(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def is_feasible(self) -> bool:
+        raise NotImplementedError
+
+    def lookups_per_pipeline_cycle(self, keys: list[int]) -> float:
+        """Effective lookups retired per pipeline cycle for a key batch."""
+        raise NotImplementedError
+
+    def area_factor(self) -> float:
+        """Relative area versus one scalar MAT memory (1.0 = baseline)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MultiClockMatMemory(MatMemoryDesign):
+    """One memory clocked ``array_width`` times the pipeline.
+
+    Retires exactly ``array_width`` lookups per pipeline cycle while the
+    memory clock stays under the SRAM ceiling; beyond the ceiling the
+    design point is infeasible (the scalability restriction the paper
+    flags).  Area cost is one memory plus a multi-clock wrapper.
+    """
+
+    max_memory_frequency_hz: float = MAX_SRAM_FREQUENCY_HZ
+    wrapper_area_overhead: float = 0.15
+
+    @property
+    def memory_frequency_hz(self) -> float:
+        return self.pipeline_frequency_hz * self.array_width
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.memory_frequency_hz <= self.max_memory_frequency_hz
+
+    @property
+    def max_feasible_width(self) -> int:
+        """Largest array width this pipeline clock can support."""
+        return max(
+            1, int(self.max_memory_frequency_hz / self.pipeline_frequency_hz)
+        )
+
+    def lookups_per_pipeline_cycle(self, keys: list[int]) -> float:
+        if not keys:
+            raise ConfigError("need at least one key")
+        if not self.is_feasible:
+            raise ConfigError(
+                f"multi-clock memory at "
+                f"{self.memory_frequency_hz / GHZ:.2f} GHz exceeds the "
+                f"{self.max_memory_frequency_hz / GHZ:.2f} GHz ceiling"
+            )
+        # Serial lookups within the fast clock: a batch of any size up to
+        # the width completes within one pipeline cycle.
+        cycles = math.ceil(len(keys) / self.array_width)
+        return len(keys) / cycles
+
+    def area_factor(self) -> float:
+        return 1.0 + self.wrapper_area_overhead
+
+
+@dataclass(frozen=True)
+class BankedMatMemory(MatMemoryDesign):
+    """``array_width`` single-clocked banks with hash-distributed entries.
+
+    No fast clock needed, but two keys of one array that fall in the same
+    bank serialize: a batch takes as many cycles as the most loaded bank.
+    Area grows with bank count (peripheral duplication), modeled as a
+    fixed per-bank overhead over the shared-capacity baseline.
+    """
+
+    per_bank_area_overhead: float = 0.08
+
+    @property
+    def memory_frequency_hz(self) -> float:
+        return self.pipeline_frequency_hz
+
+    @property
+    def is_feasible(self) -> bool:
+        return True
+
+    def bank_of(self, key: int) -> int:
+        return stable_hash64(key) % self.array_width
+
+    def batch_cycles(self, keys: list[int]) -> int:
+        """Pipeline cycles one key batch needs (max per-bank load)."""
+        if not keys:
+            raise ConfigError("need at least one key")
+        loads = [0] * self.array_width
+        for key in keys:
+            loads[self.bank_of(key)] += 1
+        return max(loads)
+
+    def lookups_per_pipeline_cycle(self, keys: list[int]) -> float:
+        return len(keys) / self.batch_cycles(keys)
+
+    def expected_batch_cycles(self, batch_size: int, trials: int, rng) -> float:
+        """Monte-Carlo mean of :meth:`batch_cycles` over random key batches."""
+        if batch_size < 1:
+            raise ConfigError("batch size must be >= 1")
+        if trials < 1:
+            raise ConfigError("need at least one trial")
+        total = 0
+        for _ in range(trials):
+            keys = [int(k) for k in rng.integers(0, 2**31, size=batch_size)]
+            total += self.batch_cycles(keys)
+        return total / trials
+
+    def area_factor(self) -> float:
+        return 1.0 + self.per_bank_area_overhead * self.array_width

@@ -1,0 +1,329 @@
+"""The ADCP switch: demuxed lanes, two TMs, and the global area (Figure 4).
+
+Packet lifecycle: RX port -> one of the port's m ingress lanes ->
+TM1 (application placement) -> central pipeline -> TM2 (classic, by egress
+port) -> one of the destination port's m egress lanes -> TX port.
+
+Two properties distinguish this from :class:`repro.rmt.switch.RMTSwitch`:
+
+- Every packet can reach the state partition of its key directly (TM1
+  routes by key, not by port), and every result can reach every port
+  (TM2 sits *after* the state) — no pinning, no recirculation.
+- Central stages are array-capable, so a stateful hook accepts a whole
+  element array per packet (up to ``array_width``).
+"""
+
+from __future__ import annotations
+
+from ..arch.app import SwitchApp
+from ..arch.decision import Decision, Verdict
+from ..arch.port import TxPort
+from ..coflow.placement import PlacementPolicy
+from ..errors import ConfigError
+from ..net.headers import OP_FLUSH
+from ..net.packet import Packet
+from ..sim.component import Component
+from ..sim.event import Simulator
+from ..rmt.pipeline import Pipeline
+from ..rmt.switch import SwitchRunResult
+from ..rmt.traffic_manager import TrafficManager
+from .config import ADCPConfig
+from .scheduler import KWayMergeScheduler
+from .traffic_manager import ApplicationTrafficManager
+
+
+class ADCPSwitch(Component):
+    """Executable model of the proposed ADCP architecture."""
+
+    def __init__(
+        self,
+        config: ADCPConfig,
+        app: SwitchApp | None = None,
+        placement: PlacementPolicy | None = None,
+        ordered_flows: list[int] | None = None,
+    ) -> None:
+        """Build an ADCP switch.
+
+        ``ordered_flows`` activates TM1's expanded scheduling semantics
+        (section 3.1): packets of the listed coflow-header flow ids are
+        buffered in front of TM1 and released in globally nondecreasing
+        key order via a k-way merge of the (individually sorted) flows.
+        An OP_FLUSH packet finishes its flow and is absorbed.
+        """
+        super().__init__("adcp")
+        self.config = config
+        self.app = app
+        if app is not None and app.elements_per_packet > config.array_width:
+            raise ConfigError(
+                f"app {app.name!r} packs {app.elements_per_packet} elements "
+                f"per packet but the ADCP arrays are "
+                f"{config.array_width} wide"
+            )
+        lane_hz = config.lane_frequency_hz
+        self.ingress = [
+            Pipeline(
+                i,
+                "ingress",
+                lane_hz,
+                self,
+                stages=config.stages_per_pipeline,
+                maus_per_stage=config.maus_per_stage,
+                attached_ports=(config.port_of_lane(i),),
+                array_width=config.array_width,
+                parser_latency_cycles=config.parser_latency_cycles,
+                phv_layout=config.phv_layout,
+            )
+            for i in range(config.ingress_pipelines)
+        ]
+        self.central = [
+            Pipeline(
+                i,
+                "central",
+                config.central_clock_hz,
+                self,
+                stages=config.stages_per_pipeline,
+                maus_per_stage=config.maus_per_stage,
+                attached_ports=(),
+                array_width=config.array_width,
+                parser_latency_cycles=config.parser_latency_cycles,
+                phv_layout=config.phv_layout,
+            )
+            for i in range(config.central_pipelines)
+        ]
+        self.egress = [
+            Pipeline(
+                i,
+                "egress",
+                lane_hz,
+                self,
+                stages=config.stages_per_pipeline,
+                maus_per_stage=config.maus_per_stage,
+                attached_ports=(config.port_of_lane(i),),
+                array_width=config.array_width,
+                parser_latency_cycles=config.parser_latency_cycles,
+                phv_layout=config.phv_layout,
+            )
+            for i in range(config.egress_pipelines)
+        ]
+        key_fn = (
+            app.placement_key if app is not None else self._default_key
+        )
+        if app is not None:
+            app.bind_placement(config.central_pipelines)
+            if placement is None:
+                placement = app.placement_policy
+        tm_latency = config.tm_latency_cycles / config.central_clock_hz
+        self.tm1 = ApplicationTrafficManager(
+            "tm1",
+            self,
+            central_pipelines=config.central_pipelines,
+            key_fn=key_fn,
+            policy=placement,
+            buffer_packets=config.tm_buffer_packets,
+            latency_s=tm_latency,
+        )
+        self.tm2 = TrafficManager(
+            "tm2",
+            self,
+            route=self._egress_lane_of_packet,
+            buffer_packets=config.tm_buffer_packets,
+            latency_s=tm_latency,
+        )
+        self.tx_ports = [
+            TxPort(p, config.port_speed_bps) for p in range(config.num_ports)
+        ]
+        self._next_ingress_lane = [0] * config.num_ports
+        self._next_egress_lane = [0] * config.num_ports
+        self._merge = (
+            KWayMergeScheduler(list(ordered_flows)) if ordered_flows else None
+        )
+        self._sim = Simulator()
+        self._result = SwitchRunResult()
+
+    # --- topology helpers --------------------------------------------------------
+
+    @staticmethod
+    def _default_key(packet: Packet) -> int:
+        if packet.payload is not None and len(packet.payload) > 0:
+            return packet.payload[0].key
+        if packet.has_header("coflow"):
+            return packet.header("coflow")["coflow_id"]
+        return 0
+
+    def _pick_ingress_lane(self, port: int) -> int:
+        lane = self._next_ingress_lane[port]
+        self._next_ingress_lane[port] = (lane + 1) % self.config.demux_factor
+        return self.config.lane_of(port, lane)
+
+    def _egress_lane_of_packet(self, packet: Packet) -> int:
+        port = packet.meta.egress_port
+        if port is None:
+            raise ConfigError("packet reached TM2 without an egress port")
+        lane = self._next_egress_lane[port]
+        self._next_egress_lane[port] = (lane + 1) % self.config.demux_factor
+        return self.config.lane_of(port, lane)
+
+    # --- run loop ------------------------------------------------------------------
+
+    def run(self, timed_packets, until: float | None = None) -> SwitchRunResult:
+        """Push a time-ordered iterable of ``(time, packet)`` through.
+
+        One run per switch instance, as with :class:`RMTSwitch`.
+        """
+        for time, packet in timed_packets:
+            self._schedule_ingress(packet, time)
+        self._sim.run(until=until)
+        self._result.duration_s = self._sim.now
+        self._result.counters = self.stats.snapshot()
+        return self._result
+
+    def _schedule_ingress(self, packet: Packet, time: float) -> None:
+        def event() -> None:
+            self._ingress_service(packet, time)
+
+        self._sim.at(time, event)
+
+    # --- stations -------------------------------------------------------------------
+
+    def _ingress_service(self, packet: Packet, ready: float) -> None:
+        port = packet.meta.ingress_port
+        if port is None:
+            raise ConfigError("arriving packet has no ingress port")
+        lane = self._pick_ingress_lane(port)
+        packet.meta.lane = lane
+        pipeline = self.ingress[lane]
+        hook = self.app.ingress if self.app is not None else None
+        record = pipeline.service(packet, ready, hook)
+        decision = record.decision
+
+        for emission in decision.emissions:
+            emission.meta.arrival_time = packet.meta.arrival_time
+            self._to_tm2(emission, record.exit_time)
+
+        if decision.verdict is Verdict.DROP:
+            self._drop(packet, decision)
+        elif decision.verdict is Verdict.CONSUME:
+            self._result.consumed += 1
+            self.counter("consumed").add()
+        elif decision.verdict is Verdict.RECIRCULATE:
+            raise ConfigError(
+                "ADCP programs never recirculate: route state through the "
+                "central area instead"
+            )
+        else:
+            self._offer_tm1(packet, record.exit_time)
+
+    def _offer_tm1(self, packet: Packet, ready: float) -> None:
+        """Hand a packet to TM1, through the merge front-end when active."""
+        if self._merge is None or not packet.has_header("coflow"):
+            self._to_tm1(packet, ready)
+            return
+        header = packet.header("coflow")
+        if not self._merge.has_flow(header["flow_id"]):
+            self._to_tm1(packet, ready)
+            return
+        if header["opcode"] == OP_FLUSH:
+            released = self._merge.finish_flow(header["flow_id"])
+            self._result.consumed += 1
+            self.counter("merge_flushes").add()
+        else:
+            released = self._merge.offer(packet)
+        for ready_packet in released:
+            self._to_tm1(ready_packet, ready)
+
+    def _to_tm1(self, packet: Packet, ready: float) -> None:
+        admitted = self.tm1.admit(packet, ready)
+        if admitted is None:
+            self._result.dropped.append(packet)
+            return
+        partition, deliver = admitted
+
+        def event() -> None:
+            self._central_service(packet, partition, deliver)
+
+        self._sim.at(deliver, event)
+
+    def _central_service(
+        self, packet: Packet, partition: int, ready: float
+    ) -> None:
+        pipeline = self.central[partition]
+        packet.meta.central_pipeline = partition
+        hook = self.app.central if self.app is not None else None
+        record = pipeline.service(
+            packet, ready, hook, enforce_width=hook is not None
+        )
+        self.tm1.release(packet)
+        packet.meta.central_done = True
+        decision = record.decision
+
+        for emission in decision.emissions:
+            emission.meta.arrival_time = packet.meta.arrival_time
+            emission.meta.central_pipeline = partition
+            emission.meta.central_done = True
+            self._to_tm2(emission, record.exit_time)
+
+        if decision.verdict is Verdict.DROP:
+            self._drop(packet, decision)
+        elif decision.verdict is Verdict.CONSUME:
+            self._result.consumed += 1
+            self.counter("consumed").add()
+        elif decision.verdict is Verdict.RECIRCULATE:
+            raise ConfigError("ADCP programs never recirculate")
+        else:
+            self._to_tm2(packet, record.exit_time)
+
+    def _to_tm2(self, packet: Packet, ready: float) -> None:
+        if packet.meta.egress_ports:
+            deliveries = self.tm2.multicast_admit(
+                packet, packet.meta.egress_ports, ready
+            )
+            for copy, lane, deliver in deliveries:
+                self._schedule_egress(copy, lane, deliver)
+            return
+        if packet.meta.egress_port is None:
+            packet.meta.drop_reason = "no_route"
+            self._result.dropped.append(packet)
+            self.counter("no_route_drops").add()
+            return
+        admitted = self.tm2.admit(packet, ready)
+        if admitted is None:
+            self._result.dropped.append(packet)
+            return
+        lane, deliver = admitted
+        self._schedule_egress(packet, lane, deliver)
+
+    def _schedule_egress(self, packet: Packet, lane: int, deliver: float) -> None:
+        def event() -> None:
+            self._egress_service(packet, lane, deliver)
+
+        self._sim.at(deliver, event)
+
+    def _egress_service(self, packet: Packet, lane: int, ready: float) -> None:
+        pipeline = self.egress[lane]
+        packet.meta.egress_pipeline = lane
+        hook = self.app.egress if self.app is not None else None
+        record = pipeline.service(packet, ready, hook)
+        self.tm2.release(packet)
+        decision = record.decision
+
+        if decision.emissions:
+            raise ConfigError(
+                "ADCP egress hooks must not emit packets; emit from the "
+                "central hook, where TM2 can still route them"
+            )
+
+        if decision.verdict is Verdict.DROP:
+            self._drop(packet, decision)
+        elif decision.verdict is Verdict.CONSUME:
+            self._result.consumed += 1
+            self.counter("consumed").add()
+        else:
+            port = packet.meta.egress_port
+            assert port is not None  # TM2 routed by it
+            self.tx_ports[port].transmit(packet, record.exit_time)
+            self._result.delivered.append(packet)
+            self.counter("delivered").add()
+
+    def _drop(self, packet: Packet, decision: Decision) -> None:
+        packet.meta.drop_reason = decision.drop_reason or "dropped"
+        self._result.dropped.append(packet)

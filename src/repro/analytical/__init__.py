@@ -1,0 +1,49 @@
+"""Analytical scaling models reproducing the paper's quantitative tables.
+
+- :mod:`~repro.analytical.scaling` — the multiplexing/demultiplexing
+  arithmetic behind Table 2 ("Port multiplexing poor scalability") and
+  Table 3 ("Port demultiplexing examples").
+- :mod:`~repro.analytical.keyrate` — the key-rate model of section 3.2
+  (packets per second x elements per packet), including the 16x headroom
+  claim.
+- :mod:`~repro.analytical.frontier` — feasibility-frontier sweeps: for a
+  grid of port speeds and design knobs, which (frequency, min-packet)
+  points are achievable under multiplexing vs demultiplexing.
+"""
+
+from .frontier import (
+    DesignPoint,
+    demux_frontier,
+    mux_frontier,
+    required_demux_factor,
+    sweep_port_speeds,
+)
+from .keyrate import KeyRateModel, rmt_key_rate_ceiling
+from .scaling import (
+    PAPER_TABLE2_ROWS,
+    PAPER_TABLE3_ROWS,
+    SwitchConfig,
+    demux_config,
+    min_packet_for_frequency,
+    mux_config,
+    table2_rows,
+    table3_rows,
+)
+
+__all__ = [
+    "DesignPoint",
+    "KeyRateModel",
+    "PAPER_TABLE2_ROWS",
+    "PAPER_TABLE3_ROWS",
+    "SwitchConfig",
+    "demux_config",
+    "demux_frontier",
+    "min_packet_for_frequency",
+    "mux_config",
+    "mux_frontier",
+    "required_demux_factor",
+    "rmt_key_rate_ceiling",
+    "sweep_port_speeds",
+    "table2_rows",
+    "table3_rows",
+]

@@ -1,0 +1,142 @@
+"""Feasibility-frontier sweeps over the design space.
+
+Tables 2 and 3 are point samples; this module sweeps the underlying model
+so the benchmarks can show the whole curve: for each port speed, what
+(pipeline frequency, minimum packet) pairs are reachable by multiplexing
+(RMT's lever) versus demultiplexing (ADCP's lever), and where multiplexing
+stops being viable ("this path is not sustainable").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..errors import ConfigError
+from ..units import ETHERNET_MIN_WIRE_BYTES, GHZ, pipeline_frequency
+from .scaling import min_packet_for_frequency
+
+MAX_VIABLE_FREQ_GHZ = 1.7
+"""Frequency ceiling for current fabrication, per the paper's 1.62 GHz cap."""
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated design: the knobs plus the resulting clock."""
+
+    port_speed_gbps: float
+    ports_per_pipeline: Fraction
+    min_wire_packet_bytes: float
+    freq_ghz: float
+
+    @property
+    def demux_factor(self) -> int:
+        if self.ports_per_pipeline >= 1:
+            return 1
+        return int(round(1 / self.ports_per_pipeline))
+
+    @property
+    def viable(self) -> bool:
+        """Within the frequency ceiling at the true Ethernet minimum?"""
+        return self.freq_ghz <= MAX_VIABLE_FREQ_GHZ
+
+    @property
+    def honest_min_packet(self) -> bool:
+        """True when the design supports real 84 B wire-minimum packets."""
+        return self.min_wire_packet_bytes <= ETHERNET_MIN_WIRE_BYTES + 1e-9
+
+
+def mux_frontier(
+    port_speed_gbps: float,
+    ports_per_pipeline_options: tuple[int, ...] = (64, 32, 16, 8, 4, 2, 1),
+    max_freq_ghz: float = MAX_VIABLE_FREQ_GHZ,
+) -> list[DesignPoint]:
+    """RMT-style options for one port speed.
+
+    For each multiplexing factor, computes the minimum packet size needed
+    to stay under the frequency ceiling (floored at the 84 B Ethernet
+    minimum) and the resulting clock.
+    """
+    if port_speed_gbps <= 0:
+        raise ConfigError("port speed must be positive")
+    points = []
+    for ports in ports_per_pipeline_options:
+        needed = min_packet_for_frequency(
+            port_speed_gbps * 1e9, ports, max_freq_ghz * GHZ
+        )
+        min_packet = max(needed, ETHERNET_MIN_WIRE_BYTES)
+        freq = pipeline_frequency(port_speed_gbps * 1e9, ports, min_packet)
+        points.append(
+            DesignPoint(port_speed_gbps, Fraction(ports), min_packet, freq / GHZ)
+        )
+    return points
+
+
+def demux_frontier(
+    port_speed_gbps: float,
+    demux_factors: tuple[int, ...] = (1, 2, 4, 8),
+    min_wire_packet_bytes: float = ETHERNET_MIN_WIRE_BYTES,
+) -> list[DesignPoint]:
+    """ADCP-style options: split each port across m pipelines.
+
+    Always assumes honest 84 B minimum packets — the whole point is that
+    demultiplexing makes that assumption affordable again.
+    """
+    if port_speed_gbps <= 0:
+        raise ConfigError("port speed must be positive")
+    points = []
+    for m in demux_factors:
+        if m < 1:
+            raise ConfigError(f"demux factor must be >= 1, got {m}")
+        ratio = Fraction(1, m)
+        freq = pipeline_frequency(
+            port_speed_gbps * 1e9, float(ratio), min_wire_packet_bytes
+        )
+        points.append(
+            DesignPoint(port_speed_gbps, ratio, min_wire_packet_bytes, freq / GHZ)
+        )
+    return points
+
+
+def sweep_port_speeds(
+    port_speeds_gbps: tuple[float, ...] = (10, 100, 400, 800, 1600, 3200),
+) -> dict[float, dict[str, list[DesignPoint]]]:
+    """Full design-space sweep for the frontier benchmark.
+
+    Returns, per port speed, the mux options (with the packet-size tax they
+    pay) and the demux options (with honest minimum packets).
+    """
+    result: dict[float, dict[str, list[DesignPoint]]] = {}
+    for speed in port_speeds_gbps:
+        result[speed] = {
+            "mux": mux_frontier(speed),
+            "demux": demux_frontier(speed),
+        }
+    return result
+
+
+def required_demux_factor(
+    port_speed_gbps: float,
+    max_freq_ghz: float = MAX_VIABLE_FREQ_GHZ,
+    min_wire_packet_bytes: float = ETHERNET_MIN_WIRE_BYTES,
+) -> int:
+    """Smallest 1:m demux keeping honest-minimum packets under the ceiling.
+
+    E.g. a 1.6 Tbps port needs 2.38 GHz at 84 B; with the 1.7 GHz ceiling
+    the required demux factor is 2 (yielding 1.19 GHz).
+    """
+    if port_speed_gbps <= 0:
+        raise ConfigError("port speed must be positive")
+    m = 1
+    while True:
+        freq = pipeline_frequency(
+            port_speed_gbps * 1e9, 1.0 / m, min_wire_packet_bytes
+        )
+        if freq / GHZ <= max_freq_ghz:
+            return m
+        m *= 2
+        if m > 1024:
+            raise ConfigError(
+                f"no demux factor up to 1024 satisfies {max_freq_ghz} GHz "
+                f"for {port_speed_gbps} Gbps ports"
+            )

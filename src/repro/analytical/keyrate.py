@@ -1,0 +1,107 @@
+"""The key-rate model of section 3.2.
+
+"For applications, the performance of a switch is connected to the rate of
+*keys* rather than the packets it can process."  RMT forces 1 key per
+packet, so application throughput is capped by packet rate (5-6 Bpps on a
+12.8 Tbps switch).  The switch has 16 match-action units per stage, so an
+architecture that matches a 16-wide array per packet lifts the cap by 16x
+— "requiring an application to go scalar misses a potential 16x
+performance boost."
+
+The model also accounts for the goodput side: packing more elements per
+packet amortizes the fixed header bytes, so wire efficiency improves with
+array width too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import BITS_PER_BYTE, ETHERNET_MIN_FRAME_BYTES, wire_bytes
+
+STANDARD_HEADER_BYTES = 46
+"""Ethernet (14) + IPv4 (20) + UDP (8) + FCS (4) — fixed frame overhead."""
+
+COFLOW_HEADER_BYTES = 18
+"""The application header carried by every coflow packet."""
+
+
+@dataclass(frozen=True)
+class KeyRateModel:
+    """Key-rate and goodput as a function of elements per packet.
+
+    Attributes:
+        packet_rate_pps: The switch's aggregate packet budget (e.g. 6 Bpps).
+        element_width_bytes: Wire bytes per data element (key + value).
+        header_bytes: Fixed frame bytes per packet excluding the payload.
+        link_bps: Optional aggregate bandwidth; when set, the realizable
+            packet rate for large packets is bandwidth-limited and the
+            model reports min(packet budget, bandwidth / packet size).
+    """
+
+    packet_rate_pps: float
+    element_width_bytes: int = 8
+    header_bytes: int = STANDARD_HEADER_BYTES + COFLOW_HEADER_BYTES
+    link_bps: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.packet_rate_pps <= 0:
+            raise ConfigError("packet rate must be positive")
+        if self.element_width_bytes <= 0:
+            raise ConfigError("element width must be positive")
+        if self.header_bytes < 0:
+            raise ConfigError("header bytes must be non-negative")
+
+    def frame_bytes(self, elements_per_packet: int) -> int:
+        """Frame size carrying ``elements_per_packet`` elements."""
+        if elements_per_packet < 1:
+            raise ConfigError("elements per packet must be >= 1")
+        raw = self.header_bytes + elements_per_packet * self.element_width_bytes
+        return max(raw, ETHERNET_MIN_FRAME_BYTES)
+
+    def achievable_packet_rate(self, elements_per_packet: int) -> float:
+        """Packet rate after both the pps budget and bandwidth are applied."""
+        if elements_per_packet < 1:
+            raise ConfigError("elements per packet must be >= 1")
+        rate = self.packet_rate_pps
+        if self.link_bps is not None:
+            wire = wire_bytes(self.frame_bytes(elements_per_packet))
+            bandwidth_rate = self.link_bps / (wire * BITS_PER_BYTE)
+            rate = min(rate, bandwidth_rate)
+        return rate
+
+    def key_rate(self, elements_per_packet: int) -> float:
+        """Keys (elements) per second at a given packing factor."""
+        return self.achievable_packet_rate(elements_per_packet) * elements_per_packet
+
+    def goodput(self, elements_per_packet: int) -> float:
+        """Payload bytes / wire bytes at a given packing factor."""
+        payload = elements_per_packet * self.element_width_bytes
+        wire = wire_bytes(self.frame_bytes(elements_per_packet))
+        return payload / wire
+
+    def speedup(self, elements_per_packet: int) -> float:
+        """Key-rate gain over the scalar (1 element) configuration."""
+        return self.key_rate(elements_per_packet) / self.key_rate(1)
+
+
+def rmt_key_rate_ceiling(
+    packet_rate_pps: float = 6e9, maus_per_stage: int = 16
+) -> dict[str, float]:
+    """The section 3.2 headline numbers.
+
+    Returns the scalar ceiling ("any application logic ... capped at
+    6 Bops/s"), the per-stage MAU budget that goes unused, and the array
+    ceiling at full MAU width.
+    """
+    if packet_rate_pps <= 0:
+        raise ConfigError("packet rate must be positive")
+    if maus_per_stage < 1:
+        raise ConfigError("need at least one MAU per stage")
+    return {
+        "scalar_ops_per_s": packet_rate_pps,
+        "maus_per_stage": float(maus_per_stage),
+        "array_ops_per_s": packet_rate_pps * maus_per_stage,
+        "missed_factor": float(maus_per_stage),
+    }

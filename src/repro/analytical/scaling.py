@@ -1,0 +1,220 @@
+"""Port multiplexing/demultiplexing scaling math (Tables 2 and 3).
+
+A pipeline that retires one packet per cycle must be clocked at the peak
+packet rate of the traffic multiplexed into it:
+
+    f = (port_speed x ports_per_pipeline) / (min_wire_packet_bytes x 8)
+
+RMT designs (Table 2) pick ports_per_pipeline >= 1 and grow the assumed
+minimum packet to keep f around 1.25-1.62 GHz; the paper shows this forces
+495 B minimum packets at 25.6 Tbps and beyond.  The ADCP (Table 3) instead
+picks ports_per_pipeline = 1/m < 1 — demultiplexing each port across m
+pipelines — which drives f *down* while keeping the true 84 B Ethernet
+minimum.
+
+The module carries the paper's rows verbatim (``PAPER_TABLE2_ROWS``,
+``PAPER_TABLE3_ROWS``) so the benchmark harness can diff model output
+against the publication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..errors import ConfigError
+from ..units import (
+    ETHERNET_MIN_WIRE_BYTES,
+    GBPS,
+    GHZ,
+    pipeline_frequency,
+)
+
+
+@dataclass(frozen=True)
+class SwitchConfig:
+    """One switch design point — a row of Table 2 or Table 3.
+
+    ``ports_per_pipeline`` is a :class:`~fractions.Fraction` so the ADCP's
+    demultiplexed designs (the paper's "0.5 ports per pipeline") are exact.
+    """
+
+    throughput_bps: float
+    port_speed_bps: float
+    pipelines: int
+    ports_per_pipeline: Fraction
+    min_wire_packet_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.throughput_bps <= 0:
+            raise ConfigError("throughput must be positive")
+        if self.port_speed_bps <= 0:
+            raise ConfigError("port speed must be positive")
+        if self.pipelines < 1:
+            raise ConfigError("need at least one pipeline")
+        if self.ports_per_pipeline <= 0:
+            raise ConfigError("ports per pipeline must be positive")
+        if self.min_wire_packet_bytes < ETHERNET_MIN_WIRE_BYTES - 1e-9:
+            raise ConfigError(
+                f"minimum wire packet {self.min_wire_packet_bytes} B is below "
+                f"the Ethernet floor of {ETHERNET_MIN_WIRE_BYTES} B"
+            )
+
+    @property
+    def num_ports(self) -> int:
+        """Front-panel ports implied by throughput / port speed."""
+        return round(self.throughput_bps / self.port_speed_bps)
+
+    @property
+    def pipeline_frequency_hz(self) -> float:
+        """Clock needed to retire one packet per cycle at line rate."""
+        return pipeline_frequency(
+            self.port_speed_bps,
+            float(self.ports_per_pipeline),
+            self.min_wire_packet_bytes,
+        )
+
+    @property
+    def demux_factor(self) -> int:
+        """m such that each port feeds m pipelines (1 when multiplexing)."""
+        if self.ports_per_pipeline >= 1:
+            return 1
+        return int(round(1 / self.ports_per_pipeline))
+
+    @property
+    def packet_rate_per_pipeline_pps(self) -> float:
+        return self.pipeline_frequency_hz  # one packet per cycle
+
+    @property
+    def total_packet_rate_pps(self) -> float:
+        return self.pipeline_frequency_hz * self.pipelines
+
+
+def mux_config(
+    throughput_bps: float,
+    port_speed_bps: float,
+    pipelines: int,
+    min_wire_packet_bytes: float,
+) -> SwitchConfig:
+    """RMT-style design: ports multiplexed into pipelines (Table 2 rows)."""
+    num_ports = round(throughput_bps / port_speed_bps)
+    if num_ports % pipelines != 0:
+        raise ConfigError(
+            f"{num_ports} ports do not divide evenly into {pipelines} pipelines"
+        )
+    return SwitchConfig(
+        throughput_bps,
+        port_speed_bps,
+        pipelines,
+        Fraction(num_ports, pipelines),
+        min_wire_packet_bytes,
+    )
+
+
+def demux_config(
+    port_speed_bps: float,
+    demux_factor: int,
+    min_wire_packet_bytes: float = ETHERNET_MIN_WIRE_BYTES,
+    num_ports: int = 64,
+) -> SwitchConfig:
+    """ADCP-style design: each port demultiplexed 1:m (Table 3 rows)."""
+    if demux_factor < 1:
+        raise ConfigError(f"demux factor must be >= 1, got {demux_factor}")
+    return SwitchConfig(
+        port_speed_bps * num_ports,
+        port_speed_bps,
+        num_ports * demux_factor,
+        Fraction(1, demux_factor),
+        min_wire_packet_bytes,
+    )
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """A published row, for diffing model output against the paper."""
+
+    throughput_gbps: float | None
+    port_speed_gbps: float
+    pipelines: int | None
+    ports_per_pipeline: Fraction
+    min_packet_bytes: float
+    freq_ghz: float
+
+
+PAPER_TABLE2_ROWS: tuple[TableRow, ...] = (
+    TableRow(640, 10, 1, Fraction(64), 84, 0.95),
+    TableRow(6400, 100, 4, Fraction(16), 160, 1.25),
+    TableRow(12800, 400, 4, Fraction(8), 247, 1.62),
+    TableRow(25600, 800, 8, Fraction(8), 495, 1.62),
+    TableRow(51200, 1600, 8, Fraction(4), 495, 1.62),
+)
+"""Table 2 of the paper, "Port multiplexing poor scalability", verbatim."""
+
+PAPER_TABLE3_ROWS: tuple[TableRow, ...] = (
+    TableRow(None, 800, None, Fraction(8), 495, 1.62),
+    TableRow(None, 800, None, Fraction(1, 2), 84, 0.60),
+    TableRow(None, 1600, None, Fraction(4), 495, 1.62),
+    TableRow(None, 1600, None, Fraction(1, 2), 84, 1.19),
+)
+"""Table 3 of the paper, "Port demultiplexing examples", verbatim."""
+
+
+@dataclass(frozen=True)
+class ComputedRow:
+    """A model-derived row alongside the published frequency."""
+
+    throughput_gbps: float | None
+    port_speed_gbps: float
+    pipelines: int | None
+    ports_per_pipeline: Fraction
+    min_packet_bytes: float
+    computed_freq_ghz: float
+    paper_freq_ghz: float
+
+    @property
+    def freq_error(self) -> float:
+        """Relative error of the model against the published number."""
+        return abs(self.computed_freq_ghz - self.paper_freq_ghz) / self.paper_freq_ghz
+
+
+def _compute_row(row: TableRow) -> ComputedRow:
+    freq = pipeline_frequency(
+        row.port_speed_gbps * GBPS,
+        float(row.ports_per_pipeline),
+        row.min_packet_bytes,
+    )
+    return ComputedRow(
+        row.throughput_gbps,
+        row.port_speed_gbps,
+        row.pipelines,
+        row.ports_per_pipeline,
+        row.min_packet_bytes,
+        freq / GHZ,
+        row.freq_ghz,
+    )
+
+
+def table2_rows() -> list[ComputedRow]:
+    """Recompute every Table 2 row from first principles."""
+    return [_compute_row(row) for row in PAPER_TABLE2_ROWS]
+
+
+def table3_rows() -> list[ComputedRow]:
+    """Recompute every Table 3 row from first principles."""
+    return [_compute_row(row) for row in PAPER_TABLE3_ROWS]
+
+
+def min_packet_for_frequency(
+    port_speed_bps: float,
+    ports_per_pipeline: Fraction | float,
+    max_freq_hz: float,
+) -> float:
+    """Minimum wire packet size that keeps the pipeline at ``max_freq_hz``.
+
+    This is the designer's lever in Table 2: given a frequency ceiling,
+    how big must the assumed minimum packet grow?
+    """
+    if max_freq_hz <= 0:
+        raise ConfigError("frequency ceiling must be positive")
+    aggregate = port_speed_bps * float(ports_per_pipeline)
+    return aggregate / (max_freq_hz * 8)

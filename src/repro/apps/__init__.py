@@ -1,0 +1,48 @@
+"""In-network applications — the Table 1 workloads.
+
+Each application implements :class:`repro.arch.app.SwitchApp` once and
+runs unchanged on both targets; the architectural differences (where state
+lives, scalar vs array processing, output reachability) come entirely from
+the switch models.
+
+- :class:`~repro.apps.paramserver.ParameterServerApp` — ML training
+  parameter aggregation (all-to-all exchange via switch reduction).
+- :class:`~repro.apps.kvcache.KVCacheApp` — NetCache-style key/value
+  cache with switch-resident hot items.
+- :class:`~repro.apps.dbshuffle.DBShuffleApp` — database analytics
+  filter-aggregate-reshuffle.
+- :class:`~repro.apps.graphmining.GraphMiningApp` — BSP-style graph
+  pattern mining rounds with frontier deduplication.
+- :class:`~repro.apps.groupcomm.GroupCommApp` — switch-initiated group
+  data transfer (multicast).
+"""
+
+from .base import (
+    OP_DATA,
+    OP_FLUSH,
+    OP_GET,
+    OP_PUT,
+    OP_REPLY,
+    coflow_arrivals,
+)
+from .dbshuffle import DBShuffleApp
+from .graphmining import GraphMiningApp
+from .groupcomm import GroupCommApp
+from .kvcache import KVCacheApp
+from .mergejoin import SortMergeJoinApp
+from .paramserver import ParameterServerApp
+
+__all__ = [
+    "DBShuffleApp",
+    "GraphMiningApp",
+    "GroupCommApp",
+    "KVCacheApp",
+    "SortMergeJoinApp",
+    "OP_DATA",
+    "OP_FLUSH",
+    "OP_GET",
+    "OP_PUT",
+    "OP_REPLY",
+    "ParameterServerApp",
+    "coflow_arrivals",
+]

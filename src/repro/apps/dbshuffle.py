@@ -1,0 +1,268 @@
+"""Database analytics: filter-aggregate-reshuffle (Table 1, row 2).
+
+"Servers with local storage engage in a pattern of filter-aggregate-
+reshuffle of data to solve queries over large amounts of data in
+parallel."  The switch executes all three relational steps:
+
+- **Filter** at ingress (stateless): elements failing a predicate are
+  removed from the packet; empty packets are dropped.
+- **Aggregate** in the state partitions: per-group running sums.
+- **Reshuffle** on emission: each group's total is sent to the reducer
+  that owns the group's key (hash partitioning across reducer ports).
+
+Aggregation is a blocking operator, so each mapper flow ends with flush
+markers — one per state partition, since a partition can only emit once
+*its* inputs are complete.  The app knows its placement policy (it defined
+it), so it synthesizes one flush key per partition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..arch.app import PipelineContext, SwitchApp
+from ..arch.decision import Decision
+from ..errors import ConfigError
+from ..net.packet import Element, Packet
+from ..net.phv import PHV
+from ..net.traffic import DeterministicSource, make_coflow_packet, merge_sources
+from ..sim.rng import stable_hash64
+from .base import OP_DATA, OP_FLUSH, OP_RESULT
+
+
+class DBShuffleApp(SwitchApp):
+    """Switch-executed filter / group-by / reshuffle.
+
+    Attributes:
+        mapper_ports: Ports streaming raw (key, value) elements in.
+        reducer_ports: Ports owning the output groups (hash of group key).
+        groups: Number of distinct group keys.
+        filter_modulus: Elements whose value is not divisible by this are
+            filtered out at ingress (a cheap stand-in for a predicate).
+    """
+
+    def __init__(
+        self,
+        mapper_ports: list[int],
+        reducer_ports: list[int],
+        groups: int,
+        filter_modulus: int = 2,
+        elements_per_packet: int = 1,
+        coflow_id: int = 11,
+    ) -> None:
+        super().__init__("dbshuffle", elements_per_packet)
+        if not mapper_ports or not reducer_ports:
+            raise ConfigError("shuffle needs mappers and reducers")
+        if groups < 1:
+            raise ConfigError("need at least one group")
+        if filter_modulus < 1:
+            raise ConfigError("filter modulus must be >= 1")
+        self.mapper_ports = list(mapper_ports)
+        self.reducer_ports = list(reducer_ports)
+        self.groups = groups
+        self.filter_modulus = filter_modulus
+        self.coflow_id = coflow_id
+        self._flushes_seen: dict[int, int] = {}
+        self._emitted: set[int] = set()
+        self.filtered_elements = 0
+        self.results_emitted = 0
+
+    def uses_central_state(self) -> bool:
+        return True
+
+    def bind_placement(self, partitions: int) -> None:
+        super().bind_placement(partitions)
+        self._flushes_seen = {p: 0 for p in range(partitions)}
+        self._emitted = set()
+
+    def placement_key(self, packet: Packet) -> int:
+        if packet.payload is None or len(packet.payload) == 0:
+            raise ConfigError("shuffle packet carries no elements")
+        return packet.payload[0].key
+
+    def reducer_of(self, group_key: int) -> int:
+        """Reshuffle destination of a group (hash partitioning)."""
+        return self.reducer_ports[stable_hash64(group_key) % len(self.reducer_ports)]
+
+    # --- hooks -----------------------------------------------------------------------
+
+    def ingress(self, ctx: PipelineContext, packet: Packet, phv: PHV) -> Decision:
+        """Filter: strip elements failing the predicate."""
+        if packet.header("coflow")["opcode"] != OP_DATA:
+            return Decision.forward()
+        assert packet.payload is not None
+        keep = [
+            e for e in packet.payload if e.value % self.filter_modulus == 0
+        ]
+        removed = len(packet.payload) - len(keep)
+        self.filtered_elements += removed
+        if not keep:
+            return Decision.drop("filtered")
+        if removed:
+            # Replace the element set through the deparser's override
+            # channel; mutating packet.payload directly would be undone
+            # when the PHV's (fixed-length) array view is deparsed back.
+            phv.set_meta(
+                "payload_override", [(e.key, e.value) for e in keep]
+            )
+        return Decision.forward()
+
+    def central(self, ctx: PipelineContext, packet: Packet, phv: PHV) -> Decision:
+        """Aggregate per group; emit the partition's totals on final flush."""
+        opcode = packet.header("coflow")["opcode"]
+        partition = ctx.pipeline_index
+        acc = ctx.register("group_sum", self.groups, width_bits=64)
+        touched = ctx.register("group_touched", self.groups, width_bits=1)
+
+        if opcode == OP_FLUSH:
+            self._flushes_seen[partition] += 1
+            if (
+                self._flushes_seen[partition] == len(self.mapper_ports)
+                and partition not in self._emitted
+            ):
+                self._emitted.add(partition)
+                return Decision.consume(*self._emit_partition(partition, acc, touched))
+            return Decision.consume()
+
+        if opcode != OP_DATA:
+            return Decision.forward()
+        assert packet.payload is not None
+        assert self.placement_policy is not None
+        for element in packet.payload:
+            if not 0 <= element.key < self.groups:
+                raise ConfigError(
+                    f"group key {element.key} out of range [0, {self.groups})"
+                )
+            if self.placement_policy.place(element.key) != partition:
+                raise ConfigError(
+                    f"group {element.key} batched onto partition {partition}; "
+                    f"batches must be partition-local"
+                )
+            acc.add(element.key, element.value)
+            touched.write(element.key, 1)
+        return Decision.consume()
+
+    def _emit_partition(self, partition: int, acc, touched) -> list[Packet]:
+        """Build result packets for the groups this partition owns."""
+        assert self.placement_policy is not None
+        by_reducer: dict[int, list[Element]] = {}
+        for key in range(self.groups):
+            if self.placement_policy.place(key) != partition:
+                continue
+            if not touched.read(key):
+                continue
+            by_reducer.setdefault(self.reducer_of(key), []).append(
+                Element(key, acc.read(key))
+            )
+        emissions: list[Packet] = []
+        for port, elements in sorted(by_reducer.items()):
+            for i in range(0, len(elements), self.elements_per_packet):
+                batch = elements[i : i + self.elements_per_packet]
+                result = make_coflow_packet(
+                    self.coflow_id,
+                    flow_id=0xFFFD,
+                    seq=self.results_emitted,
+                    elements=[(e.key, e.value) for e in batch],
+                    opcode=OP_RESULT,
+                )
+                result.meta.egress_port = port
+                emissions.append(result)
+                self.results_emitted += 1
+        return emissions
+
+    # --- workload ---------------------------------------------------------------------
+
+    def flush_keys(self) -> list[int]:
+        """One key per state partition, used to address flush markers."""
+        if self.placement_policy is None:
+            raise ConfigError("placement not bound yet (construct the switch first)")
+        needed = set(range(self.placement_policy.partitions))
+        keys: dict[int, int] = {}
+        key = 0
+        while needed:
+            partition = self.placement_policy.place(key)
+            if partition in needed:
+                keys[partition] = key
+                needed.discard(partition)
+            key += 1
+            if key > 1_000_000:
+                raise ConfigError("could not find flush keys for all partitions")
+        return [keys[p] for p in sorted(keys)]
+
+    def workload(
+        self,
+        port_speed_bps: float,
+        elements_per_mapper: int,
+        value_fn=None,
+    ) -> Iterator[tuple[float, Packet]]:
+        """Mapper streams plus per-partition flush markers.
+
+        ``value_fn(key, mapper)`` produces element values (defaults to
+        ``key * 2`` so everything passes the default filter).
+        """
+        fn = value_fn or (lambda key, mapper: key * 2)
+        flush_keys = self.flush_keys()
+        assert self.placement_policy is not None  # flush_keys checked
+        sources = []
+        for mapper, port in enumerate(self.mapper_ports):
+            # Bucket elements by placement partition so every multi-element
+            # packet is servable on a single central pipeline (the app
+            # defines the placement, so it owns the packet format too).
+            buckets: dict[int, list[tuple[int, int]]] = {}
+            for i in range(elements_per_mapper):
+                key = i % self.groups
+                partition = self.placement_policy.place(key)
+                buckets.setdefault(partition, []).append((key, fn(key, mapper)))
+            packets: list[Packet] = []
+            seq = 0
+            for _, elements_in_bucket in sorted(buckets.items()):
+                for start in range(0, len(elements_in_bucket), self.elements_per_packet):
+                    elements = elements_in_bucket[
+                        start : start + self.elements_per_packet
+                    ]
+                    packet = make_coflow_packet(
+                        self.coflow_id, mapper, seq, elements, opcode=OP_DATA,
+                        worker_id=mapper,
+                    )
+                    packet.meta.ingress_port = port
+                    packets.append(packet)
+                    seq += 1
+            for flush_key in flush_keys:
+                marker = make_coflow_packet(
+                    self.coflow_id, mapper, seq, [(flush_key, 0)],
+                    opcode=OP_FLUSH, worker_id=mapper,
+                )
+                marker.meta.ingress_port = port
+                packets.append(marker)
+                seq += 1
+            sources.append(DeterministicSource(port, port_speed_bps, packets))
+        return merge_sources(sources)
+
+    def expected_result(self, elements_per_mapper: int, value_fn=None) -> dict[int, int]:
+        """Ground truth group totals after filtering, across all mappers."""
+        fn = value_fn or (lambda key, mapper: key * 2)
+        totals: dict[int, int] = {}
+        for mapper in range(len(self.mapper_ports)):
+            for i in range(elements_per_mapper):
+                key = i % self.groups
+                value = fn(key, mapper)
+                if value % self.filter_modulus != 0:
+                    continue
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    @staticmethod
+    def collect_results(delivered: list[Packet]) -> dict[int, int]:
+        """Extract group totals from delivered result packets."""
+        results: dict[int, int] = {}
+        for packet in delivered:
+            if packet.header("coflow")["opcode"] != OP_RESULT:
+                continue
+            assert packet.payload is not None
+            for element in packet.payload:
+                if element.key in results:
+                    raise ConfigError(
+                        f"group {element.key} emitted twice"
+                    )
+                results[element.key] = element.value
+        return results

@@ -1,0 +1,206 @@
+"""BSP-style graph pattern mining support (Table 1, row 3).
+
+"Large graphs are partitioned across several servers who then engage in a
+BSP-style communication exploring increasingly large patterns in the
+graph at each iteration."  The dominant network work in such systems
+(GraphINC is the paper's reference [14]) is exchanging *frontier*
+vertices between partitions, with massive duplication — many workers
+discover the same vertex in the same superstep.
+
+The switch deduplicates the frontier in flight: a visited-bitmap per
+state partition lets only the first occurrence of each vertex through,
+forwarded to the server that owns it.  Everything else is absorbed at
+the switch, saving the fan-in bandwidth at the servers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..arch.app import PipelineContext, SwitchApp
+from ..arch.decision import Decision
+from ..errors import ConfigError
+from ..net.packet import Element, Packet
+from ..net.phv import PHV
+from ..net.traffic import DeterministicSource, make_coflow_packet, merge_sources
+from ..sim.rng import stable_hash64
+from .base import OP_DATA, OP_RESULT
+
+
+class GraphMiningApp(SwitchApp):
+    """Frontier deduplication for BSP graph exploration.
+
+    Attributes:
+        partition_ports: Ports of the graph-partition servers.
+        num_vertices: Vertex id space (sizes the visited bitmaps).
+    """
+
+    def __init__(
+        self,
+        partition_ports: list[int],
+        num_vertices: int,
+        elements_per_packet: int = 1,
+        coflow_id: int = 13,
+    ) -> None:
+        super().__init__("graphmining", elements_per_packet)
+        if len(partition_ports) < 2:
+            raise ConfigError("graph mining needs at least two partitions")
+        if num_vertices < 1:
+            raise ConfigError("need at least one vertex")
+        self.partition_ports = list(partition_ports)
+        self.num_vertices = num_vertices
+        self.coflow_id = coflow_id
+        self.duplicates_absorbed = 0
+        self.uniques_forwarded = 0
+        self.results_emitted = 0
+
+    def uses_central_state(self) -> bool:
+        return True
+
+    def placement_key(self, packet: Packet) -> int:
+        if packet.payload is None or len(packet.payload) == 0:
+            raise ConfigError("frontier packet carries no elements")
+        return packet.payload[0].key
+
+    def owner_of(self, vertex: int) -> int:
+        """Server port owning a vertex (hash partitioning of the graph)."""
+        return self.partition_ports[
+            stable_hash64(vertex) % len(self.partition_ports)
+        ]
+
+    # --- hooks -----------------------------------------------------------------------
+
+    def central(self, ctx: PipelineContext, packet: Packet, phv: PHV) -> Decision:
+        """Pass each vertex at most once, toward its owning partition."""
+        if packet.header("coflow")["opcode"] != OP_DATA:
+            return Decision.forward()
+        visited = ctx.register("visited", self.num_vertices, width_bits=1)
+        assert packet.payload is not None
+        assert self.placement_policy is not None
+
+        fresh_by_owner: dict[int, list[Element]] = {}
+        for element in packet.payload:
+            if not 0 <= element.key < self.num_vertices:
+                raise ConfigError(
+                    f"vertex {element.key} out of range [0, {self.num_vertices})"
+                )
+            if self.placement_policy.place(element.key) != ctx.pipeline_index:
+                raise ConfigError(
+                    f"vertex {element.key} batched onto partition "
+                    f"{ctx.pipeline_index}; batches must be partition-local"
+                )
+            if visited.read(element.key):
+                self.duplicates_absorbed += 1
+                continue
+            visited.write(element.key, 1)
+            self.uniques_forwarded += 1
+            fresh_by_owner.setdefault(self.owner_of(element.key), []).append(
+                element
+            )
+
+        emissions: list[Packet] = []
+        for port, elements in sorted(fresh_by_owner.items()):
+            for i in range(0, len(elements), self.elements_per_packet):
+                batch = elements[i : i + self.elements_per_packet]
+                out = make_coflow_packet(
+                    self.coflow_id,
+                    flow_id=0xFFFC,
+                    seq=self.results_emitted,
+                    elements=[(e.key, e.value) for e in batch],
+                    opcode=OP_RESULT,
+                )
+                out.meta.egress_port = port
+                emissions.append(out)
+                self.results_emitted += 1
+        return Decision.consume(*emissions)
+
+    # --- workload ---------------------------------------------------------------------
+
+    def _partition_local_batches(self, vertices: list[int]) -> list[list[int]]:
+        """Pack vertices into packets that respect partition locality.
+
+        The visited bitmap is partitioned across central pipelines, so
+        every vertex in one packet must place to the same partition —
+        otherwise two copies of a vertex could dodge deduplication by
+        landing on different bitmaps.
+        """
+        if self.elements_per_packet == 1:
+            return [[v] for v in vertices]
+        if self.placement_policy is None:
+            raise ConfigError(
+                "placement not bound yet: construct the switch before "
+                "generating a wide-packet workload"
+            )
+        buckets: dict[int, list[int]] = {}
+        for vertex in vertices:
+            buckets.setdefault(self.placement_policy.place(vertex), []).append(vertex)
+        batches: list[list[int]] = []
+        for _, bucket in sorted(buckets.items()):
+            for start in range(0, len(bucket), self.elements_per_packet):
+                batches.append(bucket[start : start + self.elements_per_packet])
+        return batches
+
+    def superstep_workload(
+        self,
+        port_speed_bps: float,
+        frontier_size: int,
+        duplication: float,
+        rng: np.random.Generator,
+    ) -> Iterator[tuple[float, Packet]]:
+        """One BSP superstep: every partition announces frontier vertices.
+
+        ``duplication`` is the expected number of *extra* copies of each
+        frontier vertex across partitions (0 = no duplication; BSP rounds
+        on dense patterns easily reach several).
+        """
+        if frontier_size < 1:
+            raise ConfigError("frontier must have at least one vertex")
+        if duplication < 0:
+            raise ConfigError("duplication must be non-negative")
+        frontier = rng.choice(
+            self.num_vertices, size=min(frontier_size, self.num_vertices),
+            replace=False,
+        )
+        announcements: list[int] = []
+        for vertex in frontier:
+            copies = 1 + rng.poisson(duplication)
+            announcements.extend([int(vertex)] * int(copies))
+        rng.shuffle(announcements)
+
+        per_port: dict[int, list[int]] = {p: [] for p in self.partition_ports}
+        for i, vertex in enumerate(announcements):
+            port = self.partition_ports[i % len(self.partition_ports)]
+            per_port[port].append(vertex)
+
+        sources = []
+        for worker, port in enumerate(self.partition_ports):
+            vertices = per_port[port]
+            batches = self._partition_local_batches(vertices)
+            packets: list[Packet] = []
+            for seq, batch in enumerate(batches):
+                packet = make_coflow_packet(
+                    self.coflow_id, worker, seq,
+                    [(v, 0) for v in batch],
+                    opcode=OP_DATA, worker_id=worker,
+                )
+                packet.meta.ingress_port = port
+                packets.append(packet)
+            if packets:
+                sources.append(DeterministicSource(port, port_speed_bps, packets))
+        if not sources:
+            raise ConfigError("superstep produced no traffic")
+        return merge_sources(sources)
+
+    @staticmethod
+    def collect_forwarded(delivered: list[Packet]) -> set[int]:
+        """Vertices that made it through deduplication."""
+        vertices: set[int] = set()
+        for packet in delivered:
+            if packet.header("coflow")["opcode"] != OP_RESULT:
+                continue
+            assert packet.payload is not None
+            for element in packet.payload:
+                vertices.add(element.key)
+        return vertices

@@ -1,0 +1,119 @@
+"""Switch-initiated group communication (Table 1, row 4).
+
+"The switch initiates group data transfer within servers running the same
+application even if some of the servers have different NIC capabilities."
+(The paper's reference [16], zero-sided RDMA shuffling.)
+
+A sender addresses a *group id*, not a port list; the switch resolves the
+membership from its own state and replicates the payload to every member.
+Membership is data-keyed state (group id -> member set), so it is central
+state in the architectural sense: on RMT it pins to a pipeline, on the
+ADCP it lives in the global area and the replicated copies can exit any
+port via TM2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..arch.app import PipelineContext, SwitchApp
+from ..arch.decision import Decision
+from ..errors import ConfigError
+from ..net.packet import Packet
+from ..net.phv import PHV
+from ..net.traffic import DeterministicSource, make_coflow_packet, merge_sources
+from .base import OP_DATA
+
+
+class GroupCommApp(SwitchApp):
+    """Group-id addressed multicast with switch-resident membership.
+
+    Attributes:
+        groups: Mapping from group id to the member ports.
+    """
+
+    def __init__(
+        self,
+        groups: dict[int, list[int]],
+        elements_per_packet: int = 1,
+        coflow_id: int = 17,
+    ) -> None:
+        super().__init__("groupcomm", elements_per_packet)
+        if not groups:
+            raise ConfigError("need at least one group")
+        for gid, members in groups.items():
+            if not members:
+                raise ConfigError(f"group {gid} has no members")
+            if len(set(members)) != len(members):
+                raise ConfigError(f"group {gid} has duplicate members")
+        self.groups = {gid: list(members) for gid, members in groups.items()}
+        self.coflow_id = coflow_id
+        self.transfers_started = 0
+        self.copies_created = 0
+
+    def uses_central_state(self) -> bool:
+        return True
+
+    def placement_key(self, packet: Packet) -> int:
+        """Groups place by group id (carried in the first element key)."""
+        if packet.payload is None or len(packet.payload) == 0:
+            raise ConfigError("group packet carries no elements")
+        return packet.payload[0].key
+
+    # --- hooks -----------------------------------------------------------------------
+
+    def central(self, ctx: PipelineContext, packet: Packet, phv: PHV) -> Decision:
+        """Resolve the group and fan the payload out to every member."""
+        if packet.header("coflow")["opcode"] != OP_DATA:
+            return Decision.forward()
+        assert packet.payload is not None
+        group_id = packet.payload[0].key
+        members = self.groups.get(group_id)
+        if members is None:
+            return Decision.drop("unknown_group")
+        self.transfers_started += 1
+        copy = packet.copy()
+        copy.meta.egress_ports = tuple(members)
+        copy.meta.central_done = True
+        self.copies_created += len(members)
+        return Decision.consume(copy)
+
+    # --- workload ---------------------------------------------------------------------
+
+    def workload(
+        self,
+        port_speed_bps: float,
+        senders: dict[int, int],
+        transfers_per_sender: int,
+    ) -> Iterator[tuple[float, Packet]]:
+        """``senders`` maps sender port -> group id it addresses."""
+        if transfers_per_sender < 1:
+            raise ConfigError("need at least one transfer per sender")
+        sources = []
+        for worker, (port, group_id) in enumerate(sorted(senders.items())):
+            if group_id not in self.groups:
+                raise ConfigError(f"sender on port {port} targets unknown group {group_id}")
+            packets: list[Packet] = []
+            for seq in range(transfers_per_sender):
+                elements = [(group_id, seq)] + [
+                    (group_id, seq * 1000 + i)
+                    for i in range(1, self.elements_per_packet)
+                ]
+                packet = make_coflow_packet(
+                    self.coflow_id, worker, seq, elements,
+                    opcode=OP_DATA, worker_id=worker,
+                )
+                packet.meta.ingress_port = port
+                packets.append(packet)
+            sources.append(DeterministicSource(port, port_speed_bps, packets))
+        return merge_sources(sources)
+
+    @staticmethod
+    def deliveries_per_port(delivered: list[Packet]) -> dict[int, int]:
+        """Count of delivered copies per egress port."""
+        counts: dict[int, int] = {}
+        for packet in delivered:
+            port = packet.meta.egress_port
+            if port is not None:
+                counts[port] = counts.get(port, 0) + 1
+        return counts

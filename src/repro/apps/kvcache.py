@@ -1,0 +1,262 @@
+"""NetCache-style in-network key/value cache (the paper's reference [19]).
+
+Hot items live on the switch; GETs for cached keys are answered directly
+from switch state, and misses are forwarded to the backing store's port.
+PUTs write through: the switch updates its copy (if cached) and forwards
+the write to the store.
+
+The cache is the paper's canonical "hash table over coflows": its state is
+keyed by *data* (the item key), not by port, so on RMT it must go scalar
+and pay the state-placement tax; on the ADCP the hash table partitions
+naturally across the central area and requests carrying up to
+``array_width`` keys are served in one pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch.app import PipelineContext, SwitchApp
+from ..arch.decision import Decision
+from ..errors import ConfigError
+from ..net.packet import Element, Packet
+from ..net.phv import PHV
+from ..net.traffic import make_coflow_packet
+from .base import OP_GET, OP_PUT, OP_REPLY
+
+
+class KVCacheApp(SwitchApp):
+    """Switch-resident cache in front of a storage server.
+
+    Attributes:
+        server_port: Port of the backing store (miss traffic goes there).
+        client_ports: Ports of the requesting clients, indexed by the
+            ``worker_id`` header field.
+        capacity_per_partition: Value-register cells per state partition.
+        hot_items: Keys (with values) pre-installed by the control plane.
+    """
+
+    def __init__(
+        self,
+        server_port: int,
+        client_ports: list[int],
+        hot_items: dict[int, int],
+        capacity_per_partition: int = 65536,
+        elements_per_packet: int = 1,
+        coflow_id: int = 7,
+    ) -> None:
+        super().__init__("kvcache", elements_per_packet)
+        if not client_ports:
+            raise ConfigError("cache needs at least one client port")
+        if server_port in client_ports:
+            raise ConfigError("server port must differ from client ports")
+        if capacity_per_partition < 1:
+            raise ConfigError("cache capacity must be positive")
+        self.server_port = server_port
+        self.client_ports = list(client_ports)
+        self.capacity_per_partition = capacity_per_partition
+        self.hot_items = dict(hot_items)
+        self.coflow_id = coflow_id
+        # Control-plane index: key -> (partition, register slot).  The
+        # data plane would realize this as an exact-match table per
+        # partition; the compiler experiments account for that memory.
+        self._slot_of: dict[int, int] = {}
+        self._slots_used: dict[int, int] = {}
+        self._downloaded: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+        self.replies_emitted = 0
+
+    def uses_central_state(self) -> bool:
+        return True
+
+    def bind_placement(self, partitions: int) -> None:
+        super().bind_placement(partitions)
+        self._slot_of.clear()
+        self._downloaded.clear()
+        self._slots_used = {p: 0 for p in range(partitions)}
+        for key in sorted(self.hot_items):
+            self._install(key)
+
+    def _install(self, key: int) -> int:
+        assert self.placement_policy is not None
+        partition = self.placement_policy.place(key)
+        slot = self._slots_used[partition]
+        if slot >= self.capacity_per_partition:
+            raise ConfigError(
+                f"partition {partition} is out of cache slots installing "
+                f"key {key}"
+            )
+        self._slots_used[partition] = slot + 1
+        self._slot_of[key] = slot
+        return slot
+
+    def placement_key(self, packet: Packet) -> int:
+        if packet.payload is None or len(packet.payload) == 0:
+            raise ConfigError("cache request carries no elements")
+        return packet.payload[0].key
+
+    # --- hooks -----------------------------------------------------------------------
+
+    def central(self, ctx: PipelineContext, packet: Packet, phv: PHV) -> Decision:
+        """Serve GETs from switch state; write through PUTs; forward misses.
+
+        Batched requests must be partition-local: every key of a multi-key
+        packet must place to the same partition the packet was routed to
+        (the application defines the placement, so it also owns the packet
+        format — :meth:`request_stream` groups keys accordingly).
+        """
+        opcode = packet.header("coflow")["opcode"]
+        values = ctx.register(
+            "cache_values", self.capacity_per_partition, width_bits=64
+        )
+        valid = ctx.register(
+            "cache_valid", self.capacity_per_partition, width_bits=1
+        )
+        assert packet.payload is not None
+        assert self.placement_policy is not None
+        for element in packet.payload:
+            if (
+                element.key in self._slot_of
+                and self.placement_policy.place(element.key) != ctx.pipeline_index
+            ):
+                raise ConfigError(
+                    f"cached key {element.key} batched into a packet placed "
+                    f"on partition {ctx.pipeline_index}; batches must be "
+                    f"partition-local"
+                )
+        if ctx.pipeline_index not in self._downloaded:
+            # Control-plane download: preloaded hot items materialize in
+            # this partition's registers on first touch.
+            self._downloaded.add(ctx.pipeline_index)
+            for key, value in self.hot_items.items():
+                if self.placement_policy.place(key) != ctx.pipeline_index:
+                    continue
+                slot = self._slot_of[key]
+                values.write(slot, value)
+                valid.write(slot, 1)
+
+        if opcode == OP_PUT:
+            for element in packet.payload:
+                slot = self._slot_of.get(element.key)
+                if slot is not None:
+                    values.write(slot, element.value)
+                    valid.write(slot, 1)
+            packet.meta.egress_port = self.server_port  # write-through
+            return Decision.forward()
+
+        if opcode != OP_GET:
+            return Decision.forward()
+
+        hit_elements: list[Element] = []
+        miss_elements: list[Element] = []
+        for element in packet.payload:
+            slot = self._slot_of.get(element.key)
+            if slot is not None and valid.read(slot):
+                hit_elements.append(Element(element.key, values.read(slot)))
+                self.hits += 1
+            else:
+                miss_elements.append(element)
+                self.misses += 1
+
+        worker = packet.header("coflow")["worker_id"]
+        if worker >= len(self.client_ports):
+            raise ConfigError(f"request from unknown worker {worker}")
+        client_port = self.client_ports[worker]
+
+        emissions: list[Packet] = []
+        if hit_elements:
+            emissions.append(self._reply_packet(hit_elements, client_port, worker))
+        if miss_elements:
+            # The remaining keys travel on to the store as a trimmed request.
+            miss = make_coflow_packet(
+                self.coflow_id,
+                packet.header("coflow")["flow_id"],
+                packet.header("coflow")["seq"],
+                [(e.key, e.value) for e in miss_elements],
+                opcode=OP_GET,
+                worker_id=worker,
+            )
+            miss.meta.egress_port = self.server_port
+            emissions.append(miss)
+        return Decision.consume(*emissions)
+
+    def _reply_packet(
+        self, elements: list[Element], client_port: int, worker: int
+    ) -> Packet:
+        reply = make_coflow_packet(
+            self.coflow_id,
+            flow_id=0xFFFE,
+            seq=self.replies_emitted,
+            elements=[(e.key, e.value) for e in elements],
+            opcode=OP_REPLY,
+            worker_id=worker,
+        )
+        reply.meta.egress_port = client_port
+        self.replies_emitted += 1
+        return reply
+
+    # --- workload ---------------------------------------------------------------------
+
+    def request_stream(
+        self,
+        num_requests: int,
+        rng: np.random.Generator,
+        zipf_s: float = 1.2,
+        key_space: int | None = None,
+    ) -> list[Packet]:
+        """Zipf-skewed GET requests from round-robin clients.
+
+        Skewed access is the NetCache setting: a few hot keys dominate,
+        which is why a small switch cache absorbs most load.
+        """
+        if num_requests < 1:
+            raise ConfigError("need at least one request")
+        space = key_space or max(self.hot_items, default=0) * 4 + 64
+        ranks = rng.zipf(zipf_s, size=num_requests * self.elements_per_packet)
+        keys = [int(r - 1) % space for r in ranks]
+        batches = self._partition_local_batches(keys, num_requests)
+        packets: list[Packet] = []
+        for i, batch in enumerate(batches):
+            worker = i % len(self.client_ports)
+            packet = make_coflow_packet(
+                self.coflow_id,
+                flow_id=worker,
+                seq=i,
+                elements=[(k, 0) for k in batch],
+                opcode=OP_GET,
+                worker_id=worker,
+            )
+            packet.meta.ingress_port = self.client_ports[worker]
+            packets.append(packet)
+        return packets
+
+    def _partition_local_batches(
+        self, keys: list[int], num_requests: int
+    ) -> list[list[int]]:
+        """Group keys into batches that respect partition locality.
+
+        Scalar requests pass through unchanged; wide requests bucket keys
+        by placement partition (when a policy is bound) so every batch is
+        servable on one central pipeline.
+        """
+        if self.elements_per_packet == 1:
+            return [[k] for k in keys[:num_requests]]
+        if self.placement_policy is None:
+            groups: dict[int, list[int]] = {0: list(keys)}
+        else:
+            groups = {}
+            for key in keys:
+                groups.setdefault(self.placement_policy.place(key), []).append(key)
+        batches: list[list[int]] = []
+        for _, bucket in sorted(groups.items()):
+            for start in range(0, len(bucket), self.elements_per_packet):
+                batches.append(bucket[start : start + self.elements_per_packet])
+        return batches[:num_requests]
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total

@@ -1,0 +1,252 @@
+"""Streaming sort-merge join over TM1's order-preserving merge.
+
+The payoff of section 3.1's expanded TM semantics: because TM1 "could
+keep a sort order while it merges flows that are themselves sorted", the
+central pipelines can run a *streaming* merge join — two sorted relations
+arrive as flows, TM1 interleaves them in key order, and each central
+partition joins matching keys with O(duplicates) state instead of
+buffering a whole relation.
+
+Without ordered delivery (classic FIFO TM), the same join needs a hash
+table sized for the full build side; with it, the switch state is a pair
+of per-key buffers that drain as soon as the key advances.  The app
+*requires* an :class:`~repro.adcp.switch.ADCPSwitch` constructed with
+``ordered_flows=[LEFT_FLOW, RIGHT_FLOW]``.
+
+Placement note: any placement policy works, because each partition
+receives a *subsequence* of the globally sorted stream — still sorted —
+and both relations' copies of a key land on the same partition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..arch.app import PipelineContext, SwitchApp
+from ..arch.decision import Decision
+from ..errors import ConfigError
+from ..net.headers import OP_DATA, OP_FLUSH, OP_RESULT
+from ..net.packet import Packet
+from ..net.phv import PHV
+from ..net.traffic import DeterministicSource, make_coflow_packet, merge_sources
+
+LEFT_FLOW = 0
+RIGHT_FLOW = 1
+
+SENTINEL_BASE = 1 << 20
+"""Relation keys must stay below this; sentinel keys live above it."""
+
+
+class SortMergeJoinApp(SwitchApp):
+    """Switch-resident streaming join of two sorted relations.
+
+    Attributes:
+        left_port / right_port: Ingress ports of the two relations.
+        output_port: Where joined tuples are emitted.
+    """
+
+    def __init__(
+        self,
+        left_port: int,
+        right_port: int,
+        output_port: int,
+        coflow_id: int = 23,
+    ) -> None:
+        super().__init__("mergejoin", elements_per_packet=1)
+        if len({left_port, right_port, output_port}) != 3:
+            raise ConfigError("join ports must be distinct")
+        self.left_port = left_port
+        self.right_port = right_port
+        self.output_port = output_port
+        self.coflow_id = coflow_id
+        # Per-partition streaming state: the current key and the values
+        # seen for it from each side.  Python-side mirrors of what the
+        # data plane would keep in registers; sizes are O(duplicates).
+        self._current_key: dict[int, int | None] = {}
+        self._left_values: dict[int, list[int]] = {}
+        self._right_values: dict[int, list[int]] = {}
+        self.matches_emitted = 0
+        self.max_buffered_values = 0
+
+    def uses_central_state(self) -> bool:
+        return True
+
+    def ordered_flows(self) -> list[int]:
+        """The flow ids the ADCP switch must register with TM1's merge."""
+        return [LEFT_FLOW, RIGHT_FLOW]
+
+    def placement_key(self, packet: Packet) -> int:
+        if packet.payload is None or len(packet.payload) == 0:
+            raise ConfigError("join packet carries no elements")
+        return packet.payload[0].key
+
+    # --- hooks -----------------------------------------------------------------------
+
+    def central(self, ctx: PipelineContext, packet: Packet, phv: PHV) -> Decision:
+        """Join step: fold the tuple in; emit matches when the key closes.
+
+        Correctness leans on TM1's guarantee: keys arrive nondecreasing
+        per partition, so once a strictly larger key shows up, the
+        previous key is complete and its matches can be emitted.
+        """
+        header = packet.header("coflow")
+        if header["opcode"] != OP_DATA:
+            return Decision.consume(*self._close_key(ctx.pipeline_index))
+        assert packet.payload is not None
+        element = packet.payload[0]
+        partition = ctx.pipeline_index
+        current = self._current_key.get(partition)
+
+        emissions: list[Packet] = []
+        if current is not None and element.key < current:
+            raise ConfigError(
+                f"key {element.key} after {current} on partition "
+                f"{partition}: the switch was built without ordered_flows"
+            )
+        if current is not None and element.key > current:
+            emissions.extend(self._close_key(partition))
+        if self._current_key.get(partition) != element.key:
+            self._current_key[partition] = element.key
+            self._left_values[partition] = []
+            self._right_values[partition] = []
+
+        side = (
+            self._left_values
+            if header["flow_id"] == LEFT_FLOW
+            else self._right_values
+        )
+        side[partition].append(element.value)
+        buffered = len(self._left_values[partition]) + len(
+            self._right_values[partition]
+        )
+        self.max_buffered_values = max(self.max_buffered_values, buffered)
+        return Decision.consume(*emissions)
+
+    def _close_key(self, partition: int) -> list[Packet]:
+        """Emit the cross product of the completed key's two sides."""
+        key = self._current_key.get(partition)
+        if key is None:
+            return []
+        lefts = self._left_values.get(partition, [])
+        rights = self._right_values.get(partition, [])
+        self._current_key[partition] = None
+        emissions: list[Packet] = []
+        for left in lefts:
+            for right in rights:
+                result = make_coflow_packet(
+                    self.coflow_id,
+                    flow_id=0xFFFB,
+                    seq=self.matches_emitted,
+                    elements=[(key, left * 1_000_000 + right)],
+                    opcode=OP_RESULT,
+                )
+                result.meta.egress_port = self.output_port
+                emissions.append(result)
+                self.matches_emitted += 1
+        return emissions
+
+    # --- workload ---------------------------------------------------------------------
+
+    def workload(
+        self,
+        port_speed_bps: float,
+        left: list[tuple[int, int]],
+        right: list[tuple[int, int]],
+    ) -> Iterator[tuple[float, Packet]]:
+        """Two sorted relations as line-rate flows plus flush markers.
+
+        ``left``/``right`` are (key, value) lists sorted by key.
+        """
+        for name, relation in (("left", left), ("right", right)):
+            keys = [k for k, _ in relation]
+            if keys != sorted(keys):
+                raise ConfigError(f"{name} relation must be sorted by key")
+            if keys and keys[-1] >= SENTINEL_BASE:
+                raise ConfigError(
+                    f"{name} relation keys must stay below {SENTINEL_BASE}"
+                )
+        sources = []
+        for flow_id, port, relation, sentinel_base in (
+            (LEFT_FLOW, self.left_port, left, SENTINEL_BASE),
+            (RIGHT_FLOW, self.right_port, right, SENTINEL_BASE * 2),
+        ):
+            packets: list[Packet] = []
+            seq = 0
+            for key, value in relation:
+                packet = make_coflow_packet(
+                    self.coflow_id, flow_id, seq, [(key, value)],
+                    opcode=OP_DATA, worker_id=flow_id,
+                )
+                packet.meta.ingress_port = port
+                packets.append(packet)
+                seq += 1
+            # Per-partition sentinel keys close each partition's last real
+            # key at the central hook (the flush below never reaches
+            # central: TM1's merge front-end absorbs it).  Left and right
+            # sentinels use disjoint key ranges so they never join.
+            for key in self._sentinel_keys(sentinel_base):
+                sentinel = make_coflow_packet(
+                    self.coflow_id, flow_id, seq, [(key, 0)],
+                    opcode=OP_DATA, worker_id=flow_id,
+                )
+                sentinel.meta.ingress_port = port
+                packets.append(sentinel)
+                seq += 1
+            flush = make_coflow_packet(
+                self.coflow_id, flow_id, seq,
+                [(1 << 30, 0)], opcode=OP_FLUSH, worker_id=flow_id,
+            )
+            flush.meta.ingress_port = port
+            packets.append(flush)
+            sources.append(DeterministicSource(port, port_speed_bps, packets))
+        return merge_sources(sources)
+
+    def _sentinel_keys(self, base: int) -> list[int]:
+        """Ascending keys >= base covering every state partition."""
+        if self.placement_policy is None:
+            raise ConfigError(
+                "placement not bound yet: construct the switch before "
+                "generating the workload"
+            )
+        needed = set(range(self.placement_policy.partitions))
+        keys: list[int] = []
+        key = base
+        while needed:
+            partition = self.placement_policy.place(key)
+            if partition in needed:
+                keys.append(key)
+                needed.discard(partition)
+            key += 1
+            if key > base + 1_000_000:
+                raise ConfigError("could not find sentinel keys")
+        return sorted(keys)
+
+    # --- verification -----------------------------------------------------------------
+
+    @staticmethod
+    def expected_join(
+        left: list[tuple[int, int]], right: list[tuple[int, int]]
+    ) -> set[tuple[int, int, int]]:
+        """Ground truth: {(key, left_value, right_value)}."""
+        from collections import defaultdict
+
+        rights = defaultdict(list)
+        for key, value in right:
+            rights[key].append(value)
+        matches = set()
+        for key, left_value in left:
+            for right_value in rights.get(key, []):
+                matches.add((key, left_value, right_value))
+        return matches
+
+    @staticmethod
+    def collect_matches(delivered: list[Packet]) -> set[tuple[int, int, int]]:
+        matches = set()
+        for packet in delivered:
+            if packet.header("coflow")["opcode"] != OP_RESULT:
+                continue
+            assert packet.payload is not None
+            for element in packet.payload:
+                left, right = divmod(element.value, 1_000_000)
+                matches.add((element.key, left, right))
+        return matches

@@ -1,0 +1,36 @@
+"""Alternative switch designs the paper positions itself against (§1).
+
+"Classic programmable switches operate at line rate but impose
+significant limitations on the expressiveness of their programming
+models.  In contrast, alternative designs relax the strict line rate
+requirement but are more easily programmable."
+
+Two representatives are modeled so the opening tension is measurable:
+
+- :class:`~repro.baselines.rtc.RunToCompletionSwitch` — the BMv2-style
+  software switch: a pool of cores, each holding a packet "until an
+  arbitrary length computation is completed", with one shared memory (no
+  placement restrictions at all).  Maximally expressive, line rate only
+  while the offered packet rate stays under ``cores x clock / cost``.
+- :class:`~repro.baselines.threaded.ThreadedSwitch` — the Trio-style
+  hardware design: many more, slower hardware threads over shared
+  memory; the same discipline at a different (cores, clock) point, which
+  "still compromises line rate, even if to a lesser extent than
+  software-based switches".
+
+Both run the same :class:`repro.arch.app.SwitchApp` programs as the RMT
+and ADCP models, with an explicit per-packet instruction-cost model in
+place of the pipeline's fixed one-cycle service.
+"""
+
+from .cost import InstructionCostModel
+from .rtc import RunToCompletionSwitch, RtcConfig
+from .threaded import ThreadedSwitch, threaded_config
+
+__all__ = [
+    "InstructionCostModel",
+    "RtcConfig",
+    "RunToCompletionSwitch",
+    "ThreadedSwitch",
+    "threaded_config",
+]

@@ -1,0 +1,66 @@
+"""Per-packet instruction cost for run-to-completion processing.
+
+Pipelined switches pay a fixed cycle per packet regardless of program
+complexity (that is the whole design); run-to-completion targets pay for
+what the program actually does.  The model charges:
+
+    cycles = parse + per_header x headers
+           + hook_base + per_element x elements
+           + emit x emissions
+
+Defaults approximate a software dataplane's instruction counts (hundreds
+of cycles per packet), and can be retuned for hardware-threaded designs
+where the same work costs tens of cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..net.packet import Packet
+
+
+@dataclass(frozen=True)
+class InstructionCostModel:
+    """Cycle cost of processing one packet to completion."""
+
+    parse_cycles: int = 60
+    per_header_cycles: int = 25
+    hook_base_cycles: int = 80
+    per_element_cycles: int = 30
+    emit_cycles: int = 50
+    deparse_cycles: int = 40
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("parse_cycles", self.parse_cycles),
+            ("per_header_cycles", self.per_header_cycles),
+            ("hook_base_cycles", self.hook_base_cycles),
+            ("per_element_cycles", self.per_element_cycles),
+            ("emit_cycles", self.emit_cycles),
+            ("deparse_cycles", self.deparse_cycles),
+        ):
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value}")
+
+    def packet_cycles(self, packet: Packet, emissions: int = 0) -> int:
+        """Cycles one core spends on ``packet`` (plus its emissions)."""
+        if emissions < 0:
+            raise ConfigError("emissions must be non-negative")
+        return (
+            self.parse_cycles
+            + self.per_header_cycles * len(packet.headers)
+            + self.hook_base_cycles
+            + self.per_element_cycles * packet.element_count
+            + self.emit_cycles * emissions
+            + self.deparse_cycles
+        )
+
+    def sustained_pps(self, cores: int, clock_hz: float, packet: Packet) -> float:
+        """Aggregate packet rate the pool sustains for uniform traffic."""
+        if cores < 1:
+            raise ConfigError("need at least one core")
+        if clock_hz <= 0:
+            raise ConfigError("clock must be positive")
+        return cores * clock_hz / self.packet_cycles(packet)

@@ -1,0 +1,72 @@
+"""Coflow abstraction and workloads.
+
+A *coflow* (Chowdhury & Stoica, the paper's reference [6]) is a set of
+coordinated flows with a shared application-level completion semantic.  The
+paper's thesis is that switches should process coflows, not individual
+flows, so this package is the vocabulary of every experiment:
+
+- :class:`~repro.coflow.model.Flow` / :class:`~repro.coflow.model.Coflow` —
+  the data model, including per-flow source/destination ports and element
+  payload descriptions.
+- :mod:`~repro.coflow.workload` — synthetic coflow generators shaped like
+  the published Facebook coflow benchmark (heavy-tailed widths and sizes)
+  plus pattern-specific generators for the Table 1 applications
+  (all-to-all aggregation, shuffle, BSP rounds, multicast groups).
+- :mod:`~repro.coflow.metrics` — coflow completion time, goodput, and
+  key-rate accounting.
+- :mod:`~repro.coflow.placement` — hash/range/explicit placement policies
+  used by the ADCP's first traffic manager.
+"""
+
+from .metrics import CoflowMetrics, completion_time, goodput_fraction, key_rate
+from .model import Coflow, Flow, FlowDirection
+from .placement import (
+    ExplicitPlacement,
+    HashPlacement,
+    PlacementPolicy,
+    PortAffinityPlacement,
+    RangePlacement,
+)
+from .scheduler import (
+    CoflowScheduler,
+    FairSharingScheduler,
+    FifoCoflowScheduler,
+    ScheduleResult,
+    SebfScheduler,
+)
+from .workload import (
+    CoflowWorkload,
+    WorkloadShape,
+    aggregation_coflow,
+    bsp_round_coflow,
+    multicast_coflow,
+    shuffle_coflow,
+    synthesize_workload,
+)
+
+__all__ = [
+    "Coflow",
+    "CoflowMetrics",
+    "CoflowScheduler",
+    "CoflowWorkload",
+    "ExplicitPlacement",
+    "FairSharingScheduler",
+    "FifoCoflowScheduler",
+    "Flow",
+    "FlowDirection",
+    "HashPlacement",
+    "ScheduleResult",
+    "SebfScheduler",
+    "PlacementPolicy",
+    "PortAffinityPlacement",
+    "RangePlacement",
+    "WorkloadShape",
+    "aggregation_coflow",
+    "bsp_round_coflow",
+    "completion_time",
+    "goodput_fraction",
+    "key_rate",
+    "multicast_coflow",
+    "shuffle_coflow",
+    "synthesize_workload",
+]

@@ -1,0 +1,140 @@
+"""Coflow and packet-stream metrics.
+
+Three families:
+
+- **Completion**: coflow completion time (CCT) — last byte of the slowest
+  flow — the canonical coflow metric.
+- **Goodput**: application-useful bytes over wire bytes; the paper argues
+  scalar-only packets "are often small and thus have subpar goodput".
+- **Key rate**: "the performance of a switch is connected to the rate of
+  *keys* rather than the packets it can process" (section 3.2); key rate =
+  packet rate x elements per packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..net.packet import Packet
+from ..units import BITS_PER_BYTE
+from .model import Coflow
+
+
+def completion_time(
+    flow_finish_times: dict[int, float], release_time: float = 0.0
+) -> float:
+    """CCT: time from release until the *last* flow finishes.
+
+    Takes a map of flow id -> finish time so schedulers can report partial
+    progress; raises when empty because a CCT of zero would silently skew
+    averages.
+    """
+    if not flow_finish_times:
+        raise ConfigError("cannot compute CCT with no finished flows")
+    last = max(flow_finish_times.values())
+    if last < release_time:
+        raise ConfigError(
+            f"finish time {last} precedes release time {release_time}"
+        )
+    return last - release_time
+
+
+def goodput_fraction(packets: list[Packet]) -> float:
+    """Application bytes / wire bytes over a packet stream."""
+    if not packets:
+        raise ConfigError("cannot compute goodput of an empty stream")
+    wire = sum(p.wire_bytes for p in packets)
+    good = sum(p.goodput_bytes for p in packets)
+    return good / wire
+
+
+def key_rate(packet_rate_pps: float, elements_per_packet: int) -> float:
+    """Keys (data elements) processed per second.
+
+    This is the section 3.2 headline metric: an RMT switch at 6 Bpps with
+    scalar packets does 6 Bops/s; 16-wide arrays push it to ~96 Bops/s.
+    """
+    if packet_rate_pps < 0:
+        raise ConfigError(f"packet rate must be >= 0, got {packet_rate_pps}")
+    if elements_per_packet <= 0:
+        raise ConfigError(
+            f"elements per packet must be positive, got {elements_per_packet}"
+        )
+    return packet_rate_pps * elements_per_packet
+
+
+@dataclass
+class CoflowMetrics:
+    """Aggregate measurements for one coflow run through a switch."""
+
+    coflow_id: int
+    release_time: float
+    finish_time: float
+    wire_bytes: int
+    goodput_bytes: int
+    packets: int
+    elements: int
+    recirculated_packets: int = 0
+    dropped_packets: int = 0
+
+    @property
+    def cct(self) -> float:
+        return self.finish_time - self.release_time
+
+    @property
+    def goodput(self) -> float:
+        if self.wire_bytes == 0:
+            return 0.0
+        return self.goodput_bytes / self.wire_bytes
+
+    @property
+    def elements_per_packet(self) -> float:
+        if self.packets == 0:
+            return 0.0
+        return self.elements / self.packets
+
+    def throughput_bps(self) -> float:
+        """Average wire throughput over the coflow's lifetime."""
+        if self.cct <= 0:
+            raise ConfigError(
+                f"coflow {self.coflow_id} has non-positive CCT {self.cct}"
+            )
+        return self.wire_bytes * BITS_PER_BYTE / self.cct
+
+    def element_rate(self) -> float:
+        """Average elements (keys) per second over the coflow's lifetime."""
+        if self.cct <= 0:
+            raise ConfigError(
+                f"coflow {self.coflow_id} has non-positive CCT {self.cct}"
+            )
+        return self.elements / self.cct
+
+
+def ideal_cct(
+    coflow: Coflow,
+    port_speed_bps: float,
+    elements_per_packet: int,
+    per_packet_overhead_bytes: int = 66,
+) -> float:
+    """Lower-bound CCT from port bandwidth alone (no switch contention).
+
+    Every flow is limited by its port; the coflow completes when the most
+    loaded port drains.  ``per_packet_overhead_bytes`` is the non-payload
+    wire footprint of each packet (headers + framing), 66 B for the
+    standard Eth/IP/UDP/coflow stack with preamble and IFG.
+    """
+    if port_speed_bps <= 0:
+        raise ConfigError("port speed must be positive")
+    load_per_port: dict[int, float] = {}
+    for flow in coflow.flows:
+        packets = flow.packet_count(elements_per_packet)
+        wire_bytes = flow.size_bytes + packets * per_packet_overhead_bytes
+        port = (
+            flow.src_port
+            if flow.direction.name == "INPUT"
+            else flow.dst_port
+        )
+        load_per_port[port] = load_per_port.get(port, 0.0) + wire_bytes
+    worst = max(load_per_port.values())
+    return worst * BITS_PER_BYTE / port_speed_bps

@@ -1,0 +1,190 @@
+"""Flow and coflow data model.
+
+A :class:`Flow` describes one direction of traffic between a server port
+and the switch; a :class:`Coflow` groups flows that belong to one
+application step ("the weight calculations ... engage in an all-to-all
+exchange", Table 1).  The model is descriptive — actual packets are
+produced from it by :meth:`Flow.packets` — so workload generators, placement
+policies, and metrics all speak the same vocabulary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import ConfigError
+from ..net.packet import Packet
+from ..net.traffic import make_coflow_packet
+
+
+class FlowDirection(Enum):
+    """Whether a flow feeds the switch or is produced by it."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass
+class Flow:
+    """One coordinated flow of a coflow.
+
+    Attributes:
+        flow_id: Unique id within the coflow.
+        src_port: Switch ingress port the flow arrives on (input flows).
+        dst_port: Switch egress port the flow leaves on (output flows).
+        element_count: Total data elements carried by the flow.
+        element_width_bytes: Wire bytes per element (key + value).
+        direction: Input or output relative to the switch.
+        worker_id: Application worker the flow belongs to.
+    """
+
+    flow_id: int
+    src_port: int
+    dst_port: int
+    element_count: int
+    element_width_bytes: int = 8
+    direction: FlowDirection = FlowDirection.INPUT
+    worker_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.element_count < 0:
+            raise ConfigError(
+                f"flow {self.flow_id}: element count must be >= 0, "
+                f"got {self.element_count}"
+            )
+        if self.element_width_bytes <= 0:
+            raise ConfigError(
+                f"flow {self.flow_id}: element width must be positive"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        """Application bytes carried by the flow."""
+        return self.element_count * self.element_width_bytes
+
+    def packet_count(self, elements_per_packet: int) -> int:
+        """Packets needed to ship the flow at a given packing factor."""
+        if elements_per_packet <= 0:
+            raise ConfigError(
+                f"elements per packet must be positive, got {elements_per_packet}"
+            )
+        return math.ceil(self.element_count / elements_per_packet)
+
+    def packets(
+        self,
+        coflow_id: int,
+        elements_per_packet: int,
+        key_base: int = 0,
+        value_fn=None,
+        opcode: int = 0,
+        round_: int = 0,
+    ) -> list[Packet]:
+        """Materialize the flow as coflow packets.
+
+        Keys are ``key_base + i`` for element ``i``; values default to the
+        key (identity) unless ``value_fn(key)`` is given.  Packets carry
+        ``elements_per_packet`` elements each, except a possibly-short tail.
+        """
+        packets: list[Packet] = []
+        produced = 0
+        seq = 0
+        while produced < self.element_count:
+            count = min(elements_per_packet, self.element_count - produced)
+            elements = []
+            for i in range(produced, produced + count):
+                key = key_base + i
+                value = value_fn(key) if value_fn is not None else key
+                elements.append((key, value))
+            packet = make_coflow_packet(
+                coflow_id,
+                self.flow_id,
+                seq,
+                elements,
+                element_width_bytes=self.element_width_bytes,
+                opcode=opcode,
+                worker_id=self.worker_id,
+                round_=round_,
+            )
+            packet.meta.ingress_port = self.src_port
+            packet.meta.egress_port = self.dst_port
+            packets.append(packet)
+            produced += count
+            seq += 1
+        return packets
+
+
+@dataclass
+class Coflow:
+    """A set of coordinated flows with one application semantic.
+
+    Attributes:
+        coflow_id: Globally unique id.
+        flows: Component flows.
+        pattern: Free-form label of the communication pattern
+            (``"aggregation"``, ``"shuffle"``, ``"bsp"``, ``"multicast"``).
+        release_time: When the coflow's first byte may be sent (seconds).
+    """
+
+    coflow_id: int
+    flows: list[Flow] = field(default_factory=list)
+    pattern: str = "generic"
+    release_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        ids = [f.flow_id for f in self.flows]
+        if len(set(ids)) != len(ids):
+            raise ConfigError(
+                f"coflow {self.coflow_id} has duplicate flow ids"
+            )
+
+    def add(self, flow: Flow) -> None:
+        if any(f.flow_id == flow.flow_id for f in self.flows):
+            raise ConfigError(
+                f"coflow {self.coflow_id} already has flow {flow.flow_id}"
+            )
+        self.flows.append(flow)
+
+    @property
+    def input_flows(self) -> list[Flow]:
+        return [f for f in self.flows if f.direction is FlowDirection.INPUT]
+
+    @property
+    def output_flows(self) -> list[Flow]:
+        return [f for f in self.flows if f.direction is FlowDirection.OUTPUT]
+
+    @property
+    def width(self) -> int:
+        """Number of component flows (the coflow literature's 'width')."""
+        return len(self.flows)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total application bytes across all flows."""
+        return sum(f.size_bytes for f in self.flows)
+
+    @property
+    def length_bytes(self) -> int:
+        """Size of the largest flow (the coflow literature's 'length')."""
+        if not self.flows:
+            return 0
+        return max(f.size_bytes for f in self.flows)
+
+    @property
+    def total_elements(self) -> int:
+        return sum(f.element_count for f in self.flows)
+
+    def ingress_ports(self) -> set[int]:
+        """Ports the coflow's input flows arrive on."""
+        return {f.src_port for f in self.input_flows}
+
+    def egress_ports(self) -> set[int]:
+        """Ports the coflow's output flows leave on."""
+        return {f.dst_port for f in self.output_flows}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Coflow {self.coflow_id} {self.pattern} width={self.width} "
+            f"size={self.size_bytes}B>"
+        )

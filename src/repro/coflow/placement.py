@@ -1,0 +1,162 @@
+"""Placement policies: how coflow state is spread across pipelines.
+
+Section 3.1: "the application needs to define the criteria by which the
+first TM will forward packets across the [central] pipelines", e.g. "by
+ranges or hashes over a given data element on each packet".  A policy maps
+a key (a data element's key field) to a partition index; the ADCP's first
+traffic manager consults one per application.
+
+The same policies describe the *constraint* on RMT: there, placement is
+forced by physical port attachment, which :class:`PortAffinityPlacement`
+models so experiments can compare like for like.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from ..errors import ConfigError, PlacementError
+from ..sim.rng import stable_hash64
+
+
+class PlacementPolicy:
+    """Maps element keys to partition (central pipeline) indices."""
+
+    def __init__(self, partitions: int) -> None:
+        if partitions < 1:
+            raise ConfigError(
+                f"placement needs at least one partition, got {partitions}"
+            )
+        self.partitions = partitions
+
+    def place(self, key: int) -> int:
+        """Return the partition index for ``key`` (0-based)."""
+        raise NotImplementedError
+
+    def place_many(self, keys: list[int]) -> list[int]:
+        """Vector version of :meth:`place`."""
+        return [self.place(key) for key in keys]
+
+    def histogram(self, keys: list[int]) -> list[int]:
+        """Count of keys landing on each partition."""
+        counts = [0] * self.partitions
+        for key in keys:
+            counts[self.place(key)] += 1
+        return counts
+
+    def balance(self, keys: list[int]) -> float:
+        """Load balance quality: mean partition load / max load (1.0 = perfect)."""
+        counts = self.histogram(keys)
+        peak = max(counts)
+        if peak == 0:
+            raise PlacementError("cannot compute balance of zero keys")
+        return (sum(counts) / self.partitions) / peak
+
+
+class HashPlacement(PlacementPolicy):
+    """Uniform placement by a stable 64-bit hash of the key.
+
+    The default policy for aggregation workloads: "place a given weight to
+    aggregate on a pipeline based on the weight's ID hash" (section 3.1).
+    """
+
+    def place(self, key: int) -> int:
+        return stable_hash64(key) % self.partitions
+
+
+class RangePlacement(PlacementPolicy):
+    """Placement by key ranges, for order-sensitive applications.
+
+    ``boundaries`` are the right-open split points: partition ``i`` holds
+    keys in ``[boundaries[i-1], boundaries[i])``.
+    """
+
+    def __init__(self, boundaries: list[int]) -> None:
+        if not boundaries:
+            raise ConfigError("range placement needs at least one boundary")
+        if sorted(boundaries) != list(boundaries):
+            raise ConfigError(f"boundaries must be sorted, got {boundaries}")
+        if len(set(boundaries)) != len(boundaries):
+            raise ConfigError(f"boundaries must be distinct, got {boundaries}")
+        super().__init__(len(boundaries) + 1)
+        self.boundaries = list(boundaries)
+
+    def place(self, key: int) -> int:
+        return bisect_right(self.boundaries, key)
+
+
+class ExplicitPlacement(PlacementPolicy):
+    """Application-pinned placement from an explicit key map.
+
+    Unmapped keys either go to a default partition or raise, depending on
+    ``strict`` — strict mode catches workload/placement mismatches early.
+    """
+
+    def __init__(
+        self,
+        partitions: int,
+        mapping: dict[int, int],
+        default: int | None = None,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(partitions)
+        for key, part in mapping.items():
+            if not 0 <= part < partitions:
+                raise ConfigError(
+                    f"key {key} mapped to partition {part}, "
+                    f"valid range is [0, {partitions})"
+                )
+        if default is not None and not 0 <= default < partitions:
+            raise ConfigError(f"default partition {default} out of range")
+        self.mapping = dict(mapping)
+        self.default = default
+        self.strict = strict
+
+    def place(self, key: int) -> int:
+        if key in self.mapping:
+            return self.mapping[key]
+        if self.strict or self.default is None:
+            raise PlacementError(f"key {key} has no explicit placement")
+        return self.default
+
+
+class PortAffinityPlacement(PlacementPolicy):
+    """RMT's forced placement: state lives where the port attaches.
+
+    Not a choice but a constraint: an input flow's state can only live on
+    the pipeline its ingress port is multiplexed into.  ``ports_per_pipeline``
+    fixes the port-to-pipeline map; :meth:`place_port` is the primary
+    interface and :meth:`place` treats the key as a port number.
+    """
+
+    def __init__(self, num_ports: int, ports_per_pipeline: int) -> None:
+        if num_ports < 1:
+            raise ConfigError(f"need at least one port, got {num_ports}")
+        if ports_per_pipeline < 1:
+            raise ConfigError(
+                f"ports per pipeline must be >= 1, got {ports_per_pipeline}"
+            )
+        partitions = (num_ports + ports_per_pipeline - 1) // ports_per_pipeline
+        super().__init__(partitions)
+        self.num_ports = num_ports
+        self.ports_per_pipeline = ports_per_pipeline
+
+    def place_port(self, port: int) -> int:
+        if not 0 <= port < self.num_ports:
+            raise PlacementError(
+                f"port {port} out of range [0, {self.num_ports})"
+            )
+        return port // self.ports_per_pipeline
+
+    def place(self, key: int) -> int:
+        return self.place_port(key)
+
+    def ports_of(self, pipeline: int) -> list[int]:
+        """Ports physically attached to a pipeline."""
+        if not 0 <= pipeline < self.partitions:
+            raise PlacementError(
+                f"pipeline {pipeline} out of range [0, {self.partitions})"
+            )
+        start = pipeline * self.ports_per_pipeline
+        end = min(start + self.ports_per_pipeline, self.num_ports)
+        return list(range(start, end))

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ADCP/RMT switch simulator.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """A switch, pipeline, or workload configuration is inconsistent.
+
+    Raised at construction time, never during simulation, so that invalid
+    setups fail fast rather than producing silently wrong results.
+    """
+
+
+class ParseError(ReproError):
+    """A packet could not be parsed against the configured parse graph."""
+
+
+class DeparseError(ReproError):
+    """A PHV could not be serialized back into a packet."""
+
+
+class TableError(ReproError):
+    """A match-action table operation failed (capacity, key shape, ...)."""
+
+
+class CapacityError(TableError):
+    """A table or memory block has no room for the requested entries."""
+
+
+class CompileError(ReproError):
+    """A program cannot be mapped onto the target architecture."""
+
+
+class PlacementError(ReproError):
+    """A coflow or data partition cannot be placed as requested."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an internal inconsistency."""
+
+
+class FeasibilityError(ReproError):
+    """A chip-feasibility model was asked for an unrealizable design point."""

@@ -1,0 +1,41 @@
+"""Chip-feasibility models for the section 4 discussion.
+
+First-order physical-design estimators, parameterized and documented as
+such — the point is to reproduce the *relationships* section 4 argues
+about, not sign-off numbers:
+
+- :mod:`~repro.feasibility.area` — block-level area model (MAUs, SRAM/
+  TCAM macros, TMs), with the frequency-dependent gate-sizing relief the
+  paper expects from lower clocks.
+- :mod:`~repro.feasibility.power` — dynamic + leakage power versus
+  frequency with a DVFS voltage curve.
+- :mod:`~repro.feasibility.floorplan` — a g-cell grid with rectangular
+  block placement; builds the monolithic and interleaved TM layouts the
+  paper contrasts.
+- :mod:`~repro.feasibility.congestion` — congestion-driven routing demand
+  estimation over g-cells ("routing congestion is measured as the area of
+  each g-cell divided by the area required to route all the signal wires
+  willing to traverse the cell").
+"""
+
+from .area import AreaModel, BlockArea
+from .chip import ChipBudget, ChipModel
+from .congestion import CongestionReport, RoutingEstimator, Net
+from .floorplan import Block, Floorplan, adcp_floorplan, interleaved_tm_floorplan, monolithic_tm_floorplan
+from .power import PowerModel
+
+__all__ = [
+    "AreaModel",
+    "Block",
+    "BlockArea",
+    "ChipBudget",
+    "ChipModel",
+    "CongestionReport",
+    "Floorplan",
+    "Net",
+    "PowerModel",
+    "RoutingEstimator",
+    "adcp_floorplan",
+    "interleaved_tm_floorplan",
+    "monolithic_tm_floorplan",
+]

@@ -1,0 +1,129 @@
+"""Block-level chip area estimation.
+
+Calibrated to the published RMT figures' order of magnitude (the original
+RMT paper reports match-action stages dominating a ~200 mm^2 class die),
+with one paper-specific effect: "Lower frequency can also translate into
+using potentially smaller gates and, therefore, improving the area
+requirements" (section 4).  Logic area therefore shrinks below a reference
+frequency by a bounded factor; memory macros do not shrink (their area is
+bit-count dominated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import GHZ
+
+
+@dataclass(frozen=True)
+class BlockArea:
+    """Area of one named block, split into logic and memory parts."""
+
+    name: str
+    logic_mm2: float
+    memory_mm2: float
+
+    def __post_init__(self) -> None:
+        if self.logic_mm2 < 0 or self.memory_mm2 < 0:
+            raise ConfigError(f"block {self.name!r} has negative area")
+
+    @property
+    def total_mm2(self) -> float:
+        return self.logic_mm2 + self.memory_mm2
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Per-resource area coefficients (mm^2), all tunable.
+
+    Attributes:
+        mau_logic_mm2: Match/action logic of one MAU at the reference
+            frequency.
+        sram_mm2_per_mbit / tcam_mm2_per_mbit: Macro densities.
+        tm_base_mm2: Fixed TM scheduler logic.
+        tm_mm2_per_port: Crossbar/scheduler growth per connected pipeline.
+        tm_buffer_mm2_per_mbit: Shared packet buffer density.
+        reference_frequency_hz: Frequency the logic coefficients assume.
+        frequency_area_exponent: Logic area scales as
+            ``(f / f_ref) ** exponent`` for f < f_ref (gate sizing relief),
+            clamped to ``min_logic_scale``; faster-than-reference designs
+            pay the inverse.
+    """
+
+    mau_logic_mm2: float = 0.045
+    sram_mm2_per_mbit: float = 0.20
+    tcam_mm2_per_mbit: float = 0.60
+    parser_mm2: float = 0.35
+    deparser_mm2: float = 0.25
+    tm_base_mm2: float = 2.0
+    tm_mm2_per_port: float = 0.12
+    tm_buffer_mm2_per_mbit: float = 0.22
+    reference_frequency_hz: float = 1.25 * GHZ
+    frequency_area_exponent: float = 0.5
+    min_logic_scale: float = 0.55
+
+    def logic_scale(self, frequency_hz: float) -> float:
+        """Gate-sizing area factor for logic clocked at ``frequency_hz``."""
+        if frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        ratio = frequency_hz / self.reference_frequency_hz
+        scale = ratio**self.frequency_area_exponent
+        return max(scale, self.min_logic_scale)
+
+    def pipeline_area(
+        self,
+        name: str,
+        stages: int,
+        maus_per_stage: int,
+        sram_mbit_per_stage: float,
+        tcam_mbit_per_stage: float,
+        frequency_hz: float,
+    ) -> BlockArea:
+        """Area of one pipeline (parser + stages + deparser)."""
+        if stages < 1 or maus_per_stage < 1:
+            raise ConfigError("pipeline needs stages and MAUs")
+        scale = self.logic_scale(frequency_hz)
+        logic = (
+            self.parser_mm2
+            + self.deparser_mm2
+            + stages * maus_per_stage * self.mau_logic_mm2
+        ) * scale
+        memory = stages * (
+            sram_mbit_per_stage * self.sram_mm2_per_mbit
+            + tcam_mbit_per_stage * self.tcam_mm2_per_mbit
+        )
+        return BlockArea(name, logic, memory)
+
+    def tm_area(
+        self,
+        name: str,
+        connected_pipelines: int,
+        buffer_mbit: float,
+        frequency_hz: float,
+    ) -> BlockArea:
+        """Area of one traffic manager."""
+        if connected_pipelines < 1:
+            raise ConfigError("TM must connect at least one pipeline")
+        scale = self.logic_scale(frequency_hz)
+        logic = (
+            self.tm_base_mm2 + connected_pipelines * self.tm_mm2_per_port
+        ) * scale
+        memory = buffer_mbit * self.tm_buffer_mm2_per_mbit
+        return BlockArea(name, logic, memory)
+
+    def array_interconnect_area(
+        self, name: str, array_width: int, maus_per_stage: int, stages: int
+    ) -> BlockArea:
+        """The programmable intra-stage memory interconnect of section 3.2.
+
+        Modeled as crossbar logic quadratic in the array width (the
+        all-to-all pattern between MAUs and memory banks), per stage.
+        """
+        if array_width < 1:
+            raise ConfigError("array width must be >= 1")
+        if array_width > maus_per_stage:
+            raise ConfigError("array width cannot exceed MAUs per stage")
+        per_stage = 0.002 * array_width * array_width
+        return BlockArea(name, per_stage * stages, 0.0)

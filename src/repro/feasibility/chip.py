@@ -1,0 +1,174 @@
+"""Full-chip composition: area and power budgets for complete designs.
+
+Section 4 argues feasibility piecewise; this module composes the piece
+models into whole-chip budgets so the two architectures can be compared
+at equal throughput:
+
+- an **RMT chip**: p pipeline pairs at the Table 2 clock, one TM;
+- an **ADCP chip**: n x m ingress/egress lanes at the demuxed clock, a
+  central bank, two TMs, plus the array-interconnect overhead of §3.2.
+
+The models inherit every caveat of :mod:`repro.feasibility.area` and
+:mod:`repro.feasibility.power`: first-order, calibrated to published
+orders of magnitude, intended for *relationships* (which knob moves what)
+rather than sign-off numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..adcp.config import ADCPConfig
+from ..errors import ConfigError
+from ..rmt.config import RMTConfig
+from .area import AreaModel, BlockArea
+from .power import PowerModel
+
+
+@dataclass
+class ChipBudget:
+    """Composed area and power of one chip design."""
+
+    name: str
+    blocks: list[BlockArea] = field(default_factory=list)
+    dynamic_w: float = 0.0
+    leakage_w: float = 0.0
+
+    @property
+    def logic_mm2(self) -> float:
+        return sum(b.logic_mm2 for b in self.blocks)
+
+    @property
+    def memory_mm2(self) -> float:
+        return sum(b.memory_mm2 for b in self.blocks)
+
+    @property
+    def total_mm2(self) -> float:
+        return self.logic_mm2 + self.memory_mm2
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.leakage_w
+
+    def block(self, name: str) -> BlockArea:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise ConfigError(f"chip {self.name!r} has no block {name!r}")
+
+
+@dataclass(frozen=True)
+class ChipModel:
+    """Composes pipeline/TM/interconnect blocks into chip budgets.
+
+    Attributes:
+        area: The per-block area model.
+        power: The frequency/voltage power model.
+        sram_mbit_per_stage / tcam_mbit_per_stage: Match memory per stage
+            (identical on both targets — the comparison holds memory
+            capacity constant).
+        tm_buffer_mbit: Shared packet buffer per traffic manager.
+    """
+
+    area: AreaModel = AreaModel()
+    power: PowerModel = PowerModel()
+    sram_mbit_per_stage: float = 8.96  # 80 blocks x 1K x 112 b
+    tcam_mbit_per_stage: float = 1.92  # 24 blocks x 2K x 40 b
+    tm_buffer_mbit: float = 64.0
+
+    def _add(self, budget: ChipBudget, block: BlockArea, frequency_hz: float) -> None:
+        budget.blocks.append(block)
+        budget.dynamic_w += self.power.dynamic_power_w(block.logic_mm2, frequency_hz)
+        budget.leakage_w += self.power.leakage_power_w(block.total_mm2, frequency_hz)
+
+    def rmt_chip(self, config: RMTConfig) -> ChipBudget:
+        """Budget for a full RMT switch chip."""
+        budget = ChipBudget(f"rmt_{config.throughput_bps / 1e12:.1f}T")
+        for region in ("ingress", "egress"):
+            for index in range(config.pipelines):
+                block = self.area.pipeline_area(
+                    f"{region}{index}",
+                    config.stages_per_pipeline,
+                    config.maus_per_stage,
+                    self.sram_mbit_per_stage,
+                    self.tcam_mbit_per_stage,
+                    config.frequency_hz,
+                )
+                self._add(budget, block, config.frequency_hz)
+        tm = self.area.tm_area(
+            "tm", 2 * config.pipelines, self.tm_buffer_mbit, config.frequency_hz
+        )
+        self._add(budget, tm, config.frequency_hz)
+        return budget
+
+    def adcp_chip(self, config: ADCPConfig) -> ChipBudget:
+        """Budget for a full ADCP switch chip.
+
+        Lanes run at the demuxed clock; central pipelines at the central
+        clock; each array-capable pipeline also pays the §3.2 intra-stage
+        interconnect.
+        """
+        budget = ChipBudget(f"adcp_{config.throughput_bps / 1e12:.1f}T")
+        lane_hz = config.lane_frequency_hz
+        for region, count in (("ingress", config.ingress_pipelines),
+                              ("egress", config.egress_pipelines)):
+            for index in range(count):
+                block = self.area.pipeline_area(
+                    f"{region}{index}",
+                    config.stages_per_pipeline,
+                    config.maus_per_stage,
+                    self.sram_mbit_per_stage,
+                    self.tcam_mbit_per_stage,
+                    lane_hz,
+                )
+                self._add(budget, block, lane_hz)
+        central_hz = config.central_clock_hz
+        for index in range(config.central_pipelines):
+            block = self.area.pipeline_area(
+                f"central{index}",
+                config.stages_per_pipeline,
+                config.maus_per_stage,
+                self.sram_mbit_per_stage,
+                self.tcam_mbit_per_stage,
+                central_hz,
+            )
+            self._add(budget, block, central_hz)
+            interconnect = self.area.array_interconnect_area(
+                f"central{index}_xbar",
+                config.array_width,
+                config.maus_per_stage,
+                config.stages_per_pipeline,
+            )
+            self._add(budget, interconnect, central_hz)
+        tm1 = self.area.tm_area(
+            "tm1",
+            config.ingress_pipelines + config.central_pipelines,
+            self.tm_buffer_mbit,
+            central_hz,
+        )
+        self._add(budget, tm1, central_hz)
+        tm2 = self.area.tm_area(
+            "tm2",
+            config.egress_pipelines + config.central_pipelines,
+            self.tm_buffer_mbit,
+            central_hz,
+        )
+        self._add(budget, tm2, central_hz)
+        return budget
+
+    def compare(
+        self, rmt: RMTConfig, adcp: ADCPConfig
+    ) -> dict[str, tuple[float, float, float]]:
+        """(total mm^2, dynamic W, total W) per architecture, same memory."""
+        if abs(rmt.throughput_bps - adcp.throughput_bps) > 1e-3 * rmt.throughput_bps:
+            raise ConfigError(
+                "compare() expects equal-throughput designs; got "
+                f"{rmt.throughput_bps / 1e12:.1f}T vs "
+                f"{adcp.throughput_bps / 1e12:.1f}T"
+            )
+        rmt_budget = self.rmt_chip(rmt)
+        adcp_budget = self.adcp_chip(adcp)
+        return {
+            "rmt": (rmt_budget.total_mm2, rmt_budget.dynamic_w, rmt_budget.total_w),
+            "adcp": (adcp_budget.total_mm2, adcp_budget.dynamic_w, adcp_budget.total_w),
+        }

@@ -1,0 +1,157 @@
+"""G-cell routing congestion estimation.
+
+Section 4 defines the metric: "the routing congestion is measured as the
+area of each g-cell divided by the area required to route all the signal
+wires willing to traverse the cell" — i.e. demand over capacity per cell.
+We route each net between its endpoints' block centers with the two
+L-shaped (one-bend) Manhattan paths, splitting the net's wire count evenly
+between them (the standard probabilistic global-routing estimate), then
+report per-cell demand / capacity.
+
+"The routing congestion problem is most likely to occur in the proximity
+of heavily shared IP blocks, e.g., shared memories" — which the A1
+benchmark shows by comparing the monolithic versus interleaved TM
+floorplans under the same netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .floorplan import Floorplan
+
+
+@dataclass(frozen=True)
+class Net:
+    """A two-pin net: block names plus the number of signal wires."""
+
+    src: str
+    dst: str
+    wires: int
+
+    def __post_init__(self) -> None:
+        if self.wires < 1:
+            raise ConfigError(f"net {self.src}->{self.dst} needs wires")
+
+
+@dataclass
+class CongestionReport:
+    """Per-cell congestion (demand / capacity) plus summary figures."""
+
+    congestion: np.ndarray  # shape (height, width)
+    capacity_per_cell: float
+    total_wirelength: float
+
+    @property
+    def max_congestion(self) -> float:
+        return float(self.congestion.max())
+
+    @property
+    def mean_congestion(self) -> float:
+        return float(self.congestion.mean())
+
+    def percentile(self, p: float) -> float:
+        if not 0 <= p <= 100:
+            raise ConfigError("percentile must be in [0, 100]")
+        return float(np.percentile(self.congestion, p))
+
+    @property
+    def overflowed_cells(self) -> int:
+        """Cells whose demand exceeds capacity (congestion > 1)."""
+        return int((self.congestion > 1.0).sum())
+
+    @property
+    def hotspot(self) -> tuple[int, int]:
+        """(x, y) of the most congested g-cell."""
+        flat = int(np.argmax(self.congestion))
+        y, x = divmod(flat, self.congestion.shape[1])
+        return x, y
+
+
+class RoutingEstimator:
+    """Probabilistic L-shape global router over a floorplan's g-cells."""
+
+    def __init__(self, plan: Floorplan, capacity_per_cell: float = 256.0) -> None:
+        if capacity_per_cell <= 0:
+            raise ConfigError("g-cell capacity must be positive")
+        self.plan = plan
+        self.capacity_per_cell = capacity_per_cell
+
+    def _add_segment(
+        self,
+        demand: np.ndarray,
+        x0: float,
+        y0: float,
+        x1: float,
+        y1: float,
+        wires: float,
+    ) -> float:
+        """Add demand along an axis-aligned segment; returns wirelength.
+
+        Zero-length segments (degenerate L-legs of straight nets) add no
+        demand — otherwise endpoint cells would be double-counted.
+        """
+        if int(x0) == int(x1) and int(y0) == int(y1):
+            return 0.0
+        cx0, cx1 = sorted((int(x0), int(x1)))
+        cy0, cy1 = sorted((int(y0), int(y1)))
+        cx1 = min(cx1, self.plan.width - 1)
+        cy1 = min(cy1, self.plan.height - 1)
+        demand[cy0 : cy1 + 1, cx0 : cx1 + 1] += wires
+        return (abs(x1 - x0) + abs(y1 - y0)) * wires
+
+    def estimate(self, nets: list[Net]) -> CongestionReport:
+        """Route all nets and return the congestion map."""
+        if not nets:
+            raise ConfigError("need at least one net")
+        demand = np.zeros((self.plan.height, self.plan.width), dtype=float)
+        wirelength = 0.0
+        for net in nets:
+            sx, sy = self.plan.block(net.src).center
+            dx, dy = self.plan.block(net.dst).center
+            half = net.wires / 2.0
+            # L-shape 1: horizontal first, then vertical.
+            wirelength += self._add_segment(demand, sx, sy, dx, sy, half)
+            self._add_segment(demand, dx, sy, dx, dy, half)
+            # L-shape 2: vertical first, then horizontal.
+            self._add_segment(demand, sx, sy, sx, dy, half)
+            self._add_segment(demand, sx, dy, dx, dy, half)
+        return CongestionReport(
+            demand / self.capacity_per_cell,
+            self.capacity_per_cell,
+            wirelength,
+        )
+
+
+def tm_netlist_monolithic(pipelines: int, wires_per_pipeline: int) -> list[Net]:
+    """Nets of the classic layout: every pipeline talks to the one TM."""
+    if pipelines < 1:
+        raise ConfigError("need at least one pipeline")
+    nets: list[Net] = []
+    for i in range(pipelines):
+        nets.append(Net(f"ingress{i}", "tm", wires_per_pipeline))
+        nets.append(Net("tm", f"egress{i}", wires_per_pipeline))
+    return nets
+
+
+def tm_netlist_interleaved(
+    pipelines: int, wires_per_pipeline: int, state_wires: int | None = None
+) -> list[Net]:
+    """Nets of the sliced layout.
+
+    Pipeline wires go to the local slice; slices exchange shared-buffer
+    state over a (narrower) ring, defaulting to a quarter of the data
+    width.
+    """
+    if pipelines < 1:
+        raise ConfigError("need at least one pipeline")
+    ring = state_wires if state_wires is not None else max(1, wires_per_pipeline // 4)
+    nets: list[Net] = []
+    for i in range(pipelines):
+        nets.append(Net(f"ingress{i}", f"tm_slice{i}", wires_per_pipeline))
+        nets.append(Net(f"tm_slice{i}", f"egress{i}", wires_per_pipeline))
+        nets.append(Net(f"tm_slice{i}", f"tm_slice{(i + 1) % pipelines}", ring))
+    return nets

@@ -1,0 +1,211 @@
+"""Grid floorplans: block placement over g-cells.
+
+"Modern electronic design automation tools organize the floorplan in a
+grid of so-called g-cells and iteratively solve the routing problem using
+congestion-driven heuristics" (section 4).  A :class:`Floorplan` is a
+rectangular grid of g-cells with non-overlapping rectangular blocks; the
+congestion estimator routes nets between block centers across this grid.
+
+Two layout families matter to the paper's argument:
+
+- :func:`monolithic_tm_floorplan` — each TM is one compact block; all
+  pipeline interconnect converges on it ("a possible source of routing
+  congestion").
+- :func:`interleaved_tm_floorplan` — "their floorplan should be spread
+  across the layout and interleaved with other logic elements, e.g.,
+  pipelines": the TM is sliced, one slice adjacent to each pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError, FeasibilityError
+
+
+@dataclass(frozen=True)
+class Block:
+    """A placed rectangular block, in g-cell coordinates (inclusive min,
+    exclusive max)."""
+
+    name: str
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ConfigError(f"block {self.name!r} has non-positive extent")
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    @property
+    def cells(self) -> int:
+        return (self.x1 - self.x0) * (self.y1 - self.y0)
+
+    def overlaps(self, other: "Block") -> bool:
+        return not (
+            self.x1 <= other.x0
+            or other.x1 <= self.x0
+            or self.y1 <= other.y0
+            or other.y1 <= self.y0
+        )
+
+
+class Floorplan:
+    """A g-cell grid with named, non-overlapping blocks."""
+
+    def __init__(self, width: int, height: int, name: str = "chip") -> None:
+        if width < 1 or height < 1:
+            raise ConfigError("floorplan must be at least 1x1 g-cells")
+        self.width = width
+        self.height = height
+        self.name = name
+        self._blocks: dict[str, Block] = {}
+
+    def place(self, block: Block) -> None:
+        """Add a block; rejects overlaps and out-of-grid placements."""
+        if block.name in self._blocks:
+            raise ConfigError(f"duplicate block {block.name!r}")
+        if block.x0 < 0 or block.y0 < 0 or block.x1 > self.width or block.y1 > self.height:
+            raise FeasibilityError(
+                f"block {block.name!r} exceeds the {self.width}x{self.height} grid"
+            )
+        for existing in self._blocks.values():
+            if block.overlaps(existing):
+                raise FeasibilityError(
+                    f"block {block.name!r} overlaps {existing.name!r}"
+                )
+        self._blocks[block.name] = block
+
+    def block(self, name: str) -> Block:
+        if name not in self._blocks:
+            raise ConfigError(f"no block {name!r} in floorplan {self.name!r}")
+        return self._blocks[name]
+
+    def blocks(self) -> list[Block]:
+        return list(self._blocks.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blocks
+
+    @property
+    def utilization(self) -> float:
+        used = sum(b.cells for b in self._blocks.values())
+        return used / (self.width * self.height)
+
+
+def monolithic_tm_floorplan(
+    pipelines: int,
+    pipeline_cells: tuple[int, int] = (4, 12),
+    tm_cells: tuple[int, int] = (6, 6),
+    name: str = "monolithic",
+) -> Floorplan:
+    """Pipelines in two columns, one compact TM block in the center gap.
+
+    Layout (for 4 pipelines)::
+
+        [in0] . [tm] . [out0]
+        [in1] . [tm] . [out1]
+
+    Ingress pipelines fill the left column, egress the right, the TM sits
+    alone in the middle — every pipeline<->TM net converges on it.
+    """
+    if pipelines < 1:
+        raise ConfigError("need at least one pipeline")
+    pw, ph = pipeline_cells
+    tw, th = tm_cells
+    gap = 2
+    width = pw + gap + tw + gap + pw
+    height = max(pipelines * (ph + 1) + 1, th + 2)
+    plan = Floorplan(width, height, name)
+    for i in range(pipelines):
+        y0 = 1 + i * (ph + 1)
+        plan.place(Block(f"ingress{i}", 0, y0, pw, y0 + ph))
+        plan.place(Block(f"egress{i}", pw + gap + tw + gap, y0, width, y0 + ph))
+    tm_y0 = (height - th) // 2
+    plan.place(Block("tm", pw + gap, tm_y0, pw + gap + tw, tm_y0 + th))
+    return plan
+
+
+def interleaved_tm_floorplan(
+    pipelines: int,
+    pipeline_cells: tuple[int, int] = (4, 12),
+    tm_cells: tuple[int, int] = (6, 6),
+    name: str = "interleaved",
+) -> Floorplan:
+    """Same pipelines, but the TM is sliced across the middle column.
+
+    Each slice sits directly between one ingress/egress pair, so the
+    pipeline<->TM wires stay local; only the (thinner) slice-to-slice
+    state wires run vertically.
+    """
+    if pipelines < 1:
+        raise ConfigError("need at least one pipeline")
+    pw, ph = pipeline_cells
+    tw, th = tm_cells
+    gap = 2
+    width = pw + gap + tw + gap + pw
+    height = max(pipelines * (ph + 1) + 1, th + 2)
+    plan = Floorplan(width, height, name)
+    slice_h = max(1, min(ph, (th * max(1, pipelines) // pipelines)))
+    for i in range(pipelines):
+        y0 = 1 + i * (ph + 1)
+        plan.place(Block(f"ingress{i}", 0, y0, pw, y0 + ph))
+        plan.place(Block(f"egress{i}", pw + gap + tw + gap, y0, width, y0 + ph))
+        slice_y0 = y0 + (ph - slice_h) // 2
+        plan.place(
+            Block(f"tm_slice{i}", pw + gap, slice_y0, pw + gap + tw, slice_y0 + slice_h)
+        )
+    return plan
+
+
+def adcp_floorplan(
+    lanes: int,
+    central: int,
+    pipeline_cells: tuple[int, int] = (3, 8),
+    tm_cells: tuple[int, int] = (4, 4),
+    name: str = "adcp",
+) -> Floorplan:
+    """Five-column ADCP layout: ingress | TM1 | central | TM2 | egress.
+
+    Both TMs are interleaved (sliced per adjacent pipeline), following the
+    paper's own congestion-mitigation advice.
+    """
+    if lanes < 1 or central < 1:
+        raise ConfigError("need lanes and central pipelines")
+    pw, ph = pipeline_cells
+    tw, _ = tm_cells
+    gap = 1
+    width = pw + gap + tw + gap + pw + gap + tw + gap + pw
+    rows = max(lanes, central)
+    height = rows * (ph + 1) + 1
+    plan = Floorplan(width, height, name)
+    for i in range(lanes):
+        y0 = 1 + i * (ph + 1)
+        plan.place(Block(f"ingress{i}", 0, y0, pw, y0 + ph))
+        plan.place(
+            Block(
+                f"egress{i}",
+                pw + gap + tw + gap + pw + gap + tw + gap,
+                y0,
+                width,
+                y0 + ph,
+            )
+        )
+    central_x0 = pw + gap + tw + gap
+    for i in range(central):
+        y0 = 1 + i * (ph + 1)
+        plan.place(Block(f"central{i}", central_x0, y0, central_x0 + pw, y0 + ph))
+    tm1_x0 = pw + gap
+    tm2_x0 = pw + gap + tw + gap + pw + gap
+    for i in range(rows):
+        y0 = 1 + i * (ph + 1)
+        slice_h = max(1, ph // 2)
+        slice_y0 = y0 + (ph - slice_h) // 2
+        plan.place(Block(f"tm1_slice{i}", tm1_x0, slice_y0, tm1_x0 + tw, slice_y0 + slice_h))
+        plan.place(Block(f"tm2_slice{i}", tm2_x0, slice_y0, tm2_x0 + tw, slice_y0 + slice_h))
+    return plan

@@ -1,0 +1,87 @@
+"""Frequency-dependent power estimation.
+
+Section 4: lowering pipeline clocks "can lower the power requirements of
+the resulting chip".  Standard first-order CMOS model:
+
+    P_dynamic = alpha * C_eff * V(f)^2 * f
+    P_leakage = leakage_per_mm2 * area * (V(f) / V_ref)
+
+with a linear DVFS curve V(f) — higher clocks need higher voltage, so
+dynamic power grows *superlinearly* in f.  That superlinearity is what
+makes the ADCP's demux-to-lower-clocks trade profitable even though it
+multiplies the pipeline count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import GHZ
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """First-order dynamic + leakage power model.
+
+    Attributes:
+        ceff_nf_per_mm2: Effective switched capacitance per mm^2 of logic.
+        activity: Switching activity factor (0..1).
+        v_min / v_ref / f_ref: DVFS curve anchors: V(f) = v_min +
+            (v_ref - v_min) * (f / f_ref), floored at v_min.
+        leakage_w_per_mm2: Leakage density at v_ref.
+    """
+
+    ceff_nf_per_mm2: float = 0.9
+    activity: float = 0.15
+    v_min: float = 0.55
+    v_ref: float = 0.85
+    f_ref_hz: float = 1.62 * GHZ
+    leakage_w_per_mm2: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.v_min <= 0 or self.v_ref < self.v_min:
+            raise ConfigError("DVFS curve requires 0 < v_min <= v_ref")
+        if not 0 < self.activity <= 1:
+            raise ConfigError("activity must be in (0, 1]")
+
+    def voltage(self, frequency_hz: float) -> float:
+        """Supply voltage required for ``frequency_hz`` (linear DVFS)."""
+        if frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        v = self.v_min + (self.v_ref - self.v_min) * (frequency_hz / self.f_ref_hz)
+        return max(v, self.v_min)
+
+    def dynamic_power_w(self, logic_mm2: float, frequency_hz: float) -> float:
+        """Dynamic power of ``logic_mm2`` of logic at ``frequency_hz``."""
+        if logic_mm2 < 0:
+            raise ConfigError("area must be non-negative")
+        v = self.voltage(frequency_hz)
+        ceff_f = self.ceff_nf_per_mm2 * 1e-9 * logic_mm2
+        return self.activity * ceff_f * v * v * frequency_hz
+
+    def leakage_power_w(self, total_mm2: float, frequency_hz: float) -> float:
+        """Leakage of the whole block, scaled by operating voltage."""
+        if total_mm2 < 0:
+            raise ConfigError("area must be non-negative")
+        v = self.voltage(frequency_hz)
+        return self.leakage_w_per_mm2 * total_mm2 * (v / self.v_ref)
+
+    def total_power_w(
+        self, logic_mm2: float, total_mm2: float, frequency_hz: float
+    ) -> float:
+        return self.dynamic_power_w(logic_mm2, frequency_hz) + self.leakage_power_w(
+            total_mm2, frequency_hz
+        )
+
+    def power_ratio(
+        self,
+        logic_mm2_a: float,
+        freq_a_hz: float,
+        logic_mm2_b: float,
+        freq_b_hz: float,
+    ) -> float:
+        """Dynamic power of design A over design B (same memory assumed)."""
+        return self.dynamic_power_w(logic_mm2_a, freq_a_hz) / self.dynamic_power_w(
+            logic_mm2_b, freq_b_hz
+        )

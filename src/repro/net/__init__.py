@@ -1,0 +1,71 @@
+"""Packet substrate: headers, packets, PHVs, parsing, and traffic sources.
+
+The RMT and ADCP models both consume this layer.  It provides:
+
+- :class:`~repro.net.headers.FieldSpec` / :class:`~repro.net.headers.HeaderType`
+  / :class:`~repro.net.headers.Header` — declarative header formats and
+  instances, plus the standard Ethernet/IPv4/UDP stack and the
+  application-level coflow header used by the in-network apps.
+- :class:`~repro.net.packet.Packet` and
+  :class:`~repro.net.packet.ElementArray` — a packet is a header stack plus
+  an optional *array payload* (the paper's central observation is that one
+  packet often carries many data elements).
+- :class:`~repro.net.phv.PHV` — the packet header vector, a bounded set of
+  scalar containers; the ADCP extension adds array views over containers.
+- :class:`~repro.net.parser.ParseGraph` / :class:`~repro.net.parser.Parser`
+  and :class:`~repro.net.deparser.Deparser` — extraction and reassembly.
+- :mod:`~repro.net.traffic` — deterministic and Poisson packet sources.
+"""
+
+from .deparser import Deparser
+from .headers import (
+    COFLOW_HEADER,
+    ETHERNET,
+    IPV4,
+    UDP,
+    FieldSpec,
+    Header,
+    HeaderType,
+    coflow_header,
+    standard_stack,
+)
+from .packet import ElementArray, Packet
+from .parser import ParseGraph, Parser, ParseState
+from .parser_analysis import (
+    GraphComplexity,
+    ParserRequirement,
+    analyze_graph,
+    measure_parser_work,
+    parser_requirement,
+)
+from .phv import PHV, ContainerClass, PHVLayout
+from .traffic import DeterministicSource, PoissonSource, TrafficSource
+
+__all__ = [
+    "COFLOW_HEADER",
+    "ETHERNET",
+    "IPV4",
+    "UDP",
+    "ContainerClass",
+    "Deparser",
+    "DeterministicSource",
+    "ElementArray",
+    "FieldSpec",
+    "GraphComplexity",
+    "Header",
+    "HeaderType",
+    "PHV",
+    "PHVLayout",
+    "Packet",
+    "ParseGraph",
+    "ParseState",
+    "Parser",
+    "ParserRequirement",
+    "PoissonSource",
+    "TrafficSource",
+    "analyze_graph",
+    "measure_parser_work",
+    "parser_requirement",
+    "coflow_header",
+    "standard_stack",
+]

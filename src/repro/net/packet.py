@@ -1,0 +1,202 @@
+"""Packets and array payloads.
+
+The paper's second architectural challenge is "breaking the notion that a
+packet is a unit of information": a packet routinely carries an *array* of
+data elements (weights, key/value pairs), each of which needs its own
+match-action lookup.  :class:`ElementArray` models that payload explicitly,
+and :class:`Packet` carries a header stack plus at most one element array,
+along with the switch-internal metadata (ingress port, timestamps) that
+forwarding decisions read and write.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import ConfigError
+from ..units import (
+    ETHERNET_FCS_BYTES,
+    ETHERNET_MIN_FRAME_BYTES,
+    ETHERNET_OVERHEAD_BYTES,
+)
+from .headers import Header
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Element:
+    """One data element of an array payload: a key and a value.
+
+    Pure-value payloads (e.g. ML weights) use ``key`` as the element index;
+    key/value workloads (caches, joins) use both.
+    """
+
+    key: int
+    value: int
+
+
+class ElementArray:
+    """A fixed-element-width array payload.
+
+    ``element_width_bytes`` covers one key+value pair on the wire; the
+    goodput math in :mod:`repro.coflow.metrics` uses it to compare packing
+    schemes (1 element per packet vs 16).
+    """
+
+    def __init__(
+        self,
+        elements: Iterable[Element] | Sequence[tuple[int, int]],
+        element_width_bytes: int = 8,
+    ) -> None:
+        if element_width_bytes <= 0:
+            raise ConfigError(
+                f"element width must be positive, got {element_width_bytes}"
+            )
+        converted: list[Element] = []
+        for item in elements:
+            if isinstance(item, Element):
+                converted.append(item)
+            else:
+                key, value = item
+                converted.append(Element(key, value))
+        self.elements = converted
+        self.element_width_bytes = element_width_bytes
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __getitem__(self, index: int) -> Element:
+        return self.elements[index]
+
+    @property
+    def width_bytes(self) -> int:
+        """Total payload bytes occupied by the array."""
+        return len(self.elements) * self.element_width_bytes
+
+    def keys(self) -> list[int]:
+        return [e.key for e in self.elements]
+
+    def values(self) -> list[int]:
+        return [e.value for e in self.elements]
+
+    def copy(self) -> "ElementArray":
+        return ElementArray(
+            [Element(e.key, e.value) for e in self.elements],
+            self.element_width_bytes,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ElementArray n={len(self.elements)} w={self.element_width_bytes}B>"
+
+
+@dataclass
+class PacketMetadata:
+    """Switch-internal metadata that travels with a packet but not on the wire."""
+
+    ingress_port: int | None = None
+    egress_port: int | None = None
+    egress_ports: tuple[int, ...] = ()  # multicast fan-out, if any
+    ingress_pipeline: int | None = None
+    egress_pipeline: int | None = None
+    central_pipeline: int | None = None
+    lane: int | None = None  # ADCP demux lane within a port
+    arrival_time: float = 0.0
+    departure_time: float = 0.0
+    recirculations: int = 0
+    drop_reason: str | None = None
+    central_done: bool = False
+    """Whether the app's stateful (central) hook already ran on this packet."""
+
+    @property
+    def dropped(self) -> bool:
+        return self.drop_reason is not None
+
+
+class Packet:
+    """A header stack plus an optional array payload plus metadata.
+
+    ``extra_payload_bytes`` accounts for opaque payload beyond the element
+    array (padding, application framing) so total sizes can match any wire
+    format under study.
+    """
+
+    def __init__(
+        self,
+        headers: Sequence[Header],
+        payload: ElementArray | None = None,
+        extra_payload_bytes: int = 0,
+    ) -> None:
+        if extra_payload_bytes < 0:
+            raise ConfigError(
+                f"extra payload must be non-negative, got {extra_payload_bytes}"
+            )
+        self.headers = list(headers)
+        self.payload = payload
+        self.extra_payload_bytes = extra_payload_bytes
+        self.meta = PacketMetadata()
+        self.packet_id = next(_packet_ids)
+
+    # --- header access -------------------------------------------------------
+
+    def header(self, type_name: str) -> Header:
+        """Return the first header of the given type name."""
+        for header in self.headers:
+            if header.type.name == type_name:
+                return header
+        raise ConfigError(f"packet has no {type_name!r} header")
+
+    def has_header(self, type_name: str) -> bool:
+        return any(h.type.name == type_name for h in self.headers)
+
+    # --- sizes ----------------------------------------------------------------
+
+    @property
+    def header_bytes(self) -> int:
+        return sum(h.type.width_bytes for h in self.headers)
+
+    @property
+    def payload_bytes(self) -> int:
+        array = self.payload.width_bytes if self.payload else 0
+        return array + self.extra_payload_bytes
+
+    @property
+    def frame_bytes(self) -> int:
+        """Ethernet frame size, padded to the 64 B minimum, including FCS."""
+        raw = self.header_bytes + self.payload_bytes + ETHERNET_FCS_BYTES
+        return max(raw, ETHERNET_MIN_FRAME_BYTES)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Wire footprint: frame plus preamble and inter-frame gap."""
+        return self.frame_bytes + ETHERNET_OVERHEAD_BYTES
+
+    @property
+    def goodput_bytes(self) -> int:
+        """Application-useful bytes: the element array only."""
+        return self.payload.width_bytes if self.payload else 0
+
+    @property
+    def element_count(self) -> int:
+        return len(self.payload) if self.payload else 0
+
+    def copy(self) -> "Packet":
+        """Deep copy with fresh packet id and reset metadata."""
+        clone = Packet(
+            [h.copy() for h in self.headers],
+            self.payload.copy() if self.payload else None,
+            self.extra_payload_bytes,
+        )
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        names = "/".join(h.type.name for h in self.headers)
+        return (
+            f"<Packet #{self.packet_id} {names} "
+            f"{self.frame_bytes}B elems={self.element_count}>"
+        )

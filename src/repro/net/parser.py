@@ -1,0 +1,264 @@
+"""Programmable packet parsing.
+
+Parsers in programmable switches are state machines over a *parse graph*
+(Gibb et al., cited by the paper as [11]): each state extracts one header
+and selects the next state from a field value.  The paper leans on the
+observation that "parsing efficiency is linked to the complexity of
+structure within packets rather than port speed", which this model makes
+measurable: the parser reports how many states it visited and how many
+bytes it examined per packet.
+
+The ADCP extension is array extraction: a terminal state may extract the
+packet's :class:`~repro.net.packet.ElementArray` into a PHV array view, up
+to a configurable width, which is the entry point for array processing in
+the pipeline (section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError, ParseError
+from .headers import HeaderType
+from .packet import Packet
+from .phv import PHV, PHVLayout
+
+
+@dataclass
+class ParseState:
+    """One state of the parse graph.
+
+    Attributes:
+        name: State label; ``"accept"`` and ``"reject"`` are reserved.
+        header_type: Header extracted on entering this state (None for a
+            metadata-only state).
+        select_field: Field of the just-extracted header whose value picks
+            the next state.  None means unconditional transition.
+        transitions: Mapping from select-field value to next state name;
+            the ``default`` key gives the fallback.
+        extract_array: When set, extract the packet's element array into a
+            PHV array view of this name.
+        max_array_elements: Cap on extracted elements (the hardware's lane
+            width); extra elements raise ParseError, as the program and the
+            packet format must agree.
+    """
+
+    name: str
+    header_type: HeaderType | None = None
+    select_field: str | None = None
+    transitions: dict[int | str, str] = field(default_factory=dict)
+    extract_array: str | None = None
+    max_array_elements: int = 16
+
+    def next_state(self, selector: int | None) -> str:
+        if self.select_field is None or selector is None:
+            return str(self.transitions.get("default", "accept"))
+        if selector in self.transitions:
+            return str(self.transitions[selector])
+        if "default" in self.transitions:
+            return str(self.transitions["default"])
+        return "reject"
+
+
+class ParseGraph:
+    """A named collection of parse states with a start state."""
+
+    RESERVED = ("accept", "reject")
+
+    def __init__(self, start: str = "start") -> None:
+        self.start = start
+        self._states: dict[str, ParseState] = {}
+
+    def add(self, state: ParseState) -> "ParseGraph":
+        if state.name in self.RESERVED:
+            raise ConfigError(f"state name {state.name!r} is reserved")
+        if state.name in self._states:
+            raise ConfigError(f"duplicate parse state {state.name!r}")
+        self._states[state.name] = state
+        return self
+
+    def state(self, name: str) -> ParseState:
+        if name not in self._states:
+            raise ConfigError(f"parse graph has no state {name!r}")
+        return self._states[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def validate(self) -> None:
+        """Check every transition targets an existing or terminal state."""
+        if self.start not in self._states:
+            raise ConfigError(f"start state {self.start!r} is not defined")
+        for state in self._states.values():
+            for target in state.transitions.values():
+                target_name = str(target)
+                if target_name not in self._states and target_name not in self.RESERVED:
+                    raise ConfigError(
+                        f"state {state.name!r} targets unknown state {target_name!r}"
+                    )
+
+    @classmethod
+    def standard_coflow_graph(cls, array_name: str = "elems", max_elements: int = 16) -> "ParseGraph":
+        """Parse graph for the Ethernet/IPv4/UDP/coflow stack.
+
+        Terminal coflow state extracts the element array (width-capped),
+        which is exactly the structure the in-network apps ship.
+        """
+        from .headers import (
+            COFLOW_HEADER,
+            COFLOW_UDP_PORT,
+            ETHERNET,
+            ETHERTYPE_IPV4,
+            IP_PROTO_UDP,
+            IPV4,
+            UDP,
+        )
+
+        graph = cls(start="ethernet")
+        graph.add(
+            ParseState(
+                "ethernet",
+                header_type=ETHERNET,
+                select_field="ethertype",
+                transitions={ETHERTYPE_IPV4: "ipv4", "default": "accept"},
+            )
+        )
+        graph.add(
+            ParseState(
+                "ipv4",
+                header_type=IPV4,
+                select_field="protocol",
+                transitions={IP_PROTO_UDP: "udp", "default": "accept"},
+            )
+        )
+        graph.add(
+            ParseState(
+                "udp",
+                header_type=UDP,
+                select_field="dst_port",
+                transitions={COFLOW_UDP_PORT: "coflow", "default": "accept"},
+            )
+        )
+        graph.add(
+            ParseState(
+                "coflow",
+                header_type=COFLOW_HEADER,
+                transitions={"default": "accept"},
+                extract_array=array_name,
+                max_array_elements=max_elements,
+            )
+        )
+        graph.validate()
+        return graph
+
+
+@dataclass
+class ParseResult:
+    """Outcome of parsing one packet."""
+
+    phv: PHV
+    accepted: bool
+    states_visited: int
+    bytes_examined: int
+    headers_extracted: tuple[str, ...]
+
+
+class Parser:
+    """Executes a parse graph against packets, producing PHVs.
+
+    ``max_depth`` bounds state visits (loop protection).  When
+    ``array_capable`` is False (classic RMT), array extraction states fall
+    back to extracting only the first element as a scalar — this models
+    RMT's 1 key : 1 packet restriction and is what the Figure 3/6
+    experiments compare against.
+    """
+
+    def __init__(
+        self,
+        graph: ParseGraph,
+        layout: PHVLayout | None = None,
+        max_depth: int = 32,
+        array_capable: bool = True,
+    ) -> None:
+        graph.validate()
+        self.graph = graph
+        self.layout = layout or PHVLayout()
+        self.max_depth = max_depth
+        self.array_capable = array_capable
+        self.packets_parsed = 0
+        self.packets_rejected = 0
+
+    def parse(self, packet: Packet) -> ParseResult:
+        """Parse ``packet`` into a fresh PHV."""
+        phv = PHV(self.layout)
+        headers_by_type = {h.type.name: h for h in packet.headers}
+        visited = 0
+        bytes_examined = 0
+        extracted: list[str] = []
+        state_name = self.graph.start
+
+        while state_name not in ParseGraph.RESERVED:
+            if visited >= self.max_depth:
+                raise ParseError(
+                    f"parse depth exceeded {self.max_depth} (loop in graph?)"
+                )
+            state = self.graph.state(state_name)
+            visited += 1
+            selector: int | None = None
+
+            if state.header_type is not None:
+                header = headers_by_type.get(state.header_type.name)
+                if header is None:
+                    self.packets_rejected += 1
+                    return ParseResult(phv, False, visited, bytes_examined, tuple(extracted))
+                bytes_examined += state.header_type.width_bytes
+                for spec in state.header_type.fields:
+                    phv.allocate(
+                        f"{state.header_type.name}.{spec.name}",
+                        spec.width_bits,
+                        header[spec.name],
+                    )
+                extracted.append(state.header_type.name)
+                if state.select_field is not None:
+                    selector = header[state.select_field]
+
+            if state.extract_array is not None:
+                self._extract_array(state, packet, phv)
+                if packet.payload is not None:
+                    bytes_examined += packet.payload.width_bytes
+
+            state_name = state.next_state(selector)
+
+        accepted = state_name == "accept"
+        if accepted:
+            self.packets_parsed += 1
+        else:
+            self.packets_rejected += 1
+        return ParseResult(phv, accepted, visited, bytes_examined, tuple(extracted))
+
+    def _extract_array(self, state: ParseState, packet: Packet, phv: PHV) -> None:
+        name = state.extract_array
+        assert name is not None
+        payload = packet.payload
+        if payload is None or len(payload) == 0:
+            return
+        if self.array_capable:
+            if len(payload) > state.max_array_elements:
+                raise ParseError(
+                    f"packet carries {len(payload)} elements but state "
+                    f"{state.name!r} extracts at most {state.max_array_elements}"
+                )
+            phv.allocate_array(f"{name}.key", len(payload))
+            phv.allocate_array(f"{name}.value", len(payload))
+            phv.set_array(f"{name}.key", payload.keys())
+            phv.set_array(f"{name}.value", payload.values())
+        else:
+            # Classic RMT: only the first element is liftable as scalars.
+            first = payload[0]
+            phv.allocate(f"{name}.key[0]", 32, first.key)
+            phv.allocate(f"{name}.value[0]", 32, first.value)
+            phv._values[f"{name}.key.length"] = 1
+            phv._values[f"{name}.value.length"] = 1

@@ -1,0 +1,160 @@
+"""Parser complexity and bandwidth analysis.
+
+Section 3.3's caveat on demultiplexing: "parsing still needs to be done
+at port speed, but parsing efficiency is linked to the complexity of
+structure within packets rather than port speed" (citing Gibb et al.'s
+design principles for packet parsers).
+
+This module quantifies both halves of that sentence for a given parse
+graph and packet format:
+
+- **structural complexity** — states, worst-case parse depth, distinct
+  header bytes examined, and the fan-out of select fields, all properties
+  of the *graph*, independent of the link;
+- **bandwidth requirement** — the bytes/second a port-speed parser front
+  end must inspect, and the parser clock needed given a lookahead window
+  (bytes examined per parser cycle).
+
+The ADCP's demux point sits *after* the parser, so the parser runs at
+port rate while the match-action lanes run at 1/m of it — the analysis
+shows the parser stays feasible because its work scales with header
+structure, not with the payload bytes that dominate fast links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import BITS_PER_BYTE
+from .packet import Packet
+from .parser import ParseGraph, Parser
+
+
+@dataclass(frozen=True)
+class GraphComplexity:
+    """Structural metrics of a parse graph."""
+
+    states: int
+    max_depth: int
+    max_header_bytes: int
+    max_fanout: int
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.states <= 1
+
+
+def analyze_graph(graph: ParseGraph) -> GraphComplexity:
+    """Compute structural complexity via DFS over the parse graph.
+
+    ``max_depth`` and ``max_header_bytes`` follow the longest acyclic
+    path; cycles (TLV-style loops) are cut at first revisit, matching the
+    hardware's bounded parse depth.
+    """
+    graph.validate()
+
+    best = {"depth": 0, "bytes": 0}
+
+    def walk(state_name: str, depth: int, header_bytes: int, seen: frozenset) -> None:
+        if state_name in ParseGraph.RESERVED or state_name in seen:
+            best["depth"] = max(best["depth"], depth)
+            best["bytes"] = max(best["bytes"], header_bytes)
+            return
+        state = graph.state(state_name)
+        width = state.header_type.width_bytes if state.header_type else 0
+        targets = set(str(t) for t in state.transitions.values()) or {"accept"}
+        for target in targets:
+            walk(target, depth + 1, header_bytes + width, seen | {state_name})
+
+    walk(graph.start, 0, 0, frozenset())
+
+    fanout = 0
+    states = 0
+    for name in list(getattr(graph, "_states", {})):
+        state = graph.state(name)
+        states += 1
+        fanout = max(fanout, len(set(str(t) for t in state.transitions.values())))
+    return GraphComplexity(states, best["depth"], best["bytes"], fanout)
+
+
+@dataclass(frozen=True)
+class ParserRequirement:
+    """What a front-end parser must sustain for one port."""
+
+    port_speed_bps: float
+    min_wire_packet_bytes: float
+    header_bytes_per_packet: int
+    lookahead_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.port_speed_bps <= 0:
+            raise ConfigError("port speed must be positive")
+        if self.min_wire_packet_bytes <= 0:
+            raise ConfigError("minimum packet must be positive")
+        if self.header_bytes_per_packet < 0:
+            raise ConfigError("header bytes must be non-negative")
+        if self.lookahead_bytes < 1:
+            raise ConfigError("lookahead must be at least one byte")
+
+    @property
+    def packet_rate_pps(self) -> float:
+        return self.port_speed_bps / (self.min_wire_packet_bytes * BITS_PER_BYTE)
+
+    @property
+    def header_bandwidth_bps(self) -> float:
+        """Bytes/s the parser actually inspects (headers only)."""
+        return self.packet_rate_pps * self.header_bytes_per_packet * BITS_PER_BYTE
+
+    @property
+    def header_fraction(self) -> float:
+        """Share of the link the parser must examine: the 'complexity of
+        structure within packets' knob."""
+        return min(1.0, self.header_bytes_per_packet / self.min_wire_packet_bytes)
+
+    @property
+    def parser_clock_hz(self) -> float:
+        """Clock of a parser consuming ``lookahead_bytes`` per cycle."""
+        cycles_per_packet = max(
+            1,
+            -(-self.header_bytes_per_packet // self.lookahead_bytes),
+        )
+        return self.packet_rate_pps * cycles_per_packet
+
+
+def parser_requirement(
+    graph: ParseGraph,
+    port_speed_bps: float,
+    min_wire_packet_bytes: float = 84.0,
+    lookahead_bytes: int = 32,
+) -> ParserRequirement:
+    """Requirement for parsing ``graph``'s worst-case header stack at a
+    given port speed."""
+    complexity = analyze_graph(graph)
+    return ParserRequirement(
+        port_speed_bps,
+        min_wire_packet_bytes,
+        complexity.max_header_bytes,
+        lookahead_bytes,
+    )
+
+
+def measure_parser_work(parser: Parser, packets: list[Packet]) -> dict[str, float]:
+    """Empirical counterpart: drive real packets, report mean states
+    visited and bytes examined per packet."""
+    if not packets:
+        raise ConfigError("need at least one packet")
+    states = 0
+    examined = 0
+    accepted = 0
+    for packet in packets:
+        result = parser.parse(packet)
+        states += result.states_visited
+        examined += result.bytes_examined
+        accepted += int(result.accepted)
+    count = len(packets)
+    return {
+        "mean_states": states / count,
+        "mean_bytes_examined": examined / count,
+        "accept_rate": accepted / count,
+    }

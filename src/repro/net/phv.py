@@ -1,0 +1,193 @@
+"""The Packet Header Vector (PHV).
+
+In RMT, "each stage communicates with the next through large register files
+called packet header vectors ... its elements are scalars extracted from the
+packets" (paper, section 2).  The PHV here is a bounded pool of containers
+of a few fixed widths; the parser allocates containers for header fields,
+and — in the ADCP extension — for array payload elements, which is what lets
+a stage's match-action units consume a whole array at once.
+
+Container capacity limits are real constraints on RMT programs, so the
+layout is explicit and allocation failures raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from ..errors import ConfigError
+
+
+class ContainerClass(Enum):
+    """PHV container widths, mirroring commercial RMT chip classes."""
+
+    BYTE = 8
+    HALF = 16
+    WORD = 32
+
+    @classmethod
+    def for_width(cls, width_bits: int) -> "ContainerClass":
+        """Smallest container class that fits a field of ``width_bits``.
+
+        Fields wider than a word (e.g. 48-bit MACs) are split across
+        multiple word containers by the allocator.
+        """
+        if width_bits <= 8:
+            return cls.BYTE
+        if width_bits <= 16:
+            return cls.HALF
+        return cls.WORD
+
+
+@dataclass(frozen=True)
+class PHVLayout:
+    """Capacity of a PHV: number of containers of each class.
+
+    The default mirrors published RMT figures (64 of each class, 4 kb
+    total is the right order of magnitude).
+    """
+
+    byte_containers: int = 64
+    half_containers: int = 96
+    word_containers: int = 64
+
+    def capacity(self, cls: ContainerClass) -> int:
+        if cls is ContainerClass.BYTE:
+            return self.byte_containers
+        if cls is ContainerClass.HALF:
+            return self.half_containers
+        return self.word_containers
+
+    @property
+    def total_bits(self) -> int:
+        return (
+            self.byte_containers * 8
+            + self.half_containers * 16
+            + self.word_containers * 32
+        )
+
+
+class PHV:
+    """A populated packet header vector.
+
+    Fields are addressed as ``"<header>.<field>"``; array elements as
+    ``"<array>[i]"``.  The PHV tracks how many containers of each class are
+    in use against its layout and refuses to over-allocate — this is exactly
+    the resource the paper's array-support argument is about.
+    """
+
+    def __init__(self, layout: PHVLayout | None = None) -> None:
+        self.layout = layout or PHVLayout()
+        self._values: dict[str, int] = {}
+        self._containers: dict[str, tuple[ContainerClass, int]] = {}
+        self._used: dict[ContainerClass, int] = {
+            ContainerClass.BYTE: 0,
+            ContainerClass.HALF: 0,
+            ContainerClass.WORD: 0,
+        }
+        self._meta: dict[str, object] = {}
+
+    # --- intrinsic metadata ----------------------------------------------------
+    # Forwarding decisions (egress port, drop flag) live outside the
+    # container budget, like the intrinsic metadata bus of real chips.
+
+    def set_meta(self, name: str, value) -> None:
+        """Set an intrinsic-metadata field (not charged against containers)."""
+        self._meta[name] = value
+
+    def get_meta(self, name: str, default=None):
+        """Read an intrinsic-metadata field."""
+        return self._meta.get(name, default)
+
+    def has_meta(self, name: str) -> bool:
+        return name in self._meta
+
+    def _containers_needed(self, width_bits: int) -> tuple[ContainerClass, int]:
+        cls = ContainerClass.for_width(width_bits)
+        if width_bits <= cls.value:
+            return cls, 1
+        count = (width_bits + ContainerClass.WORD.value - 1) // ContainerClass.WORD.value
+        return ContainerClass.WORD, count
+
+    def allocate(self, name: str, width_bits: int, value: int = 0) -> None:
+        """Allocate containers for ``name`` and set its value."""
+        if name in self._values:
+            raise ConfigError(f"PHV field {name!r} already allocated")
+        cls, count = self._containers_needed(width_bits)
+        if self._used[cls] + count > self.layout.capacity(cls):
+            raise ConfigError(
+                f"PHV out of {cls.name} containers allocating {name!r} "
+                f"({self._used[cls]}+{count} > {self.layout.capacity(cls)})"
+            )
+        self._used[cls] += count
+        self._containers[name] = (cls, count)
+        self._values[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __getitem__(self, name: str) -> int:
+        if name not in self._values:
+            raise ConfigError(f"PHV has no field {name!r}")
+        return self._values[name]
+
+    def __setitem__(self, name: str, value: int) -> None:
+        if name not in self._values:
+            raise ConfigError(
+                f"PHV field {name!r} was never allocated by the parser"
+            )
+        self._values[name] = value
+
+    def get(self, name: str, default: int | None = None) -> int | None:
+        return self._values.get(name, default)
+
+    def fields(self) -> Iterator[tuple[str, int]]:
+        return iter(self._values.items())
+
+    def used(self, cls: ContainerClass) -> int:
+        return self._used[cls]
+
+    @property
+    def used_bits(self) -> int:
+        return sum(cls.value * n for cls, n in self._used.items())
+
+    # --- array views (ADCP extension) ----------------------------------------
+
+    def allocate_array(
+        self, name: str, length: int, element_width_bits: int = 32
+    ) -> None:
+        """Allocate ``length`` contiguous containers as an array view.
+
+        Elements become addressable as ``name[i]`` and as a block via
+        :meth:`array`.  On classic RMT this is just sugar over scalar
+        containers; the ADCP array MAU consumes the whole view per cycle.
+        """
+        if length <= 0:
+            raise ConfigError(f"array length must be positive, got {length}")
+        for i in range(length):
+            self.allocate(f"{name}[{i}]", element_width_bits)
+        self._values[f"{name}.length"] = length
+        self._containers[f"{name}.length"] = (ContainerClass.BYTE, 0)
+        # length is bookkeeping, not a real container; record zero usage.
+
+    def array_length(self, name: str) -> int:
+        length = self._values.get(f"{name}.length")
+        if length is None:
+            raise ConfigError(f"PHV has no array {name!r}")
+        return length
+
+    def array(self, name: str) -> list[int]:
+        """Return the array view's values as a list."""
+        return [self[f"{name}[{i}]"] for i in range(self.array_length(name))]
+
+    def set_array(self, name: str, values: list[int]) -> None:
+        """Overwrite an array view in place (length must match)."""
+        length = self.array_length(name)
+        if len(values) != length:
+            raise ConfigError(
+                f"array {name!r} has length {length}, got {len(values)} values"
+            )
+        for i, value in enumerate(values):
+            self[f"{name}[{i}]"] = value

@@ -1,0 +1,41 @@
+"""P4-like program abstraction and stage allocation.
+
+A switch *program* is a set of table specifications with dependencies; a
+*compiler* maps it onto a target's stages, match-action units, and memory
+pool.  The interesting architectural difference shows up here:
+
+- On a **scalar target** (RMT), a table looked up with ``k`` keys from the
+  same packet must be **replicated k times** ("if we need to match many
+  keys against the same table and those keys came from the same packet,
+  that table must be replicated", Figure 3), multiplying its block cost.
+- On an **array target** (ADCP), one copy suffices: a group of MAUs shares
+  the table memory and retires ``k`` lookups at once (Figure 6).
+
+:class:`~repro.program.compiler.Compiler` implements both disciplines and
+reports block usage, replication factors, and effective table capacity, so
+experiments can quote the exact cost of going scalar.
+"""
+
+from .compiler import (
+    Allocation,
+    Compiler,
+    StagePlacement,
+    TargetModel,
+    adcp_target,
+    rmt_target,
+)
+from .graph import DependencyKind, ProgramGraph
+from .spec import ActionSpec, TableSpec
+
+__all__ = [
+    "ActionSpec",
+    "Allocation",
+    "Compiler",
+    "DependencyKind",
+    "ProgramGraph",
+    "StagePlacement",
+    "TableSpec",
+    "TargetModel",
+    "adcp_target",
+    "rmt_target",
+]

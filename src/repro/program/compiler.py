@@ -1,0 +1,271 @@
+"""Stage allocation: mapping a program onto a physical pipeline.
+
+The compiler performs level-by-level list scheduling: tables become
+eligible once all their dependencies are placed in earlier stages, and each
+stage packs eligible tables greedily subject to three budgets — match-action
+units, SRAM blocks, and TCAM blocks.
+
+The scalar-vs-array difference is concentrated in
+:meth:`Compiler._instances_for`: a scalar target must *replicate* a table
+``keys_per_packet`` times (one copy per parallel key, each with its own MAU
+and its own full set of memory blocks), while an array target places one
+copy and charges ``keys_per_packet`` MAUs sharing that copy's memory —
+Figure 3 versus Figure 6 in one function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CompileError, ConfigError
+from ..tables.memory import (
+    DEFAULT_SRAM_BLOCK,
+    DEFAULT_TCAM_BLOCK,
+    MemoryBlock,
+    MemoryKind,
+)
+from .graph import ProgramGraph
+from .spec import TableSpec
+
+
+@dataclass(frozen=True)
+class TargetModel:
+    """Resource envelope of one pipeline (the compiler's view of a chip).
+
+    Attributes:
+        name: Label for reports.
+        stages: Physical match-action stages.
+        maus_per_stage: Match-action units per stage (16 in the paper).
+        sram_blocks_per_stage / tcam_blocks_per_stage: Memory pools.
+        array_width: Maximum parallel lookups one table instance supports
+            (1 = scalar/RMT; 8 or 16 = ADCP array mode).
+        action_slots: VLIW instruction slots per MAU.
+    """
+
+    name: str
+    stages: int = 12
+    maus_per_stage: int = 16
+    sram_blocks_per_stage: int = 80
+    tcam_blocks_per_stage: int = 24
+    array_width: int = 1
+    action_slots: int = 8
+    sram_geometry: MemoryBlock = DEFAULT_SRAM_BLOCK
+    tcam_geometry: MemoryBlock = DEFAULT_TCAM_BLOCK
+
+    def __post_init__(self) -> None:
+        if self.stages < 1:
+            raise ConfigError(f"target {self.name!r} needs at least one stage")
+        if self.maus_per_stage < 1:
+            raise ConfigError(f"target {self.name!r} needs at least one MAU")
+        if self.array_width < 1:
+            raise ConfigError(
+                f"target {self.name!r} array width must be >= 1"
+            )
+
+    @property
+    def is_array_capable(self) -> bool:
+        return self.array_width > 1
+
+    def blocks_for(self, spec: TableSpec) -> tuple[MemoryKind, int]:
+        """Blocks one *copy* of ``spec`` consumes (match memory + state)."""
+        kind = spec.kind.memory_kind
+        geometry = (
+            self.sram_geometry if kind is MemoryKind.SRAM else self.tcam_geometry
+        )
+        wide = (spec.key_width_bits + geometry.width_bits - 1) // geometry.width_bits
+        deep = (spec.capacity + geometry.entries - 1) // geometry.entries
+        blocks = wide * deep
+        if spec.stateful_bits > 0:
+            state_blocks = (
+                spec.stateful_bits + self.sram_geometry.bits - 1
+            ) // self.sram_geometry.bits
+            if kind is MemoryKind.SRAM:
+                blocks += state_blocks
+            else:
+                # Stateful memory is always SRAM; report it separately below.
+                pass
+        return kind, blocks
+
+    def stateful_sram_blocks(self, spec: TableSpec) -> int:
+        if spec.stateful_bits <= 0:
+            return 0
+        return (spec.stateful_bits + self.sram_geometry.bits - 1) // self.sram_geometry.bits
+
+
+@dataclass
+class TableInstance:
+    """One placed copy of a table (replica index > 0 means a scalar copy)."""
+
+    spec: TableSpec
+    replica: int
+    maus: int
+    sram_blocks: int
+    tcam_blocks: int
+
+
+@dataclass
+class StagePlacement:
+    """What one physical stage ended up holding."""
+
+    stage: int
+    instances: list[TableInstance] = field(default_factory=list)
+
+    @property
+    def maus_used(self) -> int:
+        return sum(i.maus for i in self.instances)
+
+    @property
+    def sram_used(self) -> int:
+        return sum(i.sram_blocks for i in self.instances)
+
+    @property
+    def tcam_used(self) -> int:
+        return sum(i.tcam_blocks for i in self.instances)
+
+
+@dataclass
+class Allocation:
+    """Result of compiling a program onto a target."""
+
+    target: TargetModel
+    placements: list[StagePlacement]
+    replication: dict[str, int]
+
+    @property
+    def stages_used(self) -> int:
+        return sum(1 for p in self.placements if p.instances)
+
+    @property
+    def total_sram_blocks(self) -> int:
+        return sum(p.sram_used for p in self.placements)
+
+    @property
+    def total_tcam_blocks(self) -> int:
+        return sum(p.tcam_used for p in self.placements)
+
+    @property
+    def total_maus(self) -> int:
+        return sum(p.maus_used for p in self.placements)
+
+    def replication_factor(self, table: str) -> int:
+        """Copies placed for ``table`` (1 on array targets)."""
+        if table not in self.replication:
+            raise ConfigError(f"table {table!r} was not allocated")
+        return self.replication[table]
+
+    def effective_capacity(self, table: str) -> int:
+        """Distinct entries the program can actually hold for ``table``.
+
+        Replicated copies hold the *same* entries, so capacity does not
+        multiply — this is the "using it poorly" of Figure 3.
+        """
+        for placement in self.placements:
+            for instance in placement.instances:
+                if instance.spec.name == table:
+                    return instance.spec.capacity
+        raise ConfigError(f"table {table!r} was not allocated")
+
+    def stage_of(self, table: str, replica: int = 0) -> int:
+        for placement in self.placements:
+            for instance in placement.instances:
+                if instance.spec.name == table and instance.replica == replica:
+                    return placement.stage
+        raise ConfigError(f"table {table!r} replica {replica} was not allocated")
+
+
+class Compiler:
+    """Maps :class:`ProgramGraph` programs onto :class:`TargetModel` targets."""
+
+    def __init__(self, target: TargetModel) -> None:
+        self.target = target
+
+    def _instances_for(self, spec: TableSpec) -> list[TableInstance]:
+        """Expand one spec into placed instances per the target's discipline."""
+        target = self.target
+        if spec.max_action_slots > target.action_slots:
+            raise CompileError(
+                f"table {spec.name!r} needs {spec.max_action_slots} action "
+                f"slots, target {target.name!r} has {target.action_slots}"
+            )
+        kind, blocks = target.blocks_for(spec)
+        sram = blocks if kind is MemoryKind.SRAM else target.stateful_sram_blocks(spec)
+        tcam = blocks if kind is MemoryKind.TCAM else 0
+
+        if spec.keys_per_packet <= target.array_width:
+            if spec.keys_per_packet == 1:
+                # Plain scalar table: one MAU, one copy.
+                return [TableInstance(spec, 0, 1, sram, tcam)]
+            # Array mode: one copy, a group of MAUs sharing its memory.
+            return [TableInstance(spec, 0, spec.keys_per_packet, sram, tcam)]
+
+        if target.is_array_capable:
+            raise CompileError(
+                f"table {spec.name!r} needs {spec.keys_per_packet} parallel "
+                f"keys, target {target.name!r} arrays are at most "
+                f"{target.array_width} wide"
+            )
+        # Scalar target with k keys per packet: k full replicas (Figure 3).
+        return [
+            TableInstance(spec, replica, 1, sram, tcam)
+            for replica in range(spec.keys_per_packet)
+        ]
+
+    def allocate(self, program: ProgramGraph) -> Allocation:
+        """Compile ``program``; raises :class:`CompileError` if it cannot fit."""
+        target = self.target
+        placements = [StagePlacement(i) for i in range(target.stages)]
+        replication: dict[str, int] = {}
+        next_free_stage = 0
+
+        for level in program.levels():
+            level_start = next_free_stage
+            level_end = level_start  # last stage this level touched
+            stage_cursor = level_start
+            for spec in level:
+                instances = self._instances_for(spec)
+                replication[spec.name] = len(instances)
+                for instance in instances:
+                    stage = self._place_instance(
+                        placements, instance, stage_cursor
+                    )
+                    stage_cursor = stage  # later replicas may share the stage
+                    level_end = max(level_end, stage)
+            next_free_stage = level_end + 1
+
+        return Allocation(target, placements, replication)
+
+    def _place_instance(
+        self,
+        placements: list[StagePlacement],
+        instance: TableInstance,
+        earliest: int,
+    ) -> int:
+        target = self.target
+        for stage in range(earliest, target.stages):
+            placement = placements[stage]
+            if placement.maus_used + instance.maus > target.maus_per_stage:
+                continue
+            if placement.sram_used + instance.sram_blocks > target.sram_blocks_per_stage:
+                continue
+            if placement.tcam_used + instance.tcam_blocks > target.tcam_blocks_per_stage:
+                continue
+            placement.instances.append(instance)
+            return stage
+        raise CompileError(
+            f"table {instance.spec.name!r} (replica {instance.replica}) does "
+            f"not fit: needs {instance.maus} MAUs, {instance.sram_blocks} "
+            f"SRAM and {instance.tcam_blocks} TCAM blocks in stages "
+            f">= {earliest} of target {target.name!r}"
+        )
+
+
+def rmt_target(name: str = "rmt", stages: int = 12, **overrides) -> TargetModel:
+    """Convenience: a classic scalar RMT pipeline model."""
+    return TargetModel(name=name, stages=stages, array_width=1, **overrides)
+
+
+def adcp_target(
+    name: str = "adcp", stages: int = 12, array_width: int = 16, **overrides
+) -> TargetModel:
+    """Convenience: an ADCP pipeline model with array support."""
+    return TargetModel(name=name, stages=stages, array_width=array_width, **overrides)

@@ -1,0 +1,68 @@
+"""Table and action specifications — the program's declarative surface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..tables.mat import MatchKind
+
+
+@dataclass(frozen=True)
+class ActionSpec:
+    """Declared action: a name and how many VLIW slots it needs."""
+
+    name: str
+    primitive_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.primitive_count < 0:
+            raise ConfigError(
+                f"action {self.name!r} primitive count must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Declared match-action table.
+
+    Attributes:
+        name: Unique table name within the program.
+        kind: Match semantics (exact/ternary/LPM) — selects SRAM vs TCAM.
+        key_width_bits: Width of the lookup key.
+        capacity: Entries the table must hold.
+        keys_per_packet: Parallel lookups one packet performs against this
+            table — the quantity that forces replication on scalar targets.
+        actions: Actions entries may invoke.
+        stateful_bits: Register storage attached to the table (0 for pure
+            lookup tables).
+    """
+
+    name: str
+    kind: MatchKind
+    key_width_bits: int
+    capacity: int
+    keys_per_packet: int = 1
+    actions: tuple[ActionSpec, ...] = field(default_factory=tuple)
+    stateful_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("table name must be non-empty")
+        if self.key_width_bits <= 0:
+            raise ConfigError(f"table {self.name!r}: key width must be positive")
+        if self.capacity <= 0:
+            raise ConfigError(f"table {self.name!r}: capacity must be positive")
+        if self.keys_per_packet < 1:
+            raise ConfigError(
+                f"table {self.name!r}: keys per packet must be >= 1"
+            )
+        if self.stateful_bits < 0:
+            raise ConfigError(f"table {self.name!r}: stateful bits must be >= 0")
+
+    @property
+    def max_action_slots(self) -> int:
+        """Widest action attached to the table."""
+        if not self.actions:
+            return 0
+        return max(a.primitive_count for a in self.actions)

@@ -1,0 +1,143 @@
+"""RMT switch configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigError
+from ..net.phv import PHVLayout
+from ..units import ETHERNET_MIN_WIRE_BYTES, GBPS, GHZ, pipeline_frequency
+
+
+class StateMode(Enum):
+    """How an RMT deployment hosts an app's cross-flow state (Figure 2).
+
+    EGRESS_PIN: the coflow's state lives in one egress pipeline; every
+    packet of the coflow is steered there.  Results can exit directly only
+    through that pipeline's ports; anything else must recirculate.
+
+    RECIRCULATE: state lives in an ingress pipeline chosen per key; packets
+    arriving on other pipelines recirculate into the state pipeline's
+    recirculation port before processing, paying ingress bandwidth twice.
+    """
+
+    EGRESS_PIN = "egress_pin"
+    RECIRCULATE = "recirculate"
+
+
+@dataclass(frozen=True)
+class RMTConfig:
+    """Design parameters of one RMT switch instance.
+
+    Defaults model a 6.4 Tbps generation: 64x 100 Gbps ports, 4 pipeline
+    pairs of 16 ports each, 1.25 GHz clocks (Table 2, row 2).
+    """
+
+    num_ports: int = 64
+    port_speed_bps: float = 100 * GBPS
+    pipelines: int = 4
+    stages_per_pipeline: int = 12
+    maus_per_stage: int = 16
+    frequency_hz: float = 1.25 * GHZ
+    min_wire_packet_bytes: float = 160.0
+    phv_layout: PHVLayout = PHVLayout()
+    tm_buffer_packets: int = 4096
+    tm_latency_cycles: int = 8
+    parser_latency_cycles: int = 4
+    state_mode: StateMode = StateMode.EGRESS_PIN
+    allow_recirculation: bool = True
+    recirculation_ports_per_pipeline: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_ports < 1:
+            raise ConfigError("switch needs at least one port")
+        if self.pipelines < 1:
+            raise ConfigError("switch needs at least one pipeline")
+        if self.num_ports % self.pipelines != 0:
+            raise ConfigError(
+                f"{self.num_ports} ports do not divide into "
+                f"{self.pipelines} pipelines"
+            )
+        if self.stages_per_pipeline < 1:
+            raise ConfigError("pipelines need at least one stage")
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        if self.min_wire_packet_bytes < ETHERNET_MIN_WIRE_BYTES:
+            raise ConfigError(
+                f"minimum wire packet {self.min_wire_packet_bytes} B below "
+                f"Ethernet floor {ETHERNET_MIN_WIRE_BYTES} B"
+            )
+        if self.tm_buffer_packets < 1:
+            raise ConfigError("TM buffer must hold at least one packet")
+        needed = self.required_frequency_hz
+        if needed > self.frequency_hz * (1 + 1e-9):
+            raise ConfigError(
+                f"line rate needs {needed / GHZ:.3f} GHz for "
+                f"{self.ports_per_pipeline} ports of "
+                f"{self.port_speed_bps / GBPS:g} Gbps at "
+                f"{self.min_wire_packet_bytes:g} B minimum packets, but the "
+                f"pipeline clock is {self.frequency_hz / GHZ:.3f} GHz"
+            )
+
+    @property
+    def ports_per_pipeline(self) -> int:
+        return self.num_ports // self.pipelines
+
+    @property
+    def throughput_bps(self) -> float:
+        return self.num_ports * self.port_speed_bps
+
+    @property
+    def required_frequency_hz(self) -> float:
+        """Clock needed to absorb worst-case packet rate at line rate."""
+        return pipeline_frequency(
+            self.port_speed_bps,
+            self.ports_per_pipeline,
+            self.min_wire_packet_bytes,
+        )
+
+    @property
+    def cycle_s(self) -> float:
+        return 1.0 / self.frequency_hz
+
+    @property
+    def pipeline_latency_s(self) -> float:
+        """Parser + match-action stages, in seconds."""
+        cycles = self.parser_latency_cycles + self.stages_per_pipeline
+        return cycles * self.cycle_s
+
+    def pipeline_of_port(self, port: int) -> int:
+        """Ingress/egress pipeline a port is physically attached to."""
+        if not 0 <= port < self.num_ports:
+            raise ConfigError(
+                f"port {port} out of range [0, {self.num_ports})"
+            )
+        return port // self.ports_per_pipeline
+
+    def ports_of_pipeline(self, pipeline: int) -> tuple[int, ...]:
+        if not 0 <= pipeline < self.pipelines:
+            raise ConfigError(
+                f"pipeline {pipeline} out of range [0, {self.pipelines})"
+            )
+        start = pipeline * self.ports_per_pipeline
+        return tuple(range(start, start + self.ports_per_pipeline))
+
+
+def table2_config(row: int) -> RMTConfig:
+    """RMT configs matching the paper's Table 2 rows (0-based index)."""
+    rows = (
+        dict(num_ports=64, port_speed_bps=10 * GBPS, pipelines=1,
+             frequency_hz=0.952381 * GHZ, min_wire_packet_bytes=84.0),
+        dict(num_ports=64, port_speed_bps=100 * GBPS, pipelines=4,
+             frequency_hz=1.25 * GHZ, min_wire_packet_bytes=160.0),
+        dict(num_ports=32, port_speed_bps=400 * GBPS, pipelines=4,
+             frequency_hz=1.62 * GHZ, min_wire_packet_bytes=247.0),
+        dict(num_ports=32, port_speed_bps=800 * GBPS, pipelines=4,
+             frequency_hz=1.62 * GHZ, min_wire_packet_bytes=495.0),
+        dict(num_ports=32, port_speed_bps=1600 * GBPS, pipelines=8,
+             frequency_hz=1.62 * GHZ, min_wire_packet_bytes=495.0),
+    )
+    if not 0 <= row < len(rows):
+        raise ConfigError(f"Table 2 has rows 0..{len(rows) - 1}, got {row}")
+    return RMTConfig(**rows[row])  # type: ignore[arg-type]

@@ -1,0 +1,266 @@
+"""Pipelines: the structural and timing heart of both switch models.
+
+Structurally, a pipeline is a parser, a fixed ladder of stages (each with
+match-action units, table memory, and register state), and a deparser.
+
+For timing, a pipeline is a FIFO server that retires **one packet per
+cycle**: a packet that becomes ready at time *t* starts service at
+``max(t, server_free)``, occupies the server for one cycle, and exits after
+the pipeline's fill latency (parser + stages).  This queueing abstraction
+is exact for deterministic per-cycle service and keeps simulations of
+billions-of-pps devices tractable in Python while preserving the paper's
+architecture-level behaviour: back-pressure, pipeline saturation, and the
+frequency/packet-rate coupling of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError, SimulationError
+from ..net.deparser import Deparser
+from ..net.packet import Packet
+from ..net.parser import ParseGraph, Parser
+from ..net.phv import PHV, PHVLayout
+from ..sim.component import Component
+from ..tables.mat import MatchTable
+from ..tables.memory import StageMemory
+from ..tables.registers import RegisterArray
+from ..arch.decision import Decision, Verdict
+
+
+class Stage(Component):
+    """One match-action stage: MAUs plus its memory pool."""
+
+    def __init__(
+        self,
+        index: int,
+        parent: Component,
+        mau_count: int = 16,
+        memory: StageMemory | None = None,
+    ) -> None:
+        super().__init__(f"stage{index}", parent)
+        if mau_count < 1:
+            raise ConfigError("stage needs at least one MAU")
+        self.index = index
+        self.mau_count = mau_count
+        self.memory = memory or StageMemory()
+
+
+@dataclass
+class ServiceRecord:
+    """Timing of one packet's trip through a pipeline."""
+
+    ready_time: float
+    service_start: float
+    exit_time: float
+    decision: Decision
+
+    @property
+    def queueing_delay(self) -> float:
+        return self.service_start - self.ready_time
+
+
+class PipelineRuntimeContext:
+    """The :class:`~repro.arch.app.PipelineContext` a hook receives.
+
+    Wraps one pipeline; exposes only that pipeline's registers and tables.
+    ``now`` is stamped by the pipeline at each service.
+    """
+
+    def __init__(self, pipeline: "Pipeline") -> None:
+        self._pipeline = pipeline
+        self.now = 0.0
+
+    @property
+    def pipeline_index(self) -> int:
+        return self._pipeline.index
+
+    @property
+    def region(self) -> str:
+        return self._pipeline.region
+
+    @property
+    def array_width(self) -> int:
+        return self._pipeline.array_width
+
+    @property
+    def attached_ports(self) -> tuple[int, ...]:
+        return self._pipeline.attached_ports
+
+    def register(self, name: str, size: int, width_bits: int = 32) -> RegisterArray:
+        return self._pipeline.get_register(name, size, width_bits)
+
+    def table(self, name: str) -> MatchTable:
+        return self._pipeline.get_table(name)
+
+
+class Pipeline(Component):
+    """A parser + stage ladder + deparser with per-cycle FIFO service.
+
+    Attributes:
+        index: Pipeline number within its region.
+        region: ``"ingress"``, ``"central"``, or ``"egress"``.
+        frequency_hz: Clock; the service rate is one packet per cycle.
+        attached_ports: Ports wired to this pipeline (empty for central).
+        array_width: Parallel lookups a stage supports (1 = scalar RMT).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        region: str,
+        frequency_hz: float,
+        parent: Component,
+        stages: int = 12,
+        maus_per_stage: int = 16,
+        attached_ports: tuple[int, ...] = (),
+        array_width: int = 1,
+        parser_latency_cycles: int = 4,
+        phv_layout: PHVLayout | None = None,
+        parse_graph: ParseGraph | None = None,
+    ) -> None:
+        super().__init__(f"{region}{index}", parent)
+        if frequency_hz <= 0:
+            raise ConfigError("pipeline frequency must be positive")
+        if stages < 1:
+            raise ConfigError("pipeline needs at least one stage")
+        if array_width < 1:
+            raise ConfigError("array width must be >= 1")
+        self.index = index
+        self.region = region
+        self.frequency_hz = frequency_hz
+        self.attached_ports = attached_ports
+        self.array_width = array_width
+        self.parser_latency_cycles = parser_latency_cycles
+        self.stages = [Stage(i, self, maus_per_stage) for i in range(stages)]
+        graph = parse_graph or ParseGraph.standard_coflow_graph(
+            max_elements=max(array_width, 16)
+        )
+        self.parser = Parser(graph, phv_layout, array_capable=True)
+        self.deparser = Deparser()
+        self._registers: dict[str, RegisterArray] = {}
+        self._tables: dict[str, MatchTable] = {}
+        self._free_at = 0.0
+        self._busy_s = 0.0
+        self.context = PipelineRuntimeContext(self)
+
+    # --- resources ---------------------------------------------------------------
+
+    @property
+    def cycle_s(self) -> float:
+        return 1.0 / self.frequency_hz
+
+    @property
+    def latency_s(self) -> float:
+        """Fill latency: parser plus one cycle per stage."""
+        return (self.parser_latency_cycles + len(self.stages)) * self.cycle_s
+
+    def get_register(self, name: str, size: int, width_bits: int = 32) -> RegisterArray:
+        """Get or lazily create a register array local to this pipeline."""
+        if name not in self._registers:
+            self._registers[name] = RegisterArray(
+                f"{self.path}.{name}", size, width_bits
+            )
+        register = self._registers[name]
+        if register.size != size:
+            raise ConfigError(
+                f"register {name!r} exists with size {register.size}, "
+                f"requested {size}"
+            )
+        return register
+
+    def install_table(self, table: MatchTable) -> None:
+        if table.name in self._tables:
+            raise ConfigError(
+                f"pipeline {self.path} already has table {table.name!r}"
+            )
+        self._tables[table.name] = table
+
+    def get_table(self, name: str) -> MatchTable:
+        if name not in self._tables:
+            raise ConfigError(f"pipeline {self.path} has no table {name!r}")
+        return self._tables[name]
+
+    @property
+    def registers(self) -> dict[str, RegisterArray]:
+        return dict(self._registers)
+
+    # --- timing + functional service ----------------------------------------------
+
+    def service(
+        self,
+        packet: Packet,
+        ready_time: float,
+        hook,
+        enforce_width: bool = False,
+    ) -> ServiceRecord:
+        """Run one packet through the pipeline.
+
+        ``hook(ctx, packet, phv) -> Decision`` is the application logic for
+        this region (or None for pure forwarding).  Functionally the packet
+        is parsed, the hook runs, and modified fields are deparsed back.
+        Timing-wise the packet occupies the server for exactly one cycle.
+
+        ``enforce_width`` is set by the switch when the hook performs
+        *stateful* per-element processing: a scalar pipeline physically
+        cannot feed k elements of one packet through a stateful register in
+        one pass (section 2, issue 2), so such a packet reaching a stateful
+        hook is a planning bug and raises.
+        """
+        if ready_time < 0:
+            raise SimulationError(f"negative ready time {ready_time}")
+        start = max(ready_time, self._free_at)
+        self._free_at = start + self.cycle_s
+        self._busy_s += self.cycle_s
+        exit_time = start + self.latency_s
+
+        result = self.parser.parse(packet)
+        self.counter("packets").add()
+        self.counter("elements").add(packet.element_count)
+        if not result.accepted:
+            self.counter("parse_rejects").add()
+            decision = Decision.drop("parse_reject")
+            return ServiceRecord(ready_time, start, exit_time, decision)
+
+        if enforce_width and packet.element_count > self.array_width:
+            raise SimulationError(
+                f"{self.path}: packet with {packet.element_count} elements "
+                f"reached a stateful hook on a width-{self.array_width} "
+                f"pipeline; the workload must be restructured to scalar "
+                f"packets on this target"
+            )
+
+        if hook is None:
+            decision = Decision.forward()
+        else:
+            self.context.now = start
+            decision = hook(self.context, packet, result.phv)
+            decision.validate()
+
+        deparsed = self.deparser.deparse(result.phv, packet)
+        # Propagate in-place so the caller's reference stays valid.
+        packet.headers = deparsed.headers
+        packet.payload = deparsed.payload
+
+        if result.phv.get_meta("drop"):
+            decision = Decision.drop(str(result.phv.get_meta("drop_reason")))
+        if decision.verdict is Verdict.DROP:
+            self.counter("drops").add()
+        record = ServiceRecord(ready_time, start, exit_time, decision)
+        self.histogram("queueing_delay_s").observe(record.queueing_delay)
+        return record
+
+    def utilization(self, horizon_s: float) -> float:
+        """Fraction of the horizon this pipeline spent serving packets."""
+        if horizon_s <= 0:
+            raise ConfigError("horizon must be positive")
+        return min(1.0, self._busy_s / horizon_s)
+
+    @property
+    def busy_seconds(self) -> float:
+        return self._busy_s
+
+    @property
+    def next_free(self) -> float:
+        return self._free_at

@@ -1,0 +1,428 @@
+"""The RMT switch: ports, pipelines, TM, and the coflow workarounds.
+
+Packet lifecycle (Figure 1): RX port -> ingress pipeline (the one the port
+is multiplexed into) -> traffic manager -> egress pipeline (the one the TX
+port lives on) -> TX port.
+
+Stateful coflow applications do not fit that lifecycle, and this model
+implements both published workarounds so experiments can price them:
+
+- **Egress pinning** (:attr:`StateMode.EGRESS_PIN`): all packets of a
+  coflow are steered to one egress pipeline where the state lives.
+  Results whose destination port is attached there exit directly; any
+  other destination requires recirculation (or is unreachable when
+  recirculation is disabled) — the Figure 2 limitation.
+- **Recirculation to state** (:attr:`StateMode.RECIRCULATE`): state lives
+  in an ingress pipeline chosen by key hash; packets arriving on the wrong
+  pipeline cross the TM, loop back through a recirculation port, and pay a
+  second ingress pass — the bandwidth tax the paper cites.
+
+Stateful processing also forces **scalar packets**: a packet carrying more
+than one element cannot pass a stateful hook on a width-1 pipeline (the
+run refuses at admission), so workloads must be restructured to one
+element per packet, which is how RMT loses the Figure 6 key-rate race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.app import SwitchApp
+from ..arch.decision import Decision, Verdict
+from ..arch.port import TxPort
+from ..errors import CompileError, ConfigError
+from ..net.packet import Packet
+from ..sim.component import Component
+from ..sim.event import Simulator
+from ..sim.rng import stable_hash64
+from .config import RMTConfig, StateMode
+from .pipeline import Pipeline
+from .traffic_manager import TrafficManager
+
+
+@dataclass
+class SwitchRunResult:
+    """Everything a run produces, for assertions and reports."""
+
+    delivered: list[Packet] = field(default_factory=list)
+    dropped: list[Packet] = field(default_factory=list)
+    consumed: int = 0
+    recirculated_packets: int = 0
+    recirculated_wire_bytes: int = 0
+    unreachable_emissions: int = 0
+    duration_s: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def delivered_count(self) -> int:
+        return len(self.delivered)
+
+    @property
+    def delivered_wire_bytes(self) -> int:
+        return sum(p.wire_bytes for p in self.delivered)
+
+    @property
+    def delivered_goodput_bytes(self) -> int:
+        return sum(p.goodput_bytes for p in self.delivered)
+
+    @property
+    def delivered_elements(self) -> int:
+        return sum(p.element_count for p in self.delivered)
+
+    def delivered_to(self, port: int) -> list[Packet]:
+        return [p for p in self.delivered if p.meta.egress_port == port]
+
+    def last_departure(self) -> float:
+        if not self.delivered:
+            raise ConfigError("no packets were delivered")
+        return max(p.meta.departure_time for p in self.delivered)
+
+
+class RMTSwitch(Component):
+    """Executable model of a classic RMT switch."""
+
+    def __init__(self, config: RMTConfig, app: SwitchApp | None = None) -> None:
+        super().__init__("rmt")
+        self.config = config
+        self.app = app
+        if (
+            app is not None
+            and app.uses_central_state()
+            and app.elements_per_packet > 1
+        ):
+            raise CompileError(
+                f"app {app.name!r} keeps cross-flow state and packs "
+                f"{app.elements_per_packet} elements per packet; RMT's "
+                f"scalar match-action units require stateful workloads to "
+                f"use one element per packet (restructure the packet "
+                f"format, as section 2 issue 2 describes)"
+            )
+        self.ingress = [
+            Pipeline(
+                i,
+                "ingress",
+                config.frequency_hz,
+                self,
+                stages=config.stages_per_pipeline,
+                maus_per_stage=config.maus_per_stage,
+                attached_ports=config.ports_of_pipeline(i),
+                parser_latency_cycles=config.parser_latency_cycles,
+                phv_layout=config.phv_layout,
+            )
+            for i in range(config.pipelines)
+        ]
+        self.egress = [
+            Pipeline(
+                i,
+                "egress",
+                config.frequency_hz,
+                self,
+                stages=config.stages_per_pipeline,
+                maus_per_stage=config.maus_per_stage,
+                attached_ports=config.ports_of_pipeline(i),
+                parser_latency_cycles=config.parser_latency_cycles,
+                phv_layout=config.phv_layout,
+            )
+            for i in range(config.pipelines)
+        ]
+        self.tm = TrafficManager(
+            "tm",
+            self,
+            route=self._egress_pipeline_of_packet,
+            buffer_packets=config.tm_buffer_packets,
+            latency_s=config.tm_latency_cycles / config.frequency_hz,
+        )
+        self.tx_ports = [
+            TxPort(p, config.port_speed_bps) for p in range(config.num_ports)
+        ]
+        self.recirc_ports = [
+            TxPort(
+                config.num_ports + i,
+                config.port_speed_bps * config.recirculation_ports_per_pipeline,
+            )
+            for i in range(config.pipelines)
+        ]
+        self._sim = Simulator()
+        self._result = SwitchRunResult()
+        if app is not None:
+            app.bind_placement(config.pipelines)
+
+    # --- topology helpers ---------------------------------------------------------
+
+    def _egress_pipeline_of_packet(self, packet: Packet) -> int:
+        port = packet.meta.egress_port
+        if port is None:
+            raise ConfigError("packet reached the TM without an egress port")
+        return self.config.pipeline_of_port(port)
+
+    def state_pipeline_of_key(self, key: int) -> int:
+        """Pipeline hosting the state partition for a key.
+
+        Uses the app's placement policy when one is bound (the app defined
+        the partitioning criteria), falling back to hash placement.
+        """
+        if self.app is not None and self.app.placement_policy is not None:
+            return self.app.placement_policy.place(key)
+        return stable_hash64(key) % self.config.pipelines
+
+    # --- run loop -----------------------------------------------------------------
+
+    def run(self, timed_packets, until: float | None = None) -> SwitchRunResult:
+        """Push a time-ordered iterable of ``(time, packet)`` through.
+
+        Returns the accumulated :class:`SwitchRunResult`.  ``run`` may be
+        called once per switch instance; construct a fresh switch per
+        experiment so state and stats start clean.
+        """
+        for time, packet in timed_packets:
+            self._sim.at(time, self._make_ingress_event(packet, time))
+        self._sim.run(until=until)
+        self._result.duration_s = self._sim.now
+        self._result.counters = self.stats.snapshot()
+        return self._result
+
+    def _make_ingress_event(self, packet: Packet, time: float):
+        def event() -> None:
+            self._ingress_service(packet, time)
+
+        return event
+
+    # --- ingress ------------------------------------------------------------------
+
+    def _ingress_service(self, packet: Packet, ready: float) -> None:
+        port = packet.meta.ingress_port
+        if port is None:
+            raise ConfigError("arriving packet has no ingress port")
+        pipeline = self.ingress[self.config.pipeline_of_port(port)]
+
+        app = self.app
+        hook = None
+        enforce = False
+        runs_central_here = False
+        if app is not None and not packet.meta.dropped:
+            if (
+                app.uses_central_state()
+                and self.config.state_mode is StateMode.RECIRCULATE
+                and not self._central_done(packet)
+            ):
+                state_pipe = self.state_pipeline_of_key(app.placement_key(packet))
+                if pipeline.index == state_pipe:
+                    hook = app.central
+                    enforce = True
+                    runs_central_here = True
+                else:
+                    # Wrong pipeline: one plain ingress pass, then loop
+                    # around through the state pipeline's recirc port.
+                    record = pipeline.service(packet, ready, app.ingress)
+                    if record.decision.verdict is Verdict.DROP:
+                        self._drop(packet, record.decision)
+                        return
+                    self._recirculate_to(packet, state_pipe, record.exit_time)
+                    return
+            else:
+                hook = app.ingress
+
+        record = pipeline.service(packet, ready, hook, enforce_width=enforce)
+        if runs_central_here:
+            self._mark_central_done(packet)
+        self._apply_decision(
+            packet, record.decision, record.exit_time, region="ingress"
+        )
+
+    # --- recirculation --------------------------------------------------------------
+
+    def _recirculate_to(self, packet: Packet, pipeline: int, ready: float) -> None:
+        """Route a packet to ``pipeline``'s ingress via TM + loopback port."""
+        if not self.config.allow_recirculation:
+            self._result.unreachable_emissions += 1
+            packet.meta.drop_reason = "recirculation_disabled"
+            self._result.dropped.append(packet)
+            self.counter("unreachable").add()
+            return
+        admitted = self.tm.admit(packet, ready, pipeline=pipeline)
+        if admitted is None:
+            self._result.dropped.append(packet)
+            return
+        _, deliver = admitted
+        egress = self.egress[pipeline]
+        record = egress.service(packet, deliver, None)
+        self.tm.release(packet)
+        loop = self.recirc_ports[pipeline]
+        re_arrival = loop.transmit(packet, record.exit_time)
+        packet.meta.recirculations += 1
+        self._result.recirculated_packets += 1
+        self._result.recirculated_wire_bytes += packet.wire_bytes
+        self.counter("recirculations").add()
+        # Re-enter through the loopback: same pipeline's ingress.
+        packet.meta.ingress_port = self.config.ports_of_pipeline(pipeline)[0]
+        self._sim.at(re_arrival, self._make_ingress_event(packet, re_arrival))
+
+    # --- decision handling -----------------------------------------------------------
+
+    def _apply_decision(
+        self, packet: Packet, decision: Decision, ready: float, region: str
+    ) -> None:
+        for emission in decision.emissions:
+            emission.meta.arrival_time = packet.meta.arrival_time
+            emission.meta.ingress_port = packet.meta.ingress_port
+            self._mark_central_done(emission)
+            self._to_traffic_manager(emission, ready, from_region=region)
+
+        if decision.verdict is Verdict.DROP:
+            self._drop(packet, decision)
+        elif decision.verdict is Verdict.CONSUME:
+            self._result.consumed += 1
+            self.counter("consumed").add()
+        elif decision.verdict is Verdict.RECIRCULATE:
+            if self.app is None:
+                raise ConfigError("recirculate verdict requires an app")
+            state_pipe = self.state_pipeline_of_key(
+                self.app.placement_key(packet)
+            )
+            self._recirculate_to(packet, state_pipe, ready)
+        else:
+            self._to_traffic_manager(packet, ready, from_region=region)
+
+    def _drop(self, packet: Packet, decision: Decision) -> None:
+        packet.meta.drop_reason = decision.drop_reason or "dropped"
+        self._result.dropped.append(packet)
+
+    # --- TM + egress -----------------------------------------------------------------
+
+    def _to_traffic_manager(
+        self, packet: Packet, ready: float, from_region: str
+    ) -> None:
+        if from_region == "egress":
+            # Emissions born in an egress pipeline cannot re-enter the TM
+            # directly; they must loop around (Figure 2's restriction).
+            source_pipe = packet.meta.egress_pipeline
+            if packet.meta.egress_ports:
+                # Multicast needs the TM's replication engine: always loop.
+                if source_pipe is None:
+                    raise ConfigError("egress emission without a pipeline")
+                self._recirculate_to(packet, source_pipe, ready)
+                return
+            target_port = packet.meta.egress_port
+            if target_port is None:
+                raise ConfigError("egress emission without an egress port")
+            if source_pipe is not None and self.config.pipeline_of_port(
+                target_port
+            ) != source_pipe:
+                self._recirculate_to(packet, source_pipe, ready)
+                return
+            # Destination is attached to this very pipeline: short path to TX.
+            self._transmit(packet, ready)
+            return
+
+        if packet.meta.egress_ports:
+            deliveries = self.tm.multicast_admit(
+                packet, packet.meta.egress_ports, ready
+            )
+            for copy, pipeline, deliver in deliveries:
+                self._schedule_egress(copy, pipeline, deliver)
+            return
+
+        if (
+            self.app is not None
+            and self.app.uses_central_state()
+            and self.config.state_mode is StateMode.EGRESS_PIN
+            and not self._central_done(packet)
+        ):
+            # Steer to the state pipeline regardless of destination port.
+            state_pipe = self.state_pipeline_of_key(
+                self.app.placement_key(packet)
+            )
+            admitted = self.tm.admit(packet, ready, pipeline=state_pipe)
+            if admitted is None:
+                self._result.dropped.append(packet)
+                return
+            _, deliver = admitted
+            self._schedule_egress(
+                packet, state_pipe, deliver, run_central=True
+            )
+            return
+
+        if packet.meta.egress_port is None:
+            packet.meta.drop_reason = "no_route"
+            self._result.dropped.append(packet)
+            self.counter("no_route_drops").add()
+            return
+        admitted = self.tm.admit(packet, ready)
+        if admitted is None:
+            self._result.dropped.append(packet)
+            return
+        pipeline, deliver = admitted
+        self._schedule_egress(packet, pipeline, deliver)
+
+    def _schedule_egress(
+        self, packet: Packet, pipeline: int, deliver: float, run_central: bool = False
+    ) -> None:
+        def event() -> None:
+            self._egress_service(packet, pipeline, deliver, run_central)
+
+        self._sim.at(deliver, event)
+
+    def _egress_service(
+        self, packet: Packet, pipeline_index: int, ready: float, run_central: bool
+    ) -> None:
+        pipeline = self.egress[pipeline_index]
+        packet.meta.egress_pipeline = pipeline_index
+        app = self.app
+        hook = None
+        enforce = False
+        if app is not None:
+            if run_central:
+                hook = app.central
+                enforce = True
+            else:
+                hook = app.egress
+        record = pipeline.service(packet, ready, hook, enforce_width=enforce)
+        self.tm.release(packet)
+        if run_central:
+            self._mark_central_done(packet)
+        decision = record.decision
+
+        for emission in decision.emissions:
+            emission.meta.arrival_time = packet.meta.arrival_time
+            emission.meta.egress_pipeline = pipeline_index
+            self._mark_central_done(emission)
+            self._to_traffic_manager(
+                emission, record.exit_time, from_region="egress"
+            )
+
+        if decision.verdict is Verdict.DROP:
+            self._drop(packet, decision)
+        elif decision.verdict is Verdict.CONSUME:
+            self._result.consumed += 1
+            self.counter("consumed").add()
+        elif decision.verdict is Verdict.RECIRCULATE:
+            self._recirculate_to(packet, pipeline_index, record.exit_time)
+        else:
+            port = packet.meta.egress_port
+            if port is None:
+                packet.meta.drop_reason = "no_route"
+                self._result.dropped.append(packet)
+                return
+            if port not in pipeline.attached_ports:
+                # The TM routed by egress port, so this only happens for
+                # pinned-state packets whose destination lives elsewhere.
+                self._recirculate_to(packet, pipeline_index, record.exit_time)
+                return
+            self._transmit(packet, record.exit_time)
+
+    def _transmit(self, packet: Packet, ready: float) -> None:
+        port = packet.meta.egress_port
+        assert port is not None
+        self.tx_ports[port].transmit(packet, ready)
+        self._result.delivered.append(packet)
+        self.counter("delivered").add()
+
+    # --- central-state bookkeeping ------------------------------------------------------
+
+    @staticmethod
+    def _central_done(packet: Packet) -> bool:
+        return packet.meta.central_done
+
+    @staticmethod
+    def _mark_central_done(packet: Packet) -> None:
+        packet.meta.central_done = True

@@ -1,0 +1,108 @@
+"""The traffic manager: a shared-memory, output-buffered switching element.
+
+"The TM is a switching element responsible for forwarding the packet to
+the pipeline to which its designated TX port is connected ... implemented
+as a shared-memory area and work[ing] as an output-buffered scheduler"
+(paper, section 2).  This model tracks a bounded shared buffer, admits or
+drops packets, applies a fixed traversal latency, and resolves each
+packet's egress pipeline from its egress port.
+
+The ADCP reuses this class for its *second* TM and subclasses it for the
+application-aware *first* TM (:mod:`repro.adcp.traffic_manager`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigError
+from ..net.packet import Packet
+from ..sim.component import Component
+
+
+class TrafficManager(Component):
+    """Bounded shared-memory scheduler between pipeline banks.
+
+    ``route(packet) -> int`` maps a packet to a downstream pipeline index.
+    Occupancy rises on admit and falls when the caller reports the packet
+    left the buffer (:meth:`release` — i.e. its downstream pipeline started
+    serving it); a full buffer drops.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Component,
+        route: Callable[[Packet], int],
+        buffer_packets: int = 4096,
+        latency_s: float = 0.0,
+    ) -> None:
+        super().__init__(name, parent)
+        if buffer_packets < 1:
+            raise ConfigError("TM buffer must hold at least one packet")
+        if latency_s < 0:
+            raise ConfigError("TM latency must be non-negative")
+        self.route = route
+        self.buffer_packets = buffer_packets
+        self.latency_s = latency_s
+        self.occupancy = 0
+        self.peak_occupancy = 0
+
+    def admit(
+        self,
+        packet: Packet,
+        ready_time: float,
+        pipeline: int | None = None,
+    ) -> tuple[int, float] | None:
+        """Try to accept a packet.
+
+        Returns ``(egress_pipeline, deliver_time)`` on success, or None on
+        a buffer-full drop (the packet's metadata records the reason).
+        ``pipeline`` overrides the route function when the caller already
+        knows the destination (recirculation loopbacks, pinned state).
+        """
+        if self.occupancy >= self.buffer_packets:
+            self.counter("drops").add()
+            packet.meta.drop_reason = f"{self.name}_buffer_full"
+            return None
+        self.occupancy += 1
+        if self.occupancy > self.peak_occupancy:
+            self.peak_occupancy = self.occupancy
+        self.counter("admitted").add()
+        if pipeline is None:
+            pipeline = self.route(packet)
+        return pipeline, ready_time + self.latency_s
+
+    def release(self, packet: Packet) -> None:
+        """Report that a previously admitted packet left the buffer."""
+        if self.occupancy <= 0:
+            raise ConfigError(
+                f"TM {self.name!r} released more packets than it admitted"
+            )
+        self.occupancy -= 1
+
+    def multicast_admit(
+        self, packet: Packet, ports: tuple[int, ...], ready_time: float
+    ) -> list[tuple[Packet, int, float]]:
+        """Replicate a packet toward several egress ports.
+
+        Output-buffered multicast: one buffer slot per copy.  Copies that
+        do not fit are dropped individually (partial delivery, as real
+        shared-memory TMs behave under pressure).  Returns a list of
+        ``(copy, egress_pipeline, deliver_time)``.
+        """
+        if not ports:
+            raise ConfigError("multicast needs at least one port")
+        deliveries: list[tuple[Packet, int, float]] = []
+        for port in ports:
+            copy = packet.copy()
+            copy.meta.ingress_port = packet.meta.ingress_port
+            copy.meta.arrival_time = packet.meta.arrival_time
+            copy.meta.egress_port = port
+            copy.meta.egress_ports = ()
+            admitted = self.admit(copy, ready_time)
+            if admitted is None:
+                continue
+            pipeline, deliver = admitted
+            deliveries.append((copy, pipeline, deliver))
+        return deliveries

@@ -1,0 +1,168 @@
+"""Structural building blocks: components and bounded channels.
+
+A :class:`Component` is anything with a name, a parent, and a slice of the
+shared :class:`~repro.sim.stats.StatsRegistry`.  A :class:`Channel` is a
+bounded FIFO used to connect components; back-pressure is explicit (a full
+channel rejects pushes) because the architectural comparisons in this
+library hinge on where queues build up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generic, Iterator, TypeVar
+
+from ..errors import ConfigError
+from .stats import StatsRegistry
+
+T = TypeVar("T")
+
+
+class Component:
+    """Base class for every named piece of switch structure.
+
+    Children are registered automatically when constructed with a parent,
+    forming a tree whose dotted paths name stats: a stage constructed as
+    ``Component("stage3", parent=pipeline)`` exposes counters under
+    ``"<pipeline path>.stage3.*"``.
+    """
+
+    def __init__(self, name: str, parent: "Component | None" = None) -> None:
+        if not name:
+            raise ConfigError("component name must be non-empty")
+        if "." in name:
+            raise ConfigError(f"component name {name!r} must not contain dots")
+        self.name = name
+        self.parent = parent
+        self.children: list[Component] = []
+        if parent is not None:
+            parent.children.append(self)
+            self.stats: StatsRegistry = parent.stats
+        else:
+            self.stats = StatsRegistry()
+
+    @property
+    def path(self) -> str:
+        """Dotted path from the root component to this one."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}.{self.name}"
+
+    def counter(self, stat: str):
+        """Counter scoped under this component's path."""
+        return self.stats.counter(f"{self.path}.{stat}")
+
+    def histogram(self, stat: str):
+        """Histogram scoped under this component's path."""
+        return self.stats.histogram(f"{self.path}.{stat}")
+
+    def walk(self) -> Iterator["Component"]:
+        """Depth-first iteration over this component and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, path: str) -> "Component":
+        """Resolve a dotted path relative to this component."""
+        node: Component = self
+        for part in path.split("."):
+            for child in node.children:
+                if child.name == part:
+                    node = child
+                    break
+            else:
+                raise ConfigError(f"no component {part!r} under {node.path!r}")
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.path}>"
+
+
+class Channel(Generic[T]):
+    """A bounded FIFO connecting two components.
+
+    ``capacity`` of ``None`` means unbounded (used for analytical sinks).
+    ``try_push`` returns False when full, which models back-pressure;
+    callers decide whether to stall, drop, or recirculate.
+    """
+
+    def __init__(self, name: str, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigError(f"channel capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._items: deque[T] = deque()
+        self.pushed = 0
+        self.popped = 0
+        self.rejected = 0
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def try_push(self, item: T) -> bool:
+        """Append ``item`` unless full; returns whether it was accepted."""
+        if self.is_full:
+            self.rejected += 1
+            return False
+        self._items.append(item)
+        self.pushed += 1
+        if len(self._items) > self.peak_depth:
+            self.peak_depth = len(self._items)
+        return True
+
+    def push(self, item: T) -> None:
+        """Append ``item``; raises if the channel is full."""
+        if not self.try_push(item):
+            raise ConfigError(
+                f"channel {self.name!r} is full (capacity {self.capacity})"
+            )
+
+    def pop(self) -> T | None:
+        """Remove and return the oldest item, or None when empty."""
+        if not self._items:
+            return None
+        self.popped += 1
+        return self._items.popleft()
+
+    def peek(self) -> T | None:
+        """Return the oldest item without removing it."""
+        if not self._items:
+            return None
+        return self._items[0]
+
+    def drain(self) -> list[T]:
+        """Remove and return every queued item, oldest first."""
+        items = list(self._items)
+        self.popped += len(items)
+        self._items.clear()
+        return items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"<Channel {self.name} {len(self._items)}/{cap}>"
+
+
+def connect(components: "list[Any]", capacity: int | None = None) -> list[Channel]:
+    """Create a chain of channels between consecutive components.
+
+    Convenience for pipeline construction: returns ``len(components) - 1``
+    channels named after the components they join.
+    """
+    channels: list[Channel] = []
+    for upstream, downstream in zip(components, components[1:]):
+        channels.append(
+            Channel(f"{upstream.name}->{downstream.name}", capacity=capacity)
+        )
+    return channels

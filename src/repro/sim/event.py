@@ -1,0 +1,142 @@
+"""Discrete-event simulation core.
+
+The kernel is deliberately small: a priority queue of timestamped events
+with deterministic FIFO tie-breaking, plus a :class:`Simulator` facade that
+owns the clock, dispatches events, and enforces time monotonicity.
+
+Time is a float in **seconds**.  Cycle-level models convert cycles to
+seconds through :class:`repro.sim.clock.Clock`, which lets components in
+different clock domains (e.g. a pipeline at 0.6 GHz and a MAT memory at
+9.6 GHz) share one event queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+Action = Callable[[], Any]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, sequence)``.  ``sequence`` is a
+    monotonically increasing tie-breaker so two events at the same time and
+    priority always fire in the order they were scheduled, which keeps runs
+    bit-for-bit reproducible.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    action: Action = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when its time arrives."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, action: Action, priority: int = 0) -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle."""
+        event = Event(time, priority, next(self._sequence), action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the timestamp of the earliest live event without popping."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+
+class Simulator:
+    """Owns simulated time and dispatches events in order.
+
+    Components schedule work with :meth:`at` (absolute time) or :meth:`after`
+    (relative delay).  :meth:`run` drains the queue, optionally bounded by
+    ``until`` (a time) or ``max_events`` (a safety valve for models that
+    generate events forever).
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.events_dispatched = 0
+
+    def at(self, time: float, action: Action, priority: int = 0) -> Event:
+        """Schedule ``action`` at absolute time ``time`` (seconds)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self.now}"
+            )
+        return self.queue.push(time, action, priority)
+
+    def after(self, delay: float, action: Action, priority: int = 0) -> Event:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.queue.push(self.now + delay, action, priority)
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> int:
+        """Dispatch events until the queue drains or a bound is hit.
+
+        Returns the number of events dispatched by this call.  When
+        ``until`` is given, events at exactly ``until`` still fire; later
+        ones stay queued and ``now`` advances to ``until``.
+        """
+        dispatched = 0
+        while True:
+            if max_events is not None and dispatched >= max_events:
+                break
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            event = self.queue.pop()
+            assert event is not None  # peek_time said there was one
+            if event.time < self.now:
+                raise SimulationError(
+                    f"event time {event.time} precedes current time {self.now}"
+                )
+            self.now = event.time
+            event.action()
+            dispatched += 1
+        self.events_dispatched += dispatched
+        return dispatched
+
+    def step(self) -> bool:
+        """Dispatch exactly one event; return False if the queue was empty."""
+        return self.run(max_events=1) == 1

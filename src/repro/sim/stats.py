@@ -1,0 +1,162 @@
+"""Measurement primitives: counters, histograms, and a registry.
+
+Every structural component (port, pipeline, stage, traffic manager) owns a
+handful of counters; experiments read them after a run.  Histograms keep raw
+samples (the simulations here are small enough) so percentile queries are
+exact rather than bucketed approximations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import SimulationError
+
+
+@dataclass
+class Counter:
+    """A named monotonic (by convention) counter."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increase the counter by ``amount``."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0.0
+
+
+class Histogram:
+    """Exact histogram over raw float samples.
+
+    Supports mean/percentile/min/max queries.  Samples are kept unsorted and
+    sorted lazily on first query after a mutation.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: list[float] = []
+        self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self._samples.append(value)
+        self._sorted = False
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record several samples."""
+        for value in values:
+            self.observe(value)
+
+    def _ensure_sorted(self) -> list[float]:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            raise SimulationError(f"histogram {self.name!r} has no samples")
+        return self.total / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        if not self._samples:
+            raise SimulationError(f"histogram {self.name!r} has no samples")
+        return self._ensure_sorted()[0]
+
+    @property
+    def maximum(self) -> float:
+        if not self._samples:
+            raise SimulationError(f"histogram {self.name!r} has no samples")
+        return self._ensure_sorted()[-1]
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile by linear interpolation, ``p`` in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise SimulationError(f"percentile must be in [0, 100], got {p}")
+        samples = self._ensure_sorted()
+        if not samples:
+            raise SimulationError(f"histogram {self.name!r} has no samples")
+        if len(samples) == 1:
+            return samples[0]
+        rank = (p / 100.0) * (len(samples) - 1)
+        low = int(rank)
+        high = min(low + 1, len(samples) - 1)
+        fraction = rank - low
+        # delta form: exact when neighbours are equal, monotone in p.
+        return samples[low] + fraction * (samples[high] - samples[low])
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._sorted = True
+
+
+class StatsRegistry:
+    """Hierarchical namespace of counters and histograms.
+
+    Components register stats under dotted paths (``"pipeline0.stage3.hits"``)
+    so experiments can enumerate them without knowing each component's
+    internals.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter at ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Return (creating if needed) the histogram at ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def counters(self, prefix: str = "") -> Iterator[Counter]:
+        """Iterate counters whose names start with ``prefix``."""
+        for name in sorted(self._counters):
+            if name.startswith(prefix):
+                yield self._counters[name]
+
+    def histograms(self, prefix: str = "") -> Iterator[Histogram]:
+        """Iterate histograms whose names start with ``prefix``."""
+        for name in sorted(self._histograms):
+            if name.startswith(prefix):
+                yield self._histograms[name]
+
+    def value(self, name: str) -> float:
+        """Current value of the counter at ``name`` (0 if never touched)."""
+        counter = self._counters.get(name)
+        return counter.value if counter else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """All counter values, keyed by name."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def reset(self) -> None:
+        """Reset every counter and histogram in place."""
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()

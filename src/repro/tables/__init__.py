@@ -1,0 +1,45 @@
+"""Match-action substrate: table memories, match tables, actions, registers.
+
+This package models the stateful resources inside a pipeline stage:
+
+- :class:`~repro.tables.memory.MemoryBlock` /
+  :class:`~repro.tables.memory.StageMemory` — SRAM/TCAM block pools;
+  capacity accounting is what makes the Figure 3 replication experiment
+  honest (replicated tables consume real blocks).
+- :class:`~repro.tables.mat.MatchTable` — exact/ternary/LPM matching with
+  entry storage backed by memory blocks.
+- :mod:`~repro.tables.actions` — the per-entry action primitives (ALU ops
+  over PHV fields and register state).
+- :class:`~repro.tables.registers.RegisterArray` — stateful memory that
+  survives across packets, the paper's "data lifted from prior-forwarded
+  packets".
+"""
+
+from .actions import (
+    Action,
+    ActionOp,
+    ActionPrimitive,
+    DropAction,
+    ForwardAction,
+    NoAction,
+)
+from .mat import MatchEntry, MatchKind, MatchTable, TernaryPattern
+from .memory import MemoryBlock, MemoryKind, StageMemory
+from .registers import RegisterArray
+
+__all__ = [
+    "Action",
+    "ActionOp",
+    "ActionPrimitive",
+    "DropAction",
+    "ForwardAction",
+    "MatchEntry",
+    "MatchKind",
+    "MatchTable",
+    "MemoryBlock",
+    "MemoryKind",
+    "NoAction",
+    "RegisterArray",
+    "StageMemory",
+    "TernaryPattern",
+]

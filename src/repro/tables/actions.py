@@ -1,0 +1,214 @@
+"""Action primitives executed on a table match.
+
+An :class:`Action` is an ordered list of :class:`ActionPrimitive`, each a
+single ALU-grade operation: move a constant or field into a PHV field,
+arithmetic between fields, or a read-modify-write on a stateful register.
+This mirrors the VLIW action engines of RMT match-action units — each
+primitive is one instruction slot.
+
+Actions run against an :class:`ActionContext` so the same primitives work
+in scalar MAUs (RMT), array MAUs (ADCP), and unit tests without any of them
+knowing about pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+from ..errors import ConfigError, TableError
+from ..net.phv import PHV
+from .registers import RegisterArray
+
+
+class ActionOp(Enum):
+    """Operation kinds available to one primitive (one VLIW slot)."""
+
+    SET_CONST = "set_const"  # dst = imm
+    COPY = "copy"            # dst = src
+    ADD = "add"              # dst = src + operand(field or imm)
+    SUB = "sub"
+    MIN = "min"
+    MAX = "max"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    REG_READ = "reg_read"    # dst = reg[index]
+    REG_WRITE = "reg_write"  # reg[index] = src
+    REG_ADD = "reg_add"      # reg[index] += src; dst = new value
+    REG_MIN = "reg_min"
+    REG_MAX = "reg_max"
+
+
+_BINARY_OPS = {
+    ActionOp.ADD: lambda a, b: a + b,
+    ActionOp.SUB: lambda a, b: a - b,
+    ActionOp.MIN: min,
+    ActionOp.MAX: max,
+    ActionOp.AND: lambda a, b: a & b,
+    ActionOp.OR: lambda a, b: a | b,
+    ActionOp.XOR: lambda a, b: a ^ b,
+}
+
+_REGISTER_OPS = (
+    ActionOp.REG_READ,
+    ActionOp.REG_WRITE,
+    ActionOp.REG_ADD,
+    ActionOp.REG_MIN,
+    ActionOp.REG_MAX,
+)
+
+
+@dataclass
+class ActionContext:
+    """Everything a primitive may touch: the PHV and the stage's registers."""
+
+    phv: PHV
+    registers: dict[str, RegisterArray] = field(default_factory=dict)
+
+    def register(self, name: str) -> RegisterArray:
+        if name not in self.registers:
+            raise TableError(f"stage has no register array {name!r}")
+        return self.registers[name]
+
+
+@dataclass(frozen=True)
+class ActionPrimitive:
+    """One instruction slot.
+
+    Fields are interpreted per op:
+        dst: PHV field written (ops that produce a value).
+        src: PHV field read, or None when ``immediate`` is used.
+        immediate: Constant operand.
+        register: Register array name (register ops).
+        index_field: PHV field giving the register index; ``immediate``
+            gives a constant index when this is None.
+    """
+
+    op: ActionOp
+    dst: str | None = None
+    src: str | None = None
+    immediate: int = 0
+    register: str | None = None
+    index_field: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.op in _REGISTER_OPS and self.register is None:
+            raise ConfigError(f"{self.op.value} requires a register name")
+        if self.op is ActionOp.SET_CONST and self.dst is None:
+            raise ConfigError("set_const requires a destination field")
+        if self.op is ActionOp.COPY and (self.dst is None or self.src is None):
+            raise ConfigError("copy requires src and dst fields")
+
+    def _operand(self, ctx: ActionContext) -> int:
+        if self.src is not None:
+            return ctx.phv[self.src]
+        return self.immediate
+
+    def _register_index(self, ctx: ActionContext) -> int:
+        if self.index_field is not None:
+            return ctx.phv[self.index_field]
+        return self.immediate
+
+    def execute(self, ctx: ActionContext) -> None:
+        """Run the primitive against ``ctx``."""
+        if self.op is ActionOp.SET_CONST:
+            assert self.dst is not None
+            ctx.phv[self.dst] = self.immediate
+        elif self.op is ActionOp.COPY:
+            assert self.dst is not None and self.src is not None
+            ctx.phv[self.dst] = ctx.phv[self.src]
+        elif self.op in _BINARY_OPS:
+            if self.dst is None:
+                raise TableError(f"{self.op.value} requires a destination")
+            base = ctx.phv[self.dst]
+            ctx.phv[self.dst] = _BINARY_OPS[self.op](base, self._operand(ctx))
+        elif self.op is ActionOp.REG_READ:
+            if self.dst is None:
+                raise TableError("reg_read requires a destination")
+            reg = ctx.register(self.register or "")
+            ctx.phv[self.dst] = reg.read(self._register_index(ctx))
+        elif self.op is ActionOp.REG_WRITE:
+            reg = ctx.register(self.register or "")
+            reg.write(self._register_index(ctx), self._operand(ctx))
+        elif self.op in (ActionOp.REG_ADD, ActionOp.REG_MIN, ActionOp.REG_MAX):
+            reg = ctx.register(self.register or "")
+            index = self._register_index(ctx)
+            operand = self._operand(ctx)
+            if self.op is ActionOp.REG_ADD:
+                result = reg.add(index, operand)
+            elif self.op is ActionOp.REG_MIN:
+                result = reg.merge_min(index, operand)
+            else:
+                result = reg.merge_max(index, operand)
+            if self.dst is not None:
+                ctx.phv[self.dst] = result
+        else:  # pragma: no cover - enum is exhaustive
+            raise TableError(f"unknown action op {self.op}")
+
+
+class Action:
+    """A named, ordered bundle of primitives (one table entry's action).
+
+    ``slots`` bounds the VLIW width: an action with more primitives than
+    the MAU has instruction slots cannot be compiled, which is one of the
+    expressiveness walls the paper attributes to RMT.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        primitives: Sequence[ActionPrimitive] = (),
+        slots: int | None = None,
+    ) -> None:
+        if slots is not None and len(primitives) > slots:
+            raise ConfigError(
+                f"action {name!r} uses {len(primitives)} primitives, "
+                f"MAU has {slots} slots"
+            )
+        self.name = name
+        self.primitives = list(primitives)
+
+    def execute(self, ctx: ActionContext) -> None:
+        for primitive in self.primitives:
+            primitive.execute(ctx)
+
+    def __len__(self) -> int:
+        return len(self.primitives)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Action {self.name} [{len(self.primitives)} prims]>"
+
+
+class NoAction(Action):
+    """The identity action (a match that only counts)."""
+
+    def __init__(self) -> None:
+        super().__init__("no_action", ())
+
+
+class DropAction(Action):
+    """Marks the packet dropped via a reserved metadata write."""
+
+    def __init__(self, reason: str = "dropped_by_table") -> None:
+        super().__init__("drop", ())
+        self.reason = reason
+
+    def execute(self, ctx: ActionContext) -> None:
+        # The pipeline interprets this flag after the stage completes.
+        ctx.phv.set_meta("drop", 1)
+        ctx.phv.set_meta("drop_reason", self.reason)
+
+
+class ForwardAction(Action):
+    """Sets the packet's egress port through reserved metadata."""
+
+    def __init__(self, egress_port: int) -> None:
+        if egress_port < 0:
+            raise ConfigError(f"egress port must be >= 0, got {egress_port}")
+        super().__init__(f"forward_to_{egress_port}", ())
+        self.egress_port = egress_port
+
+    def execute(self, ctx: ActionContext) -> None:
+        ctx.phv.set_meta("egress_port", self.egress_port)

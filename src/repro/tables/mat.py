@@ -1,0 +1,216 @@
+"""Match tables: exact, ternary, and longest-prefix matching.
+
+A :class:`MatchTable` owns entries, claims blocks from a
+:class:`~repro.tables.memory.StageMemory` on installation, and resolves
+lookups to an :class:`~repro.tables.actions.Action`.  Exact tables live in
+SRAM; ternary and LPM tables live in TCAM with priority resolution, exactly
+as the RMT memory split dictates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import CapacityError, ConfigError, TableError
+from .actions import Action, NoAction
+from .memory import MemoryKind, StageMemory
+
+
+class MatchKind(Enum):
+    """Match semantics of a table."""
+
+    EXACT = "exact"
+    TERNARY = "ternary"
+    LPM = "lpm"
+
+    @property
+    def memory_kind(self) -> MemoryKind:
+        return MemoryKind.SRAM if self is MatchKind.EXACT else MemoryKind.TCAM
+
+
+@dataclass(frozen=True)
+class TernaryPattern:
+    """A value/mask pair: bit positions where mask=1 must equal value."""
+
+    value: int
+    mask: int
+
+    def matches(self, key: int) -> bool:
+        return (key & self.mask) == (self.value & self.mask)
+
+    @classmethod
+    def exact(cls, value: int, width_bits: int) -> "TernaryPattern":
+        return cls(value, (1 << width_bits) - 1)
+
+    @classmethod
+    def prefix(cls, value: int, prefix_len: int, width_bits: int) -> "TernaryPattern":
+        if not 0 <= prefix_len <= width_bits:
+            raise ConfigError(
+                f"prefix length {prefix_len} out of range [0, {width_bits}]"
+            )
+        if prefix_len == 0:
+            return cls(0, 0)
+        mask = ((1 << prefix_len) - 1) << (width_bits - prefix_len)
+        return cls(value & mask, mask)
+
+    @property
+    def prefix_length(self) -> int:
+        """Number of leading set bits (meaningful for LPM patterns)."""
+        return bin(self.mask).count("1")
+
+
+@dataclass
+class MatchEntry:
+    """One installed entry: pattern, action, priority, hit counter."""
+
+    pattern: TernaryPattern
+    action: Action
+    priority: int = 0
+    hits: int = 0
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one key lookup."""
+
+    hit: bool
+    action: Action
+    entry: MatchEntry | None = None
+
+
+class MatchTable:
+    """A match-action table backed by stage memory.
+
+    ``capacity`` is the provisioned entry count; memory blocks for the full
+    capacity are claimed up front (hardware reserves, it does not grow).
+    ``default_action`` runs on a miss.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: MatchKind,
+        key_width_bits: int,
+        capacity: int,
+        memory: StageMemory | None = None,
+        default_action: Action | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"table {name!r} capacity must be positive")
+        if key_width_bits <= 0:
+            raise ConfigError(f"table {name!r} key width must be positive")
+        self.name = name
+        self.kind = kind
+        self.key_width_bits = key_width_bits
+        self.capacity = capacity
+        self.default_action = default_action or NoAction()
+        self.memory = memory
+        self.blocks_claimed = 0
+        if memory is not None:
+            self.blocks_claimed = memory.claim(
+                name, kind.memory_kind, capacity, key_width_bits
+            )
+        self._exact_index: dict[int, MatchEntry] = {}
+        self._entries: list[MatchEntry] = []
+        self.lookups = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def install(
+        self,
+        pattern: TernaryPattern | int,
+        action: Action | None = None,
+        priority: int = 0,
+    ) -> MatchEntry:
+        """Install an entry; ints are promoted to exact patterns."""
+        if self.is_full:
+            raise CapacityError(
+                f"table {self.name!r} is full ({self.capacity} entries)"
+            )
+        if isinstance(pattern, int):
+            pattern = TernaryPattern.exact(pattern, self.key_width_bits)
+        if self.kind is MatchKind.EXACT:
+            full_mask = (1 << self.key_width_bits) - 1
+            if pattern.mask != full_mask:
+                raise TableError(
+                    f"exact table {self.name!r} requires full masks"
+                )
+            if pattern.value in self._exact_index:
+                raise TableError(
+                    f"duplicate exact key {pattern.value} in {self.name!r}"
+                )
+        entry = MatchEntry(pattern, action or NoAction(), priority)
+        self._entries.append(entry)
+        if self.kind is MatchKind.EXACT:
+            self._exact_index[pattern.value] = entry
+        return entry
+
+    def remove(self, entry: MatchEntry) -> None:
+        try:
+            self._entries.remove(entry)
+        except ValueError:
+            raise TableError(f"entry not present in table {self.name!r}")
+        if self.kind is MatchKind.EXACT:
+            del self._exact_index[entry.pattern.value]
+
+    def lookup(self, key: int) -> LookupResult:
+        """Resolve ``key``: exact via hash index, ternary by priority,
+        LPM by longest prefix."""
+        self.lookups += 1
+        if self.kind is MatchKind.EXACT:
+            entry = self._exact_index.get(key)
+            if entry is not None:
+                entry.hits += 1
+                return LookupResult(True, entry.action, entry)
+            self.misses += 1
+            return LookupResult(False, self.default_action)
+
+        best: MatchEntry | None = None
+        for entry in self._entries:
+            if not entry.pattern.matches(key):
+                continue
+            if best is None:
+                best = entry
+            elif self.kind is MatchKind.LPM:
+                if entry.pattern.prefix_length > best.pattern.prefix_length:
+                    best = entry
+            elif entry.priority > best.priority:
+                best = entry
+        if best is None:
+            self.misses += 1
+            return LookupResult(False, self.default_action)
+        best.hits += 1
+        return LookupResult(True, best.action, best)
+
+    def lookup_many(self, keys: list[int]) -> list[LookupResult]:
+        """Batch lookup: the array-MAU entry point.
+
+        Semantically identical to sequential lookups; the *timing* of batch
+        lookups is modeled by the MAUs, not here.
+        """
+        return [self.lookup(key) for key in keys]
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return (self.lookups - self.misses) / self.lookups
+
+    def release(self) -> None:
+        """Return claimed memory blocks (table teardown)."""
+        if self.memory is not None and self.blocks_claimed:
+            self.memory.release(self.name)
+            self.blocks_claimed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MatchTable {self.name} {self.kind.value} "
+            f"{len(self._entries)}/{self.capacity}>"
+        )

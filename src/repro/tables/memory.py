@@ -1,0 +1,142 @@
+"""Table memory: SRAM and TCAM block pools.
+
+RMT stages own fixed pools of memory blocks; tables claim whole blocks.
+"Match-action table memory is scarce and having replicated data would be
+using it poorly" (paper, section 2, issue 2) — the Figure 3 experiment
+depends on this model charging one full set of blocks per table copy.
+
+Block geometry follows the published RMT figures: SRAM blocks of 1K
+entries x 112 bits, TCAM blocks of 2K x 40 bits (the exact numbers are
+configurable; the *accounting discipline* is what matters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import CapacityError, ConfigError
+
+
+class MemoryKind(Enum):
+    """The two physical memory technologies in a stage."""
+
+    SRAM = "sram"
+    TCAM = "tcam"
+
+
+@dataclass(frozen=True)
+class MemoryBlock:
+    """Geometry of one memory block."""
+
+    kind: MemoryKind
+    entries: int
+    width_bits: int
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ConfigError(f"block entries must be positive, got {self.entries}")
+        if self.width_bits <= 0:
+            raise ConfigError(f"block width must be positive, got {self.width_bits}")
+
+    @property
+    def bits(self) -> int:
+        return self.entries * self.width_bits
+
+
+DEFAULT_SRAM_BLOCK = MemoryBlock(MemoryKind.SRAM, entries=1024, width_bits=112)
+DEFAULT_TCAM_BLOCK = MemoryBlock(MemoryKind.TCAM, entries=2048, width_bits=40)
+
+
+class StageMemory:
+    """The block pool of one pipeline stage.
+
+    Tables call :meth:`claim` with a kind, an entry count, and a key width;
+    the pool computes how many blocks that needs (wide keys span multiple
+    blocks horizontally; deep tables span vertically) and either reserves
+    them or raises :class:`CapacityError`.
+    """
+
+    def __init__(
+        self,
+        sram_blocks: int = 80,
+        tcam_blocks: int = 24,
+        sram_geometry: MemoryBlock = DEFAULT_SRAM_BLOCK,
+        tcam_geometry: MemoryBlock = DEFAULT_TCAM_BLOCK,
+    ) -> None:
+        if sram_blocks < 0 or tcam_blocks < 0:
+            raise ConfigError("block counts must be non-negative")
+        self._totals = {
+            MemoryKind.SRAM: sram_blocks,
+            MemoryKind.TCAM: tcam_blocks,
+        }
+        self._geometry = {
+            MemoryKind.SRAM: sram_geometry,
+            MemoryKind.TCAM: tcam_geometry,
+        }
+        self._claimed: dict[str, tuple[MemoryKind, int]] = {}
+
+    def geometry(self, kind: MemoryKind) -> MemoryBlock:
+        return self._geometry[kind]
+
+    def total_blocks(self, kind: MemoryKind) -> int:
+        return self._totals[kind]
+
+    def claimed_blocks(self, kind: MemoryKind) -> int:
+        return sum(n for k, n in self._claimed.values() if k is kind)
+
+    def free_blocks(self, kind: MemoryKind) -> int:
+        return self._totals[kind] - self.claimed_blocks(kind)
+
+    def blocks_needed(self, kind: MemoryKind, entries: int, key_width_bits: int) -> int:
+        """Blocks required for a table of ``entries`` x ``key_width_bits``.
+
+        A key wider than one block's width occupies ``ceil(width/block)``
+        blocks side by side; depth beyond one block's entries stacks more
+        rows of blocks.
+        """
+        if entries <= 0:
+            raise ConfigError(f"entries must be positive, got {entries}")
+        if key_width_bits <= 0:
+            raise ConfigError(
+                f"key width must be positive, got {key_width_bits}"
+            )
+        geo = self._geometry[kind]
+        wide = (key_width_bits + geo.width_bits - 1) // geo.width_bits
+        deep = (entries + geo.entries - 1) // geo.entries
+        return wide * deep
+
+    def claim(
+        self, owner: str, kind: MemoryKind, entries: int, key_width_bits: int
+    ) -> int:
+        """Reserve blocks for ``owner``; returns the block count claimed."""
+        if owner in self._claimed:
+            raise ConfigError(f"owner {owner!r} already claimed memory")
+        needed = self.blocks_needed(kind, entries, key_width_bits)
+        if needed > self.free_blocks(kind):
+            raise CapacityError(
+                f"{owner!r} needs {needed} {kind.value} blocks, only "
+                f"{self.free_blocks(kind)} of {self._totals[kind]} free"
+            )
+        self._claimed[owner] = (kind, needed)
+        return needed
+
+    def release(self, owner: str) -> None:
+        """Return ``owner``'s blocks to the pool."""
+        if owner not in self._claimed:
+            raise ConfigError(f"owner {owner!r} holds no memory")
+        del self._claimed[owner]
+
+    def max_entries(self, kind: MemoryKind, key_width_bits: int) -> int:
+        """Largest table (entries) the *free* pool could hold for a key width."""
+        geo = self._geometry[kind]
+        wide = (key_width_bits + geo.width_bits - 1) // geo.width_bits
+        rows = self.free_blocks(kind) // wide
+        return rows * geo.entries
+
+    def utilization(self, kind: MemoryKind) -> float:
+        """Fraction of blocks of ``kind`` currently claimed."""
+        total = self._totals[kind]
+        if total == 0:
+            return 0.0
+        return self.claimed_blocks(kind) / total

@@ -1,0 +1,127 @@
+"""Stateful registers: data that survives across packets.
+
+"Limited amounts of data lifted from prior-forwarded packets could be kept
+on the switch ... known as stateful processing" (paper, section 1).  A
+:class:`RegisterArray` is an indexed array of fixed-width cells supporting
+the read-modify-write operations hardware register ALUs provide (add, min,
+max, overwrite).  Values wrap at the cell width, as silicon does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError, TableError
+
+
+class RegisterArray:
+    """A fixed-size array of fixed-width stateful cells.
+
+    Backed by a numpy array for bulk operations (the array MAU reads and
+    writes many cells per cycle).  All single-cell mutators return the
+    post-operation value, matching the "read the new value into the PHV"
+    semantics of register ALUs.
+    """
+
+    def __init__(self, name: str, size: int, width_bits: int = 32) -> None:
+        if size <= 0:
+            raise ConfigError(f"register {name!r} size must be positive, got {size}")
+        if not 1 <= width_bits <= 64:
+            raise ConfigError(
+                f"register {name!r} width must be in [1, 64], got {width_bits}"
+            )
+        self.name = name
+        self.size = size
+        self.width_bits = width_bits
+        self._mask = (1 << width_bits) - 1
+        self._cells = np.zeros(size, dtype=np.uint64)
+        self.reads = 0
+        self.writes = 0
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise TableError(
+                f"register {self.name!r} index {index} out of range "
+                f"[0, {self.size})"
+            )
+
+    def read(self, index: int) -> int:
+        self._check_index(index)
+        self.reads += 1
+        return int(self._cells[index])
+
+    def write(self, index: int, value: int) -> int:
+        self._check_index(index)
+        self.writes += 1
+        self._cells[index] = np.uint64(value & self._mask)
+        return int(self._cells[index])
+
+    def add(self, index: int, value: int) -> int:
+        """Wrapping add; returns the new value."""
+        self._check_index(index)
+        self.reads += 1
+        self.writes += 1
+        new = (int(self._cells[index]) + value) & self._mask
+        self._cells[index] = np.uint64(new)
+        return new
+
+    def merge_min(self, index: int, value: int) -> int:
+        self._check_index(index)
+        self.reads += 1
+        self.writes += 1
+        new = min(int(self._cells[index]), value & self._mask)
+        self._cells[index] = np.uint64(new)
+        return new
+
+    def merge_max(self, index: int, value: int) -> int:
+        self._check_index(index)
+        self.reads += 1
+        self.writes += 1
+        new = max(int(self._cells[index]), value & self._mask)
+        self._cells[index] = np.uint64(new)
+        return new
+
+    # --- bulk operations (array MAU path) ------------------------------------
+
+    def read_many(self, indices: list[int]) -> list[int]:
+        for index in indices:
+            self._check_index(index)
+        self.reads += len(indices)
+        return [int(self._cells[i]) for i in indices]
+
+    def add_many(self, indices: list[int], values: list[int]) -> list[int]:
+        """Element-wise wrapping adds; duplicate indices accumulate in order."""
+        if len(indices) != len(values):
+            raise TableError(
+                f"register {self.name!r}: {len(indices)} indices vs "
+                f"{len(values)} values"
+            )
+        return [self.add(i, v) for i, v in zip(indices, values)]
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the raw cell contents."""
+        return self._cells.copy()
+
+    def load(self, values: np.ndarray | list[int]) -> None:
+        """Bulk-initialize cells (control-plane download)."""
+        array = np.asarray(values, dtype=np.uint64)
+        if array.shape != (self.size,):
+            raise ConfigError(
+                f"register {self.name!r} expects {self.size} values, "
+                f"got shape {array.shape}"
+            )
+        self._cells = array & np.uint64(self._mask)
+
+    def reset(self) -> None:
+        self._cells.fill(0)
+
+    @property
+    def bits(self) -> int:
+        """Total storage the array occupies."""
+        return self.size * self.width_bits
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RegisterArray {self.name} {self.size}x{self.width_bits}b>"

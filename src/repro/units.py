@@ -1,0 +1,150 @@
+"""Units and wire-level arithmetic shared across the library.
+
+The paper's scalability arguments (Tables 2 and 3) all reduce to one piece
+of arithmetic: how many packets per second a link of a given speed can carry
+for a given minimum packet size, and hence what clock frequency a pipeline
+that retires one packet per cycle must run at.
+
+The paper quotes *wire* packet sizes: an Ethernet frame occupies its frame
+bytes plus 8 bytes of preamble/SFD plus 12 bytes of inter-frame gap on the
+wire.  The canonical example is the minimum 64 B frame, which occupies 84 B
+of wire time, which is why "64x 10 Gbps ports ... amounts to a maximum of
+around 952 Mpps" (64 * 10e9 / (84 * 8) = 952.4e6).
+
+All helpers here work in plain SI units (bits per second, packets per
+second, hertz, bytes) and expose convenience constants for the multiples
+used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigError
+
+# --- SI multiples -----------------------------------------------------------
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+GBPS = GIGA
+"""One gigabit per second, in bits per second."""
+
+TBPS = TERA
+"""One terabit per second, in bits per second."""
+
+MHZ = MEGA
+"""One megahertz, in hertz."""
+
+GHZ = GIGA
+"""One gigahertz, in hertz."""
+
+MPPS = MEGA
+"""One million packets per second."""
+
+BPPS = GIGA
+"""One billion packets per second (the paper's 'Bpps')."""
+
+# --- Ethernet framing -------------------------------------------------------
+
+ETHERNET_PREAMBLE_BYTES = 8
+"""Preamble (7 B) plus start-of-frame delimiter (1 B)."""
+
+ETHERNET_IFG_BYTES = 12
+"""Minimum inter-frame gap at any standard Ethernet speed."""
+
+ETHERNET_OVERHEAD_BYTES = ETHERNET_PREAMBLE_BYTES + ETHERNET_IFG_BYTES
+"""Per-packet wire overhead that never reaches the pipeline: 20 B."""
+
+ETHERNET_MIN_FRAME_BYTES = 64
+"""Minimum Ethernet frame (header + payload + FCS)."""
+
+ETHERNET_MIN_WIRE_BYTES = ETHERNET_MIN_FRAME_BYTES + ETHERNET_OVERHEAD_BYTES
+"""Wire footprint of a minimum frame: 84 B, as used in the paper's tables."""
+
+ETHERNET_HEADER_BYTES = 14
+"""Destination MAC + source MAC + EtherType."""
+
+ETHERNET_FCS_BYTES = 4
+"""Frame check sequence appended to every frame."""
+
+BITS_PER_BYTE = 8
+
+
+def wire_bytes(frame_bytes: int) -> int:
+    """Return the wire footprint of a frame, including preamble and IFG.
+
+    >>> wire_bytes(64)
+    84
+    """
+    if frame_bytes < ETHERNET_MIN_FRAME_BYTES:
+        raise ConfigError(
+            f"frame of {frame_bytes} B is below the Ethernet minimum of "
+            f"{ETHERNET_MIN_FRAME_BYTES} B"
+        )
+    return frame_bytes + ETHERNET_OVERHEAD_BYTES
+
+
+def frame_bytes_from_wire(wire: float) -> float:
+    """Inverse of :func:`wire_bytes`; accepts fractional analytical results."""
+    return wire - ETHERNET_OVERHEAD_BYTES
+
+
+def packet_rate(link_bps: float, wire_packet_bytes: float) -> float:
+    """Peak packets per second of a link for a given wire packet size.
+
+    >>> round(packet_rate(10 * GBPS, 84) / MPPS, 1)
+    14.9
+    """
+    if link_bps <= 0:
+        raise ConfigError(f"link speed must be positive, got {link_bps}")
+    if wire_packet_bytes <= 0:
+        raise ConfigError(
+            f"wire packet size must be positive, got {wire_packet_bytes}"
+        )
+    return link_bps / (wire_packet_bytes * BITS_PER_BYTE)
+
+
+def min_wire_bytes_for_rate(link_bps: float, max_pps: float) -> float:
+    """Smallest wire packet size keeping a link at or below ``max_pps``.
+
+    This is the quantity switch designers tune when they "increase the
+    assumed average packet size, which caps the maximum packet rate"
+    (paper, section 2, issue 3).
+    """
+    if max_pps <= 0:
+        raise ConfigError(f"packet rate must be positive, got {max_pps}")
+    return link_bps / (max_pps * BITS_PER_BYTE)
+
+
+def pipeline_frequency(
+    port_speed_bps: float,
+    ports_per_pipeline: float,
+    wire_packet_bytes: float,
+) -> float:
+    """Clock frequency (Hz) of a pipeline retiring one packet per cycle.
+
+    ``ports_per_pipeline`` may be fractional: the ADCP demultiplexes one
+    port across ``m`` pipelines, which the paper writes as ``1/m`` ports
+    per pipeline (0.5 for a 1:2 demux).
+    """
+    if ports_per_pipeline <= 0:
+        raise ConfigError(
+            f"ports per pipeline must be positive, got {ports_per_pipeline}"
+        )
+    aggregate_bps = port_speed_bps * ports_per_pipeline
+    return packet_rate(aggregate_bps, wire_packet_bytes)
+
+
+def format_si(value: float, unit: str) -> str:
+    """Render a value with an SI prefix, e.g. ``format_si(12.8e12, 'bps')``.
+
+    >>> format_si(12.8e12, 'bps')
+    '12.8 Tbps'
+    """
+    for factor, prefix in ((TERA, "T"), (GIGA, "G"), (MEGA, "M"), (KILO, "k")):
+        if abs(value) >= factor:
+            scaled = value / factor
+            text = f"{scaled:.4g}"
+            return f"{text} {prefix}{unit}"
+    return f"{value:.4g} {unit}"

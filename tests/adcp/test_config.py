@@ -1,0 +1,81 @@
+"""Tests for ADCP configuration (repro.adcp.config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adcp.config import ADCPConfig, table3_config
+from repro.errors import ConfigError
+from repro.units import GBPS, GHZ
+
+
+class TestGeometry:
+    def test_lane_counts(self):
+        config = ADCPConfig(num_ports=16, demux_factor=2)
+        assert config.ingress_pipelines == 32
+        assert config.egress_pipelines == 32
+
+    def test_lane_indexing_roundtrip(self):
+        config = ADCPConfig(num_ports=8, demux_factor=4)
+        for port in range(8):
+            for lane in range(4):
+                global_lane = config.lane_of(port, lane)
+                assert config.port_of_lane(global_lane) == port
+
+    def test_lane_bounds_checked(self):
+        config = ADCPConfig(num_ports=8, demux_factor=2)
+        with pytest.raises(ConfigError):
+            config.lane_of(8, 0)
+        with pytest.raises(ConfigError):
+            config.lane_of(0, 2)
+        with pytest.raises(ConfigError):
+            config.port_of_lane(16)
+
+
+class TestClocks:
+    def test_table3_800g_lane_frequency(self):
+        """Table 3 row 2: 800G demuxed 1:2 at 84 B -> ~0.6 GHz lanes."""
+        config = table3_config(800)
+        assert config.lane_frequency_hz == pytest.approx(0.60 * GHZ, rel=0.02)
+
+    def test_table3_1600g_lane_frequency(self):
+        """Table 3 row 4: 1.6T demuxed 1:2 -> ~1.19 GHz lanes."""
+        config = table3_config(1600)
+        assert config.lane_frequency_hz == pytest.approx(1.19 * GHZ, rel=0.02)
+
+    def test_lane_frequency_scales_inversely_with_demux(self):
+        base = ADCPConfig(num_ports=4, demux_factor=1)
+        half = ADCPConfig(num_ports=4, demux_factor=2)
+        assert half.lane_frequency_hz == pytest.approx(base.lane_frequency_hz / 2)
+
+    def test_central_clock_covers_aggregate(self):
+        """The central bank must absorb the whole switch's packet rate."""
+        config = ADCPConfig(num_ports=8, central_pipelines=4)
+        aggregate = config.port_packet_rate_pps * 8
+        assert config.central_clock_hz * 4 >= aggregate
+
+    def test_central_clock_override(self):
+        config = ADCPConfig(central_frequency_hz=2 * GHZ)
+        assert config.central_clock_hz == 2 * GHZ
+
+
+class TestValidation:
+    def test_array_width_bounded_by_maus(self):
+        with pytest.raises(ConfigError):
+            ADCPConfig(array_width=17, maus_per_stage=16)
+
+    def test_demux_factor_positive(self):
+        with pytest.raises(ConfigError):
+            ADCPConfig(demux_factor=0)
+
+    def test_min_packet_floor(self):
+        with pytest.raises(ConfigError):
+            ADCPConfig(min_wire_packet_bytes=50)
+
+    def test_margin_at_least_one(self):
+        with pytest.raises(ConfigError):
+            ADCPConfig(frequency_margin=0.9)
+
+    def test_throughput(self):
+        config = ADCPConfig(num_ports=16, port_speed_bps=800 * GBPS)
+        assert config.throughput_bps == pytest.approx(12.8e12)

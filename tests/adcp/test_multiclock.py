@@ -1,0 +1,112 @@
+"""Tests for the array MAT-memory designs (repro.adcp.multiclock)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adcp.multiclock import (
+    MAX_SRAM_FREQUENCY_HZ,
+    BankedMatMemory,
+    MultiClockMatMemory,
+)
+from repro.errors import ConfigError
+from repro.sim.rng import make_rng
+from repro.units import GHZ
+
+
+class TestMultiClock:
+    def test_memory_clock_is_width_times_pipeline(self):
+        design = MultiClockMatMemory(0.6 * GHZ, 4)
+        assert design.memory_frequency_hz == pytest.approx(2.4 * GHZ)
+
+    def test_feasible_at_low_lane_clocks(self):
+        """The paper's synergy: demuxed lanes run slow, leaving clock
+        headroom for the n-times-faster memory."""
+        lane = MultiClockMatMemory(0.6 * GHZ, 4)
+        assert lane.is_feasible
+
+    def test_infeasible_at_width_16_on_slow_lane(self):
+        design = MultiClockMatMemory(0.6 * GHZ, 16)  # 9.6 GHz memory
+        assert not design.is_feasible
+        with pytest.raises(ConfigError):
+            design.lookups_per_pipeline_cycle([1] * 16)
+
+    def test_max_feasible_width(self):
+        design = MultiClockMatMemory(0.6 * GHZ, 1)
+        assert design.max_feasible_width == int(MAX_SRAM_FREQUENCY_HZ / (0.6 * GHZ))
+
+    def test_full_width_batch_retires_in_one_cycle(self):
+        design = MultiClockMatMemory(0.6 * GHZ, 4)
+        assert design.lookups_per_pipeline_cycle([1, 2, 3, 4]) == pytest.approx(4.0)
+
+    def test_oversized_batch_takes_extra_cycles(self):
+        design = MultiClockMatMemory(0.6 * GHZ, 4)
+        assert design.lookups_per_pipeline_cycle([1] * 8) == pytest.approx(4.0)
+        assert design.lookups_per_pipeline_cycle([1] * 6) == pytest.approx(3.0)
+
+    def test_area_overhead_is_fixed(self):
+        assert MultiClockMatMemory(1e9, 4).area_factor() == pytest.approx(1.15)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            MultiClockMatMemory(1e9, 4).lookups_per_pipeline_cycle([])
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MultiClockMatMemory(0, 4)
+        with pytest.raises(ConfigError):
+            MultiClockMatMemory(1e9, 0)
+
+
+class TestBanked:
+    def test_always_feasible(self):
+        assert BankedMatMemory(1.62 * GHZ, 16).is_feasible
+        assert BankedMatMemory(1.62 * GHZ, 16).memory_frequency_hz == 1.62 * GHZ
+
+    def test_conflict_free_batch_single_cycle(self):
+        design = BankedMatMemory(1e9, 4)
+        # Find 4 keys in distinct banks.
+        keys, banks = [], set()
+        key = 0
+        while len(keys) < 4:
+            bank = design.bank_of(key)
+            if bank not in banks:
+                banks.add(bank)
+                keys.append(key)
+            key += 1
+        assert design.batch_cycles(keys) == 1
+        assert design.lookups_per_pipeline_cycle(keys) == pytest.approx(4.0)
+
+    def test_full_conflict_serializes(self):
+        design = BankedMatMemory(1e9, 4)
+        key = 17
+        assert design.batch_cycles([key] * 4) == 4
+        assert design.lookups_per_pipeline_cycle([key] * 4) == pytest.approx(1.0)
+
+    def test_expected_cycles_exceed_one_for_random_batches(self):
+        """Birthday effect: random keys collide, so banked throughput is
+        strictly below the multi-clock design's."""
+        design = BankedMatMemory(1e9, 8)
+        mean = design.expected_batch_cycles(8, trials=300, rng=make_rng(1))
+        assert 1.5 < mean < 4.0
+
+    def test_area_grows_with_banks(self):
+        assert BankedMatMemory(1e9, 16).area_factor() > BankedMatMemory(1e9, 4).area_factor()
+
+    def test_validation(self):
+        design = BankedMatMemory(1e9, 4)
+        with pytest.raises(ConfigError):
+            design.batch_cycles([])
+        with pytest.raises(ConfigError):
+            design.expected_batch_cycles(0, 10, make_rng())
+        with pytest.raises(ConfigError):
+            design.expected_batch_cycles(4, 0, make_rng())
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**31), min_size=1, max_size=32))
+    def test_batch_cycles_bounds(self, keys):
+        """Cycles are between ceil(n/width) and n."""
+        design = BankedMatMemory(1e9, 8)
+        cycles = design.batch_cycles(keys)
+        assert (len(keys) + 7) // 8 <= cycles <= len(keys)

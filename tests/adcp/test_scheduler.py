@@ -1,0 +1,147 @@
+"""Tests for TM1 scheduling disciplines (repro.adcp.scheduler)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adcp.scheduler import (
+    FifoScheduler,
+    KWayMergeScheduler,
+    order_violations,
+)
+from repro.errors import ConfigError
+from repro.net.traffic import make_coflow_packet
+
+
+def _packet(flow: int, key: int):
+    return make_coflow_packet(1, flow, seq=key, elements=[(key, key)])
+
+
+class TestFifoScheduler:
+    def test_arrival_order_preserved(self):
+        fifo = FifoScheduler()
+        for key in (5, 1, 3):
+            fifo.offer(_packet(0, key))
+        released = fifo.drain()
+        assert [p.payload[0].key for p in released] == [5, 1, 3]
+        assert fifo.released == 3
+        assert fifo.pending() == 0
+
+    def test_interleaved_sorted_flows_violate_order(self):
+        """The classic-TM baseline: two sorted flows interleaved FIFO are
+        not globally sorted."""
+        fifo = FifoScheduler()
+        for key in (0, 10, 1, 11, 2, 12):
+            fifo.offer(_packet(key % 2, key))
+        released = fifo.drain()
+        assert order_violations(released) > 0
+
+
+class TestKWayMerge:
+    def test_merges_two_sorted_flows(self):
+        merge = KWayMergeScheduler(flows=[0, 1])
+        released = []
+        # Flow 0: 0, 2, 4 — flow 1: 1, 3, 5, interleaved arrival.
+        for flow, key in [(0, 0), (1, 1), (0, 2), (1, 3), (0, 4), (1, 5)]:
+            released.extend(merge.offer(_packet(flow, key)))
+        released.extend(merge.finish_flow(0))
+        released.extend(merge.finish_flow(1))
+        keys = [p.payload[0].key for p in released]
+        assert keys == [0, 1, 2, 3, 4, 5]
+        assert order_violations(released) == 0
+        assert merge.is_drained
+
+    def test_blocks_on_empty_unfinished_flow(self):
+        """A flow with no buffered packet gates the merge — the streaming
+        watermark condition."""
+        merge = KWayMergeScheduler(flows=[0, 1])
+        assert merge.offer(_packet(0, 5)) == []  # flow 1 unknown
+        released = merge.offer(_packet(1, 7))
+        assert [p.payload[0].key for p in released] == [5]
+
+    def test_finish_unblocks(self):
+        merge = KWayMergeScheduler(flows=[0, 1])
+        merge.offer(_packet(0, 5))
+        released = merge.finish_flow(1)
+        assert [p.payload[0].key for p in released] == [5]
+
+    def test_unsorted_flow_rejected(self):
+        """Section 3.1: TM1 'could keep a sort order while it merges flows
+        that are themselves sorted' — it does not sort."""
+        merge = KWayMergeScheduler(flows=[0])
+        merge.offer(_packet(0, 5))
+        with pytest.raises(ConfigError):
+            merge.offer(_packet(0, 3))
+
+    def test_unregistered_flow_rejected(self):
+        merge = KWayMergeScheduler(flows=[0])
+        with pytest.raises(ConfigError):
+            merge.offer(_packet(9, 1))
+
+    def test_offer_after_finish_rejected(self):
+        merge = KWayMergeScheduler(flows=[0])
+        merge.finish_flow(0)
+        with pytest.raises(ConfigError):
+            merge.offer(_packet(0, 1))
+
+    def test_duplicate_flows_rejected(self):
+        with pytest.raises(ConfigError):
+            KWayMergeScheduler(flows=[0, 0])
+
+    def test_max_buffered_tracked(self):
+        merge = KWayMergeScheduler(flows=[0, 1])
+        merge.offer(_packet(0, 1))
+        merge.offer(_packet(0, 2))
+        assert merge.max_buffered == 2
+
+    def test_equal_keys_across_flows_release_stably(self):
+        merge = KWayMergeScheduler(flows=[0, 1])
+        merge.offer(_packet(0, 5))
+        released = merge.offer(_packet(1, 5))
+        released += merge.finish_flow(0)
+        released += merge.finish_flow(1)
+        assert len(released) == 2
+        assert order_violations(released) == 0
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=20),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    def test_merge_of_sorted_flows_is_globally_sorted(self, flows_keys):
+        """Property: merging any set of sorted flows, under any arrival
+        interleaving, yields a globally sorted release order."""
+        flows_keys = [sorted(keys) for keys in flows_keys]
+        merge = KWayMergeScheduler(flows=list(range(len(flows_keys))))
+        released = []
+        cursors = [0] * len(flows_keys)
+        # Round-robin arrival interleaving.
+        remaining = sum(len(k) for k in flows_keys)
+        flow = 0
+        while remaining:
+            if cursors[flow] < len(flows_keys[flow]):
+                key = flows_keys[flow][cursors[flow]]
+                released.extend(merge.offer(_packet(flow, key)))
+                cursors[flow] += 1
+                remaining -= 1
+            flow = (flow + 1) % len(flows_keys)
+        for flow in range(len(flows_keys)):
+            released.extend(merge.finish_flow(flow))
+        keys = [p.payload[0].key for p in released]
+        assert keys == sorted(
+            key for keys in flows_keys for key in keys
+        )
+
+
+class TestOrderViolations:
+    def test_sorted_stream_has_none(self):
+        packets = [_packet(0, k) for k in range(5)]
+        assert order_violations(packets) == 0
+
+    def test_counts_adjacent_inversions(self):
+        packets = [_packet(0, k) for k in (3, 1, 2, 0)]
+        assert order_violations(packets) == 2

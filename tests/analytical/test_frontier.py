@@ -1,0 +1,84 @@
+"""Tests for feasibility-frontier sweeps (repro.analytical.frontier)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytical.frontier import (
+    MAX_VIABLE_FREQ_GHZ,
+    demux_frontier,
+    mux_frontier,
+    required_demux_factor,
+    sweep_port_speeds,
+)
+from repro.errors import ConfigError
+from repro.units import ETHERNET_MIN_WIRE_BYTES
+
+
+class TestMuxFrontier:
+    def test_all_points_respect_ceiling(self):
+        for point in mux_frontier(1600):
+            assert point.freq_ghz <= MAX_VIABLE_FREQ_GHZ + 1e-9
+
+    def test_packet_size_tax_grows_with_multiplexing(self):
+        points = {int(p.ports_per_pipeline): p for p in mux_frontier(400)}
+        assert points[16].min_wire_packet_bytes > points[4].min_wire_packet_bytes
+
+    def test_10g_era_keeps_honest_packets(self):
+        """At 10G, even 64 ports per pipeline work with 84 B packets."""
+        points = {int(p.ports_per_pipeline): p for p in mux_frontier(10)}
+        assert points[64].honest_min_packet
+
+    def test_800g_mux_cannot_keep_honest_packets(self):
+        """At 800G, any *actual* multiplexing (>1 port/pipeline) forces
+        inflated minimum packets; only the degenerate 1:1 case fits."""
+        for point in mux_frontier(800):
+            if point.ports_per_pipeline > 1:
+                assert not point.honest_min_packet
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            mux_frontier(0)
+
+
+class TestDemuxFrontier:
+    def test_frequency_halves_per_doubling(self):
+        points = {p.demux_factor: p for p in demux_frontier(1600)}
+        assert points[2].freq_ghz == pytest.approx(points[1].freq_ghz / 2)
+        assert points[4].freq_ghz == pytest.approx(points[1].freq_ghz / 4)
+
+    def test_all_points_honest(self):
+        assert all(p.honest_min_packet for p in demux_frontier(800))
+
+    def test_1600g_needs_demux_2(self):
+        points = {p.demux_factor: p for p in demux_frontier(1600)}
+        assert not points[1].viable  # 2.38 GHz
+        assert points[2].viable     # 1.19 GHz
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigError):
+            demux_frontier(800, demux_factors=(0,))
+
+
+class TestRequiredDemuxFactor:
+    def test_paper_anchor_points(self):
+        assert required_demux_factor(800) == 1  # 1.19 GHz fits already
+        assert required_demux_factor(1600) == 2
+        assert required_demux_factor(3200) == 4
+
+    def test_slow_ports_need_no_demux(self):
+        assert required_demux_factor(10) == 1
+        assert required_demux_factor(100) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            required_demux_factor(0)
+
+
+class TestSweep:
+    def test_structure(self):
+        sweep = sweep_port_speeds((100, 800))
+        assert set(sweep) == {100, 800}
+        assert {"mux", "demux"} == set(sweep[100])
+        assert all(p.min_wire_packet_bytes >= ETHERNET_MIN_WIRE_BYTES
+                   for p in sweep[800]["mux"])

@@ -1,0 +1,70 @@
+"""Tests for the section 3.2 key-rate model (repro.analytical.keyrate)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analytical.keyrate import KeyRateModel, rmt_key_rate_ceiling
+from repro.errors import ConfigError
+
+
+class TestKeyRateModel:
+    def test_scalar_rate_equals_packet_rate(self):
+        model = KeyRateModel(packet_rate_pps=6e9)
+        assert model.key_rate(1) == pytest.approx(6e9)
+
+    def test_sixteen_wide_gives_16x(self):
+        """Section 3.2: '8- or 16-wide array processing ... one order of
+        magnitude' — with no bandwidth cap the gain is exactly the width."""
+        model = KeyRateModel(packet_rate_pps=6e9)
+        assert model.speedup(16) == pytest.approx(16.0)
+        assert model.speedup(8) == pytest.approx(8.0)
+
+    def test_bandwidth_cap_limits_large_packets(self):
+        """With a finite link, very wide packets become bandwidth-bound and
+        the speedup saturates below the packing factor."""
+        model = KeyRateModel(packet_rate_pps=6e9, link_bps=12.8e12)
+        unbounded = KeyRateModel(packet_rate_pps=6e9)
+        assert model.key_rate(64) < unbounded.key_rate(64)
+        # But small packets are pps-bound, not bandwidth-bound.
+        assert model.key_rate(1) == unbounded.key_rate(1)
+
+    def test_goodput_improves_with_packing(self):
+        model = KeyRateModel(packet_rate_pps=6e9)
+        assert model.goodput(16) > model.goodput(1) * 4
+
+    def test_frame_floor_at_64_bytes(self):
+        model = KeyRateModel(packet_rate_pps=1e9, header_bytes=20, element_width_bytes=4)
+        assert model.frame_bytes(1) == 64
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            KeyRateModel(packet_rate_pps=0)
+        model = KeyRateModel(packet_rate_pps=1e9)
+        with pytest.raises(ConfigError):
+            model.key_rate(0)
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_key_rate_monotone_in_packing(self, width):
+        """More elements per packet never hurts key rate (pps budget
+        fixed, bandwidth-capped or not)."""
+        model = KeyRateModel(packet_rate_pps=6e9, link_bps=12.8e12)
+        assert model.key_rate(width + 1) >= model.key_rate(width) * 0.999
+
+
+class TestRmtCeiling:
+    def test_headline_numbers(self):
+        """'Any application logic ... will be capped at 6 Bops/s' and
+        'misses a potential 16x performance boost'."""
+        ceiling = rmt_key_rate_ceiling()
+        assert ceiling["scalar_ops_per_s"] == pytest.approx(6e9)
+        assert ceiling["missed_factor"] == 16.0
+        assert ceiling["array_ops_per_s"] == pytest.approx(96e9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            rmt_key_rate_ceiling(0)
+        with pytest.raises(ConfigError):
+            rmt_key_rate_ceiling(1e9, 0)

@@ -1,0 +1,112 @@
+"""Tests reproducing Tables 2 and 3 (repro.analytical.scaling)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analytical.scaling import (
+    PAPER_TABLE2_ROWS,
+    PAPER_TABLE3_ROWS,
+    SwitchConfig,
+    demux_config,
+    min_packet_for_frequency,
+    mux_config,
+    table2_rows,
+    table3_rows,
+)
+from repro.errors import ConfigError
+from repro.units import GBPS, GHZ
+
+
+class TestTable2Reproduction:
+    def test_every_row_within_one_percent(self):
+        """The model must reproduce every published Table 2 frequency."""
+        for row in table2_rows():
+            assert row.freq_error < 0.01, row
+
+    def test_row_values_match_paper_exactly_when_exact(self):
+        rows = table2_rows()
+        # Row 2 (6.4 Tbps) is exact: 100G x 16 / (160 x 8) = 1.25 GHz.
+        assert rows[1].computed_freq_ghz == pytest.approx(1.25)
+
+    def test_min_packet_grows_with_throughput(self):
+        """The unsustainable trend: the assumed minimum packet grows from
+        84 B to 495 B across switch generations."""
+        packets = [row.min_packet_bytes for row in PAPER_TABLE2_ROWS]
+        assert packets == sorted(packets)
+        assert packets[0] == 84
+        assert packets[-1] == 495
+
+    def test_ports_per_pipeline_shrinks(self):
+        ports = [row.ports_per_pipeline for row in PAPER_TABLE2_ROWS]
+        assert ports[0] == 64
+        assert ports[-1] == 4
+
+
+class TestTable3Reproduction:
+    def test_every_row_within_one_percent(self):
+        for row in table3_rows():
+            assert row.freq_error < 0.01, row
+
+    def test_demux_halves_clock_at_800g(self):
+        """800 Gbps 1:2 demux runs at ~0.6 GHz with honest 84 B packets."""
+        rows = table3_rows()
+        assert rows[1].computed_freq_ghz == pytest.approx(0.595, abs=0.005)
+        assert rows[1].min_packet_bytes == 84
+
+    def test_demux_1600g_at_1_19ghz(self):
+        rows = table3_rows()
+        assert rows[3].computed_freq_ghz == pytest.approx(1.19, abs=0.01)
+
+    def test_demux_rows_use_fractional_ports(self):
+        assert PAPER_TABLE3_ROWS[1].ports_per_pipeline == Fraction(1, 2)
+
+
+class TestSwitchConfig:
+    def test_mux_config_row(self):
+        config = mux_config(6.4e12, 100 * GBPS, 4, 160)
+        assert config.num_ports == 64
+        assert config.ports_per_pipeline == 16
+        assert config.pipeline_frequency_hz == pytest.approx(1.25 * GHZ)
+        assert config.demux_factor == 1
+        assert config.total_packet_rate_pps == pytest.approx(5 * GHZ)
+
+    def test_demux_config(self):
+        config = demux_config(800 * GBPS, demux_factor=2, num_ports=64)
+        assert config.ports_per_pipeline == Fraction(1, 2)
+        assert config.pipelines == 128
+        assert config.demux_factor == 2
+        assert config.pipeline_frequency_hz == pytest.approx(0.595e9, rel=1e-3)
+
+    def test_uneven_port_split_rejected(self):
+        with pytest.raises(ConfigError):
+            mux_config(6.4e12, 100 * GBPS, 5, 160)
+
+    def test_sub_ethernet_packet_rejected(self):
+        with pytest.raises(ConfigError):
+            mux_config(640e9, 10 * GBPS, 1, 80)
+
+    def test_invalid_demux_factor(self):
+        with pytest.raises(ConfigError):
+            demux_config(800 * GBPS, 0)
+
+
+class TestMinPacketForFrequency:
+    def test_recovers_table2_row3_packet(self):
+        """8x400G under 1.62 GHz needs a ~247 B minimum packet."""
+        packet = min_packet_for_frequency(400 * GBPS, 8, 1.62 * GHZ)
+        assert packet == pytest.approx(247, abs=1)
+
+    def test_recovers_495_for_800g(self):
+        packet = min_packet_for_frequency(800 * GBPS, 8, 1.62 * GHZ)
+        assert packet == pytest.approx(494, abs=2)
+
+    def test_fraction_supported(self):
+        packet = min_packet_for_frequency(800 * GBPS, Fraction(1, 2), 0.60 * GHZ)
+        assert packet == pytest.approx(83.3, abs=1)
+
+    def test_invalid_ceiling(self):
+        with pytest.raises(ConfigError):
+            min_packet_for_frequency(GBPS, 1, 0)

@@ -1,0 +1,130 @@
+"""Tests for the DB filter-aggregate-reshuffle app (repro.apps.dbshuffle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adcp.switch import ADCPSwitch
+from repro.apps import DBShuffleApp
+from repro.apps.base import OP_RESULT
+from repro.errors import ConfigError
+from repro.rmt.switch import RMTSwitch
+
+
+def _app(**kwargs) -> DBShuffleApp:
+    defaults = dict(
+        mapper_ports=[0, 1],
+        reducer_ports=[4, 5],
+        groups=16,
+        filter_modulus=2,
+        elements_per_packet=1,
+    )
+    defaults.update(kwargs)
+    return DBShuffleApp(**defaults)  # type: ignore[arg-type]
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            _app(mapper_ports=[])
+        with pytest.raises(ConfigError):
+            _app(groups=0)
+        with pytest.raises(ConfigError):
+            _app(filter_modulus=0)
+
+    def test_declares_central_state(self):
+        assert _app().uses_central_state()
+
+
+class TestEndToEnd:
+    def test_adcp_group_totals_exact(self, small_adcp_config):
+        app = _app(elements_per_packet=16)
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run(
+            app.workload(small_adcp_config.port_speed_bps, elements_per_mapper=160)
+        )
+        got = app.collect_results(result.delivered)
+        assert got == app.expected_result(160)
+
+    def test_rmt_group_totals_exact(self, small_rmt_config):
+        app = _app(elements_per_packet=1)
+        switch = RMTSwitch(small_rmt_config, app)
+        result = switch.run(
+            app.workload(small_rmt_config.port_speed_bps, elements_per_mapper=80)
+        )
+        assert app.collect_results(result.delivered) == app.expected_result(80)
+
+    def test_filter_removes_odd_values(self, small_adcp_config):
+        """value_fn producing odd values for odd keys -> those elements are
+        filtered at ingress and never aggregated."""
+        app = _app(elements_per_packet=16)
+        switch = ADCPSwitch(small_adcp_config, app)
+        value_fn = lambda key, mapper: key  # odd keys give odd values
+        result = switch.run(
+            app.workload(
+                small_adcp_config.port_speed_bps, 160, value_fn=value_fn
+            )
+        )
+        got = app.collect_results(result.delivered)
+        assert got == app.expected_result(160, value_fn)
+        assert all(key % 2 == 0 for key in got)
+        assert app.filtered_elements > 0
+
+    def test_results_reshuffled_by_group_hash(self, small_adcp_config):
+        """Each group's total lands on the reducer owning the group — the
+        're-shuffle' of filter-aggregate-reshuffle."""
+        app = _app(elements_per_packet=16)
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run(
+            app.workload(small_adcp_config.port_speed_bps, 160)
+        )
+        for packet in result.delivered:
+            if packet.header("coflow")["opcode"] != OP_RESULT:
+                continue
+            for element in packet.payload:
+                assert packet.meta.egress_port == app.reducer_of(element.key)
+
+    def test_each_group_emitted_once(self, small_adcp_config):
+        app = _app(elements_per_packet=16)
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run(app.workload(small_adcp_config.port_speed_bps, 160))
+        seen: list[int] = []
+        for packet in result.delivered:
+            if packet.header("coflow")["opcode"] == OP_RESULT:
+                seen.extend(packet.payload.keys())
+        assert len(seen) == len(set(seen))
+
+
+class TestFlushProtocol:
+    def test_flush_keys_cover_all_partitions(self, small_adcp_config):
+        app = _app()
+        ADCPSwitch(small_adcp_config, app)  # binds placement
+        keys = app.flush_keys()
+        assert len(keys) == small_adcp_config.central_pipelines
+        partitions = {app.partition_of_key(k) for k in keys}
+        assert partitions == set(range(small_adcp_config.central_pipelines))
+
+    def test_flush_keys_before_binding_rejected(self):
+        with pytest.raises(ConfigError):
+            _app().flush_keys()
+
+    def test_no_results_before_all_mappers_flush(self, small_adcp_config):
+        """A partition emits only after hearing a flush from *every*
+        mapper — blocking-operator semantics."""
+        app = _app(elements_per_packet=16)
+        switch = ADCPSwitch(small_adcp_config, app)
+        # Truncate the workload: drop the second mapper's flush markers.
+        events = list(app.workload(small_adcp_config.port_speed_bps, 64))
+        kept = [
+            (t, p) for t, p in events
+            if not (
+                p.header("coflow")["opcode"] == 1
+                and p.header("coflow")["worker_id"] == 1
+            )
+        ]
+        result = switch.run(kept)
+        results = [
+            p for p in result.delivered
+            if p.header("coflow")["opcode"] == OP_RESULT
+        ]
+        assert results == []

@@ -1,0 +1,109 @@
+"""Tests for the graph-mining dedup app (repro.apps.graphmining)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adcp.switch import ADCPSwitch
+from repro.apps import GraphMiningApp
+from repro.errors import ConfigError
+from repro.sim.rng import make_rng
+
+
+def _app(**kwargs) -> GraphMiningApp:
+    defaults = dict(
+        partition_ports=[0, 1, 4, 5],
+        num_vertices=1024,
+        elements_per_packet=16,
+    )
+    defaults.update(kwargs)
+    return GraphMiningApp(**defaults)  # type: ignore[arg-type]
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            _app(partition_ports=[0])
+        with pytest.raises(ConfigError):
+            _app(num_vertices=0)
+
+    def test_declares_central_state(self):
+        assert _app().uses_central_state()
+
+
+class TestDeduplication:
+    def test_each_vertex_forwarded_exactly_once(self, small_adcp_config, rng):
+        app = _app()
+        switch = ADCPSwitch(small_adcp_config, app)
+        workload = app.superstep_workload(
+            small_adcp_config.port_speed_bps,
+            frontier_size=200,
+            duplication=2.0,
+            rng=rng,
+        )
+        result = switch.run(workload)
+        all_forwarded: list[int] = []
+        for packet in result.delivered:
+            all_forwarded.extend(packet.payload.keys())
+        assert len(all_forwarded) == len(set(all_forwarded))
+        assert app.duplicates_absorbed > 0
+        assert app.uniques_forwarded == len(set(all_forwarded))
+
+    def test_forwarded_set_equals_frontier(self, small_adcp_config, rng):
+        app = _app()
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run(
+            app.superstep_workload(
+                small_adcp_config.port_speed_bps, 100, 1.0, rng
+            )
+        )
+        forwarded = app.collect_forwarded(result.delivered)
+        assert len(forwarded) == 100
+
+    def test_vertices_routed_to_owner(self, small_adcp_config, rng):
+        app = _app()
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run(
+            app.superstep_workload(
+                small_adcp_config.port_speed_bps, 100, 1.0, rng
+            )
+        )
+        for packet in result.delivered:
+            for element in packet.payload:
+                assert packet.meta.egress_port == app.owner_of(element.key)
+
+    def test_bandwidth_saved_grows_with_duplication(self, small_adcp_config):
+        """The point of in-flight dedup: higher duplication -> larger
+        absorbed fraction."""
+        low_app = _app()
+        low = ADCPSwitch(small_adcp_config, low_app).run(
+            low_app.superstep_workload(
+                small_adcp_config.port_speed_bps, 150, 0.5, make_rng(7)
+            )
+        )
+        high_app = _app()
+        high = ADCPSwitch(small_adcp_config, high_app).run(
+            high_app.superstep_workload(
+                small_adcp_config.port_speed_bps, 150, 4.0, make_rng(7)
+            )
+        )
+        low_ratio = low_app.duplicates_absorbed / max(1, low_app.uniques_forwarded)
+        high_ratio = high_app.duplicates_absorbed / max(1, high_app.uniques_forwarded)
+        assert high_ratio > low_ratio
+
+    def test_out_of_range_vertex_rejected(self, small_adcp_config):
+        from repro.net.traffic import make_coflow_packet
+
+        app = _app(num_vertices=10)
+        switch = ADCPSwitch(small_adcp_config, app)
+        packet = make_coflow_packet(app.coflow_id, 0, 0, [(999, 0)])
+        packet.meta.ingress_port = 0
+        with pytest.raises(ConfigError):
+            switch.run([(0.0, packet)])
+
+    def test_workload_validation(self, rng):
+        app = _app()
+        with pytest.raises(ConfigError):
+            app.superstep_workload(1e9, 0, 1.0, rng)
+        with pytest.raises(ConfigError):
+            app.superstep_workload(1e9, 10, -0.5, rng)

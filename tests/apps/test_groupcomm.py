@@ -1,0 +1,108 @@
+"""Tests for the group-communication app (repro.apps.groupcomm)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adcp.switch import ADCPSwitch
+from repro.apps import GroupCommApp
+from repro.errors import ConfigError
+from repro.rmt.switch import RMTSwitch
+
+
+def _app(**kwargs) -> GroupCommApp:
+    defaults = dict(
+        groups={1: [2, 4, 6], 2: [1, 5]},
+        elements_per_packet=1,
+    )
+    defaults.update(kwargs)
+    return GroupCommApp(**defaults)  # type: ignore[arg-type]
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GroupCommApp({})
+        with pytest.raises(ConfigError):
+            GroupCommApp({1: []})
+        with pytest.raises(ConfigError):
+            GroupCommApp({1: [2, 2]})
+
+    def test_declares_central_state(self):
+        assert _app().uses_central_state()
+
+
+class TestFanOut:
+    def test_every_member_receives_every_transfer(self, small_adcp_config):
+        app = _app()
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run(
+            app.workload(
+                small_adcp_config.port_speed_bps,
+                senders={0: 1},
+                transfers_per_sender=5,
+            )
+        )
+        counts = app.deliveries_per_port(result.delivered)
+        assert counts == {2: 5, 4: 5, 6: 5}
+        assert app.transfers_started == 5
+        assert app.copies_created == 15
+
+    def test_unknown_group_dropped(self, small_adcp_config):
+        from repro.net.traffic import make_coflow_packet
+
+        app = _app()
+        switch = ADCPSwitch(small_adcp_config, app)
+        packet = make_coflow_packet(app.coflow_id, 0, 0, [(99, 0)])
+        packet.meta.ingress_port = 0
+        result = switch.run([(0.0, packet)])
+        assert result.delivered == []
+        assert result.dropped[0].meta.drop_reason == "unknown_group"
+
+    def test_multiple_senders_multiple_groups(self, small_adcp_config):
+        app = _app()
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run(
+            app.workload(
+                small_adcp_config.port_speed_bps,
+                senders={0: 1, 3: 2},
+                transfers_per_sender=2,
+            )
+        )
+        counts = app.deliveries_per_port(result.delivered)
+        assert counts == {2: 2, 4: 2, 6: 2, 1: 2, 5: 2}
+
+    def test_rmt_pays_recirculation_for_group_fanout(self, small_rmt_config):
+        """On RMT the membership state pins to a pipeline; copies to other
+        pipelines loop around."""
+        app = _app()
+        switch = RMTSwitch(small_rmt_config, app)
+        result = switch.run(
+            app.workload(
+                small_rmt_config.port_speed_bps,
+                senders={0: 1},
+                transfers_per_sender=4,
+            )
+        )
+        counts = app.deliveries_per_port(result.delivered)
+        assert counts == {2: 4, 4: 4, 6: 4}
+        assert result.recirculated_packets > 0
+
+    def test_adcp_needs_no_recirculation(self, small_adcp_config):
+        app = _app()
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run(
+            app.workload(
+                small_adcp_config.port_speed_bps,
+                senders={0: 1},
+                transfers_per_sender=4,
+            )
+        )
+        assert result.recirculated_packets == 0
+
+    def test_workload_validation(self):
+        app = _app()
+        with pytest.raises(ConfigError):
+            app.workload(1e9, senders={0: 99}, transfers_per_sender=1)
+        with pytest.raises(ConfigError):
+            app.workload(1e9, senders={0: 1}, transfers_per_sender=0)

@@ -1,0 +1,214 @@
+"""Tests for the key/value cache app (repro.apps.kvcache)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adcp.switch import ADCPSwitch
+from repro.apps import KVCacheApp
+from repro.apps.base import OP_GET, OP_PUT, OP_REPLY
+from repro.errors import ConfigError
+from repro.net.traffic import DeterministicSource, make_coflow_packet
+from repro.rmt.switch import RMTSwitch
+from repro.sim.rng import make_rng
+
+
+def _app(**kwargs) -> KVCacheApp:
+    defaults = dict(
+        server_port=7,
+        client_ports=[0, 1, 2],
+        hot_items={k: k * 100 for k in range(16)},
+        elements_per_packet=1,
+    )
+    defaults.update(kwargs)
+    return KVCacheApp(**defaults)  # type: ignore[arg-type]
+
+
+def _get(app, key, worker=0, seq=0):
+    packet = make_coflow_packet(
+        app.coflow_id, worker, seq, [(key, 0)], opcode=OP_GET, worker_id=worker
+    )
+    packet.meta.ingress_port = app.client_ports[worker]
+    return packet
+
+
+def _put(app, key, value, worker=0, seq=0):
+    packet = make_coflow_packet(
+        app.coflow_id, worker, seq, [(key, value)], opcode=OP_PUT, worker_id=worker
+    )
+    packet.meta.ingress_port = app.client_ports[worker]
+    return packet
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            _app(client_ports=[])
+        with pytest.raises(ConfigError):
+            _app(server_port=0)  # collides with client port
+        with pytest.raises(ConfigError):
+            _app(capacity_per_partition=0)
+
+    def test_capacity_limit_on_install(self):
+        with pytest.raises(ConfigError):
+            app = KVCacheApp(
+                7, [0], {k: 0 for k in range(100)}, capacity_per_partition=4
+            )
+            app.bind_placement(2)
+
+
+class TestCacheBehaviour:
+    def test_hot_get_served_from_switch(self, small_adcp_config):
+        """Pre-installed hot items answer GETs from switch state."""
+        app = _app()
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run([(0.0, _get(app, key=3))])
+        replies = [
+            p for p in result.delivered
+            if p.header("coflow")["opcode"] == OP_REPLY
+        ]
+        assert len(replies) == 1
+        assert replies[0].payload.values() == [300]  # hot item 3 -> 300
+        assert replies[0].meta.egress_port == 0
+        assert app.hits == 1 and app.misses == 0
+
+    def test_put_then_get_returns_value(self, small_adcp_config):
+        app = _app()
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run(
+            [(0.0, _put(app, 3, 999)), (1e-6, _get(app, 3, worker=1, seq=1))]
+        )
+        replies = [
+            p for p in result.delivered
+            if p.header("coflow")["opcode"] == OP_REPLY
+        ]
+        assert len(replies) == 1
+        assert replies[0].payload.keys() == [3]
+        assert replies[0].payload.values() == [999]
+        assert replies[0].meta.egress_port == 1  # back to the requester
+        assert app.hits == 1
+
+    def test_put_writes_through_to_server(self, small_adcp_config):
+        app = _app()
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run([(0.0, _put(app, 3, 999))])
+        to_server = [p for p in result.delivered if p.meta.egress_port == 7]
+        assert len(to_server) == 1
+        assert to_server[0].header("coflow")["opcode"] == OP_PUT
+
+    def test_miss_forwarded_to_server(self, small_adcp_config):
+        app = _app()
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run([(0.0, _get(app, key=9999))])
+        to_server = [p for p in result.delivered if p.meta.egress_port == 7]
+        assert len(to_server) == 1
+        assert to_server[0].payload.keys() == [9999]
+        assert app.misses == 1
+        assert app.hit_rate == 0.0
+
+    def test_mixed_batch_splits_hits_and_misses(self, small_adcp_config):
+        """A 4-key GET with 2 cached keys yields one reply and one trimmed
+        miss request — element-level processing, the array story.
+
+        Batches must be partition-local, so the cached keys are chosen to
+        co-place with each other (the app owns placement, so the workload
+        can always arrange this)."""
+        app = _app(elements_per_packet=4)
+        switch = ADCPSwitch(small_adcp_config, app)
+        # Find two hot keys on the same partition, plus two cold keys that
+        # place there too.
+        assert app.placement_policy is not None
+        target = app.placement_policy.place(3)
+        hot = [k for k in app.hot_items if app.placement_policy.place(k) == target][:2]
+        cold = [
+            k for k in range(1000, 2000)
+            if app.placement_policy.place(k) == target
+        ][:2]
+        assert len(hot) == 2 and len(cold) == 2
+        packet = make_coflow_packet(
+            app.coflow_id, 0, 0,
+            [(hot[0], 0), (hot[1], 0), (cold[0], 0), (cold[1], 0)],
+            opcode=OP_GET, worker_id=0,
+        )
+        packet.meta.ingress_port = 0
+        result = switch.run([(0.0, packet)])
+        replies = [
+            p for p in result.delivered
+            if p.header("coflow")["opcode"] == OP_REPLY
+        ]
+        misses = [
+            p for p in result.delivered
+            if p.header("coflow")["opcode"] == OP_GET and p.meta.egress_port == 7
+        ]
+        assert len(replies) == 1
+        assert sorted(replies[0].payload.keys()) == sorted(hot)
+        assert replies[0].payload.values() == [k * 100 for k in replies[0].payload.keys()]
+        assert len(misses) == 1
+        assert sorted(misses[0].payload.keys()) == sorted(cold)
+        assert app.hits == 2
+        assert app.misses == 2
+
+    def test_cross_partition_batch_rejected(self, small_adcp_config):
+        """A batch mixing cached keys from different partitions is a
+        programming error the model surfaces."""
+        app = _app(elements_per_packet=4)
+        switch = ADCPSwitch(small_adcp_config, app)
+        assert app.placement_policy is not None
+        by_partition: dict[int, int] = {}
+        for key in app.hot_items:
+            by_partition.setdefault(app.placement_policy.place(key), key)
+        if len(by_partition) < 2:
+            pytest.skip("hot items landed on one partition")
+        k1, k2 = list(by_partition.values())[:2]
+        packet = make_coflow_packet(
+            app.coflow_id, 0, 0, [(k1, 0), (k2, 0)], opcode=OP_GET, worker_id=0
+        )
+        packet.meta.ingress_port = 0
+        with pytest.raises(ConfigError):
+            switch.run([(0.0, packet)])
+
+
+class TestWorkloadGenerator:
+    def test_zipf_stream_shape(self):
+        app = _app()
+        packets = app.request_stream(100, make_rng(1), key_space=1000)
+        assert len(packets) == 100
+        assert all(p.header("coflow")["opcode"] == OP_GET for p in packets)
+        # Zipf skew: the most popular key appears far more than median.
+        from collections import Counter
+
+        counts = Counter(k for p in packets for k in p.payload.keys())
+        assert counts.most_common(1)[0][1] >= 10
+
+    def test_requests_round_robin_clients(self):
+        app = _app()
+        packets = app.request_stream(6, make_rng(1))
+        ports = [p.meta.ingress_port for p in packets]
+        assert ports == [0, 1, 2, 0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            _app().request_stream(0, make_rng())
+
+
+class TestOnRmt:
+    def test_cache_works_scalar_on_rmt(self, small_rmt_config):
+        """The cache is a stateful hash table: legal on RMT only at one
+        key per packet."""
+        app = _app()
+        switch = RMTSwitch(small_rmt_config, app)
+        result = switch.run(
+            [(0.0, _put(app, 2, 42)), (1e-6, _get(app, 2, worker=1, seq=1))]
+        )
+        replies = [
+            p for p in result.delivered
+            if p.header("coflow")["opcode"] == OP_REPLY
+        ]
+        assert len(replies) == 1
+        assert replies[0].payload.values() == [42]
+
+    def test_wide_cache_rejected_on_rmt(self, small_rmt_config):
+        from repro.errors import CompileError
+
+        with pytest.raises(CompileError):
+            RMTSwitch(small_rmt_config, _app(elements_per_packet=4))

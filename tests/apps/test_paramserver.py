@@ -1,0 +1,142 @@
+"""Tests for the parameter-server app (repro.apps.paramserver)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adcp.switch import ADCPSwitch
+from repro.apps import ParameterServerApp
+from repro.apps.base import OP_RESULT
+from repro.errors import ConfigError
+from repro.rmt.switch import RMTSwitch
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ParameterServerApp([0], 16)  # one worker
+        with pytest.raises(ConfigError):
+            ParameterServerApp([0, 0], 16)  # duplicate ports
+        with pytest.raises(ConfigError):
+            ParameterServerApp([0, 1], 0)  # empty vector
+
+    def test_declares_central_state(self):
+        assert ParameterServerApp([0, 1], 16).uses_central_state()
+
+
+class TestPlacement:
+    def test_expected_counts_cover_vector(self):
+        app = ParameterServerApp([0, 1], 100, elements_per_packet=16)
+        app.bind_placement(4)
+        assert sum(app._expected.values()) == 100
+
+    def test_chunk_granularity(self):
+        """All keys of one chunk map to the chunk-start's partition."""
+        app = ParameterServerApp([0, 1], 64, elements_per_packet=16)
+        app.bind_placement(4)
+        for chunk_start in range(0, 64, 16):
+            partition = app.partition_of_key(chunk_start)
+            assert app._expected[partition] >= 16
+
+    def test_placement_key_is_first_element(self):
+        app = ParameterServerApp([0, 1], 16)
+        from repro.net.traffic import make_coflow_packet
+
+        packet = make_coflow_packet(1, 0, 0, [(42, 1), (43, 1)])
+        assert app.placement_key(packet) == 42
+
+    def test_empty_packet_rejected(self):
+        app = ParameterServerApp([0, 1], 16)
+        from repro.net.traffic import make_coflow_packet
+        from repro.net.packet import Packet
+        from repro.net.headers import standard_stack, coflow_header
+
+        packet = Packet(standard_stack() + [coflow_header(1, 0)])
+        with pytest.raises(ConfigError):
+            app.placement_key(packet)
+
+
+class TestEndToEndCorrectness:
+    def test_adcp_aggregation_exact(self, small_adcp_config):
+        app = ParameterServerApp([0, 1, 2, 3], 128, elements_per_packet=16)
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run(app.workload(small_adcp_config.port_speed_bps))
+        assert app.collect_results(result.delivered) == app.expected_result()
+
+    def test_rmt_aggregation_exact(self, small_rmt_config):
+        app = ParameterServerApp([0, 1, 2, 3], 128, elements_per_packet=1)
+        switch = RMTSwitch(small_rmt_config, app)
+        result = switch.run(app.workload(small_rmt_config.port_speed_bps))
+        assert app.collect_results(result.delivered) == app.expected_result()
+
+    def test_custom_value_function(self, small_adcp_config):
+        app = ParameterServerApp([0, 1], 32, elements_per_packet=16)
+        switch = ADCPSwitch(small_adcp_config, app)
+        value_fn = lambda key: key * key + 1
+        result = switch.run(
+            app.workload(small_adcp_config.port_speed_bps, value_fn=value_fn)
+        )
+        assert app.collect_results(result.delivered) == app.expected_result(value_fn)
+
+    def test_results_multicast_to_every_worker(self, small_adcp_config):
+        app = ParameterServerApp([0, 1, 4, 5], 32, elements_per_packet=16)
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run(app.workload(small_adcp_config.port_speed_bps))
+        results = [
+            p for p in result.delivered
+            if p.header("coflow")["opcode"] == OP_RESULT
+        ]
+        per_port: dict[int, int] = {}
+        for packet in results:
+            per_port[packet.meta.egress_port] = per_port.get(packet.meta.egress_port, 0) + 1
+        assert set(per_port) == {0, 1, 4, 5}
+        assert len(set(per_port.values())) == 1  # same count everywhere
+
+    def test_every_result_element_emitted_exactly_once(self, small_adcp_config):
+        app = ParameterServerApp([0, 1], 64, elements_per_packet=16)
+        switch = ADCPSwitch(small_adcp_config, app)
+        result = switch.run(app.workload(small_adcp_config.port_speed_bps))
+        keys_per_port: dict[int, list[int]] = {0: [], 1: []}
+        for packet in result.delivered:
+            if packet.header("coflow")["opcode"] != OP_RESULT:
+                continue
+            keys_per_port[packet.meta.egress_port].extend(
+                packet.payload.keys()
+            )
+        for port, keys in keys_per_port.items():
+            assert sorted(keys) == list(range(64)), f"port {port}"
+
+    def test_conflicting_duplicates_detected(self):
+        from repro.net.traffic import make_coflow_packet
+
+        a = make_coflow_packet(1, 0xFFFF, 0, [(1, 10)], opcode=OP_RESULT)
+        b = make_coflow_packet(1, 0xFFFF, 1, [(1, 20)], opcode=OP_RESULT)
+        with pytest.raises(ConfigError):
+            ParameterServerApp.collect_results([a, b])
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        workers=st.integers(min_value=2, max_value=6),
+        vector=st.integers(min_value=1, max_value=200),
+        epp=st.sampled_from([1, 4, 16]),
+    )
+    def test_aggregation_correct_for_any_shape(
+        self, workers, vector, epp
+    ):
+        """Property: aggregation is exact for any worker count, vector
+        length, and packing factor on the ADCP."""
+        from repro.adcp.config import ADCPConfig
+        from repro.units import GBPS
+
+        config = ADCPConfig(
+            num_ports=8, port_speed_bps=100 * GBPS, demux_factor=2,
+            central_pipelines=4,
+        )
+        app = ParameterServerApp(
+            list(range(workers)), vector, elements_per_packet=epp
+        )
+        switch = ADCPSwitch(config, app)
+        result = switch.run(app.workload(config.port_speed_bps))
+        assert app.collect_results(result.delivered) == app.expected_result()

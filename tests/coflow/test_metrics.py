@@ -1,0 +1,117 @@
+"""Tests for coflow metrics (repro.coflow.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coflow.metrics import (
+    CoflowMetrics,
+    completion_time,
+    goodput_fraction,
+    ideal_cct,
+    key_rate,
+)
+from repro.coflow.workload import aggregation_coflow
+from repro.errors import ConfigError
+from repro.net.traffic import make_coflow_packet
+from repro.units import GBPS
+
+
+class TestCompletionTime:
+    def test_last_flow_defines_cct(self):
+        assert completion_time({0: 1.0, 1: 3.0, 2: 2.0}) == 3.0
+
+    def test_release_offset(self):
+        assert completion_time({0: 5.0}, release_time=2.0) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            completion_time({})
+
+    def test_finish_before_release_rejected(self):
+        with pytest.raises(ConfigError):
+            completion_time({0: 1.0}, release_time=2.0)
+
+
+class TestGoodputFraction:
+    def test_scalar_packets_have_poor_goodput(self):
+        """Section 2(2): single-element packets are 'often small and thus
+        have subpar goodput'."""
+        scalar = [make_coflow_packet(1, 0, i, [(i, i)]) for i in range(10)]
+        wide = [
+            make_coflow_packet(1, 0, i, [(j, j) for j in range(16)])
+            for i in range(10)
+        ]
+        g_scalar = goodput_fraction(scalar)
+        g_wide = goodput_fraction(wide)
+        assert g_scalar < 0.15
+        assert g_wide > 0.6
+        assert g_wide > 4 * g_scalar
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            goodput_fraction([])
+
+
+class TestKeyRate:
+    def test_multiplies_packing_factor(self):
+        assert key_rate(6e9, 16) == pytest.approx(96e9)
+        assert key_rate(6e9, 1) == pytest.approx(6e9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            key_rate(-1, 1)
+        with pytest.raises(ConfigError):
+            key_rate(1e9, 0)
+
+
+class TestCoflowMetrics:
+    def _metrics(self) -> CoflowMetrics:
+        return CoflowMetrics(
+            coflow_id=1,
+            release_time=1.0,
+            finish_time=3.0,
+            wire_bytes=2000,
+            goodput_bytes=1000,
+            packets=10,
+            elements=100,
+        )
+
+    def test_derived_quantities(self):
+        m = self._metrics()
+        assert m.cct == 2.0
+        assert m.goodput == 0.5
+        assert m.elements_per_packet == 10.0
+        assert m.throughput_bps() == pytest.approx(2000 * 8 / 2.0)
+        assert m.element_rate() == pytest.approx(50.0)
+
+    def test_zero_cct_guarded(self):
+        m = CoflowMetrics(1, 1.0, 1.0, 10, 5, 1, 1)
+        with pytest.raises(ConfigError):
+            m.throughput_bps()
+
+    def test_zero_packets_goodput(self):
+        m = CoflowMetrics(1, 0.0, 1.0, 0, 0, 0, 0)
+        assert m.goodput == 0.0
+        assert m.elements_per_packet == 0.0
+
+
+class TestIdealCct:
+    def test_most_loaded_port_bounds(self):
+        coflow = aggregation_coflow(1, [0, 1], 1000)
+        cct = ideal_cct(coflow, 100 * GBPS, elements_per_packet=16)
+        # Each port carries input + output: 2 x 1000 elements x 8 B plus
+        # per-packet overhead; the bound must exceed the raw payload time.
+        payload_time = 2 * 1000 * 8 * 8 / (100 * GBPS)
+        assert cct > payload_time
+
+    def test_packing_reduces_ideal_cct(self):
+        coflow = aggregation_coflow(1, [0, 1], 1000)
+        scalar = ideal_cct(coflow, 100 * GBPS, elements_per_packet=1)
+        wide = ideal_cct(coflow, 100 * GBPS, elements_per_packet=16)
+        assert scalar > 3 * wide
+
+    def test_invalid_port_speed(self):
+        coflow = aggregation_coflow(1, [0, 1], 10)
+        with pytest.raises(ConfigError):
+            ideal_cct(coflow, 0, 1)

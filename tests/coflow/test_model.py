@@ -1,0 +1,99 @@
+"""Tests for the flow/coflow data model (repro.coflow.model)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coflow.model import Coflow, Flow, FlowDirection
+from repro.errors import ConfigError
+
+
+class TestFlow:
+    def test_size_bytes(self):
+        flow = Flow(0, 1, 2, element_count=100, element_width_bytes=8)
+        assert flow.size_bytes == 800
+
+    def test_packet_count_ceiling(self):
+        flow = Flow(0, 1, 2, element_count=100)
+        assert flow.packet_count(16) == 7
+        assert flow.packet_count(1) == 100
+        assert flow.packet_count(100) == 1
+
+    def test_invalid_packing(self):
+        flow = Flow(0, 1, 2, element_count=10)
+        with pytest.raises(ConfigError):
+            flow.packet_count(0)
+
+    def test_negative_elements_rejected(self):
+        with pytest.raises(ConfigError):
+            Flow(0, 1, 2, element_count=-1)
+
+    def test_packets_materialization(self):
+        flow = Flow(3, 1, 2, element_count=10)
+        packets = flow.packets(coflow_id=9, elements_per_packet=4)
+        assert len(packets) == 3
+        assert packets[0].element_count == 4
+        assert packets[-1].element_count == 2  # short tail
+        assert packets[0].meta.ingress_port == 1
+        assert packets[0].meta.egress_port == 2
+        assert packets[0].header("coflow")["flow_id"] == 3
+        seqs = [p.header("coflow")["seq"] for p in packets]
+        assert seqs == [0, 1, 2]
+
+    def test_packets_value_fn(self):
+        flow = Flow(0, 1, 2, element_count=3)
+        packets = flow.packets(1, 10, value_fn=lambda k: k * 2)
+        assert packets[0].payload is not None
+        assert packets[0].payload.values() == [0, 2, 4]
+
+    @given(
+        st.integers(min_value=1, max_value=1000),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_packets_carry_all_elements_exactly_once(self, count, epp):
+        flow = Flow(0, 1, 2, element_count=count)
+        packets = flow.packets(1, epp)
+        keys = [e.key for p in packets for e in (p.payload or [])]
+        assert keys == list(range(count))
+
+
+class TestCoflow:
+    def _sample(self) -> Coflow:
+        coflow = Coflow(1, pattern="test")
+        coflow.add(Flow(0, 0, 4, 100, direction=FlowDirection.INPUT))
+        coflow.add(Flow(1, 1, 5, 300, direction=FlowDirection.INPUT))
+        coflow.add(Flow(2, 0, 6, 50, direction=FlowDirection.OUTPUT))
+        return coflow
+
+    def test_width_size_length(self):
+        coflow = self._sample()
+        assert coflow.width == 3
+        assert coflow.size_bytes == 450 * 8
+        assert coflow.length_bytes == 300 * 8
+        assert coflow.total_elements == 450
+
+    def test_direction_partition(self):
+        coflow = self._sample()
+        assert len(coflow.input_flows) == 2
+        assert len(coflow.output_flows) == 1
+
+    def test_port_sets(self):
+        coflow = self._sample()
+        assert coflow.ingress_ports() == {0, 1}
+        assert coflow.egress_ports() == {6}
+
+    def test_duplicate_flow_ids_rejected(self):
+        coflow = self._sample()
+        with pytest.raises(ConfigError):
+            coflow.add(Flow(0, 9, 9, 1))
+
+    def test_duplicate_at_construction_rejected(self):
+        with pytest.raises(ConfigError):
+            Coflow(1, flows=[Flow(0, 0, 1, 1), Flow(0, 2, 3, 1)])
+
+    def test_empty_coflow_properties(self):
+        coflow = Coflow(1)
+        assert coflow.width == 0
+        assert coflow.length_bytes == 0

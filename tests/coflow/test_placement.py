@@ -1,0 +1,121 @@
+"""Tests for placement policies (repro.coflow.placement)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coflow.placement import (
+    ExplicitPlacement,
+    HashPlacement,
+    PortAffinityPlacement,
+    RangePlacement,
+)
+from repro.errors import ConfigError, PlacementError
+
+
+class TestHashPlacement:
+    def test_deterministic(self):
+        policy = HashPlacement(4)
+        assert policy.place(42) == policy.place(42)
+
+    def test_roughly_uniform(self):
+        policy = HashPlacement(4)
+        counts = policy.histogram(list(range(4000)))
+        assert all(800 < c < 1200 for c in counts)
+        assert policy.balance(list(range(4000))) > 0.85
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=1, max_value=64))
+    def test_always_in_range(self, key, partitions):
+        policy = HashPlacement(partitions)
+        assert 0 <= policy.place(key) < partitions
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ConfigError):
+            HashPlacement(0)
+
+
+class TestRangePlacement:
+    def test_boundaries_partition_the_line(self):
+        policy = RangePlacement([10, 20])
+        assert policy.partitions == 3
+        assert policy.place(5) == 0
+        assert policy.place(10) == 1
+        assert policy.place(15) == 1
+        assert policy.place(20) == 2
+        assert policy.place(1000) == 2
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ConfigError):
+            RangePlacement([20, 10])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigError):
+            RangePlacement([10, 10])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            RangePlacement([])
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=10, unique=True))
+    def test_place_is_monotone_in_key(self, boundaries):
+        policy = RangePlacement(sorted(boundaries))
+        placements = [policy.place(k) for k in range(0, 1001, 13)]
+        assert placements == sorted(placements)
+
+
+class TestExplicitPlacement:
+    def test_mapping_and_default(self):
+        policy = ExplicitPlacement(4, {1: 2, 5: 3}, default=0)
+        assert policy.place(1) == 2
+        assert policy.place(5) == 3
+        assert policy.place(99) == 0
+
+    def test_strict_mode_raises_on_unknown(self):
+        policy = ExplicitPlacement(4, {1: 2}, strict=True)
+        with pytest.raises(PlacementError):
+            policy.place(99)
+
+    def test_no_default_raises(self):
+        policy = ExplicitPlacement(4, {1: 2})
+        with pytest.raises(PlacementError):
+            policy.place(3)
+
+    def test_out_of_range_mapping_rejected(self):
+        with pytest.raises(ConfigError):
+            ExplicitPlacement(2, {1: 5})
+        with pytest.raises(ConfigError):
+            ExplicitPlacement(2, {}, default=7)
+
+
+class TestPortAffinityPlacement:
+    def test_rmt_port_to_pipeline_map(self):
+        policy = PortAffinityPlacement(num_ports=64, ports_per_pipeline=16)
+        assert policy.partitions == 4
+        assert policy.place_port(0) == 0
+        assert policy.place_port(15) == 0
+        assert policy.place_port(16) == 1
+        assert policy.place_port(63) == 3
+
+    def test_ports_of_inverse(self):
+        policy = PortAffinityPlacement(num_ports=8, ports_per_pipeline=4)
+        assert policy.ports_of(0) == [0, 1, 2, 3]
+        assert policy.ports_of(1) == [4, 5, 6, 7]
+
+    def test_out_of_range(self):
+        policy = PortAffinityPlacement(8, 4)
+        with pytest.raises(PlacementError):
+            policy.place_port(8)
+        with pytest.raises(PlacementError):
+            policy.ports_of(2)
+
+    def test_uneven_last_pipeline(self):
+        policy = PortAffinityPlacement(num_ports=10, ports_per_pipeline=4)
+        assert policy.partitions == 3
+        assert policy.ports_of(2) == [8, 9]
+
+    def test_balance_zero_keys_guarded(self):
+        policy = HashPlacement(2)
+        with pytest.raises(PlacementError):
+            policy.balance([])

@@ -1,0 +1,152 @@
+"""Tests for coflow-aware scheduling (repro.coflow.scheduler)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coflow.model import Coflow, Flow, FlowDirection
+from repro.coflow.scheduler import (
+    FairSharingScheduler,
+    FifoCoflowScheduler,
+    SebfScheduler,
+)
+from repro.coflow.workload import synthesize_workload
+from repro.errors import ConfigError
+from repro.sim.rng import make_rng
+from repro.units import BITS_PER_BYTE, GBPS
+
+
+def _coflow(cid: int, flows: list[tuple[int, int, int]], release: float = 0.0) -> Coflow:
+    """flows: (src, dst, elements)."""
+    coflow = Coflow(cid, pattern="test", release_time=release)
+    for i, (src, dst, elements) in enumerate(flows):
+        coflow.add(Flow(i, src, dst, elements, direction=FlowDirection.INPUT))
+    return coflow
+
+
+class TestFluidModel:
+    def test_single_flow_drains_at_port_speed(self):
+        coflow = _coflow(1, [(0, 1, 1000)])
+        result = FifoCoflowScheduler().schedule([coflow], 100 * GBPS)
+        expected = 1000 * 8 * BITS_PER_BYTE / (100 * GBPS)
+        assert result.cct[1] == pytest.approx(expected)
+
+    def test_two_flows_sharing_a_port_halve(self):
+        """Two same-coflow flows from one src port split its capacity."""
+        coflow = _coflow(1, [(0, 1, 1000), (0, 2, 1000)])
+        result = FifoCoflowScheduler().schedule([coflow], 100 * GBPS)
+        single = 1000 * 8 * BITS_PER_BYTE / (100 * GBPS)
+        assert result.cct[1] == pytest.approx(2 * single)
+
+    def test_disjoint_flows_run_in_parallel(self):
+        coflow = _coflow(1, [(0, 1, 1000), (2, 3, 1000)])
+        result = FifoCoflowScheduler().schedule([coflow], 100 * GBPS)
+        single = 1000 * 8 * BITS_PER_BYTE / (100 * GBPS)
+        assert result.cct[1] == pytest.approx(single)
+
+    def test_release_times_respected(self):
+        late = _coflow(2, [(0, 1, 1000)], release=1.0)
+        result = FifoCoflowScheduler().schedule([late], 100 * GBPS)
+        single = 1000 * 8 * BITS_PER_BYTE / (100 * GBPS)
+        assert result.makespan == pytest.approx(1.0 + single)
+        assert result.cct[2] == pytest.approx(single)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FifoCoflowScheduler().schedule([], GBPS)
+        with pytest.raises(ConfigError):
+            FifoCoflowScheduler().schedule([_coflow(1, [(0, 1, 10)])], 0)
+
+
+class TestPolicies:
+    def _contended_pair(self):
+        # Small coflow and big coflow share port 0.
+        small = _coflow(1, [(0, 1, 100)])
+        big = _coflow(2, [(0, 2, 10000)])
+        return [big, small]  # big arrives "first" by list order
+
+    def test_fifo_serves_arrival_order(self):
+        big, small = self._contended_pair()
+        big.release_time = 0.0
+        small.release_time = 0.0
+        result = FifoCoflowScheduler().schedule([big, small], 100 * GBPS)
+        # FIFO (by release, tie by id): big (id 2) vs small (id 1) —
+        # tie broken by id, so small goes first here.
+        assert result.cct[1] < result.cct[2]
+
+    def test_sebf_prioritizes_small_bottleneck(self):
+        coflows = self._contended_pair()
+        result = SebfScheduler().schedule(coflows, 100 * GBPS)
+        small_alone = 100 * 8 * BITS_PER_BYTE / (100 * GBPS)
+        assert result.cct[1] == pytest.approx(small_alone, rel=1e-6)
+
+    def test_sebf_beats_fifo_on_average_cct(self):
+        """The classic coflow result: bottleneck-aware ordering lowers
+        mean CCT on contended mixes."""
+        workload = synthesize_workload(40, 8, make_rng(3))
+        coflows = list(workload)
+        fifo = FifoCoflowScheduler().schedule(coflows, 100 * GBPS)
+        sebf = SebfScheduler().schedule(coflows, 100 * GBPS)
+        assert sebf.average_cct < fifo.average_cct
+
+    def test_fair_sharing_no_starvation(self):
+        big, small = self._contended_pair()
+        result = FairSharingScheduler().schedule([big, small], 100 * GBPS)
+        # Under fair sharing the small coflow finishes quickly even while
+        # the big one runs: both progress at once.
+        assert result.cct[1] < result.cct[2]
+        assert result.cct[1] < result.makespan / 10
+
+    def test_makespan_invariant_under_work_conservation(self):
+        """All three policies are work-conserving: same total makespan on
+        a single contended port."""
+        coflows = [
+            _coflow(1, [(0, 1, 500)]),
+            _coflow(2, [(0, 2, 1500)]),
+        ]
+        results = [
+            policy().schedule(coflows, 100 * GBPS)
+            for policy in (FifoCoflowScheduler, FairSharingScheduler, SebfScheduler)
+        ]
+        makespans = [r.makespan for r in results]
+        assert all(m == pytest.approx(makespans[0], rel=1e-6) for m in makespans)
+
+    def test_bottleneck_computation(self):
+        coflow = _coflow(1, [(0, 1, 100), (0, 2, 200), (3, 1, 50)])
+        # Port 0 carries 300 elements = 2400 B.
+        expected = 300 * 8 * BITS_PER_BYTE / (100 * GBPS)
+        assert SebfScheduler.bottleneck_s(coflow, 100 * GBPS) == pytest.approx(expected)
+
+    def test_schedule_result_comparisons(self):
+        coflows = [_coflow(1, [(0, 1, 100)]), _coflow(2, [(0, 2, 100)])]
+        fifo = FifoCoflowScheduler().schedule(coflows, GBPS)
+        sebf = SebfScheduler().schedule(coflows, GBPS)
+        assert fifo.slowdown_vs(sebf) > 0
+        other = FifoCoflowScheduler().schedule([_coflow(3, [(0, 1, 1)])], GBPS)
+        with pytest.raises(ConfigError):
+            fifo.slowdown_vs(other)
+
+
+class TestProperties:
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=2**31))
+    def test_all_coflows_complete_under_every_policy(self, n, seed):
+        workload = synthesize_workload(n, 6, make_rng(seed))
+        coflows = list(workload)
+        for policy in (FifoCoflowScheduler, FairSharingScheduler, SebfScheduler):
+            result = policy().schedule(coflows, 100 * GBPS)
+            assert set(result.cct) == {c.coflow_id for c in coflows}
+            assert all(cct > 0 for cct in result.cct.values())
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_cct_lower_bounded_by_own_bottleneck(self, seed):
+        """No policy can beat a coflow's bottleneck drain time."""
+        workload = synthesize_workload(8, 6, make_rng(seed))
+        coflows = list(workload)
+        result = SebfScheduler().schedule(coflows, 100 * GBPS)
+        for coflow in coflows:
+            bound = SebfScheduler.bottleneck_s(coflow, 100 * GBPS)
+            assert result.cct[coflow.coflow_id] >= bound * (1 - 1e-9)

@@ -1,0 +1,140 @@
+"""Tests for coflow workload generators (repro.coflow.workload)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coflow.model import FlowDirection
+from repro.coflow.workload import (
+    WorkloadShape,
+    aggregation_coflow,
+    bsp_round_coflow,
+    multicast_coflow,
+    shuffle_coflow,
+    synthesize_workload,
+)
+from repro.errors import ConfigError
+
+
+class TestAggregationCoflow:
+    def test_all_to_all_structure(self):
+        coflow = aggregation_coflow(1, [0, 1, 2, 3], 128)
+        assert coflow.pattern == "aggregation"
+        assert len(coflow.input_flows) == 4
+        assert len(coflow.output_flows) == 4
+        assert all(f.element_count == 128 for f in coflow.flows)
+
+    def test_custom_result_ports(self):
+        coflow = aggregation_coflow(1, [0, 1], 10, result_ports=[5])
+        assert coflow.egress_ports() == {5}
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            aggregation_coflow(1, [], 10)
+        with pytest.raises(ConfigError):
+            aggregation_coflow(1, [0], 0)
+
+
+class TestShuffleCoflow:
+    def test_flow_matrix(self):
+        coflow = shuffle_coflow(1, [0, 1], [2, 3, 4], 90)
+        # 2 mappers x 3 reducers = 6 flows of 30 elements each.
+        assert coflow.width == 6
+        assert all(f.element_count == 30 for f in coflow.flows)
+        assert coflow.total_elements == 180
+
+    def test_uneven_split_preserves_total(self):
+        coflow = shuffle_coflow(1, [0], [1, 2, 3], 100)
+        assert coflow.total_elements == 100
+        counts = sorted(f.element_count for f in coflow.flows)
+        assert counts == [33, 33, 34]
+
+    def test_zero_count_flows_omitted(self):
+        coflow = shuffle_coflow(1, [0], [1, 2, 3], 2)
+        assert coflow.width == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            shuffle_coflow(1, [], [1], 10)
+
+
+class TestBspRoundCoflow:
+    def test_frontier_growth(self):
+        r0 = bsp_round_coflow(1, [0, 1], 100, round_=0, growth=2.0)
+        r2 = bsp_round_coflow(2, [0, 1], 100, round_=2, growth=2.0)
+        assert r2.total_elements == pytest.approx(4 * r0.total_elements, rel=0.05)
+        assert r0.pattern == "bsp"
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ConfigError):
+            bsp_round_coflow(1, [0, 1], 100, round_=-1)
+
+
+class TestMulticastCoflow:
+    def test_fan_out(self):
+        coflow = multicast_coflow(1, 0, [1, 2, 3], 64)
+        assert len(coflow.input_flows) == 1
+        assert len(coflow.output_flows) == 3
+        assert coflow.egress_ports() == {1, 2, 3}
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConfigError):
+            multicast_coflow(1, 0, [], 64)
+
+
+class TestSynthesizeWorkload:
+    def test_deterministic_given_seed(self, rng):
+        from repro.sim.rng import make_rng
+
+        a = synthesize_workload(20, 16, make_rng(3))
+        b = synthesize_workload(20, 16, make_rng(3))
+        assert [c.pattern for c in a] == [c.pattern for c in b]
+        assert [c.size_bytes for c in a] == [c.size_bytes for c in b]
+
+    def test_counts_and_ports_in_range(self, rng):
+        workload = synthesize_workload(50, 16, rng)
+        assert len(workload) == 50
+        for coflow in workload:
+            for flow in coflow.flows:
+                assert 0 <= flow.src_port < 16
+                assert 0 <= flow.dst_port < 16
+
+    def test_widths_are_heavy_tailed(self, rng):
+        workload = synthesize_workload(300, 64, rng)
+        widths = sorted(workload.widths())
+        # Most coflows narrow, a visible tail of wide ones.
+        assert widths[len(widths) // 2] <= 16
+        assert widths[-1] >= 32
+
+    def test_pattern_mix_respected(self, rng):
+        workload = synthesize_workload(400, 32, rng)
+        patterns = {c.pattern for c in workload}
+        assert {"aggregation", "shuffle", "bsp", "multicast"} <= patterns
+
+    def test_release_times_increase_with_interarrival(self, rng):
+        workload = synthesize_workload(
+            20, 8, rng, mean_interarrival_s=1e-3
+        )
+        releases = [c.release_time for c in workload]
+        assert releases == sorted(releases)
+        assert releases[-1] > 0
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ConfigError):
+            synthesize_workload(0, 8, rng)
+        with pytest.raises(ConfigError):
+            synthesize_workload(5, 1, rng)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadShape(pattern_mix=(("aggregation", 0.5),))
+        with pytest.raises(ConfigError):
+            WorkloadShape(max_width=1)
+
+    def test_total_accounting(self, rng):
+        workload = synthesize_workload(30, 16, rng)
+        assert workload.total_bytes == sum(c.size_bytes for c in workload)
+        assert workload.total_elements == sum(c.total_elements for c in workload)
+        assert len(workload.by_pattern("shuffle")) == sum(
+            1 for c in workload if c.pattern == "shuffle"
+        )

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adcp.config import ADCPConfig
+from repro.rmt.config import RMTConfig
+from repro.sim.rng import make_rng
+from repro.units import GBPS
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG, fresh per test."""
+    return make_rng(1234)
+
+
+@pytest.fixture
+def small_rmt_config() -> RMTConfig:
+    """An 8-port, 2-pipeline RMT switch that sims fast."""
+    return RMTConfig(
+        num_ports=8,
+        pipelines=2,
+        port_speed_bps=100 * GBPS,
+        min_wire_packet_bytes=84.0,
+        frequency_hz=1.25e9,
+    )
+
+
+@pytest.fixture
+def small_adcp_config() -> ADCPConfig:
+    """An 8-port, 1:2-demuxed ADCP switch that sims fast."""
+    return ADCPConfig(
+        num_ports=8,
+        port_speed_bps=100 * GBPS,
+        demux_factor=2,
+        central_pipelines=4,
+    )

@@ -1,0 +1,101 @@
+"""Tests for the chip area model (repro.feasibility.area)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.feasibility.area import AreaModel, BlockArea
+from repro.units import GHZ
+
+
+class TestBlockArea:
+    def test_total(self):
+        block = BlockArea("b", 2.0, 3.0)
+        assert block.total_mm2 == 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            BlockArea("b", -1.0, 0.0)
+
+
+class TestLogicScale:
+    def test_reference_frequency_is_unity(self):
+        model = AreaModel()
+        assert model.logic_scale(model.reference_frequency_hz) == pytest.approx(1.0)
+
+    def test_lower_clock_shrinks_logic(self):
+        """Section 4: 'Lower frequency can also translate into using
+        potentially smaller gates'."""
+        model = AreaModel()
+        assert model.logic_scale(0.6 * GHZ) < 1.0
+        assert model.logic_scale(0.6 * GHZ) >= model.min_logic_scale
+
+    def test_scale_floor(self):
+        model = AreaModel()
+        assert model.logic_scale(0.01 * GHZ) == model.min_logic_scale
+
+    def test_faster_clock_pays(self):
+        model = AreaModel()
+        assert model.logic_scale(2.0 * GHZ) > 1.0
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ConfigError):
+            AreaModel().logic_scale(0)
+
+
+class TestPipelineArea:
+    def test_memory_does_not_shrink_with_clock(self):
+        model = AreaModel()
+        fast = model.pipeline_area("f", 12, 16, 10, 2, 1.62 * GHZ)
+        slow = model.pipeline_area("s", 12, 16, 10, 2, 0.6 * GHZ)
+        assert slow.memory_mm2 == fast.memory_mm2
+        assert slow.logic_mm2 < fast.logic_mm2
+
+    def test_scales_with_stage_count(self):
+        model = AreaModel()
+        a12 = model.pipeline_area("a", 12, 16, 10, 2, GHZ)
+        a24 = model.pipeline_area("b", 24, 16, 10, 2, GHZ)
+        assert a24.memory_mm2 == pytest.approx(2 * a12.memory_mm2)
+
+    def test_tcam_denser_cost_than_sram(self):
+        model = AreaModel()
+        sram = model.pipeline_area("s", 1, 1, 10, 0, GHZ)
+        tcam = model.pipeline_area("t", 1, 1, 0, 10, GHZ)
+        assert tcam.memory_mm2 > sram.memory_mm2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AreaModel().pipeline_area("p", 0, 16, 1, 1, GHZ)
+
+
+class TestTmArea:
+    def test_grows_with_connected_pipelines(self):
+        """The ADCP TM connects many more pipelines (section 3.3 expects
+        64+), so its logic grows — quantified here."""
+        model = AreaModel()
+        small = model.tm_area("tm4", 4, 64, GHZ)
+        large = model.tm_area("tm64", 64, 64, GHZ)
+        assert large.logic_mm2 > small.logic_mm2
+
+    def test_buffer_memory_accounted(self):
+        model = AreaModel()
+        thin = model.tm_area("t", 4, 16, GHZ)
+        fat = model.tm_area("f", 4, 64, GHZ)
+        assert fat.memory_mm2 == pytest.approx(4 * thin.memory_mm2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AreaModel().tm_area("t", 0, 16, GHZ)
+
+
+class TestArrayInterconnect:
+    def test_quadratic_in_width(self):
+        model = AreaModel()
+        w4 = model.array_interconnect_area("a", 4, 16, 12)
+        w16 = model.array_interconnect_area("b", 16, 16, 12)
+        assert w16.logic_mm2 == pytest.approx(16 * w4.logic_mm2)
+
+    def test_width_bounded_by_maus(self):
+        with pytest.raises(ConfigError):
+            AreaModel().array_interconnect_area("a", 17, 16, 12)

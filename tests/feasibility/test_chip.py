@@ -1,0 +1,109 @@
+"""Tests for full-chip composition (repro.feasibility.chip)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adcp.config import ADCPConfig
+from repro.errors import ConfigError
+from repro.feasibility.chip import ChipModel
+from repro.rmt.config import RMTConfig
+from repro.units import GBPS, GHZ
+
+
+def _rmt_128t() -> RMTConfig:
+    """A 12.8 Tbps RMT design (Table 2 row 3 class)."""
+    return RMTConfig(
+        num_ports=32,
+        port_speed_bps=400 * GBPS,
+        pipelines=4,
+        min_wire_packet_bytes=247.0,
+        frequency_hz=1.62 * GHZ,
+    )
+
+
+def _adcp_128t() -> ADCPConfig:
+    """An equal-throughput ADCP design with 1:2 demux and 84 B packets."""
+    return ADCPConfig(
+        num_ports=32,
+        port_speed_bps=400 * GBPS,
+        demux_factor=2,
+        central_pipelines=8,
+        array_width=8,
+    )
+
+
+class TestRmtChip:
+    def test_block_inventory(self):
+        budget = ChipModel().rmt_chip(_rmt_128t())
+        names = {b.name for b in budget.blocks}
+        assert "ingress0" in names and "egress3" in names and "tm" in names
+        assert len(budget.blocks) == 2 * 4 + 1
+
+    def test_plausible_die_size(self):
+        """Order-of-magnitude calibration: a 12.8T switch die lands in the
+        hundreds of mm^2, not tens or thousands."""
+        budget = ChipModel().rmt_chip(_rmt_128t())
+        assert 100 < budget.total_mm2 < 1500
+
+    def test_plausible_power(self):
+        budget = ChipModel().rmt_chip(_rmt_128t())
+        assert 10 < budget.total_w < 600
+
+    def test_block_lookup(self):
+        budget = ChipModel().rmt_chip(_rmt_128t())
+        assert budget.block("tm").logic_mm2 > 0
+        with pytest.raises(ConfigError):
+            budget.block("ghost")
+
+
+class TestAdcpChip:
+    def test_block_inventory(self):
+        config = _adcp_128t()
+        budget = ChipModel().adcp_chip(config)
+        names = {b.name for b in budget.blocks}
+        assert "tm1" in names and "tm2" in names
+        assert f"central{config.central_pipelines - 1}" in names
+        assert f"central0_xbar" in names
+        lanes = config.ingress_pipelines
+        assert f"ingress{lanes - 1}" in names
+
+    def test_more_pipelines_than_rmt(self):
+        rmt = ChipModel().rmt_chip(_rmt_128t())
+        adcp = ChipModel().adcp_chip(_adcp_128t())
+        assert len(adcp.blocks) > len(rmt.blocks)
+
+
+class TestComparison:
+    def test_equal_throughput_enforced(self):
+        with pytest.raises(ConfigError):
+            ChipModel().compare(
+                _rmt_128t(), ADCPConfig(num_ports=8, port_speed_bps=400 * GBPS)
+            )
+
+    def test_adcp_pays_area_but_saves_dynamic_power_per_mm2(self):
+        """The §4 trade in one number pair: the ADCP has more pipeline
+        instances (more area), but its dynamic power per mm^2 of logic is
+        far lower thanks to the slower clocks."""
+        model = ChipModel()
+        rmt_budget = model.rmt_chip(_rmt_128t())
+        adcp_budget = model.adcp_chip(_adcp_128t())
+        assert adcp_budget.total_mm2 > rmt_budget.total_mm2
+        rmt_density = rmt_budget.dynamic_w / rmt_budget.logic_mm2
+        adcp_density = adcp_budget.dynamic_w / adcp_budget.logic_mm2
+        assert adcp_density < rmt_density / 2
+
+    def test_compare_returns_both(self):
+        results = ChipModel().compare(_rmt_128t(), _adcp_128t())
+        assert set(results) == {"rmt", "adcp"}
+        for area, dynamic, total in results.values():
+            assert area > 0 and dynamic > 0 and total > dynamic
+
+    def test_memory_capacity_held_constant_per_stage(self):
+        """The comparison is fair: per-stage memory is identical, so total
+        memory scales only with pipeline count."""
+        model = ChipModel()
+        rmt_budget = model.rmt_chip(_rmt_128t())
+        per_pipe_mem = rmt_budget.block("ingress0").memory_mm2
+        adcp_budget = model.adcp_chip(_adcp_128t())
+        assert adcp_budget.block("ingress0").memory_mm2 == pytest.approx(per_pipe_mem)

@@ -1,0 +1,126 @@
+"""Tests for routing congestion estimation (repro.feasibility.congestion).
+
+The headline assertion is the section 4 claim: a monolithic shared TM is a
+congestion hotspot, and interleaving it with the pipelines relieves the
+peak.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.feasibility.congestion import (
+    Net,
+    RoutingEstimator,
+    tm_netlist_interleaved,
+    tm_netlist_monolithic,
+)
+from repro.feasibility.floorplan import (
+    Block,
+    Floorplan,
+    interleaved_tm_floorplan,
+    monolithic_tm_floorplan,
+)
+
+
+def _two_block_plan() -> Floorplan:
+    plan = Floorplan(10, 3)
+    plan.place(Block("a", 0, 1, 2, 2))
+    plan.place(Block("b", 8, 1, 10, 2))
+    return plan
+
+
+class TestRoutingEstimator:
+    def test_straight_net_demand(self):
+        plan = _two_block_plan()
+        report = RoutingEstimator(plan, capacity_per_cell=10).estimate(
+            [Net("a", "b", 10)]
+        )
+        # Both L-shapes coincide on a straight horizontal run: the cells
+        # between the blocks carry the full 10 wires.
+        assert report.max_congestion == pytest.approx(1.0)
+        assert report.congestion[1, 5] == pytest.approx(1.0)
+
+    def test_wirelength_positive_and_scales(self):
+        plan = _two_block_plan()
+        thin = RoutingEstimator(plan).estimate([Net("a", "b", 8)])
+        thick = RoutingEstimator(plan).estimate([Net("a", "b", 16)])
+        assert thick.total_wirelength == pytest.approx(2 * thin.total_wirelength)
+
+    def test_overflow_detection(self):
+        plan = _two_block_plan()
+        report = RoutingEstimator(plan, capacity_per_cell=4).estimate(
+            [Net("a", "b", 8)]
+        )
+        assert report.overflowed_cells > 0
+        assert report.max_congestion > 1.0
+
+    def test_hotspot_location(self):
+        plan = _two_block_plan()
+        report = RoutingEstimator(plan).estimate([Net("a", "b", 8)])
+        x, y = report.hotspot
+        assert y == 1  # on the routing row
+
+    def test_percentile_bounds(self):
+        plan = _two_block_plan()
+        report = RoutingEstimator(plan).estimate([Net("a", "b", 8)])
+        assert report.percentile(100) == report.max_congestion
+        assert report.percentile(0) <= report.mean_congestion
+        with pytest.raises(ConfigError):
+            report.percentile(101)
+
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(ConfigError):
+            RoutingEstimator(_two_block_plan()).estimate([])
+
+    def test_zero_wire_net_rejected(self):
+        with pytest.raises(ConfigError):
+            Net("a", "b", 0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            RoutingEstimator(_two_block_plan(), capacity_per_cell=0)
+
+
+class TestSection4Claim:
+    @pytest.mark.parametrize("pipelines", [4, 8])
+    def test_interleaving_relieves_peak_congestion(self, pipelines):
+        """Interleaved TM slices cut the worst g-cell congestion versus a
+        monolithic TM under the same per-pipeline wire demand."""
+        wires = 512
+        mono = RoutingEstimator(monolithic_tm_floorplan(pipelines)).estimate(
+            tm_netlist_monolithic(pipelines, wires)
+        )
+        inter = RoutingEstimator(interleaved_tm_floorplan(pipelines)).estimate(
+            tm_netlist_interleaved(pipelines, wires)
+        )
+        assert inter.max_congestion < mono.max_congestion
+
+    def test_monolithic_peak_grows_with_pipeline_count(self):
+        """More pipelines converging on one TM make it strictly worse —
+        why the problem bites harder as TMs serve more pipelines."""
+        wires = 512
+        peak4 = RoutingEstimator(monolithic_tm_floorplan(4)).estimate(
+            tm_netlist_monolithic(4, wires)
+        ).max_congestion
+        peak8 = RoutingEstimator(monolithic_tm_floorplan(8)).estimate(
+            tm_netlist_monolithic(8, wires)
+        ).max_congestion
+        assert peak8 > peak4
+
+    def test_interleaved_peak_stays_flat(self):
+        wires = 512
+        peak4 = RoutingEstimator(interleaved_tm_floorplan(4)).estimate(
+            tm_netlist_interleaved(4, wires)
+        ).max_congestion
+        peak8 = RoutingEstimator(interleaved_tm_floorplan(8)).estimate(
+            tm_netlist_interleaved(8, wires)
+        ).max_congestion
+        assert peak8 <= peak4 * 1.5
+
+    def test_netlist_validation(self):
+        with pytest.raises(ConfigError):
+            tm_netlist_monolithic(0, 8)
+        with pytest.raises(ConfigError):
+            tm_netlist_interleaved(0, 8)

@@ -1,0 +1,111 @@
+"""Tests for grid floorplans (repro.feasibility.floorplan)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, FeasibilityError
+from repro.feasibility.floorplan import (
+    Block,
+    Floorplan,
+    adcp_floorplan,
+    interleaved_tm_floorplan,
+    monolithic_tm_floorplan,
+)
+
+
+class TestBlock:
+    def test_center_and_cells(self):
+        block = Block("b", 0, 0, 4, 2)
+        assert block.center == (2.0, 1.0)
+        assert block.cells == 8
+
+    def test_overlap_detection(self):
+        a = Block("a", 0, 0, 4, 4)
+        assert a.overlaps(Block("b", 2, 2, 6, 6))
+        assert not a.overlaps(Block("c", 4, 0, 8, 4))  # edge-adjacent
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ConfigError):
+            Block("b", 0, 0, 0, 4)
+
+
+class TestFloorplan:
+    def test_place_and_lookup(self):
+        plan = Floorplan(10, 10)
+        plan.place(Block("a", 0, 0, 2, 2))
+        assert plan.block("a").cells == 4
+        assert "a" in plan
+
+    def test_overlap_rejected(self):
+        plan = Floorplan(10, 10)
+        plan.place(Block("a", 0, 0, 4, 4))
+        with pytest.raises(FeasibilityError):
+            plan.place(Block("b", 3, 3, 6, 6))
+
+    def test_out_of_grid_rejected(self):
+        plan = Floorplan(4, 4)
+        with pytest.raises(FeasibilityError):
+            plan.place(Block("a", 0, 0, 5, 2))
+
+    def test_duplicate_name_rejected(self):
+        plan = Floorplan(10, 10)
+        plan.place(Block("a", 0, 0, 1, 1))
+        with pytest.raises(ConfigError):
+            plan.place(Block("a", 2, 2, 3, 3))
+
+    def test_unknown_block(self):
+        with pytest.raises(ConfigError):
+            Floorplan(4, 4).block("ghost")
+
+    def test_utilization(self):
+        plan = Floorplan(10, 10)
+        plan.place(Block("a", 0, 0, 5, 10))
+        assert plan.utilization == pytest.approx(0.5)
+
+
+class TestLayoutFamilies:
+    @pytest.mark.parametrize("pipelines", [1, 2, 4, 8])
+    def test_monolithic_has_all_blocks(self, pipelines):
+        plan = monolithic_tm_floorplan(pipelines)
+        for i in range(pipelines):
+            assert f"ingress{i}" in plan
+            assert f"egress{i}" in plan
+        assert "tm" in plan
+
+    @pytest.mark.parametrize("pipelines", [1, 2, 4, 8])
+    def test_interleaved_has_slice_per_pipeline(self, pipelines):
+        plan = interleaved_tm_floorplan(pipelines)
+        for i in range(pipelines):
+            assert f"tm_slice{i}" in plan
+
+    def test_interleaved_slices_are_local(self):
+        """Each TM slice sits at its pipeline's latitude — the spread the
+        paper prescribes."""
+        plan = interleaved_tm_floorplan(4)
+        for i in range(4):
+            pipe_y = plan.block(f"ingress{i}").center[1]
+            slice_y = plan.block(f"tm_slice{i}").center[1]
+            assert abs(pipe_y - slice_y) < 2.0
+
+    def test_monolithic_tm_is_far_from_edge_pipelines(self):
+        plan = monolithic_tm_floorplan(8)
+        tm_y = plan.block("tm").center[1]
+        first = plan.block("ingress0").center[1]
+        assert abs(tm_y - first) > 10
+
+    def test_adcp_floorplan_structure(self):
+        plan = adcp_floorplan(lanes=4, central=2)
+        for i in range(4):
+            assert f"ingress{i}" in plan
+            assert f"egress{i}" in plan
+            assert f"tm1_slice{i}" in plan
+            assert f"tm2_slice{i}" in plan
+        for i in range(2):
+            assert f"central{i}" in plan
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            monolithic_tm_floorplan(0)
+        with pytest.raises(ConfigError):
+            adcp_floorplan(0, 1)

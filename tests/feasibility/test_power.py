@@ -1,0 +1,81 @@
+"""Tests for the power model (repro.feasibility.power)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.feasibility.power import PowerModel
+from repro.units import GHZ
+
+
+class TestVoltage:
+    def test_reference_point(self):
+        model = PowerModel()
+        assert model.voltage(model.f_ref_hz) == pytest.approx(model.v_ref)
+
+    def test_floor_at_v_min(self):
+        model = PowerModel()
+        assert model.voltage(1e6) >= model.v_min
+
+    def test_monotone_in_frequency(self):
+        model = PowerModel()
+        assert model.voltage(2 * GHZ) > model.voltage(1 * GHZ)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ConfigError):
+            PowerModel().voltage(0)
+
+    def test_invalid_curve(self):
+        with pytest.raises(ConfigError):
+            PowerModel(v_min=0)
+        with pytest.raises(ConfigError):
+            PowerModel(v_min=1.0, v_ref=0.5)
+
+
+class TestDynamicPower:
+    def test_superlinear_in_frequency(self):
+        """Halving the clock cuts dynamic power by more than half (DVFS):
+        the quantitative basis of section 4's power claim."""
+        model = PowerModel()
+        full = model.dynamic_power_w(100.0, 1.62 * GHZ)
+        half = model.dynamic_power_w(100.0, 0.81 * GHZ)
+        assert half < full / 2
+
+    def test_linear_in_area(self):
+        model = PowerModel()
+        assert model.dynamic_power_w(200.0, GHZ) == pytest.approx(
+            2 * model.dynamic_power_w(100.0, GHZ)
+        )
+
+    def test_demux_tradeoff_wins(self):
+        """Two half-clock lanes burn less dynamic power than one full-clock
+        pipeline of the same total area — demultiplexing pays."""
+        model = PowerModel()
+        one_fast = model.dynamic_power_w(100.0, 1.19 * GHZ)
+        two_slow = 2 * model.dynamic_power_w(100.0, 1.19 * GHZ / 2)
+        assert two_slow < one_fast
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ConfigError):
+            PowerModel().dynamic_power_w(-1, GHZ)
+
+
+class TestLeakageAndTotal:
+    def test_leakage_scales_with_voltage(self):
+        model = PowerModel()
+        hot = model.leakage_power_w(100.0, 2 * GHZ)
+        cool = model.leakage_power_w(100.0, 0.5 * GHZ)
+        assert hot > cool
+
+    def test_total_is_sum(self):
+        model = PowerModel()
+        total = model.total_power_w(50.0, 100.0, GHZ)
+        assert total == pytest.approx(
+            model.dynamic_power_w(50.0, GHZ) + model.leakage_power_w(100.0, GHZ)
+        )
+
+    def test_power_ratio(self):
+        model = PowerModel()
+        ratio = model.power_ratio(100.0, 1.62 * GHZ, 100.0, 0.6 * GHZ)
+        assert ratio > 2.7  # frequency ratio x voltage-squared ratio

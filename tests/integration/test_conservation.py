@@ -1,0 +1,100 @@
+"""Conservation properties: no packet is silently lost, ever."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adcp.config import ADCPConfig
+from repro.adcp.switch import ADCPSwitch
+from repro.apps import ParameterServerApp
+from repro.baselines import RtcConfig, RunToCompletionSwitch
+from repro.net.traffic import make_coflow_packet
+from repro.rmt.config import RMTConfig
+from repro.rmt.switch import RMTSwitch
+from repro.sim.rng import make_rng
+from repro.units import GBPS
+
+
+def _random_stream(rng, n, ports=8):
+    stream = []
+    time = 0.0
+    for i in range(n):
+        packet = make_coflow_packet(1, 0, i, [(int(rng.integers(0, 1000)), i)])
+        packet.meta.ingress_port = int(rng.integers(0, ports))
+        if rng.random() < 0.9:
+            packet.meta.egress_port = int(rng.integers(0, ports))
+        # else: no route -> must surface as a drop, not vanish
+        time += float(rng.exponential(1e-8))
+        packet.meta.arrival_time = time
+        stream.append((time, packet))
+    return stream
+
+
+class TestForwardingConservation:
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_rmt_accounts_for_every_packet(self, seed):
+        config = RMTConfig(
+            num_ports=8, pipelines=2, port_speed_bps=100 * GBPS,
+            min_wire_packet_bytes=84.0, frequency_hz=1.25e9,
+        )
+        stream = _random_stream(make_rng(seed), 120)
+        switch = RMTSwitch(config)
+        result = switch.run(iter(stream))
+        assert (
+            result.delivered_count + len(result.dropped) + result.consumed
+            == len(stream)
+        )
+        for packet in result.dropped:
+            assert packet.meta.drop_reason is not None
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_adcp_accounts_for_every_packet(self, seed):
+        config = ADCPConfig(
+            num_ports=8, port_speed_bps=100 * GBPS, demux_factor=2,
+            central_pipelines=4,
+        )
+        stream = _random_stream(make_rng(seed), 120)
+        switch = ADCPSwitch(config)
+        result = switch.run(iter(stream))
+        assert (
+            result.delivered_count + len(result.dropped) + result.consumed
+            == len(stream)
+        )
+
+    @settings(deadline=None, max_examples=8)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_rtc_accounts_for_every_packet(self, seed):
+        stream = _random_stream(make_rng(seed), 120)
+        switch = RunToCompletionSwitch(RtcConfig())
+        result = switch.run(iter(stream))
+        assert (
+            result.delivered_count + len(result.dropped) + result.consumed
+            == len(stream)
+        )
+
+
+class TestAggregationConservation:
+    @settings(deadline=None, max_examples=6)
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=8, max_value=96),
+    )
+    def test_element_conservation_through_aggregation(self, workers, vector):
+        """Every input element is folded into exactly one output aggregate:
+        sum over delivered aggregates equals the grand total of inputs."""
+        config = ADCPConfig(
+            num_ports=8, port_speed_bps=100 * GBPS, demux_factor=2,
+            central_pipelines=4,
+        )
+        app = ParameterServerApp(
+            list(range(workers)), vector, elements_per_packet=8
+        )
+        switch = ADCPSwitch(config, app)
+        result = switch.run(app.workload(config.port_speed_bps))
+        got = app.collect_results(result.delivered)
+        input_total = workers * sum(key + 1 for key in range(vector))
+        assert sum(got.values()) == input_total

@@ -1,0 +1,161 @@
+"""Cross-architecture integration tests.
+
+Each test runs the *same logical workload* on both switch models and
+asserts the paper's qualitative claims: same answers, different costs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.adcp.config import ADCPConfig
+from repro.adcp.switch import ADCPSwitch
+from repro.apps import (
+    DBShuffleApp,
+    GraphMiningApp,
+    GroupCommApp,
+    ParameterServerApp,
+)
+from repro.rmt.config import RMTConfig, StateMode
+from repro.rmt.switch import RMTSwitch
+from repro.sim.rng import make_rng
+from repro.units import GBPS
+
+
+WORKERS = [0, 1, 4, 5]
+VECTOR = 128
+
+
+def _rmt(small_rmt_config, app, mode=StateMode.EGRESS_PIN):
+    config = dataclasses.replace(small_rmt_config, state_mode=mode)
+    switch = RMTSwitch(config, app)
+    return switch, config
+
+
+class TestAggregationParity:
+    """The parameter server gives identical answers on every target/mode;
+    only the costs differ."""
+
+    def test_same_results_everywhere(self, small_rmt_config, small_adcp_config):
+        results = {}
+        for label, build in {
+            "adcp": lambda: (
+                ADCPSwitch(
+                    small_adcp_config,
+                    ParameterServerApp(WORKERS, VECTOR, elements_per_packet=16),
+                ),
+                small_adcp_config.port_speed_bps,
+            ),
+            "rmt_pin": lambda: (
+                RMTSwitch(
+                    small_rmt_config,
+                    ParameterServerApp(WORKERS, VECTOR, elements_per_packet=1),
+                ),
+                small_rmt_config.port_speed_bps,
+            ),
+            "rmt_recirc": lambda: (
+                RMTSwitch(
+                    dataclasses.replace(
+                        small_rmt_config, state_mode=StateMode.RECIRCULATE
+                    ),
+                    ParameterServerApp(WORKERS, VECTOR, elements_per_packet=1),
+                ),
+                small_rmt_config.port_speed_bps,
+            ),
+        }.items():
+            switch, speed = build()
+            app = switch.app
+            run = switch.run(app.workload(speed))
+            results[label] = app.collect_results(run.delivered)
+        assert results["adcp"] == results["rmt_pin"] == results["rmt_recirc"]
+
+    def test_adcp_faster_and_untaxed(self, small_rmt_config, small_adcp_config):
+        adcp_app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=16)
+        adcp = ADCPSwitch(small_adcp_config, adcp_app)
+        adcp_run = adcp.run(adcp_app.workload(small_adcp_config.port_speed_bps))
+
+        rmt_app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=1)
+        rmt, config = _rmt(small_rmt_config, rmt_app)
+        rmt_run = rmt.run(rmt_app.workload(config.port_speed_bps))
+
+        assert adcp_run.recirculated_packets == 0
+        assert rmt_run.recirculated_packets > 0
+        assert adcp_run.duration_s < rmt_run.duration_s / 2
+
+    def test_rmt_goodput_penalty(self, small_rmt_config, small_adcp_config):
+        """Scalar packets waste most wire bytes on headers (section 2)."""
+        from repro.coflow.metrics import goodput_fraction
+
+        adcp_app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=16)
+        adcp_packets = [p for _, p in adcp_app.workload(100 * GBPS)]
+        rmt_app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=1)
+        rmt_packets = [p for _, p in rmt_app.workload(100 * GBPS)]
+        assert goodput_fraction(adcp_packets) > 3 * goodput_fraction(rmt_packets)
+
+    def test_rmt_needs_16x_the_packets(self):
+        adcp_app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=16)
+        rmt_app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=1)
+        adcp_count = sum(1 for _ in adcp_app.workload(100 * GBPS))
+        rmt_count = sum(1 for _ in rmt_app.workload(100 * GBPS))
+        assert rmt_count == 16 * adcp_count
+
+
+class TestShuffleParity:
+    def test_same_group_totals(self, small_rmt_config, small_adcp_config):
+        elements = 96
+        adcp_app = DBShuffleApp([0, 1], [4, 5], 16, elements_per_packet=16)
+        adcp = ADCPSwitch(small_adcp_config, adcp_app)
+        adcp_got = adcp_app.collect_results(
+            adcp.run(
+                adcp_app.workload(small_adcp_config.port_speed_bps, elements)
+            ).delivered
+        )
+        rmt_app = DBShuffleApp([0, 1], [4, 5], 16, elements_per_packet=1)
+        rmt, config = _rmt(small_rmt_config, rmt_app)
+        rmt_got = rmt_app.collect_results(
+            rmt.run(rmt_app.workload(config.port_speed_bps, elements)).delivered
+        )
+        assert adcp_got == rmt_got == adcp_app.expected_result(elements)
+
+
+class TestDedupParity:
+    def test_same_unique_set(self, small_rmt_config, small_adcp_config):
+        adcp_app = GraphMiningApp(WORKERS, 512, elements_per_packet=16)
+        adcp = ADCPSwitch(small_adcp_config, adcp_app)
+        adcp_run = adcp.run(
+            adcp_app.superstep_workload(
+                small_adcp_config.port_speed_bps, 100, 2.0, make_rng(11)
+            )
+        )
+        rmt_app = GraphMiningApp(WORKERS, 512, elements_per_packet=1)
+        rmt, config = _rmt(small_rmt_config, rmt_app)
+        rmt_run = rmt.run(
+            rmt_app.superstep_workload(
+                config.port_speed_bps, 100, 2.0, make_rng(11)
+            )
+        )
+        assert (
+            adcp_app.collect_forwarded(adcp_run.delivered)
+            == rmt_app.collect_forwarded(rmt_run.delivered)
+        )
+
+
+class TestMulticastParity:
+    def test_same_deliveries_different_tax(self, small_rmt_config, small_adcp_config):
+        groups = {1: [2, 4, 6]}
+        adcp_app = GroupCommApp(groups)
+        adcp = ADCPSwitch(small_adcp_config, adcp_app)
+        adcp_run = adcp.run(
+            adcp_app.workload(small_adcp_config.port_speed_bps, {0: 1}, 3)
+        )
+        rmt_app = GroupCommApp(groups)
+        rmt, config = _rmt(small_rmt_config, rmt_app)
+        rmt_run = rmt.run(rmt_app.workload(config.port_speed_bps, {0: 1}, 3))
+        assert (
+            adcp_app.deliveries_per_port(adcp_run.delivered)
+            == rmt_app.deliveries_per_port(rmt_run.delivered)
+        )
+        assert adcp_run.recirculated_packets == 0
+        assert rmt_run.recirculated_packets > 0

@@ -1,0 +1,159 @@
+"""Stress and failure-injection tests across the switch models."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.adcp.switch import ADCPSwitch
+from repro.apps import ParameterServerApp
+from repro.net.traffic import DeterministicSource, PoissonSource, make_coflow_packet
+from repro.rmt.switch import RMTSwitch
+from repro.sim.rng import make_rng
+from repro.units import GBPS
+
+
+def _stream(n, egress=7, ingress=0):
+    packets = []
+    for i in range(n):
+        packet = make_coflow_packet(1, 0, i, [(i, i)])
+        packet.meta.egress_port = egress
+        packets.append(packet)
+    return packets
+
+
+class TestTmOverflow:
+    def test_rmt_tm_drops_under_fan_in(self, small_rmt_config):
+        """Many ingress ports targeting one egress port overflow a tiny TM
+        buffer; drops are reported, never silent."""
+        config = dataclasses.replace(small_rmt_config, tm_buffer_packets=4)
+        switch = RMTSwitch(config)
+        sources = []
+        for port in range(7):
+            packets = _stream(60, egress=7)
+            sources.append(
+                DeterministicSource(port, config.port_speed_bps, packets)
+            )
+        from repro.net.traffic import merge_sources
+
+        result = switch.run(merge_sources(sources))
+        total = 7 * 60
+        assert result.delivered_count + len(result.dropped) == total
+        assert any(
+            p.meta.drop_reason == "tm_buffer_full" for p in result.dropped
+        )
+        assert switch.tm.peak_occupancy <= 4
+
+    def test_adcp_tm_drops_accounted(self, small_adcp_config):
+        config = dataclasses.replace(small_adcp_config, tm_buffer_packets=2)
+        switch = ADCPSwitch(config)
+        sources = [
+            DeterministicSource(port, config.port_speed_bps, _stream(40))
+            for port in range(4)
+        ]
+        from repro.net.traffic import merge_sources
+
+        result = switch.run(merge_sources(sources))
+        assert result.delivered_count + len(result.dropped) == 160
+        reasons = {p.meta.drop_reason for p in result.dropped}
+        assert reasons <= {"tm1_buffer_full", "tm2_buffer_full"}
+
+
+class TestPoissonLoad:
+    @pytest.mark.parametrize("load", [0.3, 0.9])
+    def test_rmt_under_poisson(self, small_rmt_config, load):
+        switch = RMTSwitch(small_rmt_config)
+        source = PoissonSource(
+            0, small_rmt_config.port_speed_bps, _stream(300), load, make_rng(4)
+        )
+        result = switch.run(source.packets())
+        assert result.delivered_count == 300
+        assert not result.dropped
+
+    def test_latency_grows_with_load(self, small_adcp_config):
+        def mean_latency(load):
+            switch = ADCPSwitch(small_adcp_config)
+            source = PoissonSource(
+                0, small_adcp_config.port_speed_bps, _stream(500), load,
+                make_rng(9),
+            )
+            result = switch.run(source.packets())
+            return sum(
+                p.meta.departure_time - p.meta.arrival_time
+                for p in result.delivered
+            ) / len(result.delivered)
+
+        # Higher load means more queueing at the shared stations.
+        assert mean_latency(0.95) >= mean_latency(0.2)
+
+
+class TestUntilBound:
+    def test_run_until_stops_midstream(self, small_rmt_config):
+        switch = RMTSwitch(small_rmt_config)
+        source = DeterministicSource(
+            0, small_rmt_config.port_speed_bps, _stream(100)
+        )
+        arrivals = list(source.packets())
+        cutoff = arrivals[50][0]
+        result = switch.run(iter(arrivals), until=cutoff)
+        assert 0 < result.delivered_count < 100
+        assert result.duration_s <= cutoff
+
+
+class TestRecirculationProvisioning:
+    @pytest.mark.parametrize("ports", [1, 4])
+    def test_more_recirc_bandwidth_never_hurts(self, small_rmt_config, ports):
+        config = dataclasses.replace(
+            small_rmt_config, recirculation_ports_per_pipeline=ports
+        )
+        app = ParameterServerApp([0, 1, 4, 5], 64, elements_per_packet=1)
+        switch = RMTSwitch(config, app)
+        result = switch.run(app.workload(config.port_speed_bps))
+        assert app.collect_results(result.delivered) == app.expected_result()
+
+    def test_provisioning_sweep_monotone(self, small_rmt_config):
+        durations = []
+        for ports in (1, 2, 4):
+            config = dataclasses.replace(
+                small_rmt_config, recirculation_ports_per_pipeline=ports
+            )
+            app = ParameterServerApp([0, 1, 4, 5], 128, elements_per_packet=1)
+            switch = RMTSwitch(config, app)
+            result = switch.run(app.workload(config.port_speed_bps))
+            durations.append(result.duration_s)
+        # Extra loopback bandwidth cannot slow the coflow down.
+        assert durations[0] >= durations[-1] * 0.999
+
+
+class TestRandomForwardingParity:
+    def test_rmt_and_adcp_deliver_identical_sets(
+        self, small_rmt_config, small_adcp_config
+    ):
+        """Pure forwarding parity on a randomized port matrix: both
+        architectures deliver exactly the same (packet, port) set."""
+        rng = make_rng(31)
+        packets = []
+        for i in range(300):
+            packet = make_coflow_packet(1, 0, i, [(i, i)])
+            packet.meta.ingress_port = int(rng.integers(0, 8))
+            packet.meta.egress_port = int(rng.integers(0, 8))
+            packets.append(packet)
+
+        def run(switch_cls, config):
+            switch = switch_cls(config)
+            stream = [
+                (i * 1e-8, p.copy()) for i, p in enumerate(packets)
+            ]
+            for (_, copy), original in zip(stream, packets):
+                copy.meta.ingress_port = original.meta.ingress_port
+                copy.meta.egress_port = original.meta.egress_port
+            result = switch.run(iter(stream))
+            return sorted(
+                (p.header("coflow")["seq"], p.meta.egress_port)
+                for p in result.delivered
+            )
+
+        assert run(RMTSwitch, small_rmt_config) == run(
+            ADCPSwitch, small_adcp_config
+        )

@@ -1,0 +1,96 @@
+"""The docs/PROGRAMMING_MODEL.md worked example, kept honest by CI.
+
+A per-key rate limiter: admit at most ``budget`` packets per key, drop
+the excess.  Runs unchanged on both targets and on the run-to-completion
+baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adcp.switch import ADCPSwitch
+from repro.arch.app import PipelineContext, SwitchApp
+from repro.arch.decision import Decision
+from repro.baselines import RtcConfig, RunToCompletionSwitch
+from repro.errors import ConfigError
+from repro.net.packet import Packet
+from repro.net.phv import PHV
+from repro.net.traffic import make_coflow_packet
+from repro.rmt.switch import RMTSwitch
+
+
+class RateLimiterApp(SwitchApp):
+    """Admit at most ``budget`` packets per key; drop the rest."""
+
+    def __init__(self, key_space: int, budget: int, elements_per_packet: int = 1):
+        super().__init__("ratelimit", elements_per_packet)
+        if key_space < 1 or budget < 1:
+            raise ConfigError("key space and budget must be positive")
+        self.key_space = key_space
+        self.budget = budget
+
+    def uses_central_state(self) -> bool:
+        return True
+
+    def central(self, ctx: PipelineContext, packet: Packet, phv: PHV) -> Decision:
+        counts = ctx.register("admitted", self.key_space, width_bits=32)
+        assert packet.payload is not None
+        key = packet.payload[0].key
+        if counts.read(key) >= self.budget:
+            return Decision.drop("rate_limited")
+        counts.add(key, 1)
+        return Decision.forward()
+
+
+def _stream(keys: list[int], egress: int = 7):
+    events = []
+    for i, key in enumerate(keys):
+        packet = make_coflow_packet(1, 0, i, [(key, i)])
+        packet.meta.ingress_port = i % 4
+        packet.meta.egress_port = egress
+        events.append((i * 1e-8, packet))
+    return events
+
+
+KEYS = [5] * 6 + [9] * 2 + [5, 9, 11]  # key 5: 7 offers, 9: 3, 11: 1
+
+
+class TestRateLimiterEverywhere:
+    def _check(self, result):
+        delivered = {}
+        for packet in result.delivered:
+            key = packet.payload[0].key
+            delivered[key] = delivered.get(key, 0) + 1
+        assert delivered == {5: 3, 9: 3, 11: 1}
+        limited = [
+            p for p in result.dropped if p.meta.drop_reason == "rate_limited"
+        ]
+        assert len(limited) == 4  # 7-3 for key 5, 0 for 9 and 11
+
+    def test_on_adcp(self, small_adcp_config):
+        switch = ADCPSwitch(small_adcp_config, RateLimiterApp(1024, 3))
+        self._check(switch.run(_stream(KEYS)))
+
+    def test_on_rmt(self, small_rmt_config):
+        switch = RMTSwitch(small_rmt_config, RateLimiterApp(1024, 3))
+        self._check(switch.run(_stream(KEYS)))
+
+    def test_on_run_to_completion(self):
+        switch = RunToCompletionSwitch(RtcConfig(), RateLimiterApp(1024, 3))
+        self._check(switch.run(_stream(KEYS)))
+
+    def test_wide_packets_rejected_on_rmt(self, small_rmt_config):
+        from repro.errors import CompileError
+
+        with pytest.raises(CompileError):
+            RMTSwitch(
+                small_rmt_config,
+                RateLimiterApp(1024, 3, elements_per_packet=4),
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RateLimiterApp(0, 3)
+        with pytest.raises(ConfigError):
+            RateLimiterApp(16, 0)

@@ -1,0 +1,112 @@
+"""Tests for packet parsing (repro.net.parser)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, ParseError
+from repro.net.headers import ETHERNET, IPV4, standard_stack
+from repro.net.packet import Packet
+from repro.net.parser import ParseGraph, Parser, ParseState
+from repro.net.traffic import make_coflow_packet
+
+
+class TestParseGraph:
+    def test_standard_graph_validates(self):
+        graph = ParseGraph.standard_coflow_graph()
+        assert len(graph) == 4
+        assert "coflow" in graph
+
+    def test_duplicate_state_rejected(self):
+        graph = ParseGraph(start="a")
+        graph.add(ParseState("a"))
+        with pytest.raises(ConfigError):
+            graph.add(ParseState("a"))
+
+    def test_reserved_names_rejected(self):
+        graph = ParseGraph()
+        with pytest.raises(ConfigError):
+            graph.add(ParseState("accept"))
+
+    def test_unknown_transition_target_rejected(self):
+        graph = ParseGraph(start="a")
+        graph.add(ParseState("a", transitions={"default": "ghost"}))
+        with pytest.raises(ConfigError):
+            graph.validate()
+
+    def test_missing_start_rejected(self):
+        graph = ParseGraph(start="nope")
+        graph.add(ParseState("a"))
+        with pytest.raises(ConfigError):
+            graph.validate()
+
+    def test_next_state_selection(self):
+        state = ParseState(
+            "s", select_field="f", transitions={5: "five", "default": "other"}
+        )
+        assert state.next_state(5) == "five"
+        assert state.next_state(6) == "other"
+
+    def test_next_state_without_default_rejects(self):
+        state = ParseState("s", select_field="f", transitions={5: "five"})
+        assert state.next_state(6) == "reject"
+
+
+class TestParser:
+    def test_full_stack_extraction(self):
+        parser = Parser(ParseGraph.standard_coflow_graph())
+        packet = make_coflow_packet(9, 2, 1, [(10, 100), (11, 110)])
+        result = parser.parse(packet)
+        assert result.accepted
+        assert result.headers_extracted == ("ethernet", "ipv4", "udp", "coflow")
+        assert result.phv["coflow.coflow_id"] == 9
+        assert result.phv.array("elems.key") == [10, 11]
+        assert result.phv.array("elems.value") == [100, 110]
+
+    def test_non_coflow_packet_accepted_early(self):
+        parser = Parser(ParseGraph.standard_coflow_graph())
+        eth = ETHERNET.instantiate(ethertype=0x86DD)  # not IPv4
+        result = parser.parse(Packet([eth]))
+        assert result.accepted
+        assert result.headers_extracted == ("ethernet",)
+
+    def test_missing_expected_header_rejects(self):
+        parser = Parser(ParseGraph.standard_coflow_graph())
+        eth = ETHERNET.instantiate(ethertype=0x0800)  # promises IPv4
+        result = parser.parse(Packet([eth]))
+        assert not result.accepted
+        assert parser.packets_rejected == 1
+
+    def test_bytes_examined_counts_headers_and_payload(self):
+        parser = Parser(ParseGraph.standard_coflow_graph())
+        packet = make_coflow_packet(1, 1, 0, [(1, 1)] * 4)
+        result = parser.parse(packet)
+        assert result.bytes_examined == 14 + 20 + 8 + 19 + 32
+
+    def test_array_wider_than_state_limit_raises(self):
+        graph = ParseGraph.standard_coflow_graph(max_elements=2)
+        parser = Parser(graph)
+        packet = make_coflow_packet(1, 1, 0, [(i, i) for i in range(4)])
+        with pytest.raises(ParseError):
+            parser.parse(packet)
+
+    def test_scalar_fallback_extracts_first_element_only(self):
+        """array_capable=False models classic RMT's 1-key lift."""
+        parser = Parser(ParseGraph.standard_coflow_graph(), array_capable=False)
+        packet = make_coflow_packet(1, 1, 0, [(7, 70), (8, 80)])
+        result = parser.parse(packet)
+        assert result.accepted
+        assert result.phv["elems.key[0]"] == 7
+        assert result.phv.array_length("elems.key") == 1
+
+    def test_depth_limit_catches_loops(self):
+        graph = ParseGraph(start="loop")
+        graph.add(ParseState("loop", transitions={"default": "loop"}))
+        parser = Parser(graph, max_depth=8)
+        with pytest.raises(ParseError):
+            parser.parse(Packet(standard_stack()))
+
+    def test_counters(self):
+        parser = Parser(ParseGraph.standard_coflow_graph())
+        parser.parse(make_coflow_packet(1, 1, 0, [(1, 1)]))
+        assert parser.packets_parsed == 1

@@ -1,0 +1,120 @@
+"""Tests for parser complexity analysis (repro.net.parser_analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.parser import ParseGraph, Parser, ParseState
+from repro.net.parser_analysis import (
+    analyze_graph,
+    measure_parser_work,
+    parser_requirement,
+    ParserRequirement,
+)
+from repro.net.traffic import make_coflow_packet
+from repro.units import GBPS, GHZ
+
+
+class TestAnalyzeGraph:
+    def test_standard_coflow_graph(self):
+        complexity = analyze_graph(ParseGraph.standard_coflow_graph())
+        assert complexity.states == 4
+        assert complexity.max_depth == 4  # one visit per header state
+        # eth(14) + ipv4(20) + udp(8) + coflow(19)
+        assert complexity.max_header_bytes == 61
+        assert complexity.max_fanout == 2
+
+    def test_single_state_graph(self):
+        from repro.net.headers import ETHERNET
+
+        graph = ParseGraph(start="eth")
+        graph.add(ParseState("eth", header_type=ETHERNET))
+        complexity = analyze_graph(graph)
+        assert complexity.states == 1
+        assert complexity.max_header_bytes == 14
+
+    def test_branching_takes_worst_path(self):
+        from repro.net.headers import ETHERNET, IPV4, UDP
+
+        graph = ParseGraph(start="eth")
+        graph.add(
+            ParseState(
+                "eth", header_type=ETHERNET, select_field="ethertype",
+                transitions={1: "short", 2: "long", "default": "accept"},
+            )
+        )
+        graph.add(ParseState("short", header_type=UDP))
+        graph.add(ParseState("long", header_type=IPV4,
+                             transitions={"default": "long2"}))
+        graph.add(ParseState("long2", header_type=IPV4))
+        complexity = analyze_graph(graph)
+        assert complexity.max_header_bytes == 14 + 20 + 20
+        assert complexity.max_fanout == 3
+
+    def test_cyclic_graph_bounded(self):
+        """TLV-style loops are cut at the first revisit, not followed forever."""
+        from repro.net.headers import UDP
+
+        graph = ParseGraph(start="tlv")
+        graph.add(ParseState("tlv", header_type=UDP,
+                             select_field="src_port",
+                             transitions={1: "tlv", "default": "accept"}))
+        complexity = analyze_graph(graph)
+        assert complexity.max_header_bytes == 8  # loop cut at first revisit
+
+
+class TestParserRequirement:
+    def test_header_fraction_shrinks_with_packet_size(self):
+        """The §3.3 point: structure, not port speed, drives parser work.
+        Bigger packets mean the parser inspects a smaller share."""
+        graph = ParseGraph.standard_coflow_graph()
+        small = parser_requirement(graph, 800 * GBPS, min_wire_packet_bytes=84)
+        large = parser_requirement(graph, 800 * GBPS, min_wire_packet_bytes=495)
+        assert small.header_fraction > large.header_fraction
+        assert small.header_bandwidth_bps > large.header_bandwidth_bps
+
+    def test_parser_clock_scales_with_port_speed_not_structure(self):
+        graph = ParseGraph.standard_coflow_graph()
+        slow = parser_requirement(graph, 100 * GBPS)
+        fast = parser_requirement(graph, 800 * GBPS)
+        assert fast.parser_clock_hz == pytest.approx(8 * slow.parser_clock_hz)
+
+    def test_wider_lookahead_reduces_clock(self):
+        graph = ParseGraph.standard_coflow_graph()
+        narrow = parser_requirement(graph, 800 * GBPS, lookahead_bytes=16)
+        wide = parser_requirement(graph, 800 * GBPS, lookahead_bytes=64)
+        assert wide.parser_clock_hz < narrow.parser_clock_hz
+
+    def test_800g_parser_feasible_with_wide_lookahead(self):
+        """A 1.19 Bpps 800G port needs a fast parser; with 64 B lookahead
+        the coflow stack parses in one cycle per packet, keeping the
+        parser clock near the packet rate."""
+        graph = ParseGraph.standard_coflow_graph()
+        req = parser_requirement(graph, 800 * GBPS, lookahead_bytes=64)
+        assert req.parser_clock_hz == pytest.approx(req.packet_rate_pps)
+        assert req.parser_clock_hz / GHZ < 1.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ParserRequirement(0, 84, 40, 32)
+        with pytest.raises(ConfigError):
+            ParserRequirement(1e9, 84, 40, 0)
+        with pytest.raises(ConfigError):
+            ParserRequirement(1e9, 0, 40, 32)
+
+
+class TestMeasureParserWork:
+    def test_matches_analysis_on_real_packets(self):
+        parser = Parser(ParseGraph.standard_coflow_graph())
+        packets = [make_coflow_packet(1, 0, i, [(i, i)]) for i in range(20)]
+        work = measure_parser_work(parser, packets)
+        assert work["accept_rate"] == 1.0
+        assert work["mean_states"] == 4.0
+        # 61 header bytes + 8 payload bytes lifted into the array view.
+        assert work["mean_bytes_examined"] == pytest.approx(69.0)
+
+    def test_empty_rejected(self):
+        parser = Parser(ParseGraph.standard_coflow_graph())
+        with pytest.raises(ConfigError):
+            measure_parser_work(parser, [])

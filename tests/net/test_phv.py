@@ -1,0 +1,130 @@
+"""Tests for the packet header vector (repro.net.phv)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.net.phv import PHV, ContainerClass, PHVLayout
+
+
+class TestContainerClass:
+    def test_width_selection(self):
+        assert ContainerClass.for_width(1) is ContainerClass.BYTE
+        assert ContainerClass.for_width(8) is ContainerClass.BYTE
+        assert ContainerClass.for_width(9) is ContainerClass.HALF
+        assert ContainerClass.for_width(16) is ContainerClass.HALF
+        assert ContainerClass.for_width(17) is ContainerClass.WORD
+        assert ContainerClass.for_width(48) is ContainerClass.WORD
+
+
+class TestPHVLayout:
+    def test_default_capacity(self):
+        layout = PHVLayout()
+        assert layout.capacity(ContainerClass.BYTE) == 64
+        assert layout.total_bits == 64 * 8 + 96 * 16 + 64 * 32
+
+
+class TestPHVAllocation:
+    def test_allocate_and_access(self):
+        phv = PHV()
+        phv.allocate("eth.type", 16, 0x800)
+        assert phv["eth.type"] == 0x800
+        phv["eth.type"] = 0x806
+        assert phv["eth.type"] == 0x806
+        assert "eth.type" in phv
+
+    def test_wide_field_spans_word_containers(self):
+        phv = PHV()
+        phv.allocate("eth.dst", 48)
+        assert phv.used(ContainerClass.WORD) == 2
+
+    def test_double_allocation_rejected(self):
+        phv = PHV()
+        phv.allocate("f", 8)
+        with pytest.raises(ConfigError):
+            phv.allocate("f", 8)
+
+    def test_unallocated_access_rejected(self):
+        phv = PHV()
+        with pytest.raises(ConfigError):
+            _ = phv["missing"]
+        with pytest.raises(ConfigError):
+            phv["missing"] = 1
+
+    def test_capacity_exhaustion(self):
+        phv = PHV(PHVLayout(byte_containers=2, half_containers=0, word_containers=0))
+        phv.allocate("a", 8)
+        phv.allocate("b", 8)
+        with pytest.raises(ConfigError):
+            phv.allocate("c", 8)
+
+    def test_get_with_default(self):
+        phv = PHV()
+        assert phv.get("missing") is None
+        assert phv.get("missing", 7) == 7
+
+    def test_used_bits_accounting(self):
+        phv = PHV()
+        phv.allocate("a", 8)
+        phv.allocate("b", 16)
+        phv.allocate("c", 32)
+        assert phv.used_bits == 8 + 16 + 32
+
+
+class TestPHVArrays:
+    def test_allocate_array_and_roundtrip(self):
+        phv = PHV()
+        phv.allocate_array("k", 4)
+        phv.set_array("k", [1, 2, 3, 4])
+        assert phv.array("k") == [1, 2, 3, 4]
+        assert phv.array_length("k") == 4
+        assert phv["k[2]"] == 3
+
+    def test_array_length_mismatch_rejected(self):
+        phv = PHV()
+        phv.allocate_array("k", 3)
+        with pytest.raises(ConfigError):
+            phv.set_array("k", [1, 2])
+
+    def test_unknown_array_rejected(self):
+        phv = PHV()
+        with pytest.raises(ConfigError):
+            phv.array("nope")
+
+    def test_zero_length_array_rejected(self):
+        phv = PHV()
+        with pytest.raises(ConfigError):
+            phv.allocate_array("k", 0)
+
+    def test_array_consumes_word_containers(self):
+        """A 16-wide array eats 16 word containers — the PHV budget is a
+        real constraint on array width, as section 3.2 anticipates."""
+        phv = PHV(PHVLayout(word_containers=16))
+        phv.allocate_array("k", 16)
+        with pytest.raises(ConfigError):
+            phv.allocate("extra", 32)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**31), min_size=1, max_size=16))
+    def test_array_roundtrip_property(self, values):
+        phv = PHV()
+        phv.allocate_array("v", len(values))
+        phv.set_array("v", values)
+        assert phv.array("v") == values
+
+
+class TestPHVMetadata:
+    def test_meta_is_separate_namespace(self):
+        phv = PHV()
+        phv.set_meta("egress_port", 3)
+        assert phv.get_meta("egress_port") == 3
+        assert phv.get_meta("missing") is None
+        assert phv.has_meta("egress_port")
+        assert "egress_port" not in phv  # not a container field
+
+    def test_meta_not_charged_against_containers(self):
+        phv = PHV(PHVLayout(byte_containers=0, half_containers=0, word_containers=0))
+        phv.set_meta("drop", 1)
+        assert phv.get_meta("drop") == 1

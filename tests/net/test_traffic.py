@@ -1,0 +1,117 @@
+"""Tests for traffic sources (repro.net.traffic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.traffic import (
+    DeterministicSource,
+    PoissonSource,
+    make_coflow_packet,
+    merge_sources,
+)
+from repro.sim.rng import make_rng
+from repro.units import BITS_PER_BYTE, GBPS
+
+
+def _packets(n, elements=1):
+    return [
+        make_coflow_packet(1, 0, i, [(j, j) for j in range(elements)])
+        for i in range(n)
+    ]
+
+
+class TestMakeCoflowPacket:
+    def test_header_and_payload_consistency(self):
+        packet = make_coflow_packet(4, 2, 7, [(1, 10), (2, 20)], opcode=3)
+        header = packet.header("coflow")
+        assert header["coflow_id"] == 4
+        assert header["flow_id"] == 2
+        assert header["seq"] == 7
+        assert header["opcode"] == 3
+        assert header["element_count"] == 2
+        assert packet.element_count == 2
+
+
+class TestDeterministicSource:
+    def test_back_to_back_spacing_equals_wire_time(self):
+        packets = _packets(3)
+        source = DeterministicSource(0, 100 * GBPS, packets)
+        times = [t for t, _ in source.packets()]
+        gap = packets[0].wire_bytes * BITS_PER_BYTE / (100 * GBPS)
+        assert times[1] - times[0] == pytest.approx(gap)
+        assert times[2] - times[1] == pytest.approx(gap)
+
+    def test_stamps_port_and_arrival(self):
+        source = DeterministicSource(5, GBPS, _packets(1))
+        time, packet = next(iter(source.packets()))
+        assert packet.meta.ingress_port == 5
+        assert packet.meta.arrival_time == time
+
+    def test_start_time_offset(self):
+        source = DeterministicSource(0, GBPS, _packets(1), start_time=1.0)
+        time, _ = next(iter(source.packets()))
+        assert time == 1.0
+
+    def test_line_rate_total_duration(self):
+        """N back-to-back packets occupy exactly N wire times."""
+        packets = _packets(10)
+        source = DeterministicSource(0, 100 * GBPS, packets)
+        times = [t for t, _ in source.packets()]
+        wire = packets[0].wire_bytes * BITS_PER_BYTE / (100 * GBPS)
+        assert times[-1] == pytest.approx(9 * wire)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ConfigError):
+            DeterministicSource(0, 0, [])
+
+    def test_invalid_port(self):
+        with pytest.raises(ConfigError):
+            DeterministicSource(-1, GBPS, [])
+
+
+class TestPoissonSource:
+    def test_mean_rate_approximates_load(self):
+        packets = _packets(2000)
+        source = PoissonSource(0, 100 * GBPS, packets, load=0.5, rng=make_rng(1))
+        times = [t for t, _ in source.packets()]
+        duration = times[-1]
+        wire_bits = sum(p.wire_bytes for p in packets) * BITS_PER_BYTE
+        achieved_load = wire_bits / (100 * GBPS * duration)
+        assert achieved_load == pytest.approx(0.5, rel=0.1)
+
+    def test_times_are_increasing(self):
+        source = PoissonSource(0, GBPS, _packets(100), load=0.9, rng=make_rng(2))
+        times = [t for t, _ in source.packets()]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_invalid_load(self):
+        with pytest.raises(ConfigError):
+            PoissonSource(0, GBPS, [], load=0.0, rng=make_rng())
+        with pytest.raises(ConfigError):
+            PoissonSource(0, GBPS, [], load=1.5, rng=make_rng())
+
+    def test_empty_stream(self):
+        source = PoissonSource(0, GBPS, [], load=0.5, rng=make_rng())
+        assert list(source.packets()) == []
+
+
+class TestMergeSources:
+    def test_global_time_order(self):
+        fast = DeterministicSource(0, 100 * GBPS, _packets(5))
+        slow = DeterministicSource(1, 10 * GBPS, _packets(5))
+        merged = list(merge_sources([fast, slow]))
+        times = [t for t, _ in merged]
+        assert times == sorted(times)
+        assert len(merged) == 10
+
+    def test_preserves_per_source_order(self):
+        a = DeterministicSource(0, GBPS, _packets(3))
+        merged = list(merge_sources([a]))
+        seqs = [p.header("coflow")["seq"] for _, p in merged]
+        assert seqs == [0, 1, 2]
+
+    def test_empty_sources_ok(self):
+        a = DeterministicSource(0, GBPS, [])
+        assert list(merge_sources([a])) == []

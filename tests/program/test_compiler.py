@@ -1,0 +1,157 @@
+"""Tests for the stage allocator (repro.program.compiler).
+
+The scalar-vs-array replication discipline tested here is the Figure 3 /
+Figure 6 contrast in miniature.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CompileError, ConfigError
+from repro.program.compiler import Compiler, TargetModel, adcp_target, rmt_target
+from repro.program.graph import ProgramGraph
+from repro.program.spec import ActionSpec, TableSpec
+from repro.tables.mat import MatchKind
+
+
+def _program(*specs: TableSpec, deps=()) -> ProgramGraph:
+    program = ProgramGraph()
+    for spec in specs:
+        program.add_table(spec)
+    for before, after in deps:
+        program.add_dependency(before, after)
+    return program
+
+
+def _table(name: str, **kwargs) -> TableSpec:
+    defaults = dict(kind=MatchKind.EXACT, key_width_bits=32, capacity=1024)
+    defaults.update(kwargs)
+    return TableSpec(name, **defaults)  # type: ignore[arg-type]
+
+
+class TestTargetModel:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TargetModel("t", stages=0)
+        with pytest.raises(ConfigError):
+            TargetModel("t", array_width=0)
+
+    def test_array_capability(self):
+        assert not rmt_target().is_array_capable
+        assert adcp_target().is_array_capable
+
+    def test_blocks_for_includes_state(self):
+        target = rmt_target()
+        plain = _table("t")
+        stateful = _table("s", stateful_bits=1024 * 112 * 2)
+        _, plain_blocks = target.blocks_for(plain)
+        _, stateful_blocks = target.blocks_for(stateful)
+        assert stateful_blocks == plain_blocks + 2
+
+
+class TestScalarReplication:
+    def test_multi_key_table_replicates_on_rmt(self):
+        """Figure 3: k keys per packet force k table copies on a scalar
+        target, multiplying block cost without adding capacity."""
+        program = _program(_table("kv", keys_per_packet=8))
+        allocation = Compiler(rmt_target()).allocate(program)
+        assert allocation.replication_factor("kv") == 8
+        assert allocation.total_maus == 8
+        single = Compiler(rmt_target()).allocate(
+            _program(_table("kv", keys_per_packet=1))
+        )
+        assert allocation.total_sram_blocks == 8 * single.total_sram_blocks
+        # Capacity does NOT multiply — replicas hold the same entries.
+        assert allocation.effective_capacity("kv") == 1024
+
+    def test_single_copy_on_adcp(self):
+        """Figure 6: the array target places one copy with a ganged MAU
+        group sharing its memory."""
+        program = _program(_table("kv", keys_per_packet=8))
+        allocation = Compiler(adcp_target(array_width=16)).allocate(program)
+        assert allocation.replication_factor("kv") == 1
+        assert allocation.total_maus == 8  # ganged, but one memory copy
+        single = Compiler(adcp_target(array_width=16)).allocate(
+            _program(_table("kv", keys_per_packet=1))
+        )
+        assert allocation.total_sram_blocks == single.total_sram_blocks
+
+    def test_width_beyond_array_rejected_on_adcp(self):
+        program = _program(_table("kv", keys_per_packet=32))
+        with pytest.raises(CompileError):
+            Compiler(adcp_target(array_width=16)).allocate(program)
+
+    def test_replicas_fill_stage_then_spill(self):
+        """17 replicas at 16 MAUs/stage spill into a second stage."""
+        program = _program(_table("kv", keys_per_packet=17))
+        allocation = Compiler(rmt_target()).allocate(program)
+        assert allocation.stages_used == 2
+
+
+class TestDependencies:
+    def test_dependent_tables_in_later_stages(self):
+        program = _program(
+            _table("first"),
+            _table("second"),
+            deps=[("first", "second")],
+        )
+        allocation = Compiler(rmt_target()).allocate(program)
+        assert allocation.stage_of("second") > allocation.stage_of("first")
+
+    def test_independent_tables_share_a_stage(self):
+        program = _program(_table("a"), _table("b"))
+        allocation = Compiler(rmt_target()).allocate(program)
+        assert allocation.stage_of("a") == allocation.stage_of("b")
+
+    def test_deep_chain_exceeding_stages_fails(self):
+        tables = [_table(f"t{i}") for i in range(5)]
+        deps = [(f"t{i}", f"t{i + 1}") for i in range(4)]
+        program = _program(*tables, deps=deps)
+        with pytest.raises(CompileError):
+            Compiler(rmt_target(stages=4)).allocate(program)
+
+    def test_chain_fitting_exactly(self):
+        tables = [_table(f"t{i}") for i in range(4)]
+        deps = [(f"t{i}", f"t{i + 1}") for i in range(3)]
+        program = _program(*tables, deps=deps)
+        allocation = Compiler(rmt_target(stages=4)).allocate(program)
+        assert allocation.stages_used == 4
+
+
+class TestResourceLimits:
+    def test_memory_pressure_spills_stages(self):
+        # Each copy needs 40 of the 80 SRAM blocks; three tables need two
+        # stages.
+        big = [
+            _table(f"big{i}", capacity=40 * 1024) for i in range(3)
+        ]
+        allocation = Compiler(rmt_target()).allocate(_program(*big))
+        assert allocation.stages_used == 2
+
+    def test_table_larger_than_stage_fails(self):
+        program = _program(_table("huge", capacity=81 * 1024))
+        with pytest.raises(CompileError):
+            Compiler(rmt_target()).allocate(program)
+
+    def test_tcam_budget_independent(self):
+        lpm = _table("lpm", kind=MatchKind.LPM, key_width_bits=32, capacity=2048)
+        exact = _table("exact", capacity=1024)
+        allocation = Compiler(rmt_target()).allocate(_program(lpm, exact))
+        assert allocation.total_tcam_blocks == 1
+        assert allocation.total_sram_blocks == 1
+        assert allocation.stage_of("lpm") == allocation.stage_of("exact")
+
+    def test_action_slots_checked(self):
+        wide = _table("wide", actions=(ActionSpec("mega", 9),))
+        with pytest.raises(CompileError):
+            Compiler(rmt_target(action_slots=8)).allocate(_program(wide))
+
+    def test_unallocated_table_queries_raise(self):
+        allocation = Compiler(rmt_target()).allocate(_program(_table("a")))
+        with pytest.raises(ConfigError):
+            allocation.replication_factor("ghost")
+        with pytest.raises(ConfigError):
+            allocation.effective_capacity("ghost")
+        with pytest.raises(ConfigError):
+            allocation.stage_of("ghost")

@@ -1,0 +1,110 @@
+"""Property-based tests for the stage allocator (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CompileError
+from repro.program.compiler import Compiler, adcp_target, rmt_target
+from repro.program.graph import ProgramGraph
+from repro.program.spec import TableSpec
+from repro.tables.mat import MatchKind
+
+
+@st.composite
+def random_program(draw):
+    """A random DAG of small tables with chain dependencies."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    specs = []
+    for i in range(count):
+        specs.append(
+            TableSpec(
+                f"t{i}",
+                draw(st.sampled_from([MatchKind.EXACT, MatchKind.TERNARY])),
+                key_width_bits=draw(st.sampled_from([16, 32, 64])),
+                capacity=draw(st.sampled_from([256, 1024, 4096])),
+                keys_per_packet=draw(st.sampled_from([1, 2, 4])),
+            )
+        )
+    program = ProgramGraph()
+    for spec in specs:
+        program.add_table(spec)
+    # Random forward edges (i -> j with i < j keeps it acyclic).
+    for i in range(count):
+        for j in range(i + 1, count):
+            if draw(st.booleans()) and draw(st.booleans()):
+                program.add_dependency(f"t{i}", f"t{j}")
+    return program
+
+
+class TestAllocatorInvariants:
+    @settings(deadline=None, max_examples=40)
+    @given(random_program())
+    def test_budgets_never_exceeded(self, program):
+        """Whatever the program, a successful allocation respects every
+        per-stage budget."""
+        target = rmt_target()
+        try:
+            allocation = Compiler(target).allocate(program)
+        except CompileError:
+            return  # refusing is always legal
+        for placement in allocation.placements:
+            assert placement.maus_used <= target.maus_per_stage
+            assert placement.sram_used <= target.sram_blocks_per_stage
+            assert placement.tcam_used <= target.tcam_blocks_per_stage
+
+    @settings(deadline=None, max_examples=40)
+    @given(random_program())
+    def test_dependencies_respected(self, program):
+        try:
+            allocation = Compiler(rmt_target()).allocate(program)
+        except CompileError:
+            return
+        for spec in program.tables():
+            for before, _ in program.dependencies(spec.name):
+                assert allocation.stage_of(before) < allocation.stage_of(
+                    spec.name
+                )
+
+    @settings(deadline=None, max_examples=40)
+    @given(random_program())
+    def test_every_replica_placed_exactly_once(self, program):
+        try:
+            allocation = Compiler(rmt_target()).allocate(program)
+        except CompileError:
+            return
+        placed: dict[tuple[str, int], int] = {}
+        for placement in allocation.placements:
+            for instance in placement.instances:
+                key = (instance.spec.name, instance.replica)
+                placed[key] = placed.get(key, 0) + 1
+        assert all(count == 1 for count in placed.values())
+        for spec in program.tables():
+            replicas = allocation.replication_factor(spec.name)
+            assert replicas == spec.keys_per_packet  # scalar target
+            for r in range(replicas):
+                assert (spec.name, r) in placed
+
+    @settings(deadline=None, max_examples=40)
+    @given(random_program())
+    def test_array_target_never_replicates(self, program):
+        try:
+            allocation = Compiler(adcp_target(array_width=16)).allocate(program)
+        except CompileError:
+            return
+        for spec in program.tables():
+            assert allocation.replication_factor(spec.name) == 1
+
+    @settings(deadline=None, max_examples=30)
+    @given(random_program())
+    def test_array_target_memory_never_exceeds_scalar(self, program):
+        """The ADCP allocation is never worse than RMT's in blocks."""
+        try:
+            scalar = Compiler(rmt_target()).allocate(program)
+            array = Compiler(adcp_target(array_width=16)).allocate(program)
+        except CompileError:
+            return
+        assert array.total_sram_blocks <= scalar.total_sram_blocks
+        assert array.total_tcam_blocks <= scalar.total_tcam_blocks

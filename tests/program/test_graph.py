@@ -1,0 +1,109 @@
+"""Tests for program dependency graphs (repro.program.graph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CompileError, ConfigError
+from repro.program.graph import DependencyKind, ProgramGraph
+from repro.program.spec import ActionSpec, TableSpec
+from repro.tables.mat import MatchKind
+
+
+def _table(name: str, **kwargs) -> TableSpec:
+    defaults = dict(kind=MatchKind.EXACT, key_width_bits=32, capacity=1024)
+    defaults.update(kwargs)
+    return TableSpec(name, **defaults)  # type: ignore[arg-type]
+
+
+class TestTableSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            _table("")
+        with pytest.raises(ConfigError):
+            _table("t", capacity=0)
+        with pytest.raises(ConfigError):
+            _table("t", keys_per_packet=0)
+        with pytest.raises(ConfigError):
+            _table("t", stateful_bits=-1)
+
+    def test_max_action_slots(self):
+        spec = _table(
+            "t", actions=(ActionSpec("a", 2), ActionSpec("b", 5))
+        )
+        assert spec.max_action_slots == 5
+        assert _table("t").max_action_slots == 0
+
+
+class TestProgramGraph:
+    def test_add_and_lookup(self):
+        program = ProgramGraph()
+        program.add_table(_table("t1"))
+        assert "t1" in program
+        assert program.table("t1").name == "t1"
+        assert len(program) == 1
+
+    def test_duplicate_rejected(self):
+        program = ProgramGraph()
+        program.add_table(_table("t"))
+        with pytest.raises(ConfigError):
+            program.add_table(_table("t"))
+
+    def test_dependency_on_unknown_rejected(self):
+        program = ProgramGraph()
+        program.add_table(_table("a"))
+        with pytest.raises(ConfigError):
+            program.add_dependency("a", "ghost")
+
+    def test_self_dependency_rejected(self):
+        program = ProgramGraph()
+        program.add_table(_table("a"))
+        with pytest.raises(ConfigError):
+            program.add_dependency("a", "a")
+
+    def test_cycle_rejected_and_rolled_back(self):
+        program = ProgramGraph()
+        for name in "abc":
+            program.add_table(_table(name))
+        program.add_dependency("a", "b")
+        program.add_dependency("b", "c")
+        with pytest.raises(CompileError):
+            program.add_dependency("c", "a")
+        # Graph unchanged by the failed edge:
+        assert program.depth == 3
+
+    def test_levels_respect_dependencies(self):
+        program = ProgramGraph()
+        for name in ("parse", "route", "acl", "stats"):
+            program.add_table(_table(name))
+        program.add_dependency("parse", "route")
+        program.add_dependency("parse", "acl")
+        program.add_dependency("route", "stats")
+        levels = program.levels()
+        names = [[t.name for t in level] for level in levels]
+        assert names[0] == ["parse"]
+        assert set(names[1]) == {"acl", "route"}
+        assert names[2] == ["stats"]
+
+    def test_depth_and_critical_path(self):
+        program = ProgramGraph()
+        for name in "abcd":
+            program.add_table(_table(name))
+        program.add_dependency("a", "b")
+        program.add_dependency("b", "c")
+        assert program.depth == 3
+        assert program.critical_path() == ["a", "b", "c"]
+
+    def test_dependencies_query(self):
+        program = ProgramGraph()
+        program.add_table(_table("a"))
+        program.add_table(_table("b"))
+        program.add_dependency("a", "b", DependencyKind.ACTION)
+        deps = program.dependencies("b")
+        assert deps == [("a", DependencyKind.ACTION)]
+
+    def test_empty_graph(self):
+        program = ProgramGraph()
+        assert program.depth == 0
+        assert program.critical_path() == []
+        assert program.levels() == []

@@ -1,0 +1,82 @@
+"""Tests for RMT configuration (repro.rmt.config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.rmt.config import RMTConfig, StateMode, table2_config
+from repro.units import GBPS, GHZ
+
+
+class TestRMTConfig:
+    def test_defaults_are_consistent(self):
+        config = RMTConfig()
+        assert config.ports_per_pipeline == 16
+        assert config.throughput_bps == pytest.approx(6.4e12)
+        assert config.required_frequency_hz <= config.frequency_hz
+
+    def test_port_to_pipeline_map(self):
+        config = RMTConfig()
+        assert config.pipeline_of_port(0) == 0
+        assert config.pipeline_of_port(15) == 0
+        assert config.pipeline_of_port(16) == 1
+        assert config.ports_of_pipeline(3) == tuple(range(48, 64))
+
+    def test_port_out_of_range(self):
+        config = RMTConfig()
+        with pytest.raises(ConfigError):
+            config.pipeline_of_port(64)
+        with pytest.raises(ConfigError):
+            config.ports_of_pipeline(4)
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ConfigError):
+            RMTConfig(num_ports=10, pipelines=4)
+
+    def test_underclocked_design_rejected(self):
+        """A config whose pipelines cannot absorb line rate must fail fast:
+        this is exactly the Table 2 constraint."""
+        with pytest.raises(ConfigError) as excinfo:
+            RMTConfig(
+                num_ports=64,
+                port_speed_bps=400 * GBPS,
+                pipelines=4,
+                min_wire_packet_bytes=84.0,
+                frequency_hz=1.62 * GHZ,
+            )
+        assert "GHz" in str(excinfo.value)
+
+    def test_bigger_min_packet_rescues_the_design(self):
+        """Raising the assumed minimum packet is the paper's documented
+        (unsustainable) escape hatch."""
+        config = RMTConfig(
+            num_ports=64,
+            port_speed_bps=400 * GBPS,
+            pipelines=8,
+            min_wire_packet_bytes=495.0,
+            frequency_hz=1.62 * GHZ,
+        )
+        assert config.required_frequency_hz <= config.frequency_hz
+
+    def test_sub_ethernet_min_packet_rejected(self):
+        with pytest.raises(ConfigError):
+            RMTConfig(min_wire_packet_bytes=60)
+
+    def test_latency_includes_parser_and_stages(self):
+        config = RMTConfig(stages_per_pipeline=12, parser_latency_cycles=4)
+        assert config.pipeline_latency_s == pytest.approx(16 / config.frequency_hz)
+
+
+class TestTable2Configs:
+    @pytest.mark.parametrize("row", range(5))
+    def test_each_row_is_buildable(self, row):
+        config = table2_config(row)
+        assert config.required_frequency_hz <= config.frequency_hz * (1 + 1e-9)
+
+    def test_row_out_of_range(self):
+        with pytest.raises(ConfigError):
+            table2_config(5)
+
+    def test_state_mode_default(self):
+        assert RMTConfig().state_mode is StateMode.EGRESS_PIN

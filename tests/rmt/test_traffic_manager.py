@@ -1,0 +1,111 @@
+"""Tests for the traffic manager (repro.rmt.traffic_manager)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.traffic import make_coflow_packet
+from repro.rmt.traffic_manager import TrafficManager
+from repro.sim.component import Component
+
+
+def _tm(**kwargs) -> TrafficManager:
+    defaults = dict(
+        name="tm",
+        parent=Component("switch"),
+        route=lambda packet: (packet.meta.egress_port or 0) // 4,
+        buffer_packets=4,
+        latency_s=1e-8,
+    )
+    defaults.update(kwargs)
+    return TrafficManager(**defaults)  # type: ignore[arg-type]
+
+
+def _packet(egress_port=0):
+    packet = make_coflow_packet(1, 0, 0, [(1, 1)])
+    packet.meta.egress_port = egress_port
+    return packet
+
+
+class TestAdmit:
+    def test_routes_by_egress_port(self):
+        tm = _tm()
+        admitted = tm.admit(_packet(egress_port=5), 0.0)
+        assert admitted is not None
+        pipeline, deliver = admitted
+        assert pipeline == 1
+        assert deliver == pytest.approx(1e-8)
+
+    def test_pipeline_override_skips_route(self):
+        tm = _tm(route=lambda p: (_ for _ in ()).throw(AssertionError))
+        admitted = tm.admit(_packet(), 0.0, pipeline=3)
+        assert admitted is not None and admitted[0] == 3
+
+    def test_buffer_full_drops(self):
+        tm = _tm(buffer_packets=2)
+        assert tm.admit(_packet(), 0.0) is not None
+        assert tm.admit(_packet(), 0.0) is not None
+        dropped = _packet()
+        assert tm.admit(dropped, 0.0) is None
+        assert dropped.meta.drop_reason == "tm_buffer_full"
+
+    def test_release_frees_capacity(self):
+        tm = _tm(buffer_packets=1)
+        packet = _packet()
+        assert tm.admit(packet, 0.0) is not None
+        tm.release(packet)
+        assert tm.admit(_packet(), 0.0) is not None
+
+    def test_release_underflow_rejected(self):
+        tm = _tm()
+        with pytest.raises(ConfigError):
+            tm.release(_packet())
+
+    def test_occupancy_tracking(self):
+        tm = _tm()
+        a, b = _packet(), _packet()
+        tm.admit(a, 0.0)
+        tm.admit(b, 0.0)
+        assert tm.occupancy == 2
+        assert tm.peak_occupancy == 2
+        tm.release(a)
+        assert tm.occupancy == 1
+        assert tm.peak_occupancy == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            _tm(buffer_packets=0)
+        with pytest.raises(ConfigError):
+            _tm(latency_s=-1.0)
+
+
+class TestMulticast:
+    def test_one_copy_per_port(self):
+        tm = _tm(buffer_packets=8)
+        packet = make_coflow_packet(1, 0, 0, [(1, 1)])
+        deliveries = tm.multicast_admit(packet, (0, 4, 8), 0.0)
+        assert len(deliveries) == 3
+        ports = [copy.meta.egress_port for copy, _, _ in deliveries]
+        assert ports == [0, 4, 8]
+        pipelines = [pipe for _, pipe, _ in deliveries]
+        assert pipelines == [0, 1, 2]
+
+    def test_copies_are_independent_packets(self):
+        tm = _tm(buffer_packets=8)
+        packet = make_coflow_packet(1, 0, 0, [(1, 1)])
+        deliveries = tm.multicast_admit(packet, (0, 4), 0.0)
+        ids = {copy.packet_id for copy, _, _ in deliveries}
+        assert len(ids) == 2
+        assert packet.packet_id not in ids
+
+    def test_partial_delivery_under_pressure(self):
+        tm = _tm(buffer_packets=2)
+        packet = make_coflow_packet(1, 0, 0, [(1, 1)])
+        deliveries = tm.multicast_admit(packet, (0, 4, 8), 0.0)
+        assert len(deliveries) == 2  # third copy dropped
+
+    def test_empty_port_list_rejected(self):
+        tm = _tm()
+        with pytest.raises(ConfigError):
+            tm.multicast_admit(make_coflow_packet(1, 0, 0, [(1, 1)]), (), 0.0)

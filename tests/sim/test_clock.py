@@ -1,0 +1,84 @@
+"""Tests for clock domains (repro.sim.clock)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.sim.clock import Clock, ClockDomain
+from repro.units import GHZ
+
+
+class TestClock:
+    def test_period_is_reciprocal(self):
+        clock = Clock(1.25 * GHZ)
+        assert clock.period_s == pytest.approx(0.8e-9)
+
+    def test_cycle_second_roundtrip(self):
+        clock = Clock(1.62 * GHZ)
+        assert clock.seconds_to_cycles(clock.cycles_to_seconds(100)) == pytest.approx(100)
+
+    def test_cycle_at_boundaries(self):
+        clock = Clock(1e9)
+        assert clock.cycle_at(0.0) == 0
+        assert clock.cycle_at(1e-9) == 1
+        assert clock.cycle_at(2.5e-9) == 2
+
+    def test_edge_after_is_strictly_later(self):
+        clock = Clock(1e9)
+        assert clock.edge_after(0.0) == pytest.approx(1e-9)
+        assert clock.edge_after(1.4e-9) == pytest.approx(2e-9)
+
+    def test_derived_multiplies_frequency(self):
+        """Section 4's multi-clock MAT memory: n-times-faster memory clock."""
+        pipeline = Clock(0.6 * GHZ, "lane")
+        memory = pipeline.derived(16)
+        assert memory.frequency_hz == pytest.approx(9.6 * GHZ)
+        assert "x16" in memory.name
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ConfigError):
+            Clock(0)
+        with pytest.raises(ConfigError):
+            Clock(-1.0)
+
+    def test_invalid_multiplier_rejected(self):
+        with pytest.raises(ConfigError):
+            Clock(1e9).derived(0)
+
+    @given(st.floats(min_value=1e6, max_value=1e10))
+    def test_period_frequency_identity(self, freq):
+        clock = Clock(freq)
+        assert clock.period_s * clock.frequency_hz == pytest.approx(1.0)
+
+
+class TestClockDomain:
+    def test_advance_accumulates(self):
+        domain = ClockDomain(Clock(1e9))
+        domain.advance(3)
+        domain.advance()
+        assert domain.cycle == 4
+        assert domain.now_s == pytest.approx(4e-9)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ConfigError):
+            ClockDomain(Clock(1e9)).advance(-1)
+
+    def test_ratio_between_domains(self):
+        fast = ClockDomain(Clock(4e9))
+        slow = ClockDomain(Clock(1e9))
+        assert fast.ratio_to(slow) == pytest.approx(4.0)
+        assert slow.ratio_to(fast) == pytest.approx(0.25)
+
+    def test_integer_ratio_detection(self):
+        lane = ClockDomain(Clock(0.6e9))
+        memory = ClockDomain(Clock(0.6e9 * 8))
+        assert memory.is_integer_ratio_to(lane)
+        odd = ClockDomain(Clock(1.0e9))
+        assert not odd.is_integer_ratio_to(lane)
+
+    def test_ratio_against_bare_clock(self):
+        domain = ClockDomain(Clock(2e9))
+        assert domain.ratio_to(Clock(1e9)) == pytest.approx(2.0)

@@ -1,0 +1,111 @@
+"""Tests for components and channels (repro.sim.component)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.component import Channel, Component, connect
+
+
+class TestComponent:
+    def test_path_reflects_hierarchy(self):
+        root = Component("switch")
+        pipe = Component("pipe0", root)
+        stage = Component("stage3", pipe)
+        assert stage.path == "switch.pipe0.stage3"
+
+    def test_children_registered(self):
+        root = Component("root")
+        child = Component("child", root)
+        assert child in root.children
+
+    def test_stats_shared_with_root(self):
+        root = Component("root")
+        child = Component("child", root)
+        child.counter("hits").add()
+        assert root.stats.value("root.child.hits") == 1.0
+
+    def test_walk_is_depth_first(self):
+        root = Component("r")
+        a = Component("a", root)
+        Component("a1", a)
+        Component("b", root)
+        names = [c.name for c in root.walk()]
+        assert names == ["r", "a", "a1", "b"]
+
+    def test_find_resolves_dotted_path(self):
+        root = Component("r")
+        a = Component("a", root)
+        a1 = Component("a1", a)
+        assert root.find("a.a1") is a1
+
+    def test_find_unknown_raises(self):
+        root = Component("r")
+        with pytest.raises(ConfigError):
+            root.find("missing")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ConfigError):
+            Component("")
+        with pytest.raises(ConfigError):
+            Component("a.b")
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        ch: Channel[int] = Channel("c")
+        ch.push(1)
+        ch.push(2)
+        assert ch.pop() == 1
+        assert ch.pop() == 2
+        assert ch.pop() is None
+
+    def test_capacity_enforced(self):
+        ch: Channel[int] = Channel("c", capacity=1)
+        assert ch.try_push(1)
+        assert not ch.try_push(2)
+        assert ch.rejected == 1
+        with pytest.raises(ConfigError):
+            ch.push(3)
+
+    def test_peak_depth_tracked(self):
+        ch: Channel[int] = Channel("c")
+        ch.push(1)
+        ch.push(2)
+        ch.pop()
+        ch.push(3)
+        assert ch.peak_depth == 2
+
+    def test_drain_empties_in_order(self):
+        ch: Channel[int] = Channel("c")
+        for i in range(3):
+            ch.push(i)
+        assert ch.drain() == [0, 1, 2]
+        assert ch.is_empty
+
+    def test_peek_does_not_remove(self):
+        ch: Channel[int] = Channel("c")
+        ch.push(42)
+        assert ch.peek() == 42
+        assert len(ch) == 1
+
+    def test_counters(self):
+        ch: Channel[int] = Channel("c")
+        ch.push(1)
+        ch.pop()
+        assert ch.pushed == 1
+        assert ch.popped == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            Channel("c", capacity=0)
+
+
+class TestConnect:
+    def test_creates_n_minus_one_channels(self):
+        comps = [Component(f"c{i}") for i in range(4)]
+        channels = connect(comps, capacity=8)
+        assert len(channels) == 3
+        assert channels[0].name == "c0->c1"
+        assert all(ch.capacity == 8 for ch in channels)

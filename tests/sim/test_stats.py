@@ -1,0 +1,129 @@
+"""Tests for counters, histograms, and the registry (repro.sim.stats)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.stats import Counter, Histogram, StatsRegistry
+
+
+class TestCounter:
+    def test_add_defaults_to_one(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.add(5)
+        counter.reset()
+        assert counter.value == 0.0
+
+
+class TestHistogram:
+    def test_mean_min_max(self):
+        h = Histogram("h")
+        h.observe_many([1.0, 2.0, 3.0])
+        assert h.mean == pytest.approx(2.0)
+        assert h.minimum == 1.0
+        assert h.maximum == 3.0
+        assert h.count == 3
+        assert h.total == pytest.approx(6.0)
+
+    def test_percentile_interpolates(self):
+        h = Histogram("h")
+        h.observe_many([0.0, 10.0])
+        assert h.percentile(50) == pytest.approx(5.0)
+        assert h.percentile(0) == 0.0
+        assert h.percentile(100) == 10.0
+
+    def test_single_sample_percentiles(self):
+        h = Histogram("h")
+        h.observe(7.0)
+        assert h.percentile(1) == 7.0
+        assert h.percentile(99) == 7.0
+
+    def test_empty_queries_raise(self):
+        h = Histogram("h")
+        with pytest.raises(SimulationError):
+            _ = h.mean
+        with pytest.raises(SimulationError):
+            h.percentile(50)
+        with pytest.raises(SimulationError):
+            _ = h.minimum
+
+    def test_percentile_out_of_range(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        with pytest.raises(SimulationError):
+            h.percentile(101)
+        with pytest.raises(SimulationError):
+            h.percentile(-1)
+
+    def test_observe_after_query_resorts(self):
+        h = Histogram("h")
+        h.observe_many([5.0, 1.0])
+        assert h.minimum == 1.0
+        h.observe(0.5)
+        assert h.minimum == 0.5
+
+    def test_reset_clears(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        h.reset()
+        assert len(h) == 0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_percentiles_bounded_by_extremes(self, values):
+        h = Histogram("h")
+        h.observe_many(values)
+        for p in (0, 25, 50, 75, 100):
+            assert min(values) <= h.percentile(p) <= max(values)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_percentile_monotone_in_p(self, values):
+        h = Histogram("h")
+        h.observe_many(values)
+        results = [h.percentile(p) for p in (0, 10, 50, 90, 100)]
+        assert results == sorted(results)
+
+
+class TestStatsRegistry:
+    def test_counter_is_memoized(self):
+        reg = StatsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+
+    def test_prefix_iteration_sorted(self):
+        reg = StatsRegistry()
+        reg.counter("pipe1.drops")
+        reg.counter("pipe0.drops")
+        reg.counter("tm.drops")
+        names = [c.name for c in reg.counters("pipe")]
+        assert names == ["pipe0.drops", "pipe1.drops"]
+
+    def test_value_of_untouched_counter_is_zero(self):
+        assert StatsRegistry().value("nothing") == 0.0
+
+    def test_snapshot(self):
+        reg = StatsRegistry()
+        reg.counter("x").add(2)
+        reg.counter("y").add(3)
+        assert reg.snapshot() == {"x": 2.0, "y": 3.0}
+
+    def test_reset_all(self):
+        reg = StatsRegistry()
+        reg.counter("x").add(1)
+        reg.histogram("h").observe(1.0)
+        reg.reset()
+        assert reg.value("x") == 0.0
+        assert len(reg.histogram("h")) == 0
+
+    def test_histograms_prefix_iteration(self):
+        reg = StatsRegistry()
+        reg.histogram("a.h1")
+        reg.histogram("b.h2")
+        assert [h.name for h in reg.histograms("a")] == ["a.h1"]

@@ -1,0 +1,154 @@
+"""Tests for action primitives (repro.tables.actions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, TableError
+from repro.net.phv import PHV
+from repro.tables.actions import (
+    Action,
+    ActionContext,
+    ActionOp,
+    ActionPrimitive,
+    DropAction,
+    ForwardAction,
+    NoAction,
+)
+from repro.tables.registers import RegisterArray
+
+
+def _ctx(**registers) -> ActionContext:
+    phv = PHV()
+    phv.allocate("a", 32, 10)
+    phv.allocate("b", 32, 3)
+    phv.allocate("idx", 16, 1)
+    return ActionContext(phv, dict(registers))
+
+
+class TestPrimitives:
+    def test_set_const(self):
+        ctx = _ctx()
+        ActionPrimitive(ActionOp.SET_CONST, dst="a", immediate=99).execute(ctx)
+        assert ctx.phv["a"] == 99
+
+    def test_copy(self):
+        ctx = _ctx()
+        ActionPrimitive(ActionOp.COPY, dst="a", src="b").execute(ctx)
+        assert ctx.phv["a"] == 3
+
+    def test_arithmetic_with_field_operand(self):
+        ctx = _ctx()
+        ActionPrimitive(ActionOp.ADD, dst="a", src="b").execute(ctx)
+        assert ctx.phv["a"] == 13
+
+    def test_arithmetic_with_immediate(self):
+        ctx = _ctx()
+        ActionPrimitive(ActionOp.SUB, dst="a", immediate=4).execute(ctx)
+        assert ctx.phv["a"] == 6
+
+    def test_min_max_and_or_xor(self):
+        for op, expected in (
+            (ActionOp.MIN, 3),
+            (ActionOp.MAX, 10),
+            (ActionOp.AND, 10 & 3),
+            (ActionOp.OR, 10 | 3),
+            (ActionOp.XOR, 10 ^ 3),
+        ):
+            ctx = _ctx()
+            ActionPrimitive(op, dst="a", src="b").execute(ctx)
+            assert ctx.phv["a"] == expected, op
+
+    def test_register_read_write(self):
+        reg = RegisterArray("r", 4)
+        ctx = _ctx(r=reg)
+        ActionPrimitive(
+            ActionOp.REG_WRITE, register="r", index_field="idx", src="a"
+        ).execute(ctx)
+        assert reg.read(1) == 10
+        ActionPrimitive(
+            ActionOp.REG_READ, dst="b", register="r", index_field="idx"
+        ).execute(ctx)
+        assert ctx.phv["b"] == 10
+
+    def test_register_add_returns_to_phv(self):
+        reg = RegisterArray("r", 4)
+        ctx = _ctx(r=reg)
+        ActionPrimitive(
+            ActionOp.REG_ADD, dst="b", register="r", index_field="idx", src="a"
+        ).execute(ctx)
+        assert reg.read(1) == 10
+        assert ctx.phv["b"] == 10
+
+    def test_register_min_max(self):
+        reg = RegisterArray("r", 2)
+        reg.write(0, 7)
+        ctx = _ctx(r=reg)
+        ActionPrimitive(
+            ActionOp.REG_MIN, dst="b", register="r", immediate=0, src="b"
+        ).execute(ctx)
+        assert ctx.phv["b"] == 3
+
+    def test_constant_register_index(self):
+        reg = RegisterArray("r", 4)
+        ctx = _ctx(r=reg)
+        ActionPrimitive(
+            ActionOp.REG_WRITE, register="r", immediate=2, src="a"
+        ).execute(ctx)
+        assert reg.read(2) == 10
+
+    def test_unknown_register_raises(self):
+        ctx = _ctx()
+        prim = ActionPrimitive(ActionOp.REG_READ, dst="a", register="ghost")
+        with pytest.raises(TableError):
+            prim.execute(ctx)
+
+    def test_construction_validation(self):
+        with pytest.raises(ConfigError):
+            ActionPrimitive(ActionOp.REG_ADD)  # no register
+        with pytest.raises(ConfigError):
+            ActionPrimitive(ActionOp.SET_CONST)  # no dst
+        with pytest.raises(ConfigError):
+            ActionPrimitive(ActionOp.COPY, dst="a")  # no src
+
+
+class TestActions:
+    def test_primitives_run_in_order(self):
+        ctx = _ctx()
+        action = Action(
+            "seq",
+            [
+                ActionPrimitive(ActionOp.SET_CONST, dst="a", immediate=1),
+                ActionPrimitive(ActionOp.ADD, dst="a", immediate=2),
+            ],
+        )
+        action.execute(ctx)
+        assert ctx.phv["a"] == 3
+        assert len(action) == 2
+
+    def test_slot_budget_enforced(self):
+        prims = [
+            ActionPrimitive(ActionOp.ADD, dst="a", immediate=1) for _ in range(4)
+        ]
+        with pytest.raises(ConfigError):
+            Action("too_wide", prims, slots=3)
+
+    def test_no_action_is_identity(self):
+        ctx = _ctx()
+        NoAction().execute(ctx)
+        assert ctx.phv["a"] == 10
+
+    def test_drop_action_sets_meta(self):
+        ctx = _ctx()
+        DropAction("policy").execute(ctx)
+        assert ctx.phv.get_meta("drop") == 1
+        assert ctx.phv.get_meta("drop_reason") == "policy"
+
+    def test_forward_action_sets_port(self):
+        ctx = _ctx()
+        ForwardAction(7).execute(ctx)
+        assert ctx.phv.get_meta("egress_port") == 7
+
+    def test_forward_action_validation(self):
+        with pytest.raises(ConfigError):
+            ForwardAction(-1)

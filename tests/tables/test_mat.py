@@ -1,0 +1,148 @@
+"""Tests for match tables (repro.tables.mat)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigError, TableError
+from repro.tables.actions import NoAction
+from repro.tables.mat import MatchKind, MatchTable, TernaryPattern
+from repro.tables.memory import MemoryKind, StageMemory
+
+
+class TestTernaryPattern:
+    def test_exact_pattern(self):
+        pattern = TernaryPattern.exact(0xAB, 8)
+        assert pattern.matches(0xAB)
+        assert not pattern.matches(0xAC)
+
+    def test_masked_match(self):
+        pattern = TernaryPattern(0b1010_0000, 0b1111_0000)
+        assert pattern.matches(0b1010_1111)
+        assert not pattern.matches(0b1011_0000)
+
+    def test_prefix_pattern(self):
+        pattern = TernaryPattern.prefix(0xC0A80000, 16, 32)
+        assert pattern.matches(0xC0A81234)
+        assert not pattern.matches(0xC0A91234)
+        assert pattern.prefix_length == 16
+
+    def test_zero_prefix_matches_all(self):
+        pattern = TernaryPattern.prefix(0, 0, 32)
+        assert pattern.matches(12345)
+
+    def test_invalid_prefix_len(self):
+        with pytest.raises(ConfigError):
+            TernaryPattern.prefix(0, 33, 32)
+
+
+class TestExactTable:
+    def test_install_and_lookup(self):
+        table = MatchTable("t", MatchKind.EXACT, 32, 16)
+        table.install(5)
+        result = table.lookup(5)
+        assert result.hit
+        assert result.entry is not None and result.entry.hits == 1
+
+    def test_miss_runs_default(self):
+        table = MatchTable("t", MatchKind.EXACT, 32, 16)
+        result = table.lookup(99)
+        assert not result.hit
+        assert isinstance(result.action, NoAction)
+        assert table.misses == 1
+
+    def test_duplicate_key_rejected(self):
+        table = MatchTable("t", MatchKind.EXACT, 32, 16)
+        table.install(5)
+        with pytest.raises(TableError):
+            table.install(5)
+
+    def test_partial_mask_rejected(self):
+        table = MatchTable("t", MatchKind.EXACT, 32, 16)
+        with pytest.raises(TableError):
+            table.install(TernaryPattern(5, 0xFF))
+
+    def test_capacity_enforced(self):
+        table = MatchTable("t", MatchKind.EXACT, 32, 2)
+        table.install(1)
+        table.install(2)
+        with pytest.raises(CapacityError):
+            table.install(3)
+
+    def test_remove(self):
+        table = MatchTable("t", MatchKind.EXACT, 32, 4)
+        entry = table.install(1)
+        table.remove(entry)
+        assert not table.lookup(1).hit
+        with pytest.raises(TableError):
+            table.remove(entry)
+
+    def test_hit_rate(self):
+        table = MatchTable("t", MatchKind.EXACT, 32, 4)
+        table.install(1)
+        table.lookup(1)
+        table.lookup(2)
+        assert table.hit_rate == pytest.approx(0.5)
+        assert MatchTable("e", MatchKind.EXACT, 32, 4).hit_rate == 0.0
+
+    @given(st.sets(st.integers(min_value=0, max_value=2**31), min_size=1, max_size=64))
+    def test_all_installed_keys_hit(self, keys):
+        table = MatchTable("t", MatchKind.EXACT, 32, len(keys))
+        for key in keys:
+            table.install(key)
+        assert all(table.lookup(key).hit for key in keys)
+
+
+class TestTernaryTable:
+    def test_priority_resolution(self):
+        table = MatchTable("t", MatchKind.TERNARY, 8, 8)
+        low = table.install(TernaryPattern(0, 0), priority=1)
+        high = table.install(TernaryPattern(0b10, 0b10), priority=5)
+        result = table.lookup(0b10)
+        assert result.entry is high
+        assert table.lookup(0b01).entry is low
+
+
+class TestLpmTable:
+    def test_longest_prefix_wins(self):
+        table = MatchTable("t", MatchKind.LPM, 32, 8)
+        short = table.install(TernaryPattern.prefix(0x0A000000, 8, 32))
+        long = table.install(TernaryPattern.prefix(0x0A0A0000, 16, 32))
+        assert table.lookup(0x0A0A0001).entry is long
+        assert table.lookup(0x0A0B0001).entry is short
+
+
+class TestMemoryBacking:
+    def test_blocks_claimed_on_construction(self):
+        memory = StageMemory(sram_blocks=4)
+        table = MatchTable("t", MatchKind.EXACT, 112, 2048, memory=memory)
+        assert table.blocks_claimed == 2
+        assert memory.free_blocks(MemoryKind.SRAM) == 2
+
+    def test_ternary_claims_tcam(self):
+        memory = StageMemory(tcam_blocks=4)
+        MatchTable("t", MatchKind.TERNARY, 40, 2048, memory=memory)
+        assert memory.free_blocks(MemoryKind.TCAM) == 3
+
+    def test_release_returns_blocks(self):
+        memory = StageMemory(sram_blocks=4)
+        table = MatchTable("t", MatchKind.EXACT, 112, 1024, memory=memory)
+        table.release()
+        assert memory.free_blocks(MemoryKind.SRAM) == 4
+
+    def test_oversubscription_fails_fast(self):
+        memory = StageMemory(sram_blocks=1)
+        with pytest.raises(CapacityError):
+            MatchTable("t", MatchKind.EXACT, 112, 1 << 20, memory=memory)
+
+
+class TestBatchLookup:
+    def test_lookup_many_matches_sequential(self):
+        table = MatchTable("t", MatchKind.EXACT, 32, 16)
+        for key in (1, 2, 3):
+            table.install(key)
+        results = table.lookup_many([1, 9, 3])
+        assert [r.hit for r in results] == [True, False, True]
+        assert table.lookups == 3

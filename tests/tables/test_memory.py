@@ -1,0 +1,120 @@
+"""Tests for stage memory pools (repro.tables.memory)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigError
+from repro.tables.memory import (
+    DEFAULT_SRAM_BLOCK,
+    MemoryBlock,
+    MemoryKind,
+    StageMemory,
+)
+
+
+class TestMemoryBlock:
+    def test_bits(self):
+        block = MemoryBlock(MemoryKind.SRAM, 1024, 112)
+        assert block.bits == 1024 * 112
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MemoryBlock(MemoryKind.SRAM, 0, 112)
+        with pytest.raises(ConfigError):
+            MemoryBlock(MemoryKind.SRAM, 1024, 0)
+
+
+class TestBlocksNeeded:
+    def test_single_block_table(self):
+        memory = StageMemory()
+        assert memory.blocks_needed(MemoryKind.SRAM, 1024, 112) == 1
+
+    def test_wide_key_spans_blocks(self):
+        memory = StageMemory()
+        # 113-bit key needs 2 blocks side by side.
+        assert memory.blocks_needed(MemoryKind.SRAM, 1024, 113) == 2
+
+    def test_deep_table_stacks_blocks(self):
+        memory = StageMemory()
+        assert memory.blocks_needed(MemoryKind.SRAM, 2048, 112) == 2
+
+    def test_wide_and_deep_multiplies(self):
+        memory = StageMemory()
+        assert memory.blocks_needed(MemoryKind.SRAM, 2048, 224) == 4
+
+    def test_validation(self):
+        memory = StageMemory()
+        with pytest.raises(ConfigError):
+            memory.blocks_needed(MemoryKind.SRAM, 0, 32)
+        with pytest.raises(ConfigError):
+            memory.blocks_needed(MemoryKind.SRAM, 10, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=100000),
+        st.integers(min_value=1, max_value=400),
+    )
+    def test_blocks_cover_request(self, entries, width):
+        """The claimed geometry always covers the requested bits."""
+        memory = StageMemory()
+        blocks = memory.blocks_needed(MemoryKind.SRAM, entries, width)
+        geo = DEFAULT_SRAM_BLOCK
+        wide = (width + geo.width_bits - 1) // geo.width_bits
+        assert blocks * geo.entries * geo.width_bits >= entries * width
+        assert blocks % wide == 0
+
+
+class TestClaimRelease:
+    def test_claim_reduces_free(self):
+        memory = StageMemory(sram_blocks=10)
+        claimed = memory.claim("t1", MemoryKind.SRAM, 2048, 112)
+        assert claimed == 2
+        assert memory.free_blocks(MemoryKind.SRAM) == 8
+        assert memory.claimed_blocks(MemoryKind.SRAM) == 2
+        assert memory.utilization(MemoryKind.SRAM) == pytest.approx(0.2)
+
+    def test_release_returns_blocks(self):
+        memory = StageMemory(sram_blocks=10)
+        memory.claim("t1", MemoryKind.SRAM, 1024, 112)
+        memory.release("t1")
+        assert memory.free_blocks(MemoryKind.SRAM) == 10
+
+    def test_over_claim_raises(self):
+        memory = StageMemory(sram_blocks=1)
+        with pytest.raises(CapacityError):
+            memory.claim("big", MemoryKind.SRAM, 10240, 112)
+
+    def test_duplicate_owner_rejected(self):
+        memory = StageMemory()
+        memory.claim("t", MemoryKind.SRAM, 1024, 112)
+        with pytest.raises(ConfigError):
+            memory.claim("t", MemoryKind.SRAM, 1024, 112)
+
+    def test_release_unknown_owner_rejected(self):
+        with pytest.raises(ConfigError):
+            StageMemory().release("ghost")
+
+    def test_tcam_pool_independent(self):
+        memory = StageMemory(sram_blocks=4, tcam_blocks=2)
+        memory.claim("exact", MemoryKind.SRAM, 1024, 112)
+        memory.claim("lpm", MemoryKind.TCAM, 2048, 40)
+        assert memory.free_blocks(MemoryKind.SRAM) == 3
+        assert memory.free_blocks(MemoryKind.TCAM) == 1
+
+    def test_max_entries(self):
+        memory = StageMemory(sram_blocks=4)
+        assert memory.max_entries(MemoryKind.SRAM, 112) == 4 * 1024
+        assert memory.max_entries(MemoryKind.SRAM, 224) == 2 * 1024
+        memory.claim("t", MemoryKind.SRAM, 1024, 112)
+        assert memory.max_entries(MemoryKind.SRAM, 112) == 3 * 1024
+
+    def test_replication_consumes_real_blocks(self):
+        """Figure 3: k replicas cost k times the blocks — until the pool
+        runs out."""
+        memory = StageMemory(sram_blocks=8)
+        for replica in range(8):
+            memory.claim(f"copy{replica}", MemoryKind.SRAM, 1024, 112)
+        with pytest.raises(CapacityError):
+            memory.claim("copy8", MemoryKind.SRAM, 1024, 112)

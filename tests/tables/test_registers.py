@@ -1,0 +1,143 @@
+"""Tests for stateful registers (repro.tables.registers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, TableError
+from repro.tables.registers import RegisterArray
+
+
+class TestBasics:
+    def test_initially_zero(self):
+        reg = RegisterArray("r", 8)
+        assert reg.read(0) == 0
+        assert len(reg) == 8
+
+    def test_write_read(self):
+        reg = RegisterArray("r", 8)
+        reg.write(3, 42)
+        assert reg.read(3) == 42
+
+    def test_out_of_range_index(self):
+        reg = RegisterArray("r", 4)
+        with pytest.raises(TableError):
+            reg.read(4)
+        with pytest.raises(TableError):
+            reg.write(-1, 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RegisterArray("r", 0)
+        with pytest.raises(ConfigError):
+            RegisterArray("r", 4, width_bits=65)
+
+    def test_bits_accounting(self):
+        assert RegisterArray("r", 1024, 32).bits == 32768
+
+
+class TestWrapping:
+    def test_width_mask_on_write(self):
+        reg = RegisterArray("r", 2, width_bits=8)
+        reg.write(0, 0x1FF)
+        assert reg.read(0) == 0xFF
+
+    def test_add_wraps_at_width(self):
+        reg = RegisterArray("r", 2, width_bits=8)
+        reg.write(0, 250)
+        assert reg.add(0, 10) == 4  # (250 + 10) mod 256
+
+    def test_one_bit_register_behaves_as_flag(self):
+        reg = RegisterArray("r", 4, width_bits=1)
+        reg.write(2, 1)
+        assert reg.read(2) == 1
+        reg.write(2, 2)  # masked
+        assert reg.read(2) == 0
+
+
+class TestRmwOps:
+    def test_add_returns_new_value(self):
+        reg = RegisterArray("r", 2)
+        assert reg.add(0, 5) == 5
+        assert reg.add(0, 7) == 12
+
+    def test_merge_min_max(self):
+        reg = RegisterArray("r", 1)
+        reg.write(0, 10)
+        assert reg.merge_min(0, 5) == 5
+        assert reg.merge_max(0, 20) == 20
+        assert reg.merge_min(0, 100) == 20
+
+    def test_read_write_counters(self):
+        reg = RegisterArray("r", 2)
+        reg.read(0)
+        reg.write(0, 1)
+        reg.add(0, 1)
+        assert reg.reads == 2
+        assert reg.writes == 2
+
+
+class TestBulkOps:
+    def test_read_many(self):
+        reg = RegisterArray("r", 4)
+        reg.write(1, 10)
+        reg.write(3, 30)
+        assert reg.read_many([1, 3, 0]) == [10, 30, 0]
+
+    def test_add_many_accumulates_duplicates_in_order(self):
+        reg = RegisterArray("r", 4)
+        results = reg.add_many([0, 0, 1], [1, 2, 5])
+        assert results == [1, 3, 5]
+        assert reg.read(0) == 3
+
+    def test_add_many_length_mismatch(self):
+        reg = RegisterArray("r", 4)
+        with pytest.raises(TableError):
+            reg.add_many([0, 1], [1])
+
+    def test_snapshot_and_load(self):
+        reg = RegisterArray("r", 4)
+        reg.load([1, 2, 3, 4])
+        snap = reg.snapshot()
+        assert list(snap) == [1, 2, 3, 4]
+        reg.write(0, 99)
+        assert snap[0] == 1  # snapshot is a copy
+
+    def test_load_shape_checked(self):
+        reg = RegisterArray("r", 4)
+        with pytest.raises(ConfigError):
+            reg.load([1, 2])
+
+    def test_load_masks_width(self):
+        reg = RegisterArray("r", 2, width_bits=4)
+        reg.load([0xFF, 0x0F])
+        assert reg.read(0) == 0x0F
+
+    def test_reset(self):
+        reg = RegisterArray("r", 2)
+        reg.write(0, 5)
+        reg.reset()
+        assert reg.read(0) == 0
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=2**31), min_size=1, max_size=64))
+    def test_sum_of_adds_equals_total_mod_width(self, values):
+        """Aggregation correctness: the accumulator equals the sum of all
+        contributions modulo the register width."""
+        reg = RegisterArray("r", 1, width_bits=64)
+        for value in values:
+            reg.add(0, value)
+        assert reg.read(0) == sum(values) & ((1 << 64) - 1)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50)
+    )
+    def test_merge_max_is_running_maximum(self, values):
+        reg = RegisterArray("r", 1, width_bits=32)
+        for value in values:
+            reg.merge_max(0, value)
+        assert reg.read(0) == max(values)

@@ -1,0 +1,69 @@
+"""Tests for the CLI artifact reports (repro.report / python -m repro)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.report import ARTIFACTS, run
+
+
+class TestRun:
+    def test_all_artifacts_produce_lines(self):
+        lines = run(None)
+        assert len(lines) > len(ARTIFACTS) * 2
+        text = "\n".join(lines)
+        assert "Table 2" in text
+        assert "Table 3" in text
+        assert "key rate" in text
+
+    @pytest.mark.parametrize("name", sorted(ARTIFACTS))
+    def test_each_artifact_individually(self, name):
+        lines = run([name])
+        assert lines and lines[0]
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(ConfigError):
+            run(["bogus"])
+
+    def test_table2_content(self):
+        text = "\n".join(run(["table2"]))
+        assert "0.952 GHz" in text
+        assert "1.250 GHz" in text
+
+    def test_claims_content(self):
+        text = "\n".join(run(["claims"]))
+        assert "952 Mpps" in text
+        assert "2.38 Bpps" in text
+
+
+class TestMainModule:
+    def test_cli_happy_path(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "table3"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "Table 3" in proc.stdout
+
+    def test_cli_help(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "usage" in proc.stdout
+
+    def test_cli_error_path(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "nonsense"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 2
+        assert "unknown artifact" in proc.stderr

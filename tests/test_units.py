@@ -1,0 +1,114 @@
+"""Tests for wire-level unit arithmetic (repro.units)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.units import (
+    BPPS,
+    ETHERNET_MIN_FRAME_BYTES,
+    ETHERNET_MIN_WIRE_BYTES,
+    ETHERNET_OVERHEAD_BYTES,
+    GBPS,
+    GHZ,
+    MPPS,
+    format_si,
+    frame_bytes_from_wire,
+    min_wire_bytes_for_rate,
+    packet_rate,
+    pipeline_frequency,
+    wire_bytes,
+)
+
+
+class TestWireBytes:
+    def test_minimum_frame_wire_footprint_is_84(self):
+        assert wire_bytes(ETHERNET_MIN_FRAME_BYTES) == 84
+
+    def test_overhead_is_20_bytes(self):
+        assert ETHERNET_OVERHEAD_BYTES == 20
+        assert wire_bytes(100) == 120
+
+    def test_sub_minimum_frame_rejected(self):
+        with pytest.raises(ConfigError):
+            wire_bytes(63)
+
+    def test_roundtrip_with_frame_bytes_from_wire(self):
+        assert frame_bytes_from_wire(wire_bytes(200)) == 200
+
+    @given(st.integers(min_value=64, max_value=9000))
+    def test_wire_always_exceeds_frame(self, frame):
+        assert wire_bytes(frame) == frame + 20
+
+
+class TestPacketRate:
+    def test_paper_example_64x10g_is_952mpps(self):
+        """Section 2(3): 64x10 Gbps at 84 B wire packets ~ 952 Mpps."""
+        rate = packet_rate(64 * 10 * GBPS, ETHERNET_MIN_WIRE_BYTES)
+        assert rate == pytest.approx(952.38 * MPPS, rel=1e-3)
+
+    def test_paper_example_1600g_is_2_38bpps(self):
+        """Section 3.3: a 1.6 Tbps port delivers ~2.38 Bpps at minimum size."""
+        rate = packet_rate(1600 * GBPS, ETHERNET_MIN_WIRE_BYTES)
+        assert rate == pytest.approx(2.38 * BPPS, rel=1e-2)
+
+    def test_zero_link_rejected(self):
+        with pytest.raises(ConfigError):
+            packet_rate(0, 84)
+
+    def test_zero_packet_rejected(self):
+        with pytest.raises(ConfigError):
+            packet_rate(GBPS, 0)
+
+    @given(
+        st.floats(min_value=1e9, max_value=1e14),
+        st.floats(min_value=84, max_value=10000),
+    )
+    def test_rate_times_wire_bits_recovers_link(self, link, wire):
+        rate = packet_rate(link, wire)
+        assert rate * wire * 8 == pytest.approx(link, rel=1e-9)
+
+
+class TestPipelineFrequency:
+    def test_fractional_ports_per_pipeline(self):
+        """ADCP demux: 0.5 ports/pipeline halves the needed clock."""
+        full = pipeline_frequency(800 * GBPS, 1, 84)
+        half = pipeline_frequency(800 * GBPS, 0.5, 84)
+        assert half == pytest.approx(full / 2)
+
+    def test_table2_row2_frequency(self):
+        freq = pipeline_frequency(100 * GBPS, 16, 160)
+        assert freq == pytest.approx(1.25 * GHZ)
+
+    def test_invalid_ports_rejected(self):
+        with pytest.raises(ConfigError):
+            pipeline_frequency(GBPS, 0, 84)
+
+
+class TestMinWireBytesForRate:
+    def test_inverse_of_packet_rate(self):
+        wire = min_wire_bytes_for_rate(400 * GBPS * 8, 1.62 * GHZ)
+        assert packet_rate(400 * GBPS * 8, wire) == pytest.approx(1.62 * GHZ)
+
+    def test_table2_row3_min_packet_is_about_247(self):
+        """8x400G under a 1.62 GHz clock needs ~247 B minimum packets."""
+        wire = min_wire_bytes_for_rate(8 * 400 * GBPS, 1.62 * GHZ)
+        assert wire == pytest.approx(247, abs=1.0)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            min_wire_bytes_for_rate(GBPS, 0)
+
+
+class TestFormatSi:
+    def test_tera(self):
+        assert format_si(12.8e12, "bps") == "12.8 Tbps"
+
+    def test_giga(self):
+        assert format_si(1.25e9, "Hz") == "1.25 GHz"
+
+    def test_small_values_unprefixed(self):
+        assert format_si(5.0, "x") == "5 x"
