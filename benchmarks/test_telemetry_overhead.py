@@ -1,0 +1,79 @@
+"""Experiment T1 — telemetry overhead: disabled must be (near) free.
+
+The telemetry subsystem's core design constraint is that a switch built
+*without* a hub pays only a ``trace is None`` check per instrumentation
+site.  Time the same workload three ways — no telemetry, a hub with
+tracing on, and a hub whose recorder is disabled — and check:
+
+- disabled-tracing wall-clock overhead versus the no-telemetry baseline
+  stays under 5%% (with a margin for timer noise in the assert);
+- enabled tracing still produces identical simulation results.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchlib import report
+from repro.apps import ParameterServerApp
+from repro.rmt.switch import RMTSwitch
+from repro.telemetry import Telemetry
+
+WORKERS = [0, 1, 4, 5]
+VECTOR = 256
+
+#: The documented budget; the assert allows 3x for CI timer noise on a
+#: sub-second workload.
+OVERHEAD_BUDGET = 0.05
+NOISE_FACTOR = 3.0
+
+
+def _run_once(config, telemetry):
+    app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=1)
+    switch = RMTSwitch(config, app, telemetry=telemetry)
+    return switch.run(app.workload(config.port_speed_bps))
+
+
+def _time_variant(config, make_telemetry, repeats=5):
+    """Best-of-N wall-clock for one telemetry variant (min is the
+    standard estimator for 'how fast can this go')."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        telemetry = make_telemetry()
+        start = time.perf_counter()
+        result = _run_once(config, telemetry)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _disabled_hub():
+    telemetry = Telemetry()
+    telemetry.trace.disable()
+    return telemetry
+
+
+def test_disabled_telemetry_overhead_under_budget(benchmark, bench_rmt_config):
+    baseline_s, baseline = benchmark(
+        _time_variant, bench_rmt_config, lambda: None
+    )
+    disabled_s, disabled = _time_variant(bench_rmt_config, _disabled_hub)
+    enabled_s, enabled = _time_variant(bench_rmt_config, Telemetry)
+
+    overhead = disabled_s / baseline_s - 1.0
+    report(
+        "T1 — telemetry overhead (RMT quickstart-sized workload)",
+        [
+            f"no telemetry : {baseline_s * 1e3:7.2f} ms",
+            f"hub, disabled: {disabled_s * 1e3:7.2f} ms "
+            f"({overhead:+.1%} vs baseline; budget {OVERHEAD_BUDGET:.0%})",
+            f"hub, enabled : {enabled_s * 1e3:7.2f} ms "
+            f"({enabled_s / baseline_s - 1.0:+.1%} vs baseline)",
+        ],
+    )
+
+    assert overhead < OVERHEAD_BUDGET * NOISE_FACTOR
+    # The simulated outcome is independent of telemetry entirely.
+    assert disabled.duration_s == baseline.duration_s
+    assert enabled.duration_s == baseline.duration_s
+    assert len(enabled.delivered) == len(baseline.delivered)

@@ -29,6 +29,7 @@ Sub-packages:
 - :mod:`repro.analytical` — Tables 2/3 and key-rate math.
 - :mod:`repro.feasibility` — area, power, floorplan, routing congestion.
 - :mod:`repro.apps` — the Table 1 applications.
+- :mod:`repro.telemetry` — structured tracing, metric snapshots, export.
 """
 
 from .adcp import ADCPConfig, ADCPSwitch
@@ -44,6 +45,7 @@ from .coflow import (
 )
 from .errors import ReproError
 from .rmt import RMTConfig, RMTSwitch, StateMode
+from .telemetry import Telemetry
 
 __version__ = "1.0.0"
 
@@ -58,6 +60,7 @@ __all__ = [
     "ReproError",
     "StateMode",
     "SwitchApp",
+    "Telemetry",
     "Verdict",
     "__version__",
     "aggregation_coflow",

@@ -1,27 +1,91 @@
-"""Entry point: ``python -m repro [artifact ...]``."""
+"""Entry point: ``python -m repro [--json] [artifact ...]``.
+
+Also hosts the telemetry runner: ``python -m repro trace <workload>``
+runs a reference workload with tracing enabled and writes a Chrome
+trace-event JSON timeline (load it in ``chrome://tracing`` or Perfetto).
+"""
 
 from __future__ import annotations
 
+import json
 import sys
 
-from .errors import ConfigError
-from .report import run
+from .errors import ConfigError, SimulationError
+
+
+def _usage_lines() -> list[str]:
+    from .report import ARTIFACTS
+    from .telemetry.runner import TRACEABLE
+
+    return [
+        "usage: python -m repro [--json] [artifact ...]",
+        "       python -m repro trace <workload> [--out PATH] [--json]",
+        f"artifacts: {', '.join(sorted(ARTIFACTS))} (default: all)",
+        f"trace workloads: {', '.join(sorted(TRACEABLE))}",
+    ]
+
+
+def _main_trace(args: list[str], json_mode: bool) -> int:
+    from .telemetry.runner import run_trace
+
+    out: str | None = None
+    positional: list[str] = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--out":
+            if i + 1 >= len(args):
+                raise ConfigError("--out requires a path")
+            out = args[i + 1]
+            i += 2
+        elif args[i].startswith("-"):
+            raise ConfigError(f"unknown trace option {args[i]!r}")
+        else:
+            positional.append(args[i])
+            i += 1
+    if len(positional) != 1:
+        raise ConfigError(
+            "trace takes exactly one workload name; "
+            "see python -m repro --help"
+        )
+    run = run_trace(positional[0], out=out)
+    if json_mode:
+        print(json.dumps(run.summary(), indent=1))
+    else:
+        for line in run.lines:
+            print(line)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    json_mode = "--json" in args
+    args = [a for a in args if a != "--json"]
     if args and args[0] in ("-h", "--help"):
-        from .report import ARTIFACTS
-
-        print("usage: python -m repro [artifact ...]")
-        print("artifacts:", ", ".join(sorted(ARTIFACTS)), "(default: all)")
+        for line in _usage_lines():
+            print(line)
         return 0
     try:
-        for line in run(args or None):
-            print(line)
+        if args and args[0] == "trace":
+            return _main_trace(args[1:], json_mode)
+        from .report import run_structured
+
+        sections = run_structured(args or None)
+        if json_mode:
+            print(json.dumps(sections, indent=1))
+        else:
+            for report in sections.values():
+                for line in report:
+                    print(line)
+                print()
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except SimulationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 

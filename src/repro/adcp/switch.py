@@ -24,6 +24,7 @@ from ..net.headers import OP_FLUSH
 from ..net.packet import Packet
 from ..sim.component import Component
 from ..sim.event import Simulator
+from ..telemetry.events import Category, Severity
 from ..rmt.pipeline import Pipeline
 from ..rmt.switch import SwitchRunResult
 from ..rmt.traffic_manager import TrafficManager
@@ -41,6 +42,7 @@ class ADCPSwitch(Component):
         app: SwitchApp | None = None,
         placement: PlacementPolicy | None = None,
         ordered_flows: list[int] | None = None,
+        telemetry=None,
     ) -> None:
         """Build an ADCP switch.
 
@@ -49,10 +51,15 @@ class ADCPSwitch(Component):
         buffered in front of TM1 and released in globally nondecreasing
         key order via a k-way merge of the (individually sorted) flows.
         An OP_FLUSH packet finishes its flow and is absorbed.
+
+        ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is opt-in;
+        when omitted, instrumentation reduces to per-site None checks.
         """
         super().__init__("adcp")
         self.config = config
         self.app = app
+        self.telemetry = telemetry
+        self.trace = None
         if app is not None and app.elements_per_packet > config.array_width:
             raise ConfigError(
                 f"app {app.name!r} packs {app.elements_per_packet} elements "
@@ -139,6 +146,22 @@ class ADCPSwitch(Component):
         )
         self._sim = Simulator()
         self._result = SwitchRunResult()
+        if telemetry is not None:
+            telemetry.bind(self)
+            # A recorder disabled at construction skips trace wiring
+            # entirely, so such a hub costs the same as passing none
+            # (metrics/snapshots still work; re-enabling later has no
+            # effect on this switch).
+            if telemetry.trace.enabled:
+                trace = telemetry.trace
+                self.trace = trace
+                for pipeline in self.ingress + self.central + self.egress:
+                    pipeline.trace = trace
+                self.tm1.trace = trace
+                self.tm2.trace = trace
+                for port in self.tx_ports:
+                    port.trace = trace
+                self._sim.trace = trace
 
     # --- topology helpers --------------------------------------------------------
 
@@ -163,6 +186,28 @@ class ADCPSwitch(Component):
         self._next_egress_lane[port] = (lane + 1) % self.config.demux_factor
         return self.config.lane_of(port, lane)
 
+    # --- telemetry ------------------------------------------------------------------
+
+    def _emit(
+        self,
+        category: Category,
+        name: str,
+        time_s: float,
+        packet: Packet | None = None,
+        severity: Severity = Severity.INFO,
+        **args,
+    ) -> None:
+        """Record a switch-level trace event when telemetry is enabled."""
+        self.trace.emit(
+            category,
+            name,
+            time_s,
+            component=self.path,
+            severity=severity,
+            packet_id=packet.packet_id if packet is not None else None,
+            **args,
+        )
+
     # --- run loop ------------------------------------------------------------------
 
     def run(self, timed_packets, until: float | None = None) -> SwitchRunResult:
@@ -175,6 +220,8 @@ class ADCPSwitch(Component):
         self._sim.run(until=until)
         self._result.duration_s = self._sim.now
         self._result.counters = self.stats.snapshot()
+        if self.telemetry is not None:
+            self.telemetry.finish(self._sim.now)
         return self._result
 
     def _schedule_ingress(self, packet: Packet, time: float) -> None:
@@ -192,6 +239,15 @@ class ADCPSwitch(Component):
         lane = self._pick_ingress_lane(port)
         packet.meta.lane = lane
         pipeline = self.ingress[lane]
+        if self.trace is not None:
+            self._emit(
+                Category.PACKET,
+                "packet.ingress",
+                ready,
+                packet,
+                port=port,
+                lane=lane,
+            )
         hook = self.app.ingress if self.app is not None else None
         record = pipeline.service(packet, ready, hook)
         decision = record.decision
@@ -201,10 +257,14 @@ class ADCPSwitch(Component):
             self._to_tm2(emission, record.exit_time)
 
         if decision.verdict is Verdict.DROP:
-            self._drop(packet, decision)
+            self._drop(packet, decision, record.exit_time)
         elif decision.verdict is Verdict.CONSUME:
             self._result.consumed += 1
             self.counter("consumed").add()
+            if self.trace is not None:
+                self._emit(
+                    Category.PACKET, "packet.consumed", record.exit_time, packet
+                )
         elif decision.verdict is Verdict.RECIRCULATE:
             raise ConfigError(
                 "ADCP programs never recirculate: route state through the "
@@ -226,15 +286,40 @@ class ADCPSwitch(Component):
             released = self._merge.finish_flow(header["flow_id"])
             self._result.consumed += 1
             self.counter("merge_flushes").add()
+            if self.trace is not None:
+                self._emit(
+                    Category.MERGE,
+                    "merge.flush",
+                    ready,
+                    packet,
+                    flow=header["flow_id"],
+                    released=len(released),
+                    depth=self._merge.pending(),
+                )
         else:
             released = self._merge.offer(packet)
+            if self.trace is not None:
+                self._emit(
+                    Category.MERGE,
+                    "merge.offer",
+                    ready,
+                    packet,
+                    flow=header["flow_id"],
+                    released=len(released),
+                    depth=self._merge.pending(),
+                )
         for ready_packet in released:
+            if self.trace is not None:
+                self._emit(
+                    Category.MERGE, "merge.release", ready, ready_packet
+                )
             self._to_tm1(ready_packet, ready)
 
     def _to_tm1(self, packet: Packet, ready: float) -> None:
         admitted = self.tm1.admit(packet, ready)
         if admitted is None:
             self._result.dropped.append(packet)
+            self._emit_drop(packet, ready)
             return
         partition, deliver = admitted
 
@@ -252,7 +337,7 @@ class ADCPSwitch(Component):
         record = pipeline.service(
             packet, ready, hook, enforce_width=hook is not None
         )
-        self.tm1.release(packet)
+        self.tm1.release(packet, now=record.exit_time)
         packet.meta.central_done = True
         decision = record.decision
 
@@ -263,10 +348,14 @@ class ADCPSwitch(Component):
             self._to_tm2(emission, record.exit_time)
 
         if decision.verdict is Verdict.DROP:
-            self._drop(packet, decision)
+            self._drop(packet, decision, record.exit_time)
         elif decision.verdict is Verdict.CONSUME:
             self._result.consumed += 1
             self.counter("consumed").add()
+            if self.trace is not None:
+                self._emit(
+                    Category.PACKET, "packet.consumed", record.exit_time, packet
+                )
         elif decision.verdict is Verdict.RECIRCULATE:
             raise ConfigError("ADCP programs never recirculate")
         else:
@@ -284,13 +373,26 @@ class ADCPSwitch(Component):
             packet.meta.drop_reason = "no_route"
             self._result.dropped.append(packet)
             self.counter("no_route_drops").add()
+            self._emit_drop(packet, ready)
             return
         admitted = self.tm2.admit(packet, ready)
         if admitted is None:
             self._result.dropped.append(packet)
+            self._emit_drop(packet, ready)
             return
         lane, deliver = admitted
         self._schedule_egress(packet, lane, deliver)
+
+    def _emit_drop(self, packet: Packet, when: float) -> None:
+        if self.trace is not None:
+            self._emit(
+                Category.PACKET,
+                "packet.dropped",
+                when,
+                packet,
+                severity=Severity.WARNING,
+                reason=packet.meta.drop_reason,
+            )
 
     def _schedule_egress(self, packet: Packet, lane: int, deliver: float) -> None:
         def event() -> None:
@@ -303,7 +405,7 @@ class ADCPSwitch(Component):
         packet.meta.egress_pipeline = lane
         hook = self.app.egress if self.app is not None else None
         record = pipeline.service(packet, ready, hook)
-        self.tm2.release(packet)
+        self.tm2.release(packet, now=record.exit_time)
         decision = record.decision
 
         if decision.emissions:
@@ -313,17 +415,34 @@ class ADCPSwitch(Component):
             )
 
         if decision.verdict is Verdict.DROP:
-            self._drop(packet, decision)
+            self._drop(packet, decision, record.exit_time)
         elif decision.verdict is Verdict.CONSUME:
             self._result.consumed += 1
             self.counter("consumed").add()
+            if self.trace is not None:
+                self._emit(
+                    Category.PACKET, "packet.consumed", record.exit_time, packet
+                )
         else:
             port = packet.meta.egress_port
             assert port is not None  # TM2 routed by it
-            self.tx_ports[port].transmit(packet, record.exit_time)
+            departure = self.tx_ports[port].transmit(packet, record.exit_time)
             self._result.delivered.append(packet)
             self.counter("delivered").add()
+            if self.trace is not None:
+                self._emit(
+                    Category.PACKET,
+                    "packet.delivered",
+                    record.exit_time,
+                    packet,
+                    port=port,
+                    lane=lane,
+                    departure_s=departure,
+                )
 
-    def _drop(self, packet: Packet, decision: Decision) -> None:
+    def _drop(
+        self, packet: Packet, decision: Decision, when: float = 0.0
+    ) -> None:
         packet.meta.drop_reason = decision.drop_reason or "dropped"
         self._result.dropped.append(packet)
+        self._emit_drop(packet, when)

@@ -53,6 +53,32 @@ class ApplicationTrafficManager(TrafficManager):
             latency_s=latency_s,
         )
 
+    def admit(
+        self,
+        packet: Packet,
+        ready_time: float,
+        pipeline: int | None = None,
+    ) -> tuple[int, float] | None:
+        admitted = super().admit(packet, ready_time, pipeline)
+        if admitted is not None and self.trace is not None:
+            self._trace_placement(packet, ready_time, admitted[0])
+        return admitted
+
+    def _trace_placement(
+        self, packet: Packet, ready_time: float, partition: int
+    ) -> None:
+        from ..telemetry.events import Category
+
+        self.trace.emit(
+            Category.TM,
+            "tm1.place",
+            ready_time,
+            component=self.path,
+            packet_id=packet.packet_id,
+            key=self.key_fn(packet),
+            partition=partition,
+        )
+
     def _route_by_key(self, packet: Packet) -> int:
         key = self.key_fn(packet)
         partition = self.policy.place(key)

@@ -33,6 +33,9 @@ class TxPort:
         self.goodput_bytes_sent = 0
         self.busy_seconds = 0.0
         self.last_departure = 0.0
+        self.trace = None
+        """Optional :class:`~repro.telemetry.recorder.TraceRecorder`; the
+        owning switch wires it when telemetry is enabled."""
 
     def wire_time(self, packet: Packet) -> float:
         """Seconds the packet occupies the wire."""
@@ -54,7 +57,23 @@ class TxPort:
         self.busy_seconds += duration
         self.last_departure = departure
         packet.meta.departure_time = departure
+        if self.trace is not None:
+            self._trace_tx(packet, start, duration)
         return departure
+
+    def _trace_tx(self, packet: Packet, start: float, duration: float) -> None:
+        from ..telemetry.events import Category
+
+        self.trace.emit(
+            Category.PORT,
+            "port.tx",
+            start,
+            component=f"port.tx{self.port}",
+            packet_id=packet.packet_id,
+            duration_s=duration,
+            port=self.port,
+            wire_bytes=packet.wire_bytes,
+        )
 
     def utilization(self, horizon_s: float) -> float:
         """Fraction of ``horizon_s`` the port spent transmitting."""

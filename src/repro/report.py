@@ -156,18 +156,29 @@ ARTIFACTS = {
 }
 
 
-def run(names: list[str] | None = None) -> list[str]:
-    """Produce the requested artifact reports (all when None)."""
+def run_structured(names: list[str] | None = None) -> dict[str, list[str]]:
+    """Produce the requested artifact reports keyed by artifact name.
+
+    Validates every requested name before generating anything, so an
+    unknown artifact is always a clean usage error — never a partial
+    report.  ``None`` or ``"all"`` selects every artifact.
+    """
     selected = names or ["all"]
-    if selected == ["all"] or "all" in selected:
+    if "all" in selected:
         selected = list(ARTIFACTS)
-    lines: list[str] = []
     for name in selected:
         if name not in ARTIFACTS:
             raise ConfigError(
                 f"unknown artifact {name!r}; choose from "
                 f"{', '.join(sorted(ARTIFACTS))}, all"
             )
-        lines.extend(ARTIFACTS[name]())
+    return {name: ARTIFACTS[name]() for name in selected}
+
+
+def run(names: list[str] | None = None) -> list[str]:
+    """Produce the requested artifact reports (all when None)."""
+    lines: list[str] = []
+    for report in run_structured(names).values():
+        lines.extend(report)
         lines.append("")
     return lines

@@ -144,6 +144,9 @@ class Pipeline(Component):
         self._free_at = 0.0
         self._busy_s = 0.0
         self.context = PipelineRuntimeContext(self)
+        self.trace = None
+        """Optional :class:`~repro.telemetry.recorder.TraceRecorder`; the
+        owning switch wires it when telemetry is enabled."""
 
     # --- resources ---------------------------------------------------------------
 
@@ -221,7 +224,10 @@ class Pipeline(Component):
         if not result.accepted:
             self.counter("parse_rejects").add()
             decision = Decision.drop("parse_reject")
-            return ServiceRecord(ready_time, start, exit_time, decision)
+            record = ServiceRecord(ready_time, start, exit_time, decision)
+            if self.trace is not None:
+                self._trace_service(packet, record)
+            return record
 
         if enforce_width and packet.element_count > self.array_width:
             raise SimulationError(
@@ -249,7 +255,43 @@ class Pipeline(Component):
             self.counter("drops").add()
         record = ServiceRecord(ready_time, start, exit_time, decision)
         self.histogram("queueing_delay_s").observe(record.queueing_delay)
+        if self.trace is not None:
+            self._trace_service(packet, record)
         return record
+
+    def _trace_service(self, packet: Packet, record: ServiceRecord) -> None:
+        """Record one service as a span event, plus per-stage detail when
+        the recorder opted into the verbose ``STAGE`` category."""
+        from ..telemetry.events import Category, Severity
+
+        self.trace.emit(
+            Category.PIPELINE,
+            "pipeline.service",
+            record.service_start,
+            component=self.path,
+            packet_id=packet.packet_id,
+            duration_s=record.exit_time - record.service_start,
+            region=self.region,
+            verdict=record.decision.verdict.name,
+            queueing_delay_s=record.queueing_delay,
+            elements=packet.element_count,
+        )
+        if self.trace.wants(Category.STAGE, Severity.DEBUG):
+            enter = record.service_start + (
+                self.parser_latency_cycles * self.cycle_s
+            )
+            for stage in self.stages:
+                self.trace.emit(
+                    Category.STAGE,
+                    "stage.execute",
+                    enter,
+                    component=f"{self.path}.{stage.name}",
+                    severity=Severity.DEBUG,
+                    packet_id=packet.packet_id,
+                    duration_s=self.cycle_s,
+                    maus=stage.mau_count,
+                )
+                enter += self.cycle_s
 
     def utilization(self, horizon_s: float) -> float:
         """Fraction of the horizon this pipeline spent serving packets."""

@@ -35,6 +35,7 @@ from ..net.packet import Packet
 from ..sim.component import Component
 from ..sim.event import Simulator
 from ..sim.rng import stable_hash64
+from ..telemetry.events import Category, Severity
 from .config import RMTConfig, StateMode
 from .pipeline import Pipeline
 from .traffic_manager import TrafficManager
@@ -79,12 +80,25 @@ class SwitchRunResult:
 
 
 class RMTSwitch(Component):
-    """Executable model of a classic RMT switch."""
+    """Executable model of a classic RMT switch.
 
-    def __init__(self, config: RMTConfig, app: SwitchApp | None = None) -> None:
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is opt-in: when
+    omitted every instrumentation site reduces to one None check, so an
+    untraced run behaves byte-identically to one built before telemetry
+    existed.
+    """
+
+    def __init__(
+        self,
+        config: RMTConfig,
+        app: SwitchApp | None = None,
+        telemetry=None,
+    ) -> None:
         super().__init__("rmt")
         self.config = config
         self.app = app
+        self.telemetry = telemetry
+        self.trace = None
         if (
             app is not None
             and app.uses_central_state()
@@ -144,6 +158,21 @@ class RMTSwitch(Component):
         ]
         self._sim = Simulator()
         self._result = SwitchRunResult()
+        if telemetry is not None:
+            telemetry.bind(self)
+            # A recorder disabled at construction skips trace wiring
+            # entirely, so such a hub costs the same as passing none
+            # (metrics/snapshots still work; re-enabling later has no
+            # effect on this switch).
+            if telemetry.trace.enabled:
+                trace = telemetry.trace
+                self.trace = trace
+                for pipeline in self.ingress + self.egress:
+                    pipeline.trace = trace
+                self.tm.trace = trace
+                for port in self.tx_ports + self.recirc_ports:
+                    port.trace = trace
+                self._sim.trace = trace
         if app is not None:
             app.bind_placement(config.pipelines)
 
@@ -165,6 +194,28 @@ class RMTSwitch(Component):
             return self.app.placement_policy.place(key)
         return stable_hash64(key) % self.config.pipelines
 
+    # --- telemetry ----------------------------------------------------------------
+
+    def _emit(
+        self,
+        category: Category,
+        name: str,
+        time_s: float,
+        packet: Packet | None = None,
+        severity: Severity = Severity.INFO,
+        **args,
+    ) -> None:
+        """Record a switch-level trace event when telemetry is enabled."""
+        self.trace.emit(
+            category,
+            name,
+            time_s,
+            component=self.path,
+            severity=severity,
+            packet_id=packet.packet_id if packet is not None else None,
+            **args,
+        )
+
     # --- run loop -----------------------------------------------------------------
 
     def run(self, timed_packets, until: float | None = None) -> SwitchRunResult:
@@ -179,6 +230,8 @@ class RMTSwitch(Component):
         self._sim.run(until=until)
         self._result.duration_s = self._sim.now
         self._result.counters = self.stats.snapshot()
+        if self.telemetry is not None:
+            self.telemetry.finish(self._sim.now)
         return self._result
 
     def _make_ingress_event(self, packet: Packet, time: float):
@@ -194,6 +247,16 @@ class RMTSwitch(Component):
         if port is None:
             raise ConfigError("arriving packet has no ingress port")
         pipeline = self.ingress[self.config.pipeline_of_port(port)]
+        if self.trace is not None:
+            self._emit(
+                Category.PACKET,
+                "packet.ingress",
+                ready,
+                packet,
+                port=port,
+                pipeline=pipeline.index,
+                recirculations=packet.meta.recirculations,
+            )
 
         app = self.app
         hook = None
@@ -215,7 +278,7 @@ class RMTSwitch(Component):
                     # around through the state pipeline's recirc port.
                     record = pipeline.service(packet, ready, app.ingress)
                     if record.decision.verdict is Verdict.DROP:
-                        self._drop(packet, record.decision)
+                        self._drop(packet, record.decision, record.exit_time)
                         return
                     self._recirculate_to(packet, state_pipe, record.exit_time)
                     return
@@ -238,21 +301,50 @@ class RMTSwitch(Component):
             packet.meta.drop_reason = "recirculation_disabled"
             self._result.dropped.append(packet)
             self.counter("unreachable").add()
+            if self.trace is not None:
+                self._emit(
+                    Category.ADMISSION,
+                    "packet.dropped",
+                    ready,
+                    packet,
+                    severity=Severity.ERROR,
+                    reason="recirculation_disabled",
+                )
             return
         admitted = self.tm.admit(packet, ready, pipeline=pipeline)
         if admitted is None:
             self._result.dropped.append(packet)
+            if self.trace is not None:
+                self._emit(
+                    Category.PACKET,
+                    "packet.dropped",
+                    ready,
+                    packet,
+                    severity=Severity.WARNING,
+                    reason=packet.meta.drop_reason,
+                )
             return
         _, deliver = admitted
         egress = self.egress[pipeline]
         record = egress.service(packet, deliver, None)
-        self.tm.release(packet)
+        self.tm.release(packet, now=record.exit_time)
         loop = self.recirc_ports[pipeline]
         re_arrival = loop.transmit(packet, record.exit_time)
         packet.meta.recirculations += 1
         self._result.recirculated_packets += 1
         self._result.recirculated_wire_bytes += packet.wire_bytes
         self.counter("recirculations").add()
+        if self.trace is not None:
+            self._emit(
+                Category.RECIRC,
+                "packet.recirculated",
+                ready,
+                packet,
+                pipeline=pipeline,
+                pass_number=packet.meta.recirculations,
+                re_arrival_s=re_arrival,
+                wire_bytes=packet.wire_bytes,
+            )
         # Re-enter through the loopback: same pipeline's ingress.
         packet.meta.ingress_port = self.config.ports_of_pipeline(pipeline)[0]
         self._sim.at(re_arrival, self._make_ingress_event(packet, re_arrival))
@@ -269,10 +361,12 @@ class RMTSwitch(Component):
             self._to_traffic_manager(emission, ready, from_region=region)
 
         if decision.verdict is Verdict.DROP:
-            self._drop(packet, decision)
+            self._drop(packet, decision, ready)
         elif decision.verdict is Verdict.CONSUME:
             self._result.consumed += 1
             self.counter("consumed").add()
+            if self.trace is not None:
+                self._emit(Category.PACKET, "packet.consumed", ready, packet)
         elif decision.verdict is Verdict.RECIRCULATE:
             if self.app is None:
                 raise ConfigError("recirculate verdict requires an app")
@@ -283,9 +377,20 @@ class RMTSwitch(Component):
         else:
             self._to_traffic_manager(packet, ready, from_region=region)
 
-    def _drop(self, packet: Packet, decision: Decision) -> None:
+    def _drop(
+        self, packet: Packet, decision: Decision, when: float = 0.0
+    ) -> None:
         packet.meta.drop_reason = decision.drop_reason or "dropped"
         self._result.dropped.append(packet)
+        if self.trace is not None:
+            self._emit(
+                Category.PACKET,
+                "packet.dropped",
+                when,
+                packet,
+                severity=Severity.WARNING,
+                reason=packet.meta.drop_reason,
+            )
 
     # --- TM + egress -----------------------------------------------------------------
 
@@ -335,6 +440,7 @@ class RMTSwitch(Component):
             admitted = self.tm.admit(packet, ready, pipeline=state_pipe)
             if admitted is None:
                 self._result.dropped.append(packet)
+                self._emit_tm_drop(packet, ready)
                 return
             _, deliver = admitted
             self._schedule_egress(
@@ -346,13 +452,26 @@ class RMTSwitch(Component):
             packet.meta.drop_reason = "no_route"
             self._result.dropped.append(packet)
             self.counter("no_route_drops").add()
+            self._emit_tm_drop(packet, ready)
             return
         admitted = self.tm.admit(packet, ready)
         if admitted is None:
             self._result.dropped.append(packet)
+            self._emit_tm_drop(packet, ready)
             return
         pipeline, deliver = admitted
         self._schedule_egress(packet, pipeline, deliver)
+
+    def _emit_tm_drop(self, packet: Packet, when: float) -> None:
+        if self.trace is not None:
+            self._emit(
+                Category.PACKET,
+                "packet.dropped",
+                when,
+                packet,
+                severity=Severity.WARNING,
+                reason=packet.meta.drop_reason,
+            )
 
     def _schedule_egress(
         self, packet: Packet, pipeline: int, deliver: float, run_central: bool = False
@@ -377,7 +496,7 @@ class RMTSwitch(Component):
             else:
                 hook = app.egress
         record = pipeline.service(packet, ready, hook, enforce_width=enforce)
-        self.tm.release(packet)
+        self.tm.release(packet, now=record.exit_time)
         if run_central:
             self._mark_central_done(packet)
         decision = record.decision
@@ -391,10 +510,14 @@ class RMTSwitch(Component):
             )
 
         if decision.verdict is Verdict.DROP:
-            self._drop(packet, decision)
+            self._drop(packet, decision, record.exit_time)
         elif decision.verdict is Verdict.CONSUME:
             self._result.consumed += 1
             self.counter("consumed").add()
+            if self.trace is not None:
+                self._emit(
+                    Category.PACKET, "packet.consumed", record.exit_time, packet
+                )
         elif decision.verdict is Verdict.RECIRCULATE:
             self._recirculate_to(packet, pipeline_index, record.exit_time)
         else:
@@ -402,6 +525,7 @@ class RMTSwitch(Component):
             if port is None:
                 packet.meta.drop_reason = "no_route"
                 self._result.dropped.append(packet)
+                self._emit_tm_drop(packet, record.exit_time)
                 return
             if port not in pipeline.attached_ports:
                 # The TM routed by egress port, so this only happens for
@@ -413,9 +537,19 @@ class RMTSwitch(Component):
     def _transmit(self, packet: Packet, ready: float) -> None:
         port = packet.meta.egress_port
         assert port is not None
-        self.tx_ports[port].transmit(packet, ready)
+        departure = self.tx_ports[port].transmit(packet, ready)
         self._result.delivered.append(packet)
         self.counter("delivered").add()
+        if self.trace is not None:
+            self._emit(
+                Category.PACKET,
+                "packet.delivered",
+                ready,
+                packet,
+                port=port,
+                departure_s=departure,
+                recirculations=packet.meta.recirculations,
+            )
 
     # --- central-state bookkeeping ------------------------------------------------------
 

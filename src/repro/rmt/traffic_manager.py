@@ -47,6 +47,9 @@ class TrafficManager(Component):
         self.latency_s = latency_s
         self.occupancy = 0
         self.peak_occupancy = 0
+        self.trace = None
+        """Optional :class:`~repro.telemetry.recorder.TraceRecorder`; the
+        owning switch wires it when telemetry is enabled."""
 
     def admit(
         self,
@@ -64,6 +67,10 @@ class TrafficManager(Component):
         if self.occupancy >= self.buffer_packets:
             self.counter("drops").add()
             packet.meta.drop_reason = f"{self.name}_buffer_full"
+            if self.trace is not None:
+                self._trace_event(
+                    "tm.reject", ready_time, packet, occupancy=self.occupancy
+                )
             return None
         self.occupancy += 1
         if self.occupancy > self.peak_occupancy:
@@ -71,15 +78,45 @@ class TrafficManager(Component):
         self.counter("admitted").add()
         if pipeline is None:
             pipeline = self.route(packet)
+        if self.trace is not None:
+            self._trace_event(
+                "tm.admit",
+                ready_time,
+                packet,
+                occupancy=self.occupancy,
+                pipeline=pipeline,
+            )
         return pipeline, ready_time + self.latency_s
 
-    def release(self, packet: Packet) -> None:
-        """Report that a previously admitted packet left the buffer."""
+    def release(self, packet: Packet, now: float | None = None) -> None:
+        """Report that a previously admitted packet left the buffer.
+
+        ``now`` timestamps the dequeue in the telemetry trace; accounting
+        is unaffected when omitted.
+        """
         if self.occupancy <= 0:
             raise ConfigError(
                 f"TM {self.name!r} released more packets than it admitted"
             )
         self.occupancy -= 1
+        if self.trace is not None and now is not None:
+            self._trace_event(
+                "tm.release", now, packet, occupancy=self.occupancy
+            )
+
+    def _trace_event(self, name: str, time_s: float, packet: Packet, **args) -> None:
+        from ..telemetry.events import Category, Severity
+
+        rejected = name == "tm.reject"
+        self.trace.emit(
+            Category.ADMISSION if rejected else Category.TM,
+            name,
+            time_s,
+            component=self.path,
+            severity=Severity.WARNING if rejected else Severity.INFO,
+            packet_id=packet.packet_id,
+            **args,
+        )
 
     def multicast_admit(
         self, packet: Packet, ports: tuple[int, ...], ready_time: float

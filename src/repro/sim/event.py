@@ -89,6 +89,17 @@ class Simulator:
         self.queue = EventQueue()
         self.now = 0.0
         self.events_dispatched = 0
+        self.trace = None
+        """Optional :class:`~repro.telemetry.recorder.TraceRecorder`.
+
+        When set, each dispatched event is recorded under the verbose
+        ``SIM`` category (opt-in; filtered out by default recorders).
+        """
+        self.time_probe: Callable[[float], None] | None = None
+        """Optional callback fired whenever simulated time is about to
+        advance, with the new time.  Used by telemetry's periodic metric
+        sampler: because the probe never schedules events, observing a run
+        cannot change its event order or final duration."""
 
     def at(self, time: float, action: Action, priority: int = 0) -> Event:
         """Schedule ``action`` at absolute time ``time`` (seconds)."""
@@ -123,6 +134,8 @@ class Simulator:
             if next_time is None:
                 break
             if until is not None and next_time > until:
+                if self.time_probe is not None and until > self.now:
+                    self.time_probe(until)
                 self.now = until
                 break
             event = self.queue.pop()
@@ -131,11 +144,28 @@ class Simulator:
                 raise SimulationError(
                     f"event time {event.time} precedes current time {self.now}"
                 )
+            if self.time_probe is not None and event.time > self.now:
+                self.time_probe(event.time)
             self.now = event.time
             event.action()
             dispatched += 1
+            if self.trace is not None:
+                self._trace_dispatch(event)
         self.events_dispatched += dispatched
         return dispatched
+
+    def _trace_dispatch(self, event: Event) -> None:
+        from ..telemetry.events import Category, Severity
+
+        self.trace.emit(
+            Category.SIM,
+            "sim.dispatch",
+            event.time,
+            component="sim.kernel",
+            severity=Severity.DEBUG,
+            sequence=event.sequence,
+            priority=event.priority,
+        )
 
     def step(self) -> bool:
         """Dispatch exactly one event; return False if the queue was empty."""

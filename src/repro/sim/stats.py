@@ -47,7 +47,12 @@ class Histogram:
         return len(self._samples)
 
     def observe(self, value: float) -> None:
-        """Record one sample."""
+        """Record one sample.  NaN is rejected: it has no order, so a
+        single NaN would silently corrupt every later percentile query."""
+        if math.isnan(value):
+            raise SimulationError(
+                f"histogram {self.name!r} cannot observe NaN"
+            )
         self._samples.append(value)
         self._sorted = False
 
@@ -89,8 +94,20 @@ class Histogram:
         return self._ensure_sorted()[-1]
 
     def percentile(self, p: float) -> float:
-        """Exact percentile by linear interpolation, ``p`` in [0, 100]."""
-        if not 0.0 <= p <= 100.0:
+        """Exact percentile by linear interpolation, ``p`` in [0, 100].
+
+        The contract, pinned by property tests against
+        :func:`statistics.quantiles` (``method="inclusive"``):
+
+        - no samples -> :class:`SimulationError` (never a silent 0.0)
+        - ``p`` outside [0, 100], or NaN -> :class:`SimulationError`
+        - one sample -> that sample, for every ``p``
+        - ``p=0`` -> :attr:`minimum`; ``p=100`` -> :attr:`maximum`
+        - otherwise linear interpolation at rank ``p/100 * (n-1)``,
+          monotone non-decreasing in ``p`` and always within
+          ``[minimum, maximum]``.
+        """
+        if not 0.0 <= p <= 100.0:  # NaN fails this check too
             raise SimulationError(f"percentile must be in [0, 100], got {p}")
         samples = self._ensure_sorted()
         if not samples:

@@ -1,0 +1,47 @@
+"""Telemetry: structured tracing, metric snapshots, and timeline export.
+
+An opt-in observability layer shared by both switch simulators.  Build a
+:class:`Telemetry` hub, hand it to a switch constructor, and after the run
+read the structured event stream (:class:`TraceRecorder`), the sampled
+metric time-series (:class:`MetricRegistry`), or export the whole run as a
+Chrome trace-event timeline (:func:`to_chrome_trace`) loadable in
+``chrome://tracing`` / Perfetto.
+
+When no hub is passed, every instrumentation site in the simulators
+reduces to a single ``is None`` check — runs without telemetry behave
+byte-identically to the uninstrumented code.
+"""
+
+from .events import (
+    DEFAULT_CATEGORIES,
+    VERBOSE_CATEGORIES,
+    Category,
+    Severity,
+    TraceEvent,
+)
+from .exporters import (
+    chrome_trace_events,
+    text_report,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import MetricRegistry, MetricSnapshot, PeriodicSampler
+from .recorder import TraceRecorder
+from .session import Telemetry
+
+__all__ = [
+    "Category",
+    "DEFAULT_CATEGORIES",
+    "MetricRegistry",
+    "MetricSnapshot",
+    "PeriodicSampler",
+    "Severity",
+    "Telemetry",
+    "TraceEvent",
+    "TraceRecorder",
+    "VERBOSE_CATEGORIES",
+    "chrome_trace_events",
+    "text_report",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

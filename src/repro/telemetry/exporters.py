@@ -1,0 +1,144 @@
+"""Exporters: Chrome trace-event JSON and plain-text run reports.
+
+The Chrome trace-event format (the JSON ``chrome://tracing`` / Perfetto
+load natively) maps cleanly onto switch telemetry:
+
+- interval events (pipeline service, port serialization) become complete
+  (``"ph": "X"``) slices with a duration;
+- instant events (recirculations, drops, TM admits) become ``"ph": "i"``
+  instants;
+- metric snapshots become ``"ph": "C"`` counter tracks.
+
+Timestamps are microseconds (floats are allowed, which matters at the
+nanosecond scale these simulations run at).  The process id is the switch
+the event came from (``rmt``/``adcp``) and the thread id is the component
+within it, so the timeline groups lanes per pipeline/TM/port.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .events import TraceEvent
+from .metrics import MetricRegistry
+from .recorder import TraceRecorder
+
+_US_PER_S = 1e6
+
+
+def _split_component(component: str) -> tuple[str, str]:
+    """Split a dotted component path into (process, thread) labels."""
+    if not component:
+        return "switch", "events"
+    root, _, rest = component.partition(".")
+    return root, rest or root
+
+
+def chrome_trace_events(
+    events: Iterable[TraceEvent],
+    metrics: MetricRegistry | None = None,
+    pid: str | None = None,
+) -> list[dict]:
+    """Convert telemetry into a list of Chrome trace-event dicts.
+
+    ``pid`` overrides the process label (useful when combining several
+    switches into one timeline); by default each event's component root
+    names the process.
+    """
+    out: list[dict] = []
+    for event in events:
+        proc, thread = _split_component(event.component)
+        entry: dict = {
+            "name": event.name,
+            "cat": event.category.value,
+            "pid": pid or proc,
+            "tid": thread,
+            "ts": event.time_s * _US_PER_S,
+            "args": {
+                "seq": event.seq,
+                "severity": event.severity.name,
+                **({"packet_id": event.packet_id} if event.packet_id is not None else {}),
+                **event.args,
+            },
+        }
+        if event.duration_s is not None:
+            entry["ph"] = "X"
+            entry["dur"] = event.duration_s * _US_PER_S
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"  # instant scoped to its thread lane
+        out.append(entry)
+
+    if metrics is not None:
+        for snapshot in metrics.series:
+            for name in sorted(snapshot.values):
+                value = snapshot.values[name]
+                proc, _ = _split_component(name)
+                out.append(
+                    {
+                        "name": name,
+                        "cat": "metric",
+                        "ph": "C",
+                        "pid": pid or proc,
+                        "ts": snapshot.time_s * _US_PER_S,
+                        "args": {"value": value},
+                    }
+                )
+    return out
+
+
+def to_chrome_trace(
+    recorder: TraceRecorder,
+    metrics: MetricRegistry | None = None,
+    pid: str | None = None,
+) -> dict:
+    """A complete Chrome trace document for one recorder."""
+    return {
+        "displayTimeUnit": "ns",
+        "traceEvents": chrome_trace_events(recorder, metrics, pid=pid),
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    trace_events: list[dict] | dict,
+) -> Path:
+    """Write trace events (a list, or a full document) as JSON.
+
+    Returns the path written.  A bare list is wrapped in the standard
+    ``{"traceEvents": [...]}`` envelope.
+    """
+    document = (
+        trace_events
+        if isinstance(trace_events, dict)
+        else {"displayTimeUnit": "ns", "traceEvents": trace_events}
+    )
+    target = Path(path)
+    target.write_text(json.dumps(document, indent=1, sort_keys=True))
+    return target
+
+
+def text_report(
+    recorder: TraceRecorder,
+    metrics: MetricRegistry | None = None,
+    title: str = "telemetry",
+) -> list[str]:
+    """A human-readable run summary: event totals and sampled series."""
+    lines = [f"telemetry report — {title}"]
+    lines.append(
+        f"  events: {recorder.emitted} emitted, {len(recorder)} retained, "
+        f"{recorder.overwritten} overwritten, {recorder.filtered} filtered"
+    )
+    for name, count in recorder.counts_by_name().items():
+        lines.append(f"    {name:<28} {count:>8}")
+    if metrics is not None and metrics.series:
+        first, last = metrics.series[0], metrics.series[-1]
+        lines.append(
+            f"  snapshots: {len(metrics.series)} "
+            f"({first.time_s * 1e9:.0f}..{last.time_s * 1e9:.0f} ns)"
+        )
+        for name in sorted(last.values):
+            lines.append(f"    {name:<40} {last.values[name]:>12g}")
+    return lines

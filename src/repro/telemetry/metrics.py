@@ -1,0 +1,160 @@
+"""Metric snapshots: time-series over the stats registry plus derived gauges.
+
+The simulators already accumulate terminal counters in
+:class:`~repro.sim.stats.StatsRegistry`; what they lack is *when* those
+counters moved.  :class:`MetricRegistry` layers three things on top:
+
+- **hierarchical queries** over the dotted counter namespace
+  (``adcp.tm1.*``), including prefix roll-ups;
+- **derived gauges** — named callables evaluated at sample time (per-stage
+  utilization, TM occupancy, merge depth) that have no counter of their own;
+- **periodic snapshots** — a time-series of ``(time, values)`` captured
+  while a run executes, driven by the event kernel's time-advance probe so
+  sampling never perturbs the event schedule or the run's duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..errors import ConfigError
+from ..sim.stats import StatsRegistry
+
+GaugeFn = Callable[[float], float]
+"""A derived metric: ``fn(now_s) -> value`` evaluated at sample time."""
+
+
+@dataclass(frozen=True)
+class MetricSnapshot:
+    """All metric values observed at one instant of simulated time."""
+
+    time_s: float
+    values: dict[str, float] = field(default_factory=dict)
+
+    def value(self, name: str) -> float:
+        return self.values.get(name, 0.0)
+
+    def matching(self, prefix: str) -> dict[str, float]:
+        """Values whose dotted names start with ``prefix``."""
+        return {k: v for k, v in self.values.items() if k.startswith(prefix)}
+
+
+class MetricRegistry:
+    """Named gauges plus snapshot capture over a stats registry.
+
+    The stats registry is bound late (:meth:`bind_stats`) because switches
+    create their own registry at construction; a :class:`Telemetry` hub is
+    typically built first and handed to the switch.
+    """
+
+    def __init__(self, stats: StatsRegistry | None = None) -> None:
+        self._stats = stats
+        self._gauges: dict[str, GaugeFn] = {}
+        self.series: list[MetricSnapshot] = []
+
+    # --- wiring -----------------------------------------------------------------
+
+    def bind_stats(self, stats: StatsRegistry) -> None:
+        """Attach the counter registry snapshots will read."""
+        self._stats = stats
+
+    def gauge(self, name: str, fn: GaugeFn) -> None:
+        """Register a derived gauge at dotted ``name``.
+
+        Re-registering a name replaces the gauge (switch re-binds do this).
+        """
+        if not name:
+            raise ConfigError("gauge name must be non-empty")
+        self._gauges[name] = fn
+
+    @property
+    def gauge_names(self) -> list[str]:
+        return sorted(self._gauges)
+
+    # --- sampling ---------------------------------------------------------------
+
+    def sample(self, now_s: float) -> MetricSnapshot:
+        """Capture one snapshot: every counter plus every gauge."""
+        values: dict[str, float] = {}
+        if self._stats is not None:
+            values.update(self._stats.snapshot())
+        for name in sorted(self._gauges):
+            values[name] = float(self._gauges[name](now_s))
+        snapshot = MetricSnapshot(now_s, values)
+        self.series.append(snapshot)
+        return snapshot
+
+    # --- queries -----------------------------------------------------------------
+
+    def timeseries(self, name: str) -> list[tuple[float, float]]:
+        """``(time, value)`` pairs of one metric across the snapshots."""
+        return [(s.time_s, s.value(name)) for s in self.series]
+
+    def names(self, prefix: str = "") -> list[str]:
+        """Every metric name seen in any snapshot, under ``prefix``."""
+        seen: set[str] = set()
+        for snapshot in self.series:
+            seen.update(k for k in snapshot.values if k.startswith(prefix))
+        if self._stats is not None:
+            seen.update(
+                k for k in self._stats.snapshot() if k.startswith(prefix)
+            )
+        seen.update(k for k in self._gauges if k.startswith(prefix))
+        return sorted(seen)
+
+    def latest(self, name: str) -> float:
+        """Most recent sampled value of ``name`` (0 when never sampled)."""
+        for snapshot in reversed(self.series):
+            if name in snapshot.values:
+                return snapshot.values[name]
+        return 0.0
+
+    def rollup(self, prefix: str, now_s: float | None = None) -> float:
+        """Sum of current counter values under a dotted prefix.
+
+        Reads the live stats registry (not the snapshots), plus any gauges
+        under the prefix when ``now_s`` is given.
+        """
+        total = 0.0
+        if self._stats is not None:
+            for name, value in self._stats.snapshot().items():
+                if name.startswith(prefix):
+                    total += value
+        if now_s is not None:
+            for name, fn in self._gauges.items():
+                if name.startswith(prefix):
+                    total += float(fn(now_s))
+        return total
+
+    def __iter__(self) -> Iterator[MetricSnapshot]:
+        return iter(self.series)
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+
+class PeriodicSampler:
+    """Samples a :class:`MetricRegistry` every ``interval_s`` of sim time.
+
+    Installed as a :attr:`repro.sim.event.Simulator.time_probe`: the kernel
+    calls it whenever simulated time is about to advance, and the sampler
+    captures one snapshot per crossed interval boundary (stamped at the
+    boundary, so the series is a regular grid regardless of event spacing).
+    Because it never schedules events, enabling sampling cannot change a
+    run's event order or final duration.
+    """
+
+    def __init__(self, metrics: MetricRegistry, interval_s: float) -> None:
+        if interval_s <= 0:
+            raise ConfigError(
+                f"sampling interval must be positive, got {interval_s}"
+            )
+        self.metrics = metrics
+        self.interval_s = interval_s
+        self._next_s = interval_s
+
+    def __call__(self, new_time_s: float) -> None:
+        while self._next_s <= new_time_s:
+            self.metrics.sample(self._next_s)
+            self._next_s += self.interval_s

@@ -1,0 +1,161 @@
+"""The bounded, filtered trace recorder.
+
+Design constraints, in priority order:
+
+1. **Near-zero overhead when absent.**  Instrumented components hold a
+   ``trace`` attribute that defaults to None; the entire disabled hot path
+   is one attribute load and one identity check, so a switch built without
+   telemetry behaves byte-identically to an uninstrumented one.
+2. **Bounded memory.**  Events live in a ring buffer (``capacity`` deep);
+   when it wraps, the oldest events are discarded and counted, never
+   silently lost.
+3. **Deterministic.**  Events are stamped with a monotonically increasing
+   sequence number at emission; the discrete-event kernel already dispatches
+   deterministically, so a seeded run reproduces the exact event stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from ..errors import ConfigError
+from .events import DEFAULT_CATEGORIES, Category, Severity, TraceEvent
+
+
+class TraceRecorder:
+    """A bounded ring buffer of :class:`TraceEvent` with filters.
+
+    Args:
+        capacity: Maximum retained events; older events fall off the ring.
+        categories: Categories to record (default: everything except the
+            verbose ``STAGE``/``SIM``/``CLOCK`` detail).  Pass a set of
+            :class:`Category`, or None for the default set.
+        min_severity: Events below this severity are dropped at emission.
+        enabled: Start recording immediately (pause with :meth:`disable`).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        categories: Iterable[Category] | None = None,
+        min_severity: Severity = Severity.DEBUG,
+        enabled: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError(f"recorder capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.categories = (
+            frozenset(categories) if categories is not None else DEFAULT_CATEGORIES
+        )
+        self.min_severity = min_severity
+        self.enabled = enabled
+        self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self.emitted = 0
+        """Events that passed the filters (retained + overwritten)."""
+        self.filtered = 0
+        """Events rejected by the category/severity filters."""
+
+    # --- control -----------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def wants(self, category: Category, severity: Severity = Severity.INFO) -> bool:
+        """Whether an event of this category/severity would be recorded.
+
+        Call sites producing expensive ``args`` can pre-check this to skip
+        the construction entirely.
+        """
+        return (
+            self.enabled
+            and category in self.categories
+            and severity >= self.min_severity
+        )
+
+    # --- emission ----------------------------------------------------------------
+
+    def emit(
+        self,
+        category: Category,
+        name: str,
+        time_s: float,
+        component: str = "",
+        severity: Severity = Severity.INFO,
+        packet_id: int | None = None,
+        duration_s: float | None = None,
+        **args,
+    ) -> TraceEvent | None:
+        """Record one event; returns it, or None when filtered out."""
+        if not self.wants(category, severity):
+            self.filtered += 1
+            return None
+        event = TraceEvent(
+            seq=self._seq,
+            time_s=time_s,
+            category=category,
+            name=name,
+            component=component,
+            severity=severity,
+            packet_id=packet_id,
+            duration_s=duration_s,
+            args=args,
+        )
+        self._seq += 1
+        self.emitted += 1
+        self._ring.append(event)
+        return event
+
+    # --- inspection -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._ring)
+
+    @property
+    def overwritten(self) -> int:
+        """Events pushed off the ring by newer ones."""
+        return self.emitted - len(self._ring)
+
+    def events(
+        self,
+        name: str | None = None,
+        category: Category | None = None,
+        min_severity: Severity | None = None,
+    ) -> list[TraceEvent]:
+        """Retained events, optionally filtered, in emission order."""
+        out = []
+        for event in self._ring:
+            if name is not None and event.name != name:
+                continue
+            if category is not None and event.category is not category:
+                continue
+            if min_severity is not None and event.severity < min_severity:
+                continue
+            out.append(event)
+        return out
+
+    def count(
+        self,
+        name: str | None = None,
+        category: Category | None = None,
+    ) -> int:
+        """Number of retained events matching the filters."""
+        return len(self.events(name=name, category=category))
+
+    def counts_by_name(self) -> dict[str, int]:
+        """Retained events per event name, sorted by name."""
+        totals: dict[str, int] = {}
+        for event in self._ring:
+            totals[event.name] = totals.get(event.name, 0) + 1
+        return dict(sorted(totals.items()))
+
+    def clear(self) -> None:
+        """Drop retained events; counters and sequence keep running."""
+        self._ring.clear()

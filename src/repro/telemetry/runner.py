@@ -1,0 +1,241 @@
+"""Traced reference workloads: ``python -m repro trace <workload>``.
+
+Each workload builds one or two instrumented switches, runs a small
+self-checking experiment with telemetry enabled, cross-checks the trace
+against the run's terminal counters (delivered and recirculated packets
+must match event-for-event), and exports a combined Chrome trace-event
+JSON timeline plus a plain-text report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ConfigError, SimulationError
+from ..units import GBPS
+from .events import Category
+from .exporters import chrome_trace_events, text_report, write_chrome_trace
+from .session import Telemetry
+
+#: Ring depth for CLI traces: large enough that the reference workloads
+#: never wrap, so the consistency checks can be exact.
+_CLI_CAPACITY = 1 << 20
+
+#: Metric-snapshot spacing for CLI traces (simulated time).
+_CLI_SNAPSHOT_INTERVAL_S = 5e-8
+
+
+@dataclass
+class TraceSection:
+    """One traced switch run within a workload."""
+
+    label: str
+    telemetry: Telemetry
+    result: object  # SwitchRunResult
+
+    def consistency_errors(self) -> list[str]:
+        """Cross-check the event stream against the terminal counters."""
+        errors: list[str] = []
+        trace = self.telemetry.trace
+        if trace.overwritten:
+            errors.append(
+                f"{self.label}: ring overwrote {trace.overwritten} events; "
+                f"counts are not exact"
+            )
+            return errors
+        delivered_events = trace.count(name="packet.delivered")
+        if delivered_events != len(self.result.delivered):
+            errors.append(
+                f"{self.label}: {delivered_events} packet.delivered events "
+                f"vs {len(self.result.delivered)} delivered packets"
+            )
+        recirc_events = trace.count(category=Category.RECIRC)
+        if recirc_events != self.result.recirculated_packets:
+            errors.append(
+                f"{self.label}: {recirc_events} recirculation events vs "
+                f"{self.result.recirculated_packets} recirculated packets"
+            )
+        return errors
+
+
+@dataclass
+class TraceRun:
+    """Everything one ``trace`` invocation produced."""
+
+    workload: str
+    path: Path
+    sections: list[TraceSection]
+    lines: list[str] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        """JSON-friendly digest for ``--json`` output."""
+        return {
+            "workload": self.workload,
+            "trace_file": str(self.path),
+            "sections": [
+                {
+                    "label": s.label,
+                    "events_emitted": s.telemetry.trace.emitted,
+                    "events_retained": len(s.telemetry.trace),
+                    "events_by_name": s.telemetry.trace.counts_by_name(),
+                    "snapshots": len(s.telemetry.metrics.series),
+                    "delivered": len(s.result.delivered),
+                    "recirculated": s.result.recirculated_packets,
+                    "duration_s": s.result.duration_s,
+                }
+                for s in self.sections
+            ],
+        }
+
+
+def _make_telemetry() -> Telemetry:
+    return Telemetry(
+        capacity=_CLI_CAPACITY,
+        snapshot_interval_s=_CLI_SNAPSHOT_INTERVAL_S,
+    )
+
+
+# --- workloads ---------------------------------------------------------------------
+
+
+def _trace_quickstart() -> list[TraceSection]:
+    """The quickstart coflow on both architectures (examples/quickstart.py)."""
+    from ..adcp.config import ADCPConfig
+    from ..adcp.switch import ADCPSwitch
+    from ..apps import ParameterServerApp
+    from ..rmt.config import RMTConfig
+    from ..rmt.switch import RMTSwitch
+
+    workers = [0, 1, 4, 5]
+    sections = []
+
+    adcp_tel = _make_telemetry()
+    adcp_config = ADCPConfig(
+        num_ports=8, port_speed_bps=100 * GBPS, demux_factor=2,
+        central_pipelines=4,
+    )
+    adcp_app = ParameterServerApp(workers, 256, elements_per_packet=16)
+    adcp = ADCPSwitch(adcp_config, adcp_app, telemetry=adcp_tel)
+    adcp_result = adcp.run(adcp_app.workload(adcp_config.port_speed_bps))
+    sections.append(TraceSection("adcp", adcp_tel, adcp_result))
+
+    rmt_tel = _make_telemetry()
+    rmt_config = RMTConfig(
+        num_ports=8, pipelines=2, port_speed_bps=100 * GBPS,
+        min_wire_packet_bytes=84.0, frequency_hz=1.25e9,
+    )
+    rmt_app = ParameterServerApp(workers, 256, elements_per_packet=1)
+    rmt = RMTSwitch(rmt_config, rmt_app, telemetry=rmt_tel)
+    rmt_result = rmt.run(rmt_app.workload(rmt_config.port_speed_bps))
+    sections.append(TraceSection("rmt", rmt_tel, rmt_result))
+    return sections
+
+
+def _trace_recirculate() -> list[TraceSection]:
+    """RMT hosting state by recirculation: every foreign-pipeline packet
+    pays a loopback pass (the §2 bandwidth tax, on the timeline)."""
+    from ..apps import ParameterServerApp
+    from ..rmt.config import RMTConfig, StateMode
+    from ..rmt.switch import RMTSwitch
+
+    telemetry = _make_telemetry()
+    config = RMTConfig(
+        num_ports=8, pipelines=2, port_speed_bps=100 * GBPS,
+        min_wire_packet_bytes=84.0, frequency_hz=1.25e9,
+        state_mode=StateMode.RECIRCULATE,
+    )
+    app = ParameterServerApp([0, 1, 4, 5], 128, elements_per_packet=1)
+    switch = RMTSwitch(config, app, telemetry=telemetry)
+    result = switch.run(app.workload(config.port_speed_bps))
+    return [TraceSection("rmt-recirculate", telemetry, result)]
+
+
+def _trace_mergejoin() -> list[TraceSection]:
+    """TM1's order-preserving merge joining two sorted relations."""
+    from ..adcp.config import ADCPConfig
+    from ..adcp.switch import ADCPSwitch
+    from ..apps import SortMergeJoinApp
+    from ..sim.rng import make_rng
+
+    rng = make_rng(7)
+
+    def relation(rows: int, key_space: int) -> list[tuple[int, int]]:
+        keys = rng.integers(0, key_space, size=rows)
+        values = rng.integers(0, 1000, size=rows)
+        return sorted((int(k), int(v)) for k, v in zip(keys, values))
+
+    telemetry = _make_telemetry()
+    app = SortMergeJoinApp(left_port=0, right_port=1, output_port=7)
+    config = ADCPConfig(
+        num_ports=8, port_speed_bps=100 * GBPS, demux_factor=2,
+        central_pipelines=4,
+    )
+    switch = ADCPSwitch(
+        config, app, ordered_flows=app.ordered_flows(), telemetry=telemetry
+    )
+    result = switch.run(
+        app.workload(config.port_speed_bps, relation(80, 40), relation(80, 40))
+    )
+    return [TraceSection("adcp-mergejoin", telemetry, result)]
+
+
+TRACEABLE = {
+    "quickstart": _trace_quickstart,
+    "recirculate": _trace_recirculate,
+    "mergejoin": _trace_mergejoin,
+}
+
+
+def run_trace(workload: str, out: str | Path | None = None) -> TraceRun:
+    """Run ``workload`` with telemetry on and export its timeline.
+
+    Writes a Chrome trace-event JSON (default ``trace_<workload>.json`` in
+    the working directory) and returns the :class:`TraceRun` with the
+    text report in ``.lines``.  Raises :class:`SimulationError` if the
+    event stream disagrees with the run's terminal counters.
+    """
+    if workload not in TRACEABLE:
+        raise ConfigError(
+            f"unknown trace workload {workload!r}; choose from "
+            f"{', '.join(sorted(TRACEABLE))}"
+        )
+    sections = TRACEABLE[workload]()
+
+    errors: list[str] = []
+    for section in sections:
+        errors.extend(section.consistency_errors())
+    if errors:
+        raise SimulationError(
+            "trace/counter mismatch: " + "; ".join(errors)
+        )
+
+    events: list[dict] = []
+    for section in sections:
+        events.extend(
+            chrome_trace_events(
+                section.telemetry.trace,
+                section.telemetry.metrics,
+                pid=section.label,
+            )
+        )
+    path = write_chrome_trace(out or f"trace_{workload}.json", events)
+
+    run = TraceRun(workload, path, sections)
+    run.lines.append(f"trace workload {workload!r} -> {path}")
+    run.lines.append(f"  chrome trace events: {len(events)}")
+    for section in sections:
+        run.lines.extend(
+            text_report(
+                section.telemetry.trace,
+                section.telemetry.metrics,
+                title=section.label,
+            )
+        )
+        run.lines.append(
+            f"  counters: delivered={len(section.result.delivered)} "
+            f"recirculated={section.result.recirculated_packets} "
+            f"consumed={section.result.consumed} "
+            f"(consistent with trace)"
+        )
+    return run

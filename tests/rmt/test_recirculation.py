@@ -50,3 +50,33 @@ class TestRecirculationAccounting:
             result.counters["rmt.recirculations"]
             == result.recirculated_packets
         )
+
+    def test_trace_events_match_counter(self, small_rmt_config):
+        """Every recirculation shows up exactly once in the trace: the
+        per-event count equals the aggregate counter on a workload where
+        workers span both pipelines (so foreign-destination packets must
+        take the loopback)."""
+        from repro.telemetry import Category, Telemetry
+
+        config = dataclasses.replace(
+            small_rmt_config, state_mode=StateMode.RECIRCULATE
+        )
+        telemetry = Telemetry()
+        app = ParameterServerApp([0, 1, 4, 5], 64, elements_per_packet=1)
+        switch = RMTSwitch(config, app, telemetry=telemetry)
+        result = switch.run(app.workload(config.port_speed_bps))
+
+        assert result.recirculated_packets > 0
+        recirc_events = list(
+            telemetry.trace.events(category=Category.RECIRC)
+        )
+        assert len(recirc_events) == result.recirculated_packets
+        # Each event carries the loop's cost and identity.
+        for event in recirc_events:
+            assert event.name == "packet.recirculated"
+            assert event.packet_id is not None
+            assert event.args["wire_bytes"] >= 84
+        # The trace agrees with the delivery counters too.
+        assert telemetry.trace.count(name="packet.delivered") == len(
+            result.delivered
+        )

@@ -91,6 +91,71 @@ class TestHistogram:
         results = [h.percentile(p) for p in (0, 10, 50, 90, 100)]
         assert results == sorted(results)
 
+    def test_observe_rejects_nan(self):
+        h = Histogram("h")
+        with pytest.raises(SimulationError, match="NaN"):
+            h.observe(float("nan"))
+        assert len(h) == 0  # rejected sample is not recorded
+
+    def test_percentile_rejects_nan_p(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        with pytest.raises(SimulationError):
+            h.percentile(float("nan"))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e9, max_value=1e9),
+            min_size=2,
+            max_size=80,
+        ),
+        st.integers(min_value=1, max_value=99),
+    )
+    def test_percentile_matches_statistics_quantiles(self, values, p):
+        """The documented contract: linear interpolation at rank
+        p/100 * (n-1), i.e. statistics.quantiles ``method="inclusive"``."""
+        import statistics
+
+        h = Histogram("h")
+        h.observe_many(values)
+        expected = statistics.quantiles(values, n=100, method="inclusive")
+        assert h.percentile(p) == pytest.approx(
+            expected[p - 1], rel=1e-9, abs=1e-9
+        )
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e9, max_value=1e9),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_percentile_endpoints_are_extremes(self, values):
+        h = Histogram("h")
+        h.observe_many(values)
+        assert h.percentile(0) == min(values)
+        assert h.percentile(100) == max(values)
+
+    @given(st.floats(min_value=-1e9, max_value=1e9),
+           st.floats(min_value=0, max_value=100))
+    def test_single_sample_is_every_percentile(self, value, p):
+        h = Histogram("h")
+        h.observe(value)
+        assert h.percentile(p) == value
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2,
+                 max_size=40),
+        st.floats(min_value=0, max_value=100),
+    )
+    def test_percentile_of_median_duplicated(self, values, p):
+        """Duplicating every sample leaves every percentile unchanged
+        under the inclusive method's rank formula only at the endpoints;
+        interior ranks stay within the original extremes regardless."""
+        h = Histogram("h")
+        h.observe_many(values + values)
+        assert min(values) <= h.percentile(p) <= max(values)
+
 
 class TestStatsRegistry:
     def test_counter_is_memoized(self):

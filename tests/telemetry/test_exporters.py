@@ -1,0 +1,111 @@
+"""Tests for the Chrome trace and text exporters (repro.telemetry.exporters)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.stats import StatsRegistry
+from repro.telemetry import (
+    Category,
+    MetricRegistry,
+    TraceRecorder,
+    chrome_trace_events,
+    text_report,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _recorder() -> TraceRecorder:
+    rec = TraceRecorder()
+    rec.emit(
+        Category.PIPELINE,
+        "pipeline.service",
+        1e-9,
+        component="rmt.ingress0",
+        packet_id=7,
+        duration_s=2e-9,
+        verdict="forward",
+    )
+    rec.emit(
+        Category.RECIRC,
+        "packet.recirculated",
+        5e-9,
+        component="rmt",
+        packet_id=7,
+    )
+    return rec
+
+
+class TestChromeTrace:
+    def test_span_event_shape(self):
+        span = chrome_trace_events(_recorder())[0]
+        assert span["ph"] == "X"
+        assert span["name"] == "pipeline.service"
+        assert span["pid"] == "rmt"
+        assert span["tid"] == "ingress0"
+        assert span["ts"] == pytest.approx(1e-3)  # 1 ns in µs
+        assert span["dur"] == pytest.approx(2e-3)
+        assert span["args"]["packet_id"] == 7
+        assert span["args"]["verdict"] == "forward"
+
+    def test_instant_event_shape(self):
+        instant = chrome_trace_events(_recorder())[1]
+        assert instant["ph"] == "i"
+        assert instant["s"] == "t"
+        assert "dur" not in instant
+
+    def test_pid_override(self):
+        events = chrome_trace_events(_recorder(), pid="combined")
+        assert {e["pid"] for e in events} == {"combined"}
+
+    def test_counter_tracks_from_metrics(self):
+        stats = StatsRegistry()
+        stats.counter("rmt.delivered").add(3)
+        metrics = MetricRegistry(stats)
+        metrics.sample(1e-9)
+        counters = [
+            e
+            for e in chrome_trace_events(TraceRecorder(), metrics)
+            if e["ph"] == "C"
+        ]
+        assert len(counters) == 1
+        assert counters[0]["name"] == "rmt.delivered"
+        assert counters[0]["args"]["value"] == 3.0
+
+    def test_document_envelope(self):
+        doc = to_chrome_trace(_recorder())
+        assert doc["displayTimeUnit"] == "ns"
+        assert len(doc["traceEvents"]) == 2
+
+    def test_write_round_trips(self, tmp_path):
+        path = write_chrome_trace(
+            tmp_path / "t.json", to_chrome_trace(_recorder())
+        )
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == 2
+
+    def test_write_wraps_bare_list(self, tmp_path):
+        path = write_chrome_trace(
+            tmp_path / "t.json", chrome_trace_events(_recorder())
+        )
+        loaded = json.loads(path.read_text())
+        assert "traceEvents" in loaded
+
+
+class TestTextReport:
+    def test_report_mentions_counts(self):
+        text = "\n".join(text_report(_recorder(), title="unit"))
+        assert "unit" in text
+        assert "pipeline.service" in text
+        assert "2 emitted" in text
+
+    def test_report_includes_latest_snapshot(self):
+        metrics = MetricRegistry(StatsRegistry())
+        metrics.gauge("sw.occupancy", lambda now: 4.0)
+        metrics.sample(1e-9)
+        text = "\n".join(text_report(TraceRecorder(), metrics))
+        assert "snapshots: 1" in text
+        assert "sw.occupancy" in text

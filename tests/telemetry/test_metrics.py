@@ -1,0 +1,107 @@
+"""Tests for metric snapshots and gauges (repro.telemetry.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.stats import StatsRegistry
+from repro.telemetry import MetricRegistry, PeriodicSampler
+
+
+class TestSampling:
+    def test_snapshot_includes_counters_and_gauges(self):
+        stats = StatsRegistry()
+        stats.counter("sw.delivered").add(5)
+        metrics = MetricRegistry(stats)
+        metrics.gauge("sw.occupancy", lambda now: 7.0)
+        snapshot = metrics.sample(1.5)
+        assert snapshot.time_s == 1.5
+        assert snapshot.value("sw.delivered") == 5.0
+        assert snapshot.value("sw.occupancy") == 7.0
+
+    def test_series_accumulates(self):
+        metrics = MetricRegistry(StatsRegistry())
+        metrics.sample(1.0)
+        metrics.sample(2.0)
+        assert [s.time_s for s in metrics] == [1.0, 2.0]
+        assert len(metrics) == 2
+
+    def test_gauge_sees_sample_time(self):
+        metrics = MetricRegistry()
+        metrics.gauge("g", lambda now: now * 2)
+        metrics.sample(3.0)
+        assert metrics.latest("g") == 6.0
+
+    def test_bind_stats_late(self):
+        metrics = MetricRegistry()
+        assert metrics.sample(0.0).values == {}
+        stats = StatsRegistry()
+        stats.counter("c").add(1)
+        metrics.bind_stats(stats)
+        assert metrics.sample(1.0).value("c") == 1.0
+
+    def test_empty_gauge_name_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricRegistry().gauge("", lambda now: 0.0)
+
+
+class TestQueries:
+    def _registry(self):
+        stats = StatsRegistry()
+        stats.counter("adcp.tm1.admitted").add(3)
+        stats.counter("adcp.tm2.admitted").add(4)
+        metrics = MetricRegistry(stats)
+        metrics.gauge("adcp.tm1.occupancy", lambda now: 2.0)
+        return metrics
+
+    def test_timeseries(self):
+        metrics = self._registry()
+        metrics.sample(1.0)
+        metrics.sample(2.0)
+        assert metrics.timeseries("adcp.tm1.admitted") == [
+            (1.0, 3.0),
+            (2.0, 3.0),
+        ]
+
+    def test_names_prefix(self):
+        metrics = self._registry()
+        assert metrics.names("adcp.tm1") == [
+            "adcp.tm1.admitted",
+            "adcp.tm1.occupancy",
+        ]
+
+    def test_rollup_counters_only(self):
+        metrics = self._registry()
+        assert metrics.rollup("adcp.tm") == 7.0
+
+    def test_rollup_with_gauges(self):
+        metrics = self._registry()
+        assert metrics.rollup("adcp.tm1", now_s=1.0) == 5.0
+
+    def test_latest_unknown_is_zero(self):
+        assert MetricRegistry().latest("missing") == 0.0
+
+    def test_snapshot_matching(self):
+        metrics = self._registry()
+        snapshot = metrics.sample(1.0)
+        assert set(snapshot.matching("adcp.tm1")) == {
+            "adcp.tm1.admitted",
+            "adcp.tm1.occupancy",
+        }
+
+
+class TestPeriodicSampler:
+    def test_samples_on_regular_grid(self):
+        metrics = MetricRegistry()
+        sampler = PeriodicSampler(metrics, interval_s=1.0)
+        sampler(0.5)  # not yet
+        assert len(metrics.series) == 0
+        sampler(2.7)  # crosses 1.0 and 2.0
+        assert [s.time_s for s in metrics.series] == [1.0, 2.0]
+        sampler(3.0)  # exactly on the boundary
+        assert [s.time_s for s in metrics.series] == [1.0, 2.0, 3.0]
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            PeriodicSampler(MetricRegistry(), interval_s=0.0)

@@ -1,0 +1,119 @@
+"""Tests for the bounded trace recorder (repro.telemetry.recorder)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import (
+    DEFAULT_CATEGORIES,
+    VERBOSE_CATEGORIES,
+    Category,
+    Severity,
+    TraceRecorder,
+)
+
+
+class TestEmission:
+    def test_emit_returns_event_with_sequence(self):
+        rec = TraceRecorder()
+        first = rec.emit(Category.PACKET, "a", 1.0)
+        second = rec.emit(Category.PACKET, "b", 2.0)
+        assert first.seq == 0 and second.seq == 1
+        assert [e.name for e in rec] == ["a", "b"]
+
+    def test_kwargs_become_args(self):
+        rec = TraceRecorder()
+        event = rec.emit(Category.TM, "tm.admit", 0.0, occupancy=3, pipeline=1)
+        assert event.args == {"occupancy": 3, "pipeline": 1}
+
+    def test_packet_and_duration_fields(self):
+        rec = TraceRecorder()
+        event = rec.emit(
+            Category.PIPELINE, "svc", 1.0, packet_id=42, duration_s=0.5
+        )
+        assert event.packet_id == 42
+        assert event.duration_s == 0.5
+        assert event.end_time_s == pytest.approx(1.5)
+
+    def test_counts(self):
+        rec = TraceRecorder()
+        for _ in range(3):
+            rec.emit(Category.PACKET, "x", 0.0)
+        rec.emit(Category.PACKET, "y", 0.0)
+        assert rec.count(name="x") == 3
+        assert rec.count() == 4
+        assert rec.counts_by_name() == {"x": 3, "y": 1}
+
+
+class TestRing:
+    def test_capacity_bounds_retention(self):
+        rec = TraceRecorder(capacity=4)
+        for i in range(10):
+            rec.emit(Category.PACKET, f"e{i}", float(i))
+        assert len(rec) == 4
+        assert rec.emitted == 10
+        assert rec.overwritten == 6
+        assert [e.name for e in rec] == ["e6", "e7", "e8", "e9"]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceRecorder(capacity=0)
+
+    def test_clear_keeps_counters(self):
+        rec = TraceRecorder()
+        rec.emit(Category.PACKET, "x", 0.0)
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.emitted == 1
+        next_event = rec.emit(Category.PACKET, "y", 0.0)
+        assert next_event.seq == 1  # sequence keeps running
+
+
+class TestFilters:
+    def test_default_excludes_verbose_categories(self):
+        rec = TraceRecorder()
+        assert rec.categories == DEFAULT_CATEGORIES
+        for category in VERBOSE_CATEGORIES:
+            assert rec.emit(category, "noise", 0.0) is None
+        assert rec.filtered == len(VERBOSE_CATEGORIES)
+        assert len(rec) == 0
+
+    def test_explicit_categories(self):
+        rec = TraceRecorder(categories={Category.STAGE})
+        assert rec.emit(Category.STAGE, "stage", 0.0) is not None
+        assert rec.emit(Category.PACKET, "pkt", 0.0) is None
+
+    def test_min_severity(self):
+        rec = TraceRecorder(min_severity=Severity.WARNING)
+        assert rec.emit(Category.PACKET, "info", 0.0) is None
+        assert (
+            rec.emit(
+                Category.PACKET, "warn", 0.0, severity=Severity.WARNING
+            )
+            is not None
+        )
+
+    def test_disable_enable(self):
+        rec = TraceRecorder()
+        rec.disable()
+        assert rec.emit(Category.PACKET, "x", 0.0) is None
+        rec.enable()
+        assert rec.emit(Category.PACKET, "x", 0.0) is not None
+
+    def test_wants_mirrors_emit(self):
+        rec = TraceRecorder(
+            categories={Category.PACKET}, min_severity=Severity.INFO
+        )
+        assert rec.wants(Category.PACKET)
+        assert not rec.wants(Category.STAGE)
+        assert not rec.wants(Category.PACKET, Severity.DEBUG)
+
+    def test_events_query_filters(self):
+        rec = TraceRecorder()
+        rec.emit(Category.PACKET, "a", 0.0)
+        rec.emit(Category.TM, "b", 0.0, severity=Severity.WARNING)
+        assert [e.name for e in rec.events(category=Category.TM)] == ["b"]
+        assert [
+            e.name for e in rec.events(min_severity=Severity.WARNING)
+        ] == ["b"]

@@ -8,7 +8,7 @@ import sys
 import pytest
 
 from repro.errors import ConfigError
-from repro.report import ARTIFACTS, run
+from repro.report import ARTIFACTS, run, run_structured
 
 
 class TestRun:
@@ -39,6 +39,15 @@ class TestRun:
         assert "952 Mpps" in text
         assert "2.38 Bpps" in text
 
+    def test_structured_keys_match_selection(self):
+        sections = run_structured(["table3", "claims"])
+        assert list(sections) == ["table3", "claims"]
+        assert all(lines for lines in sections.values())
+
+    def test_structured_rejects_before_generating(self):
+        with pytest.raises(ConfigError, match="unknown artifact"):
+            run_structured(["table2", "bogus"])
+
 
 class TestMainModule:
     def test_cli_happy_path(self):
@@ -67,3 +76,45 @@ class TestMainModule:
         )
         assert proc.returncode == 2
         assert "unknown artifact" in proc.stderr
+        assert "Table" not in proc.stdout  # no partial default-all report
+
+    def test_cli_json_mode(self):
+        import json
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--json", "table2", "claims"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        payload = json.loads(proc.stdout)
+        assert set(payload) == {"table2", "claims"}
+        assert any("0.952 GHz" in line for line in payload["table2"])
+
+    def test_cli_json_mode_unknown_artifact(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--json", "bogus"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 2
+        assert "unknown artifact" in proc.stderr
+        assert proc.stdout.strip() == ""
+
+    def test_cli_trace_requires_workload(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "trace"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 2
+        assert "workload" in proc.stderr
+
+    def test_cli_trace_unknown_workload(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "trace", "bogus"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 2
+        assert "unknown trace workload" in proc.stderr
