@@ -1,15 +1,51 @@
-"""Report helper shared by the benchmark modules."""
+"""Report helper shared by the benchmark modules.
+
+Besides the printed tables, :func:`report` optionally collects
+machine-readable rows: pass ``data=`` (any JSON-serializable value) and
+the record is appended to an in-process collection that
+:func:`write_artifact` dumps as one JSON document.  Setting the
+``REPRO_BENCH_JSON`` environment variable to a path makes every
+``report(..., data=...)`` call rewrite that artifact incrementally, so a
+benchmark session killed halfway still leaves the completed records on
+disk.
+"""
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
 
-def report(title: str, rows: list[str]) -> None:
+_records: list[dict] = []
+
+
+def report(title: str, rows: list[str], data=None) -> None:
     """Print one regenerated artifact as an aligned block.
 
     Run pytest with ``-s`` (or read captured stdout) to see the
-    paper-vs-measured tables these produce.
+    paper-vs-measured tables these produce.  When ``data`` is given, the
+    same result is also collected as ``{"title": ..., "data": ...}`` for
+    the JSON artifact (see module docstring).
     """
     print()
     print(f"== {title} ==")
     for row in rows:
         print(f"   {row}")
+    if data is not None:
+        _records.append({"title": title, "data": data})
+        env_path = os.environ.get("REPRO_BENCH_JSON")
+        if env_path:
+            write_artifact(env_path)
+
+
+def records() -> list[dict]:
+    """The machine-readable records collected so far (in call order)."""
+    return list(_records)
+
+
+def write_artifact(path: str | Path) -> Path:
+    """Write every collected record as one JSON document."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps({"reports": _records}, indent=1))
+    return target

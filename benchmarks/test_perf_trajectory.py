@@ -1,0 +1,135 @@
+"""Experiment T2 — self-performance: simulator wall-clock throughput.
+
+Times a pinned parameter-server workload on both switch models and
+records packets/sec and kernel events/sec of *the simulator itself*.
+The measurements land in ``BENCH_PROFILE.json`` at the repo root; the
+committed copy is the trajectory baseline, and a run that is more than
+20% slower prints a non-blocking ``::warning::`` line (GitHub Actions
+renders it as an annotation) instead of failing — wall-clock on shared
+CI runners is too noisy for a hard gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchlib import report
+from repro.adcp.switch import ADCPSwitch
+from repro.apps import ParameterServerApp
+from repro.rmt.switch import RMTSwitch
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PROFILE_PATH = REPO_ROOT / "BENCH_PROFILE.json"
+
+#: Throughput drop versus the committed baseline that triggers a warning.
+REGRESSION_THRESHOLD = 0.20
+
+WORKERS = [0, 1, 4, 5]
+VECTOR = 256
+REPEATS = 3
+
+
+def _drive_rmt(config):
+    app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=1)
+    switch = RMTSwitch(config, app)
+    result = switch.run(app.workload(config.port_speed_bps))
+    return switch, result
+
+
+def _drive_adcp(config):
+    app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=16)
+    switch = ADCPSwitch(config, app)
+    result = switch.run(app.workload(config.port_speed_bps))
+    return switch, result
+
+
+def _measure(drive, config) -> dict:
+    """Best-of-N wall clock for one switch model, with throughput rates."""
+    best_s = float("inf")
+    switch = result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        switch, result = drive(config)
+        best_s = min(best_s, time.perf_counter() - start)
+    # Terminal packets: everything the run disposed of.
+    packets = len(result.delivered) + result.consumed + len(result.dropped)
+    events = switch._sim.events_dispatched
+    return {
+        "wall_s": best_s,
+        "packets": packets,
+        "events": events,
+        "packets_per_s": packets / best_s,
+        "events_per_s": events / best_s,
+        "sim_duration_s": result.duration_s,
+    }
+
+
+def _baseline() -> dict:
+    if not PROFILE_PATH.exists():
+        return {}
+    try:
+        return json.loads(PROFILE_PATH.read_text()).get("switches", {})
+    except (json.JSONDecodeError, OSError):
+        return {}
+
+
+def test_perf_trajectory(bench_rmt_config, bench_adcp_config):
+    baseline = _baseline()
+    measured = {
+        "rmt": _measure(_drive_rmt, bench_rmt_config),
+        "adcp": _measure(_drive_adcp, bench_adcp_config),
+    }
+
+    rows = []
+    warnings = []
+    for label, row in measured.items():
+        rows.append(
+            f"{label:>5}: {row['wall_s'] * 1e3:7.2f} ms wall, "
+            f"{row['packets_per_s'] / 1e3:8.1f} kpkt/s, "
+            f"{row['events_per_s'] / 1e3:8.1f} kevt/s"
+        )
+        old = baseline.get(label)
+        if old and old.get("packets_per_s"):
+            ratio = row["packets_per_s"] / old["packets_per_s"]
+            rows.append(
+                f"       vs committed baseline: {ratio - 1.0:+.1%} pkt/s"
+            )
+            if ratio < 1.0 - REGRESSION_THRESHOLD:
+                warnings.append(
+                    f"::warning file=benchmarks/test_perf_trajectory.py::"
+                    f"{label} throughput dropped {1.0 - ratio:.0%} vs the "
+                    f"committed BENCH_PROFILE.json baseline "
+                    f"({row['packets_per_s']:.0f} vs "
+                    f"{old['packets_per_s']:.0f} pkt/s)"
+                )
+
+    report(
+        "T2 — self-performance trajectory (wall-clock throughput)",
+        rows + warnings,
+        data={"switches": measured, "warnings": warnings},
+    )
+    for line in warnings:
+        print(line)
+
+    PROFILE_PATH.write_text(
+        json.dumps(
+            {
+                "workload": {
+                    "app": "ParameterServerApp",
+                    "workers": WORKERS,
+                    "vector": VECTOR,
+                    "repeats": REPEATS,
+                },
+                "switches": measured,
+            },
+            indent=1,
+        )
+    )
+
+    # Sanity, not a perf gate: both simulators made real progress.
+    assert measured["rmt"]["packets"] > 0
+    assert measured["adcp"]["packets"] > 0
+    assert measured["rmt"]["events_per_s"] > 0
+    assert measured["adcp"]["events_per_s"] > 0

@@ -70,6 +70,14 @@ def test_disabled_telemetry_overhead_under_budget(benchmark, bench_rmt_config):
             f"hub, enabled : {enabled_s * 1e3:7.2f} ms "
             f"({enabled_s / baseline_s - 1.0:+.1%} vs baseline)",
         ],
+        data={
+            "baseline_s": baseline_s,
+            "disabled_s": disabled_s,
+            "enabled_s": enabled_s,
+            "disabled_overhead": overhead,
+            "enabled_overhead": enabled_s / baseline_s - 1.0,
+            "budget": OVERHEAD_BUDGET,
+        },
     )
 
     assert overhead < OVERHEAD_BUDGET * NOISE_FACTOR

@@ -20,8 +20,9 @@ def _usage_lines() -> list[str]:
     return [
         "usage: python -m repro [--json] [artifact ...]",
         "       python -m repro trace <workload> [--out PATH] [--json]",
+        "       python -m repro profile <workload> [--chrome PATH] [--json]",
         f"artifacts: {', '.join(sorted(ARTIFACTS))} (default: all)",
-        f"trace workloads: {', '.join(sorted(TRACEABLE))}",
+        f"trace/profile workloads: {', '.join(sorted(TRACEABLE))}",
     ]
 
 
@@ -56,6 +57,37 @@ def _main_trace(args: list[str], json_mode: bool) -> int:
     return 0
 
 
+def _main_profile(args: list[str], json_mode: bool) -> int:
+    from .telemetry.runner import run_profile
+
+    chrome: str | None = None
+    positional: list[str] = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--chrome":
+            if i + 1 >= len(args):
+                raise ConfigError("--chrome requires a path")
+            chrome = args[i + 1]
+            i += 2
+        elif args[i].startswith("-"):
+            raise ConfigError(f"unknown profile option {args[i]!r}")
+        else:
+            positional.append(args[i])
+            i += 1
+    if len(positional) != 1:
+        raise ConfigError(
+            "profile takes exactly one workload name; "
+            "see python -m repro --help"
+        )
+    run = run_profile(positional[0], chrome_out=chrome)
+    if json_mode:
+        print(json.dumps(run.summary(), indent=1))
+    else:
+        for line in run.lines:
+            print(line)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     json_mode = "--json" in args
@@ -67,6 +99,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args and args[0] == "trace":
             return _main_trace(args[1:], json_mode)
+        if args and args[0] == "profile":
+            return _main_profile(args[1:], json_mode)
         from .report import run_structured
 
         sections = run_structured(args or None)

@@ -58,12 +58,22 @@ class TxPort:
         self.last_departure = departure
         packet.meta.departure_time = departure
         if self.trace is not None:
-            self._trace_tx(packet, start, duration)
+            self._trace_tx(packet, ready_time, start, duration, departure)
         return departure
 
-    def _trace_tx(self, packet: Packet, start: float, duration: float) -> None:
+    def _trace_tx(
+        self,
+        packet: Packet,
+        ready: float,
+        start: float,
+        duration: float,
+        departure: float,
+    ) -> None:
         from ..telemetry.events import Category
 
+        # ready_s/departure_s carry the exact queue-enter and last-bit
+        # floats so the latency profiler can tile the serialization span
+        # without re-deriving boundaries from start + duration.
         self.trace.emit(
             Category.PORT,
             "port.tx",
@@ -73,6 +83,8 @@ class TxPort:
             duration_s=duration,
             port=self.port,
             wire_bytes=packet.wire_bytes,
+            ready_s=ready,
+            departure_s=departure,
         )
 
     def utilization(self, horizon_s: float) -> float:

@@ -1,0 +1,50 @@
+"""Thin facade over the latency profiler and bottleneck analyzer.
+
+``repro.profiling`` is the stable import surface for performance
+analysis; the implementation lives in :mod:`repro.telemetry.profiler`
+and :mod:`repro.telemetry.attribution`.  Typical use::
+
+    from repro.profiling import profile_run, analyze_bottlenecks
+
+    telemetry = Telemetry(capacity=1 << 20)
+    switch = RMTSwitch(config, telemetry=telemetry)
+    ...  # run the workload
+    run = profile_run(telemetry.trace, label="rmt")
+    report = analyze_bottlenecks(run, telemetry.trace, telemetry.metrics)
+"""
+
+from ..telemetry.attribution import (
+    AttributionRow,
+    AttributionTable,
+    BottleneckReport,
+    CriticalComponent,
+    LittlesLawCheck,
+    analyze_bottlenecks,
+    attribution_gap,
+)
+from ..telemetry.profiler import (
+    BUCKETS,
+    QUEUE_BUCKETS,
+    PacketProfile,
+    RunProfile,
+    Segment,
+    profile_chrome_events,
+    profile_run,
+)
+
+__all__ = [
+    "AttributionRow",
+    "AttributionTable",
+    "BottleneckReport",
+    "BUCKETS",
+    "CriticalComponent",
+    "LittlesLawCheck",
+    "PacketProfile",
+    "QUEUE_BUCKETS",
+    "RunProfile",
+    "Segment",
+    "analyze_bottlenecks",
+    "attribution_gap",
+    "profile_chrome_events",
+    "profile_run",
+]

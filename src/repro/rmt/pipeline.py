@@ -264,6 +264,12 @@ class Pipeline(Component):
         the recorder opted into the verbose ``STAGE`` category."""
         from ..telemetry.events import Category, Severity
 
+        # ready_s/exit_s/parse_s are the exact floats of this pass's
+        # queue-enter, pipeline-exit, and parser-phase boundaries.  The
+        # latency profiler tiles a packet's lifetime from these spans, so
+        # boundaries must be passed through verbatim rather than
+        # re-derived downstream (start + duration need not equal exit_s
+        # bit-for-bit under IEEE rounding).
         self.trace.emit(
             Category.PIPELINE,
             "pipeline.service",
@@ -275,6 +281,10 @@ class Pipeline(Component):
             verdict=record.decision.verdict.name,
             queueing_delay_s=record.queueing_delay,
             elements=packet.element_count,
+            ready_s=record.ready_time,
+            exit_s=record.exit_time,
+            parse_s=self.parser_latency_cycles * self.cycle_s,
+            stages=len(self.stages),
         )
         if self.trace.wants(Category.STAGE, Severity.DEBUG):
             enter = record.service_start + (

@@ -78,15 +78,19 @@ class TrafficManager(Component):
         self.counter("admitted").add()
         if pipeline is None:
             pipeline = self.route(packet)
+        deliver = ready_time + self.latency_s
         if self.trace is not None:
+            # deliver_s is the exact float handed back to the switch; the
+            # latency profiler uses it as the TM-service span boundary.
             self._trace_event(
                 "tm.admit",
                 ready_time,
                 packet,
                 occupancy=self.occupancy,
                 pipeline=pipeline,
+                deliver_s=deliver,
             )
-        return pipeline, ready_time + self.latency_s
+        return pipeline, deliver
 
     def release(self, packet: Packet, now: float | None = None) -> None:
         """Report that a previously admitted packet left the buffer.
@@ -140,6 +144,17 @@ class TrafficManager(Component):
             admitted = self.admit(copy, ready_time)
             if admitted is None:
                 continue
+            if self.trace is not None:
+                # Replication severs the packet-id chain: the parent ends
+                # here and each copy starts a fresh trace lineage.  The
+                # linkage event lets the latency profiler extend a copy's
+                # attributed lifetime back through its parent's segments.
+                self._trace_event(
+                    "packet.replicated",
+                    ready_time,
+                    copy,
+                    parent_id=packet.packet_id,
+                )
             pipeline, deliver = admitted
             deliveries.append((copy, pipeline, deliver))
         return deliveries

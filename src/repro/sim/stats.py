@@ -121,6 +121,34 @@ class Histogram:
         # delta form: exact when neighbours are equal, monotone in p.
         return samples[low] + fraction * (samples[high] - samples[low])
 
+    def merge(self, *others: "Histogram") -> "Histogram":
+        """Absorb every sample of ``others`` into this histogram, in place.
+
+        Returns ``self`` so aggregations chain
+        (``total.merge(a).merge(b)``).  The merged histogram is
+        order-insensitive: count, total, and every percentile depend only
+        on the multiset of samples, so merging per-section or per-switch
+        histograms yields the same answers as observing the union
+        directly.  Merging a histogram into itself is rejected — it would
+        silently double every sample.
+        """
+        for other in others:
+            if other is self:
+                raise SimulationError(
+                    f"histogram {self.name!r} cannot merge with itself"
+                )
+            if other._samples:
+                self._samples.extend(other._samples)
+                self._sorted = False
+        return self
+
+    @classmethod
+    def merged(cls, name: str, histograms: Iterable["Histogram"]) -> "Histogram":
+        """A new histogram holding the union of ``histograms``' samples."""
+        out = cls(name)
+        out.merge(*histograms)
+        return out
+
     def reset(self) -> None:
         self._samples.clear()
         self._sorted = True

@@ -25,22 +25,54 @@ from .exporters import (
     to_chrome_trace,
     write_chrome_trace,
 )
+from .attribution import (
+    AttributionRow,
+    AttributionTable,
+    BottleneckReport,
+    CriticalComponent,
+    LittlesLawCheck,
+    analyze_bottlenecks,
+    attribution_gap,
+)
 from .metrics import MetricRegistry, MetricSnapshot, PeriodicSampler
+from .profiler import (
+    BUCKETS,
+    QUEUE_BUCKETS,
+    PacketProfile,
+    RunProfile,
+    Segment,
+    profile_chrome_events,
+    profile_run,
+)
 from .recorder import TraceRecorder
 from .session import Telemetry
 
 __all__ = [
+    "AttributionRow",
+    "AttributionTable",
+    "BottleneckReport",
+    "BUCKETS",
     "Category",
+    "CriticalComponent",
     "DEFAULT_CATEGORIES",
+    "LittlesLawCheck",
     "MetricRegistry",
     "MetricSnapshot",
+    "PacketProfile",
     "PeriodicSampler",
+    "QUEUE_BUCKETS",
+    "RunProfile",
+    "Segment",
     "Severity",
     "Telemetry",
     "TraceEvent",
     "TraceRecorder",
     "VERBOSE_CATEGORIES",
+    "analyze_bottlenecks",
+    "attribution_gap",
     "chrome_trace_events",
+    "profile_chrome_events",
+    "profile_run",
     "text_report",
     "to_chrome_trace",
     "write_chrome_trace",

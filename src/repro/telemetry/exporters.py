@@ -116,6 +116,7 @@ def write_chrome_trace(
         else {"displayTimeUnit": "ns", "traceEvents": trace_events}
     )
     target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(document, indent=1, sort_keys=True))
     return target
 

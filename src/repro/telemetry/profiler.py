@@ -1,0 +1,539 @@
+"""Latency attribution: where every nanosecond of a packet's life went.
+
+The paper's §3 arguments are latency arguments — RMT packets pay a
+recirculation and multiplexing tax that the ADCP's central pipelines and
+demuxed ports remove.  PR 1's telemetry can show *that* a run behaved a
+certain way; this module decomposes *where each nanosecond went*.
+
+The profiler consumes a :class:`~repro.telemetry.recorder.TraceRecorder`
+after a run and reconstructs, for every packet that reached a terminal
+state (delivered or consumed), an exact tiling of its lifetime
+``[origin, end]`` by **segments**:
+
+==================== ==============================================
+bucket               meaning
+==================== ==============================================
+``ingress_queue``    FIFO wait in front of an ingress-region pipeline
+``parse``            parser phase of each pipeline pass
+``match_action``     stage-ladder phase of each pipeline pass
+``tm_service``       fixed traffic-manager traversal latency
+``tm_queue``         wait in a TM buffer until the downstream
+                     pipeline starts service
+``merge_wait``       buffering in TM1's ordered k-way merge front-end
+``recirculation``    a full RMT loopback detour (TM + egress pass +
+                     loopback serialization), opaque
+``egress_serial``    TX-port queueing plus wire serialization
+==================== ==============================================
+
+**Exactness.**  Every segment boundary is a float the simulator itself
+computed and passed downstream (the instrumented spans carry ``ready_s``
+/ ``exit_s`` / ``deliver_s`` / ``departure_s`` verbatim), so consecutive
+segments share bit-identical boundaries.  The profiler *verifies* the
+tiling — any gap or overlap raises — and accounts durations in exact
+rational arithmetic (:class:`fractions.Fraction` represents every float
+exactly), so per-component attribution sums to the end-to-end latency
+with **zero** residual, not residual-up-to-rounding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable
+
+from ..errors import SimulationError
+from ..sim.stats import Histogram
+from .recorder import TraceRecorder
+
+#: Attribution buckets, in pipeline order (presentation order for tables).
+BUCKETS = (
+    "ingress_queue",
+    "parse",
+    "match_action",
+    "tm_service",
+    "tm_queue",
+    "merge_wait",
+    "recirculation",
+    "egress_serial",
+)
+
+#: Buckets that are pure waiting (the queue-delay share of a run).
+QUEUE_BUCKETS = frozenset({"ingress_queue", "tm_queue", "merge_wait"})
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One tile of a packet's lifetime: ``[start_s, end_s]`` spent in
+    ``bucket`` at concrete component ``component``."""
+
+    packet_id: int
+    start_s: float
+    end_s: float
+    bucket: str
+    component: str
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def exact_duration(self) -> Fraction:
+        """Duration in exact rational arithmetic."""
+        return Fraction(self.end_s) - Fraction(self.start_s)
+
+
+@dataclass
+class PacketProfile:
+    """One packet's fully attributed lifetime.
+
+    ``components`` maps bucket name to attributed seconds; ``instances``
+    maps concrete component paths (``"rmt.tm"``, ``"adcp.central2"``) to
+    per-bucket seconds.  ``unattributed_s`` is the exact residual between
+    the end-to-end latency and the attribution sum — 0.0 whenever the
+    segment tiling verified, by construction.
+    """
+
+    packet_id: int
+    terminal: str  # "delivered" | "consumed"
+    origin_s: float
+    end_s: float
+    segments: list[Segment]
+    components: dict[str, float] = field(default_factory=dict)
+    instances: dict[str, dict[str, float]] = field(default_factory=dict)
+    recirculations: int = 0
+    unattributed_s: float = 0.0
+
+    @property
+    def latency_s(self) -> float:
+        return self.end_s - self.origin_s
+
+
+class _PacketEvents:
+    """The per-packet event shoebox the extractor fills."""
+
+    __slots__ = (
+        "pipeline",
+        "tm_admits",
+        "merge_offers",
+        "merge_releases",
+        "recircs",
+        "tx",
+        "delivered",
+        "consumed",
+        "parent",
+    )
+
+    def __init__(self) -> None:
+        self.pipeline: list = []
+        self.tm_admits: list = []
+        self.merge_offers: list[float] = []
+        self.merge_releases: list[float] = []
+        self.recircs: list = []
+        self.tx: list = []
+        self.delivered = None
+        self.consumed = None
+        self.parent: int | None = None
+
+
+def _collect(events: Iterable) -> dict[int, _PacketEvents]:
+    """Sort the flat event stream into per-packet shoeboxes."""
+    boxes: dict[int, _PacketEvents] = {}
+
+    def box(packet_id: int) -> _PacketEvents:
+        if packet_id not in boxes:
+            boxes[packet_id] = _PacketEvents()
+        return boxes[packet_id]
+
+    for event in events:
+        if event.packet_id is None:
+            continue
+        name = event.name
+        if name == "pipeline.service":
+            box(event.packet_id).pipeline.append(event)
+        elif name == "tm.admit":
+            box(event.packet_id).tm_admits.append(event)
+        elif name == "merge.offer":
+            box(event.packet_id).merge_offers.append(event.time_s)
+        elif name == "merge.release":
+            box(event.packet_id).merge_releases.append(event.time_s)
+        elif name == "packet.recirculated":
+            box(event.packet_id).recircs.append(event)
+        elif name == "port.tx":
+            box(event.packet_id).tx.append(event)
+        elif name == "packet.delivered":
+            box(event.packet_id).delivered = event
+        elif name == "packet.consumed":
+            box(event.packet_id).consumed = event
+        elif name == "packet.replicated":
+            box(event.packet_id).parent = event.args.get("parent_id")
+    return boxes
+
+
+def _require(event, key: str):
+    try:
+        return event.args[key]
+    except KeyError:
+        raise SimulationError(
+            f"trace event {event.name!r} (seq {event.seq}) lacks the "
+            f"{key!r} span boundary; the profiler needs traces recorded "
+            f"by this version of the simulators"
+        ) from None
+
+
+def _segments_of(packet_id: int, box: _PacketEvents) -> list[Segment]:
+    """Raw segments for one packet, before detour filtering."""
+    segments: list[Segment] = []
+
+    # Recirculation detours first: each is one opaque tile, and every
+    # other segment the simulator emitted inside it (TM crossing, egress
+    # pass, loopback serialization) is subsumed by it.
+    detours: list[tuple[float, float]] = []
+    for event in box.recircs:
+        re_arrival = _require(event, "re_arrival_s")
+        pipeline = event.args.get("pipeline", "")
+        detours.append((event.time_s, re_arrival))
+        segments.append(
+            Segment(
+                packet_id,
+                event.time_s,
+                re_arrival,
+                "recirculation",
+                f"{event.component}.recirc{pipeline}",
+            )
+        )
+
+    def in_detour(start: float, end: float) -> bool:
+        return any(start >= lo and end <= hi for lo, hi in detours)
+
+    for event in box.pipeline:
+        ready = _require(event, "ready_s")
+        start = event.time_s
+        exit_s = _require(event, "exit_s")
+        if in_detour(ready, exit_s):
+            continue
+        parse_end = start + _require(event, "parse_s")
+        queue_bucket = (
+            "ingress_queue" if event.args.get("region") == "ingress"
+            else "tm_queue"
+        )
+        segments.append(
+            Segment(packet_id, ready, start, queue_bucket, event.component)
+        )
+        segments.append(
+            Segment(packet_id, start, parse_end, "parse", event.component)
+        )
+        segments.append(
+            Segment(packet_id, parse_end, exit_s, "match_action", event.component)
+        )
+
+    for event in box.tm_admits:
+        deliver = _require(event, "deliver_s")
+        if in_detour(event.time_s, deliver):
+            continue
+        segments.append(
+            Segment(packet_id, event.time_s, deliver, "tm_service", event.component)
+        )
+
+    for event in box.tx:
+        ready = _require(event, "ready_s")
+        departure = _require(event, "departure_s")
+        if in_detour(ready, departure):
+            continue
+        segments.append(
+            Segment(packet_id, ready, departure, "egress_serial", event.component)
+        )
+
+    # Merge waits pair chronologically (a packet is offered at most once
+    # per pass, and passes do not overlap).
+    if len(box.merge_offers) != len(box.merge_releases):
+        raise SimulationError(
+            f"packet {packet_id}: {len(box.merge_offers)} merge offers vs "
+            f"{len(box.merge_releases)} releases; merge trace is incomplete"
+        )
+    for offered, released in zip(
+        sorted(box.merge_offers), sorted(box.merge_releases)
+    ):
+        segments.append(
+            Segment(packet_id, offered, released, "merge_wait", "merge")
+        )
+
+    return segments
+
+
+def _tile(packet_id: int, segments: list[Segment]) -> list[Segment]:
+    """Sort segments and verify they tile an interval exactly."""
+    ordered = sorted(segments, key=lambda s: (s.start_s, s.end_s))
+    for previous, current in zip(ordered, ordered[1:]):
+        if current.start_s != previous.end_s:
+            kind = "gap" if current.start_s > previous.end_s else "overlap"
+            raise SimulationError(
+                f"packet {packet_id}: {kind} between "
+                f"{previous.bucket}@{previous.component} ending at "
+                f"{previous.end_s!r} and {current.bucket}@{current.component} "
+                f"starting at {current.start_s!r}; attribution would not be "
+                f"exact"
+            )
+    return ordered
+
+
+def _retag_tm_queues(ordered: list[Segment]) -> list[Segment]:
+    """Attribute TM-buffer waits to the TM the packet sat in.
+
+    A ``tm_queue`` segment is emitted by the *downstream* pipeline (it is
+    that pipeline's FIFO wait), but the packet physically occupies the
+    upstream TM's shared buffer for its duration.  The tiling makes the
+    upstream identifiable: the segment immediately before a TM-buffer
+    wait is that TM's service span.
+    """
+    out: list[Segment] = []
+    for index, segment in enumerate(ordered):
+        if segment.bucket == "tm_queue" and index > 0:
+            previous = out[index - 1]
+            if previous.bucket == "tm_service":
+                segment = Segment(
+                    segment.packet_id,
+                    segment.start_s,
+                    segment.end_s,
+                    segment.bucket,
+                    previous.component,
+                )
+        out.append(segment)
+    return out
+
+
+#: Replication-lineage depth bound (a copy of a copy of ...).
+_MAX_LINEAGE = 32
+
+
+def _lineage_segments(
+    packet_id: int, boxes: dict[int, _PacketEvents], depth: int = 0
+) -> list[Segment]:
+    """Segments for a packet, prepending its replication ancestry.
+
+    A multicast copy's trace starts at its ``tm.admit``, but the packet's
+    journey started when its replication parent entered the switch; the
+    parent's own tiling ends exactly at the replication instant, so
+    prepending it extends the copy's lifetime seamlessly.
+    """
+    if depth > _MAX_LINEAGE:
+        raise SimulationError(
+            f"packet {packet_id}: replication lineage deeper than "
+            f"{_MAX_LINEAGE}; the trace parent links likely form a cycle"
+        )
+    box = boxes.get(packet_id)
+    if box is None:
+        # A parent with no traced events of its own: an emission that was
+        # replicated the instant it was born.  The lineage starts here.
+        return []
+    segments = _segments_of(packet_id, box)
+    if box.parent is not None:
+        segments = _lineage_segments(box.parent, boxes, depth + 1) + segments
+    return segments
+
+
+def _profile_packet(
+    packet_id: int, box: _PacketEvents, boxes: dict[int, _PacketEvents]
+) -> PacketProfile | None:
+    """Build one packet's profile, or None for non-terminal packets."""
+    if box.delivered is not None:
+        terminal = "delivered"
+        end_s = _require(box.delivered, "departure_s")
+    elif box.consumed is not None:
+        terminal = "consumed"
+        end_s = box.consumed.time_s
+    else:
+        return None
+
+    segments = _lineage_segments(packet_id, boxes)
+    if not segments:
+        # A consumed packet with no spans (e.g. a merge-absorbed flush
+        # marker): its whole observable life is the terminal instant.
+        segments = [Segment(packet_id, end_s, end_s, "match_action", "")]
+    ordered = _retag_tm_queues(_tile(packet_id, segments))
+
+    origin_s = ordered[0].start_s
+    if ordered[-1].end_s != end_s:
+        raise SimulationError(
+            f"packet {packet_id}: last segment ends at "
+            f"{ordered[-1].end_s!r} but the packet reached its terminal "
+            f"state at {end_s!r}"
+        )
+
+    exact: dict[str, Fraction] = {}
+    instances: dict[str, dict[str, Fraction]] = {}
+    for segment in ordered:
+        duration = segment.exact_duration()
+        exact[segment.bucket] = exact.get(segment.bucket, Fraction(0)) + duration
+        per = instances.setdefault(segment.component, {})
+        per[segment.bucket] = per.get(segment.bucket, Fraction(0)) + duration
+
+    residual = Fraction(end_s) - Fraction(origin_s) - sum(exact.values())
+    return PacketProfile(
+        packet_id=packet_id,
+        terminal=terminal,
+        origin_s=origin_s,
+        end_s=end_s,
+        segments=ordered,
+        components={bucket: float(value) for bucket, value in exact.items()},
+        instances={
+            path: {bucket: float(v) for bucket, v in per.items()}
+            for path, per in instances.items()
+        },
+        recirculations=sum(
+            1 for s in ordered if s.bucket == "recirculation"
+        ),
+        unattributed_s=float(residual),
+    )
+
+
+class RunProfile:
+    """Aggregated latency attribution for one traced run.
+
+    Attributes:
+        label: Human name of the run (``"rmt"``, ``"adcp-mergejoin"``).
+        packets: Per-packet profiles keyed by packet id.
+        histograms: Per-bucket :class:`Histogram` of per-packet attributed
+            seconds (a packet contributes to a bucket's histogram only
+            when it spent time there).
+        latency: Histogram of end-to-end latency across all profiled
+            packets; its count equals delivered + consumed.
+    """
+
+    def __init__(self, label: str = "run") -> None:
+        self.label = label
+        self.packets: dict[int, PacketProfile] = {}
+        self.histograms: dict[str, Histogram] = {
+            bucket: Histogram(f"{label}.attribution.{bucket}")
+            for bucket in BUCKETS
+        }
+        self.latency = Histogram(f"{label}.latency_e2e")
+
+    # --- construction -------------------------------------------------------------
+
+    def add(self, profile: PacketProfile) -> None:
+        self.packets[profile.packet_id] = profile
+        self.latency.observe(profile.latency_s)
+        for bucket, seconds in profile.components.items():
+            self.histograms[bucket].observe(seconds)
+
+    # --- inspection ---------------------------------------------------------------
+
+    @property
+    def profiled(self) -> int:
+        return len(self.packets)
+
+    def count(self, terminal: str) -> int:
+        return sum(1 for p in self.packets.values() if p.terminal == terminal)
+
+    def bucket_total_s(self, bucket: str) -> float:
+        return self.histograms[bucket].total
+
+    @property
+    def total_latency_s(self) -> float:
+        return self.latency.total
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self.latency.mean
+
+    def bucket_mean_s(self, bucket: str) -> float:
+        """Mean attributed seconds per *profiled packet* (zeros included),
+        so bucket means sum to the mean end-to-end latency."""
+        if not self.packets:
+            raise SimulationError(f"profile {self.label!r} has no packets")
+        return self.bucket_total_s(bucket) / self.profiled
+
+    def instance_totals_s(self) -> dict[str, float]:
+        """Attributed seconds per concrete component, across all buckets."""
+        totals: dict[str, float] = {}
+        for profile in self.packets.values():
+            for path, per in profile.instances.items():
+                totals[path] = totals.get(path, 0.0) + math.fsum(per.values())
+        return totals
+
+    def instance_bucket_totals_s(self) -> dict[str, dict[str, float]]:
+        """Attributed seconds per (component, bucket)."""
+        totals: dict[str, dict[str, float]] = {}
+        for profile in self.packets.values():
+            for path, per in profile.instances.items():
+                slot = totals.setdefault(path, {})
+                for bucket, seconds in per.items():
+                    slot[bucket] = slot.get(bucket, 0.0) + seconds
+        return totals
+
+    def to_json(self) -> dict:
+        """Machine-readable digest (no per-packet detail)."""
+        total = self.total_latency_s
+        return {
+            "label": self.label,
+            "profiled_packets": self.profiled,
+            "delivered": self.count("delivered"),
+            "consumed": self.count("consumed"),
+            "mean_latency_ns": self.mean_latency_s * 1e9 if self.packets else 0.0,
+            "p99_latency_ns": (
+                self.latency.percentile(99) * 1e9 if self.packets else 0.0
+            ),
+            "buckets": {
+                bucket: {
+                    "packets": self.histograms[bucket].count,
+                    "total_ns": self.bucket_total_s(bucket) * 1e9,
+                    "share": (
+                        self.bucket_total_s(bucket) / total if total else 0.0
+                    ),
+                }
+                for bucket in BUCKETS
+            },
+        }
+
+
+def profile_run(
+    recorder: TraceRecorder, label: str = "run"
+) -> RunProfile:
+    """Attribute every terminal packet's latency from a recorded trace.
+
+    The recorder must retain the complete event stream (no ring
+    overwrites) and must have been produced by the instrumented
+    simulators with span boundaries enabled (any telemetry-on run).
+    """
+    if recorder.overwritten:
+        raise SimulationError(
+            f"trace ring overwrote {recorder.overwritten} events; "
+            f"attribution needs the complete stream — raise the recorder "
+            f"capacity (the CLI uses 2**20)"
+        )
+    run = RunProfile(label)
+    boxes = _collect(recorder)
+    for packet_id, box in sorted(boxes.items()):
+        profile = _profile_packet(packet_id, box, boxes)
+        if profile is not None:
+            run.add(profile)
+    return run
+
+
+def profile_chrome_events(run: RunProfile, pid: str | None = None) -> list[dict]:
+    """Attribution segments as Chrome trace-event ``X`` slices.
+
+    One lane per bucket (``tid``), so the Perfetto timeline shows where
+    simultaneous packets sat.  Combine with the raw telemetry events via
+    :func:`~repro.telemetry.exporters.chrome_trace_events`.
+    """
+    out: list[dict] = []
+    process = pid or f"{run.label}-attribution"
+    for profile in run.packets.values():
+        for segment in profile.segments:
+            out.append(
+                {
+                    "name": segment.bucket,
+                    "cat": "attribution",
+                    "ph": "X",
+                    "pid": process,
+                    "tid": segment.bucket,
+                    "ts": segment.start_s * 1e6,
+                    "dur": segment.duration_s * 1e6,
+                    "args": {
+                        "packet_id": segment.packet_id,
+                        "component": segment.component,
+                    },
+                }
+            )
+    return out

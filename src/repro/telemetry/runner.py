@@ -180,11 +180,202 @@ def _trace_mergejoin() -> list[TraceSection]:
     return [TraceSection("adcp-mergejoin", telemetry, result)]
 
 
+def _trace_mltrain() -> list[TraceSection]:
+    """Table 1's ML-training row: parameter aggregation on both targets.
+
+    The exact benchmark pair (``benchmarks/test_table1_applications.py``):
+    the ADCP aggregates 16-element packets in its central bank while RMT
+    is forced to scalar packets plus egress-pinned state, which is where
+    its CCT gap comes from — run this under ``profile`` to see the gap
+    decomposed into recirculation and TM queue-wait.
+    """
+    from ..adcp.config import ADCPConfig
+    from ..adcp.switch import ADCPSwitch
+    from ..apps import ParameterServerApp
+    from ..rmt.config import RMTConfig
+    from ..rmt.switch import RMTSwitch
+
+    workers = [0, 1, 4, 5]
+    sections = []
+
+    adcp_tel = _make_telemetry()
+    adcp_config = ADCPConfig(
+        num_ports=8, port_speed_bps=100 * GBPS, demux_factor=2,
+        central_pipelines=4,
+    )
+    adcp_app = ParameterServerApp(workers, 128, elements_per_packet=16)
+    adcp = ADCPSwitch(adcp_config, adcp_app, telemetry=adcp_tel)
+    adcp_result = adcp.run(adcp_app.workload(adcp_config.port_speed_bps))
+    sections.append(TraceSection("adcp", adcp_tel, adcp_result))
+
+    rmt_tel = _make_telemetry()
+    rmt_config = RMTConfig(
+        num_ports=8, pipelines=2, port_speed_bps=100 * GBPS,
+        min_wire_packet_bytes=84.0, frequency_hz=1.25e9,
+    )
+    rmt_app = ParameterServerApp(workers, 128, elements_per_packet=1)
+    rmt = RMTSwitch(rmt_config, rmt_app, telemetry=rmt_tel)
+    rmt_result = rmt.run(rmt_app.workload(rmt_config.port_speed_bps))
+    sections.append(TraceSection("rmt", rmt_tel, rmt_result))
+    return sections
+
+
 TRACEABLE = {
     "quickstart": _trace_quickstart,
     "recirculate": _trace_recirculate,
     "mergejoin": _trace_mergejoin,
+    "mltrain": _trace_mltrain,
 }
+
+
+@dataclass
+class ProfileSection:
+    """One profiled switch run: trace, attribution, bottleneck report."""
+
+    label: str
+    telemetry: Telemetry
+    result: object  # SwitchRunResult
+    profile: object  # repro.profiling.RunProfile
+    report: object  # repro.profiling.BottleneckReport
+
+
+@dataclass
+class ProfileRun:
+    """Everything one ``profile`` invocation produced."""
+
+    workload: str
+    sections: list[ProfileSection]
+    gap: dict[str, float] | None = None
+    gap_labels: tuple[str, str] | None = None  # (slow, fast)
+    lines: list[str] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        """JSON-friendly digest for ``--json`` output."""
+        out: dict = {
+            "workload": self.workload,
+            "sections": [
+                {
+                    "label": s.label,
+                    "attribution": s.profile.to_json(),
+                    "bottlenecks": s.report.to_json(),
+                    "delivered": len(s.result.delivered),
+                    "recirculated": s.result.recirculated_packets,
+                    "duration_s": s.result.duration_s,
+                }
+                for s in self.sections
+            ],
+        }
+        if self.gap is not None:
+            slow, fast = self.gap_labels
+            out["gap"] = {
+                "slow": slow,
+                "fast": fast,
+                "shares": self.gap,
+            }
+        return out
+
+    def chrome_events(self) -> list[dict]:
+        """Raw telemetry plus attribution lanes, one process per section."""
+        from .profiler import profile_chrome_events
+
+        events: list[dict] = []
+        for section in self.sections:
+            events.extend(
+                chrome_trace_events(
+                    section.telemetry.trace,
+                    section.telemetry.metrics,
+                    pid=section.label,
+                )
+            )
+            events.extend(profile_chrome_events(section.profile))
+        return events
+
+
+def run_profile(
+    workload: str, chrome_out: str | Path | None = None
+) -> ProfileRun:
+    """Run ``workload`` traced, then attribute every packet's latency.
+
+    Profiles the same registry of workloads as :func:`run_trace`.  Every
+    profiled packet's attribution is checked to sum exactly (bit-exact,
+    not within-epsilon) to its end-to-end latency; any residual raises.
+    When the workload runs both architectures, the mean-latency gap is
+    decomposed into per-bucket shares.  ``chrome_out`` additionally
+    writes a Chrome trace with per-bucket attribution lanes.
+    """
+    from .attribution import AttributionTable, analyze_bottlenecks, attribution_gap
+    from .profiler import profile_run as _profile_run
+
+    if workload not in TRACEABLE:
+        raise ConfigError(
+            f"unknown profile workload {workload!r}; choose from "
+            f"{', '.join(sorted(TRACEABLE))}"
+        )
+    sections = []
+    for trace_section in TRACEABLE[workload]():
+        profile = _profile_run(
+            trace_section.telemetry.trace, label=trace_section.label
+        )
+        leaky = [
+            p for p in profile.packets.values() if p.unattributed_s != 0.0
+        ]
+        if leaky:
+            worst = max(leaky, key=lambda p: abs(p.unattributed_s))
+            raise SimulationError(
+                f"{trace_section.label}: {len(leaky)} packets with "
+                f"unattributed time (worst: packet {worst.packet_id}, "
+                f"{worst.unattributed_s * 1e9:.3f} ns); the attribution "
+                f"model no longer tiles this workload"
+            )
+        report = analyze_bottlenecks(
+            profile,
+            trace_section.telemetry.trace,
+            trace_section.telemetry.metrics,
+            duration_s=trace_section.result.duration_s,
+        )
+        sections.append(
+            ProfileSection(
+                trace_section.label,
+                trace_section.telemetry,
+                trace_section.result,
+                profile,
+                report,
+            )
+        )
+
+    run = ProfileRun(workload, sections)
+    run.lines.append(f"profile workload {workload!r}")
+    for section in sections:
+        run.lines.append("")
+        run.lines.extend(
+            AttributionTable(section.profile).lines(title=section.label)
+        )
+        run.lines.extend(section.report.lines())
+
+    if len(sections) == 2 and all(s.profile.packets for s in sections):
+        slow, fast = sorted(
+            sections, key=lambda s: s.profile.mean_latency_s, reverse=True
+        )
+        if slow.profile.mean_latency_s > fast.profile.mean_latency_s:
+            run.gap = attribution_gap(slow.profile, fast.profile)
+            run.gap_labels = (slow.label, fast.label)
+            delta = (
+                slow.profile.mean_latency_s - fast.profile.mean_latency_s
+            )
+            run.lines.append("")
+            run.lines.append(
+                f"mean-latency gap: {slow.label} is {delta * 1e9:.1f} ns "
+                f"slower than {fast.label}; per-bucket shares:"
+            )
+            for bucket, share in run.gap.items():
+                if share:
+                    run.lines.append(f"  {bucket:<16} {share:>7.1%}")
+
+    if chrome_out is not None:
+        path = write_chrome_trace(chrome_out, run.chrome_events())
+        run.lines.append("")
+        run.lines.append(f"chrome trace with attribution lanes -> {path}")
+    return run
 
 
 def run_trace(workload: str, out: str | Path | None = None) -> TraceRun:

@@ -157,6 +157,77 @@ class TestHistogram:
         assert min(values) <= h.percentile(p) <= max(values)
 
 
+class TestHistogramMerge:
+    def test_merge_absorbs_samples_in_place(self):
+        a = Histogram("a")
+        a.observe_many([1.0, 2.0])
+        b = Histogram("b")
+        b.observe_many([3.0, 4.0])
+        assert a.merge(b) is a
+        assert a.count == 4
+        assert a.total == 10.0
+        assert b.count == 2  # source is untouched
+
+    def test_merge_several_at_once(self):
+        a = Histogram("a")
+        parts = []
+        for start in (0, 10, 20):
+            h = Histogram(f"part{start}")
+            h.observe_many([float(start), float(start + 1)])
+            parts.append(h)
+        a.merge(*parts)
+        assert a.count == 6
+        assert a.maximum == 21.0
+
+    def test_merge_with_self_rejected(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        with pytest.raises(SimulationError):
+            h.merge(h)
+        assert h.count == 1
+
+    def test_merged_classmethod_unions(self):
+        a = Histogram("a")
+        a.observe_many([1.0, 5.0])
+        b = Histogram("b")
+        b.observe(3.0)
+        out = Histogram.merged("all", [a, b])
+        assert out.name == "all"
+        assert out.count == 3
+        assert out.percentile(50) == 3.0
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                 max_size=20),
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                 max_size=20),
+        st.floats(min_value=0, max_value=100),
+    )
+    def test_merge_equals_observing_union(self, left, right, p):
+        """Merging per-part histograms answers exactly like one histogram
+        over the union of samples — the property AttributionTable leans
+        on when it aggregates across runs."""
+        one = Histogram("one")
+        one.observe_many(left + right)
+        a = Histogram("a")
+        a.observe_many(left)
+        b = Histogram("b")
+        b.observe_many(right)
+        a.merge(b)
+        assert a.count == one.count
+        assert a.total == one.total
+        assert a.percentile(p) == one.percentile(p)
+
+    def test_merge_preserves_lazy_sort_correctness(self):
+        a = Histogram("a")
+        a.observe_many([5.0, 1.0])
+        assert a.maximum == 5.0  # forces a sort
+        b = Histogram("b")
+        b.observe(9.0)
+        a.merge(b)
+        assert a.maximum == 9.0  # re-sorts after the merge
+
+
 class TestStatsRegistry:
     def test_counter_is_memoized(self):
         reg = StatsRegistry()

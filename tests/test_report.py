@@ -110,7 +110,7 @@ class TestMainModule:
         assert proc.returncode == 2
         assert "workload" in proc.stderr
 
-    def test_cli_trace_unknown_workload(self):
+    def test_cli_trace_unknown_workload_lists_choices(self):
         proc = subprocess.run(
             [sys.executable, "-m", "repro", "trace", "bogus"],
             capture_output=True,
@@ -118,3 +118,73 @@ class TestMainModule:
         )
         assert proc.returncode == 2
         assert "unknown trace workload" in proc.stderr
+        # The error is actionable: it names every valid workload.
+        assert "choose from" in proc.stderr
+        assert "quickstart" in proc.stderr
+        assert "mltrain" in proc.stderr
+
+
+class TestProfileCLI:
+    """The ``profile`` subcommand, driven in-process for speed."""
+
+    @staticmethod
+    def _main(argv):
+        from repro.__main__ import main
+
+        return main(argv)
+
+    def test_profile_text_output(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert self._main(["profile", "mergejoin"]) == 0
+        out = capsys.readouterr().out
+        assert "latency attribution" in out
+        assert "bottleneck report" in out
+        assert "queue-delay share" in out
+
+    def test_profile_json_output(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        assert self._main(["--json", "profile", "mergejoin"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "mergejoin"
+        (section,) = payload["sections"]
+        assert section["label"] == "adcp-mergejoin"
+        assert set(section["attribution"]["buckets"])
+        assert section["bottlenecks"]["critical"]
+        assert "gap" not in payload  # single-section workload
+
+    def test_profile_chrome_trace_creates_parent_dirs(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "deep" / "nested" / "profile.json"
+        assert (
+            self._main(["profile", "mergejoin", "--chrome", str(target)])
+            == 0
+        )
+        events = json.loads(target.read_text())["traceEvents"]
+        assert events
+        # Attribution lanes ride alongside the raw telemetry events.
+        assert any(
+            str(e.get("pid", "")).endswith("-attribution") for e in events
+        )
+
+    def test_profile_unknown_workload_lists_choices(self, capsys):
+        assert self._main(["profile", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown profile workload" in err
+        assert "choose from" in err
+        assert "mltrain" in err
+
+    def test_trace_out_creates_parent_dirs(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "missing" / "dir" / "trace.json"
+        assert (
+            self._main(["trace", "mergejoin", "--out", str(target)]) == 0
+        )
+        assert target.exists()
