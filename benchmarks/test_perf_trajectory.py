@@ -19,12 +19,19 @@ from benchlib import report
 from repro.adcp.switch import ADCPSwitch
 from repro.apps import ParameterServerApp
 from repro.rmt.switch import RMTSwitch
+from repro.telemetry import ResourceMonitor, Telemetry
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 PROFILE_PATH = REPO_ROOT / "BENCH_PROFILE.json"
 
 #: Throughput drop versus the committed baseline that triggers a warning.
 REGRESSION_THRESHOLD = 0.20
+
+#: Documented budget for resource-monitor sampling at the default
+#: interval; the assert allows 3x for CI timer noise (same pattern as
+#: the T1 telemetry-overhead gate).
+MONITOR_OVERHEAD_BUDGET = 0.10
+MONITOR_NOISE_FACTOR = 3.0
 
 WORKERS = [0, 1, 4, 5]
 VECTOR = 256
@@ -133,3 +140,68 @@ def test_perf_trajectory(bench_rmt_config, bench_adcp_config):
     assert measured["adcp"]["packets"] > 0
     assert measured["rmt"]["events_per_s"] > 0
     assert measured["adcp"]["events_per_s"] > 0
+
+
+def _monitored_hub():
+    """A hub carrying only the resource monitor: tracing disabled so the
+    measurement isolates clock-grid sampling from event recording."""
+    telemetry = Telemetry(monitor=ResourceMonitor())
+    telemetry.trace.disable()
+    return telemetry
+
+
+def _time_rmt(config, make_telemetry, repeats=5):
+    """Best-of-N wall clock for one telemetry variant."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        app = ParameterServerApp(WORKERS, VECTOR, elements_per_packet=1)
+        switch = RMTSwitch(config, app, telemetry=make_telemetry())
+        start = time.perf_counter()
+        result = switch.run(app.workload(config.port_speed_bps))
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_monitor_sampling_overhead(bench_rmt_config):
+    """Resource-monitor sampling at the default interval stays under its
+    documented 10% throughput budget, and the sampled run's simulated
+    outcome is identical to the unmonitored one (probes only read)."""
+    baseline_s, baseline = _time_rmt(bench_rmt_config, lambda: None)
+    monitored_s, monitored = _time_rmt(bench_rmt_config, _monitored_hub)
+    overhead = monitored_s / baseline_s - 1.0
+
+    report(
+        "T2b — resource-monitor sampling overhead (RMT, default interval)",
+        [
+            f"no monitor  : {baseline_s * 1e3:7.2f} ms",
+            f"with monitor: {monitored_s * 1e3:7.2f} ms "
+            f"({overhead:+.1%} vs baseline; "
+            f"budget {MONITOR_OVERHEAD_BUDGET:.0%})",
+        ],
+        data={
+            "baseline_s": baseline_s,
+            "monitored_s": monitored_s,
+            "monitor_overhead": overhead,
+            "budget": MONITOR_OVERHEAD_BUDGET,
+        },
+    )
+
+    # Fold the number into the trajectory profile next to the throughput
+    # rows (tolerate a missing file when this test runs alone).
+    try:
+        profile = json.loads(PROFILE_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        profile = {}
+    profile["monitor_overhead"] = {
+        "baseline_s": baseline_s,
+        "monitored_s": monitored_s,
+        "overhead": overhead,
+        "budget": MONITOR_OVERHEAD_BUDGET,
+    }
+    PROFILE_PATH.write_text(json.dumps(profile, indent=1))
+
+    assert overhead < MONITOR_OVERHEAD_BUDGET * MONITOR_NOISE_FACTOR
+    assert monitored.duration_s == baseline.duration_s
+    assert len(monitored.delivered) == len(baseline.delivered)
+    assert monitored.recirculated_packets == baseline.recirculated_packets

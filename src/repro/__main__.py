@@ -1,91 +1,220 @@
 """Entry point: ``python -m repro [--json] [artifact ...]``.
 
-Also hosts the telemetry runner: ``python -m repro trace <workload>``
-runs a reference workload with tracing enabled and writes a Chrome
-trace-event JSON timeline (load it in ``chrome://tracing`` or Perfetto).
+Also hosts the telemetry tooling:
+
+- ``python -m repro trace <workload>`` runs a reference workload with
+  tracing enabled and writes a Chrome trace-event JSON timeline (load it
+  in ``chrome://tracing`` or Perfetto).
+- ``python -m repro profile <workload>`` attributes every packet's
+  latency and reports bottlenecks.
+- ``python -m repro monitor <workload>`` samples resource time-series on
+  the simulation clock and writes a run ledger.
+- ``python -m repro diff <base> <new>`` compares two run ledgers and
+  exits non-zero on regression.
+
+Subcommands live in the :data:`_SUBCOMMANDS` registry; usage text,
+``--help``, and unknown-subcommand errors are all generated from it, so
+they cannot drift apart.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+from typing import Callable, NamedTuple
 
 from .errors import ConfigError, SimulationError
 
 
-def _usage_lines() -> list[str]:
-    from .report import ARTIFACTS
-    from .telemetry.runner import TRACEABLE
+class _Subcommand(NamedTuple):
+    """One CLI subcommand: its usage synopsis and its handler."""
 
-    return [
-        "usage: python -m repro [--json] [artifact ...]",
-        "       python -m repro trace <workload> [--out PATH] [--json]",
-        "       python -m repro profile <workload> [--chrome PATH] [--json]",
-        f"artifacts: {', '.join(sorted(ARTIFACTS))} (default: all)",
-        f"trace/profile workloads: {', '.join(sorted(TRACEABLE))}",
-    ]
+    usage: str
+    handler: Callable[[list[str], bool], int]
 
 
-def _main_trace(args: list[str], json_mode: bool) -> int:
-    from .telemetry.runner import run_trace
+def _parse_options(
+    args: list[str],
+    command: str,
+    value_options: dict[str, str],
+) -> tuple[list[str], dict[str, str]]:
+    """Split ``args`` into positionals and ``--option value`` pairs.
 
-    out: str | None = None
+    ``value_options`` maps accepted option flags to the destination key;
+    every flag takes exactly one value.  Unknown dashed arguments raise.
+    """
     positional: list[str] = []
+    options: dict[str, str] = {}
     i = 0
     while i < len(args):
-        if args[i] == "--out":
+        arg = args[i]
+        if arg in value_options:
             if i + 1 >= len(args):
-                raise ConfigError("--out requires a path")
-            out = args[i + 1]
+                raise ConfigError(f"{arg} requires a value")
+            options[value_options[arg]] = args[i + 1]
             i += 2
-        elif args[i].startswith("-"):
-            raise ConfigError(f"unknown trace option {args[i]!r}")
+        elif arg.startswith("-"):
+            raise ConfigError(f"unknown {command} option {arg!r}")
         else:
-            positional.append(args[i])
+            positional.append(arg)
             i += 1
-    if len(positional) != 1:
-        raise ConfigError(
-            "trace takes exactly one workload name; "
-            "see python -m repro --help"
-        )
-    run = run_trace(positional[0], out=out)
+    return positional, options
+
+
+def _print_run(run, json_mode: bool) -> None:
     if json_mode:
         print(json.dumps(run.summary(), indent=1))
     else:
         for line in run.lines:
             print(line)
+
+
+def _main_trace(args: list[str], json_mode: bool) -> int:
+    from .telemetry.runner import run_trace
+
+    positional, options = _parse_options(args, "trace", {"--out": "out"})
+    if len(positional) != 1:
+        raise ConfigError(
+            "trace takes exactly one workload name; "
+            "see python -m repro --help"
+        )
+    run = run_trace(positional[0], out=options.get("out"))
+    _print_run(run, json_mode)
     return 0
 
 
 def _main_profile(args: list[str], json_mode: bool) -> int:
     from .telemetry.runner import run_profile
 
-    chrome: str | None = None
-    positional: list[str] = []
-    i = 0
-    while i < len(args):
-        if args[i] == "--chrome":
-            if i + 1 >= len(args):
-                raise ConfigError("--chrome requires a path")
-            chrome = args[i + 1]
-            i += 2
-        elif args[i].startswith("-"):
-            raise ConfigError(f"unknown profile option {args[i]!r}")
-        else:
-            positional.append(args[i])
-            i += 1
+    positional, options = _parse_options(
+        args, "profile", {"--chrome": "chrome"}
+    )
     if len(positional) != 1:
         raise ConfigError(
             "profile takes exactly one workload name; "
             "see python -m repro --help"
         )
-    run = run_profile(positional[0], chrome_out=chrome)
-    if json_mode:
-        print(json.dumps(run.summary(), indent=1))
-    else:
-        for line in run.lines:
-            print(line)
+    run = run_profile(positional[0], chrome_out=options.get("chrome"))
+    _print_run(run, json_mode)
     return 0
+
+
+def _main_monitor(args: list[str], json_mode: bool) -> int:
+    from .telemetry.runner import run_monitor
+
+    positional, options = _parse_options(
+        args,
+        "monitor",
+        {
+            "--interval": "interval",
+            "--csv": "csv",
+            "--chrome": "chrome",
+            "--ledger": "ledger",
+        },
+    )
+    if len(positional) != 1:
+        raise ConfigError(
+            "monitor takes exactly one workload name; "
+            "see python -m repro --help"
+        )
+    interval_ns: float | None = None
+    if "interval" in options:
+        try:
+            interval_ns = float(options["interval"])
+        except ValueError:
+            raise ConfigError(
+                f"--interval must be a number of simulated nanoseconds, "
+                f"got {options['interval']!r}"
+            )
+    run = run_monitor(
+        positional[0],
+        interval_ns=interval_ns,
+        ledger_out=options.get("ledger"),
+        csv_out=options.get("csv"),
+        chrome_out=options.get("chrome"),
+    )
+    _print_run(run, json_mode)
+    return 0
+
+
+def _main_diff(args: list[str], json_mode: bool) -> int:
+    from .telemetry.ledger import (
+        DEFAULT_THRESHOLD,
+        diff_ledgers,
+        load_ledger,
+    )
+
+    positional, options = _parse_options(
+        args, "diff", {"--threshold": "threshold"}
+    )
+    if len(positional) != 2:
+        raise ConfigError(
+            "diff takes exactly two ledger paths (base, new); "
+            "see python -m repro --help"
+        )
+    threshold = DEFAULT_THRESHOLD
+    if "threshold" in options:
+        try:
+            threshold = float(options["threshold"]) / 100.0
+        except ValueError:
+            raise ConfigError(
+                f"--threshold must be a percentage, "
+                f"got {options['threshold']!r}"
+            )
+    diff = diff_ledgers(
+        load_ledger(positional[0]),
+        load_ledger(positional[1]),
+        threshold=threshold,
+    )
+    if json_mode:
+        print(json.dumps(diff.to_json(), indent=1))
+    else:
+        for line in diff.lines():
+            print(line)
+    return diff.exit_code
+
+
+#: The single source of truth for subcommands: usage text, ``--help``,
+#: dispatch, and unknown-subcommand hints all derive from this table.
+_SUBCOMMANDS: dict[str, _Subcommand] = {
+    "trace": _Subcommand(
+        "trace <workload> [--out PATH] [--json]", _main_trace
+    ),
+    "profile": _Subcommand(
+        "profile <workload> [--chrome PATH] [--json]", _main_profile
+    ),
+    "monitor": _Subcommand(
+        "monitor <workload> [--interval NS] [--ledger PATH] "
+        "[--csv PATH] [--chrome PATH] [--json]",
+        _main_monitor,
+    ),
+    "diff": _Subcommand(
+        "diff <base_ledger> <new_ledger> [--threshold PCT] [--json]",
+        _main_diff,
+    ),
+}
+
+
+def _usage_lines() -> list[str]:
+    from .report import ARTIFACTS
+    from .telemetry.runner import TRACEABLE
+
+    lines = ["usage: python -m repro [--json] [artifact ...]"]
+    lines.extend(
+        f"       python -m repro {sub.usage}"
+        for sub in _SUBCOMMANDS.values()
+    )
+    lines.append(
+        f"artifacts: {', '.join(sorted(ARTIFACTS))} (default: all)"
+    )
+    lines.append(
+        f"trace/profile/monitor workloads: {', '.join(sorted(TRACEABLE))}"
+    )
+    lines.append(
+        "diff compares two run ledgers written by monitor; it exits 1 "
+        "when any series regressed past the threshold (default 5%)"
+    )
+    return lines
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -97,10 +226,8 @@ def main(argv: list[str] | None = None) -> int:
             print(line)
         return 0
     try:
-        if args and args[0] == "trace":
-            return _main_trace(args[1:], json_mode)
-        if args and args[0] == "profile":
-            return _main_profile(args[1:], json_mode)
+        if args and args[0] in _SUBCOMMANDS:
+            return _SUBCOMMANDS[args[0]].handler(args[1:], json_mode)
         from .report import run_structured
 
         sections = run_structured(args or None)
@@ -113,6 +240,11 @@ def main(argv: list[str] | None = None) -> int:
                 print()
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
+        if args and args[0] not in _SUBCOMMANDS:
+            print(
+                f"subcommands: {', '.join(_SUBCOMMANDS)}",
+                file=sys.stderr,
+            )
         return 2
     except SimulationError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -188,6 +188,31 @@ class ADCPSwitch(Component):
 
     # --- telemetry ------------------------------------------------------------------
 
+    def monitor_probes(self):
+        """Switch-level resource-monitor series.
+
+        The recirculation series is registered even though ADCP programs
+        never recirculate — it samples identically zero, which is the
+        architectural claim a ledger diff against an RMT run makes
+        machine-checkable.  Merge depth appears when TM1's ordered-flow
+        front-end is active.
+        """
+        path = self.path
+        probes = {
+            f"{path}.recirculations": lambda now_s: self.stats.value(
+                f"{path}.recirculations"
+            ),
+        }
+        if self._merge is not None:
+            probes[f"{self.tm1.path}.merge_depth"] = lambda now_s: float(
+                self._merge.pending()
+            )
+        for port in self.tx_ports:
+            probes.update(
+                port.monitor_probes(label=f"{path}.tx{port.port}")
+            )
+        return probes
+
     def _emit(
         self,
         category: Category,

@@ -79,6 +79,23 @@ class ApplicationTrafficManager(TrafficManager):
             partition=partition,
         )
 
+    def monitor_probes(self):
+        """Classic TM series plus per-bank routed-packet counts.
+
+        The per-partition counters are the §4 "central bank access" view:
+        sampled over time they show whether placement keeps the banks
+        balanced or lets one central pipeline congest.
+        """
+        probes = super().monitor_probes()
+        path = self.path
+        for index in range(self.policy.partitions):
+            probes[f"{path}.bank{index}.accesses"] = (
+                lambda now_s, i=index: self.stats.value(
+                    f"{path}.partition{i}"
+                )
+            )
+        return probes
+
     def _route_by_key(self, packet: Packet) -> int:
         key = self.key_fn(packet)
         partition = self.policy.place(key)

@@ -93,6 +93,29 @@ class TxPort:
             raise ConfigError(f"horizon must be positive, got {horizon_s}")
         return min(1.0, self.busy_seconds / horizon_s)
 
+    def backlog_s(self, now_s: float) -> float:
+        """Seconds of serialization already committed beyond ``now_s``.
+
+        The port is a single server, so the committed busy horizon is the
+        exact queueing delay the next arrival would see — the monitor's
+        per-port queue-depth series.
+        """
+        return max(0.0, self._free_at - now_s)
+
+    def monitor_probes(self, label: str | None = None):
+        """Resource-monitor series for this port, keyed by dotted name.
+
+        ``label`` overrides the series prefix (the switch uses it to name
+        recirculation loopback ports distinctly from front-panel ports).
+        """
+        prefix = label or f"port.tx{self.port}"
+        return {
+            f"{prefix}.utilization": lambda now_s: (
+                min(1.0, self.busy_seconds / now_s) if now_s > 0 else 0.0
+            ),
+            f"{prefix}.backlog_s": self.backlog_s,
+        }
+
     @property
     def achieved_bps(self) -> float:
         """Average bits per second up to the last departure."""

@@ -309,6 +309,38 @@ class Pipeline(Component):
             raise ConfigError("horizon must be positive")
         return min(1.0, self._busy_s / horizon_s)
 
+    def backlog_s(self, now_s: float) -> float:
+        """Committed service time beyond ``now_s``: the FIFO queue depth,
+        in seconds, that the next arriving packet would wait."""
+        return max(0.0, self._free_at - now_s)
+
+    def monitor_probes(self):
+        """Resource-monitor series for this pipeline.
+
+        Registers and tables are created lazily as the app touches them,
+        so the state/MAT probes iterate the live dicts at sample time —
+        the *series names* stay fixed while the underlying set grows.
+        """
+        path = self.path
+        return {
+            f"{path}.utilization": lambda now_s: (
+                min(1.0, self._busy_s / now_s) if now_s > 0 else 0.0
+            ),
+            f"{path}.backlog_s": self.backlog_s,
+            f"{path}.state_accesses": lambda now_s: float(
+                sum(r.access_count for r in self._registers.values())
+            ),
+            f"{path}.mat_lookups": lambda now_s: float(
+                sum(t.access_count for t in self._tables.values())
+            ),
+            f"{path}.mat_entries": lambda now_s: float(
+                sum(len(t) for t in self._tables.values())
+            ),
+            f"{path}.mem_blocks_claimed": lambda now_s: float(
+                sum(s.memory.claimed_total() for s in self.stages)
+            ),
+        }
+
     @property
     def busy_seconds(self) -> float:
         return self._busy_s

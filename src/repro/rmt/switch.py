@@ -196,6 +196,33 @@ class RMTSwitch(Component):
 
     # --- telemetry ----------------------------------------------------------------
 
+    def monitor_probes(self):
+        """Switch-level resource-monitor series.
+
+        Ports are not :class:`~repro.sim.component.Component` nodes, so
+        their probes are contributed here; the recirculation series are
+        the §2 bandwidth-tax view — cumulative loop count plus the
+        committed backlog on the loopback ports (loop depth in seconds).
+        """
+        path = self.path
+        probes = {
+            f"{path}.recirculations": lambda now_s: self.stats.value(
+                f"{path}.recirculations"
+            ),
+            f"{path}.recirc_backlog_s": lambda now_s: sum(
+                loop.backlog_s(now_s) for loop in self.recirc_ports
+            ),
+        }
+        for port in self.tx_ports:
+            probes.update(
+                port.monitor_probes(label=f"{path}.tx{port.port}")
+            )
+        for index, loop in enumerate(self.recirc_ports):
+            probes.update(
+                loop.monitor_probes(label=f"{path}.recirc{index}")
+            )
+        return probes
+
     def _emit(
         self,
         category: Category,

@@ -51,6 +51,20 @@ class TrafficManager(Component):
         """Optional :class:`~repro.telemetry.recorder.TraceRecorder`; the
         owning switch wires it when telemetry is enabled."""
 
+    @property
+    def credits(self) -> int:
+        """Free buffer slots: how much admission headroom remains."""
+        return self.buffer_packets - self.occupancy
+
+    def monitor_probes(self):
+        """Resource-monitor series: occupancy, headroom, high-water mark."""
+        path = self.path
+        return {
+            f"{path}.occupancy": lambda now_s: float(self.occupancy),
+            f"{path}.credits": lambda now_s: float(self.credits),
+            f"{path}.peak_occupancy": lambda now_s: float(self.peak_occupancy),
+        }
+
     def admit(
         self,
         packet: Packet,

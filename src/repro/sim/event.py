@@ -98,8 +98,28 @@ class Simulator:
         self.time_probe: Callable[[float], None] | None = None
         """Optional callback fired whenever simulated time is about to
         advance, with the new time.  Used by telemetry's periodic metric
-        sampler: because the probe never schedules events, observing a run
-        cannot change its event order or final duration."""
+        sampler and the resource monitor: because probes never schedule
+        events, observing a run cannot change its event order or final
+        duration."""
+
+    def add_time_probe(self, probe: Callable[[float], None]) -> None:
+        """Install ``probe`` on the clock, chaining after any existing one.
+
+        The dispatch loop keeps its single ``time_probe is None`` check —
+        attaching several observers (metric snapshots plus a resource
+        monitor) costs the uninstrumented fast path nothing.  Probes fire
+        in installation order with the same new-time argument.
+        """
+        current = self.time_probe
+        if current is None:
+            self.time_probe = probe
+            return
+
+        def chained(new_time_s: float, _first=current, _second=probe) -> None:
+            _first(new_time_s)
+            _second(new_time_s)
+
+        self.time_probe = chained
 
     def at(self, time: float, action: Action, priority: int = 0) -> Event:
         """Schedule ``action`` at absolute time ``time`` (seconds)."""

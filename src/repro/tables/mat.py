@@ -123,6 +123,19 @@ class MatchTable:
     def is_full(self) -> bool:
         return len(self._entries) >= self.capacity
 
+    @property
+    def fill(self) -> float:
+        """Installed entries as a fraction of provisioned capacity.
+
+        Sampled by the resource monitor as MAT bank occupancy.
+        """
+        return len(self._entries) / self.capacity
+
+    @property
+    def access_count(self) -> int:
+        """Total lookups served, the monitor's MAT access-count series."""
+        return self.lookups
+
     def install(
         self,
         pattern: TernaryPattern | int,

@@ -88,6 +88,13 @@ class StageMemory:
     def free_blocks(self, kind: MemoryKind) -> int:
         return self._totals[kind] - self.claimed_blocks(kind)
 
+    def claimed_total(self) -> int:
+        """Claimed blocks across both technologies (SRAM plus TCAM).
+
+        Sampled by the resource monitor as per-stage memory occupancy.
+        """
+        return sum(n for _, n in self._claimed.values())
+
     def blocks_needed(self, kind: MemoryKind, entries: int, key_width_bits: int) -> int:
         """Blocks required for a table of ``entries`` x ``key_width_bits``.
 

@@ -38,6 +38,15 @@ class RegisterArray:
         self.reads = 0
         self.writes = 0
 
+    @property
+    def access_count(self) -> int:
+        """Total state accesses (reads plus writes) since construction.
+
+        The resource monitor samples this per pipeline to expose how
+        central-bank / register pressure evolves over a run.
+        """
+        return self.reads + self.writes
+
     def _check_index(self, index: int) -> None:
         if not 0 <= index < self.size:
             raise TableError(

@@ -33,8 +33,25 @@ from .attribution import (
     LittlesLawCheck,
     analyze_bottlenecks,
     attribution_gap,
+    monitor_littles_checks,
+)
+from .ledger import (
+    DEFAULT_THRESHOLD,
+    LEDGER_SCHEMA,
+    DiffRow,
+    LedgerDiff,
+    build_ledger,
+    diff_ledgers,
+    load_ledger,
+    write_ledger,
 )
 from .metrics import MetricRegistry, MetricSnapshot, PeriodicSampler
+from .monitor import (
+    DEFAULT_INTERVAL_NS,
+    ResourceMonitor,
+    SeriesSummary,
+    merged_chrome_events,
+)
 from .profiler import (
     BUCKETS,
     QUEUE_BUCKETS,
@@ -55,14 +72,21 @@ __all__ = [
     "Category",
     "CriticalComponent",
     "DEFAULT_CATEGORIES",
+    "DEFAULT_INTERVAL_NS",
+    "DEFAULT_THRESHOLD",
+    "DiffRow",
+    "LEDGER_SCHEMA",
+    "LedgerDiff",
     "LittlesLawCheck",
     "MetricRegistry",
     "MetricSnapshot",
     "PacketProfile",
     "PeriodicSampler",
     "QUEUE_BUCKETS",
+    "ResourceMonitor",
     "RunProfile",
     "Segment",
+    "SeriesSummary",
     "Severity",
     "Telemetry",
     "TraceEvent",
@@ -70,10 +94,16 @@ __all__ = [
     "VERBOSE_CATEGORIES",
     "analyze_bottlenecks",
     "attribution_gap",
+    "build_ledger",
     "chrome_trace_events",
+    "diff_ledgers",
+    "load_ledger",
+    "merged_chrome_events",
+    "monitor_littles_checks",
     "profile_chrome_events",
     "profile_run",
     "text_report",
     "to_chrome_trace",
     "write_chrome_trace",
+    "write_ledger",
 ]

@@ -357,6 +357,47 @@ def analyze_bottlenecks(
     )
 
 
+def monitor_littles_checks(
+    recorder: TraceRecorder,
+    monitor,
+    duration_s: float,
+    tolerance: float = 2.0,
+) -> list[LittlesLawCheck]:
+    """Little's-law validation of the resource monitor's TM series.
+
+    Same L = λW cross-check as :func:`analyze_bottlenecks`, but with the
+    observed side taken from the
+    :class:`~repro.telemetry.monitor.ResourceMonitor`'s sampled
+    ``<tm>.occupancy`` columns instead of the metric snapshots.  The two
+    sides come from fully independent instrumentation (event spans vs
+    clock-grid probes), so a mismatch here is how a mis-wired probe gets
+    caught.
+    """
+    checks: list[LittlesLawCheck] = []
+    if duration_s <= 0:
+        return checks
+    names = set(monitor.names)
+    for component, residencies in sorted(_tm_residencies(recorder).items()):
+        series = f"{component}.occupancy"
+        if not residencies or series not in names:
+            continue
+        column = monitor.column(series)
+        observed = math.fsum(column) / len(column) if column else 0.0
+        rate = len(residencies) / duration_s
+        mean_residency = math.fsum(residencies) / len(residencies)
+        checks.append(
+            LittlesLawCheck(
+                component=component,
+                arrival_rate_pps=rate,
+                mean_residency_s=mean_residency,
+                predicted_occupancy=rate * mean_residency,
+                observed_occupancy=observed,
+                tolerance=tolerance,
+            )
+        )
+    return checks
+
+
 def attribution_gap(
     slow: RunProfile, fast: RunProfile
 ) -> dict[str, float]:

@@ -1,0 +1,310 @@
+"""Run ledgers: one JSON artifact per run, and the ``repro diff`` comparator.
+
+A *run ledger* is the machine-readable record of one monitored run:
+workload identity and knobs, the git SHA it ran at, per-section series
+summaries from the :class:`~repro.telemetry.monitor.ResourceMonitor`,
+and the PR 3 latency-attribution table.  Ledgers exist to be *diffed*:
+``python -m repro diff A.json B.json`` compares two ledgers
+series-by-series and emits a verdict table — improved / regressed /
+unchanged — with a non-zero exit when any series regressed past the
+threshold.  That gives CI (and every future perf PR) a one-command
+answer to "did this change move queue pressure or utilization?".
+
+Diff semantics: every monitored series is a *pressure* metric (occupancy,
+backlog, access counts, loop depth) or a utilization — for all of them a
+higher mean at the same workload means more contention, so **lower is
+better**.  The verdict compares mean values; peaks are reported alongside
+for context.  A series present in only one ledger is ``added``/``removed``
+(structural, never a regression by itself).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ConfigError
+
+#: Ledger format identifier; bump the suffix on breaking schema changes.
+LEDGER_SCHEMA = "repro.run_ledger/1"
+
+#: Default relative-change tolerance (fraction) before a verdict flips.
+DEFAULT_THRESHOLD = 0.05
+
+#: Synthetic series name for the attribution table's mean latency, so the
+#: end-to-end number participates in the same verdict table.
+LATENCY_SERIES = "attribution.mean_latency_ns"
+
+
+def git_sha() -> str | None:
+    """Best-effort HEAD SHA of the current working directory's repo."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def build_ledger(
+    workload: str,
+    interval_ns: float,
+    sections: list[dict],
+    config: dict | None = None,
+) -> dict:
+    """Assemble a ledger document (see :data:`LEDGER_SCHEMA`).
+
+    Each entry of ``sections`` must carry ``label`` and ``series``
+    (name -> :meth:`~repro.telemetry.monitor.SeriesSummary.to_json`
+    dicts); ``attribution``/``counters``/terminal counts are optional.
+    """
+    return {
+        "schema": LEDGER_SCHEMA,
+        "workload": workload,
+        "interval_ns": interval_ns,
+        "git_sha": git_sha(),
+        "config": config or {},
+        "sections": sections,
+    }
+
+
+def write_ledger(path: str | Path, ledger: dict) -> Path:
+    """Write a ledger as deterministic JSON; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(ledger, indent=1, sort_keys=True) + "\n")
+    return target
+
+
+def load_ledger(path: str | Path) -> dict:
+    """Read and validate a ledger file."""
+    source = Path(path)
+    try:
+        document = json.loads(source.read_text())
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"{source} is not valid JSON: {error}")
+    if not isinstance(document, dict) or "schema" not in document:
+        raise ConfigError(f"{source} is not a run ledger (no schema field)")
+    schema = document["schema"]
+    family = LEDGER_SCHEMA.rsplit("/", 1)[0]
+    if not str(schema).startswith(family):
+        raise ConfigError(
+            f"{source} has schema {schema!r}, expected {LEDGER_SCHEMA!r}"
+        )
+    return document
+
+
+# --- diffing ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One series' verdict between two ledgers."""
+
+    section: str
+    series: str
+    verdict: str  # unchanged | improved | regressed | added | removed
+    base_mean: float | None
+    new_mean: float | None
+    base_peak: float | None
+    new_peak: float | None
+    delta: float | None  # relative mean change; None when undefined
+
+    def to_json(self) -> dict:
+        return {
+            "section": self.section,
+            "series": self.series,
+            "verdict": self.verdict,
+            "base_mean": self.base_mean,
+            "new_mean": self.new_mean,
+            "base_peak": self.base_peak,
+            "new_peak": self.new_peak,
+            "delta": self.delta,
+        }
+
+
+@dataclass
+class LedgerDiff:
+    """Series-by-series comparison of two run ledgers."""
+
+    threshold: float
+    base_workload: str
+    new_workload: str
+    rows: list[DiffRow] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[DiffRow]:
+        return [row for row in self.rows if row.verdict == "regressed"]
+
+    @property
+    def improvements(self) -> list[DiffRow]:
+        return [row for row in self.rows if row.verdict == "improved"]
+
+    @property
+    def has_regression(self) -> bool:
+        return bool(self.regressions)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.has_regression else 0
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for row in self.rows:
+            out[row.verdict] = out.get(row.verdict, 0) + 1
+        return out
+
+    def lines(self) -> list[str]:
+        counts = self.counts()
+        header = ", ".join(
+            f"{counts.get(verdict, 0)} {verdict}"
+            for verdict in ("regressed", "improved", "unchanged")
+        )
+        out = [
+            f"ledger diff — {self.base_workload} vs {self.new_workload} "
+            f"(threshold {self.threshold:.1%}): {header}"
+        ]
+        out.extend(f"  note: {note}" for note in self.notes)
+        interesting = [
+            row for row in self.rows if row.verdict != "unchanged"
+        ]
+        if not interesting:
+            out.append("  every series unchanged within threshold")
+            return out
+        out.append(
+            f"  {'verdict':<10} {'section':<16} {'series':<44} "
+            f"{'base mean':>12} {'new mean':>12} {'delta':>8}"
+        )
+        for row in interesting:
+            delta = (
+                f"{row.delta:+.1%}"
+                if row.delta is not None and math.isfinite(row.delta)
+                else "n/a"
+            )
+            base = "—" if row.base_mean is None else f"{row.base_mean:.6g}"
+            new = "—" if row.new_mean is None else f"{row.new_mean:.6g}"
+            out.append(
+                f"  {row.verdict:<10} {row.section:<16} {row.series:<44} "
+                f"{base:>12} {new:>12} {delta:>8}"
+            )
+        return out
+
+    def to_json(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "base_workload": self.base_workload,
+            "new_workload": self.new_workload,
+            "counts": self.counts(),
+            "has_regression": self.has_regression,
+            "notes": self.notes,
+            "rows": [row.to_json() for row in self.rows],
+        }
+
+
+def _series_of(section: dict) -> dict[str, dict]:
+    """A section's comparable series, with the attribution mean latency
+    folded in as a synthetic series."""
+    series = dict(section.get("series", {}))
+    attribution = section.get("attribution")
+    if attribution and attribution.get("packets"):
+        mean_ns = attribution.get("mean_latency_ns", 0.0)
+        series[LATENCY_SERIES] = {"mean": mean_ns, "peak": mean_ns}
+    return series
+
+
+def _verdict(base_mean: float, new_mean: float, threshold: float):
+    """(verdict, relative delta) for one series; lower mean is better."""
+    if base_mean == 0.0 and new_mean == 0.0:
+        return "unchanged", 0.0
+    if base_mean == 0.0:
+        # Pressure appeared where there was none: infinite relative
+        # growth, always past any threshold.
+        return "regressed", math.inf
+    delta = (new_mean - base_mean) / abs(base_mean)
+    if delta > threshold:
+        return "regressed", delta
+    if delta < -threshold:
+        return "improved", delta
+    return "unchanged", delta
+
+
+def diff_ledgers(
+    base: dict,
+    new: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> LedgerDiff:
+    """Compare two ledgers series-by-series.
+
+    Sections pair by label; series pair by name within a section.  The
+    verdict tests the relative change of the *mean* against
+    ``threshold`` (peaks ride along in the report).  Diffing a ledger
+    against itself yields all-unchanged and exit code 0 by construction.
+    """
+    if threshold < 0:
+        raise ConfigError(f"threshold must be >= 0, got {threshold}")
+    diff = LedgerDiff(
+        threshold=threshold,
+        base_workload=base.get("workload", "?"),
+        new_workload=new.get("workload", "?"),
+    )
+    if base.get("workload") != new.get("workload"):
+        diff.notes.append(
+            f"comparing different workloads "
+            f"({base.get('workload')!r} vs {new.get('workload')!r})"
+        )
+    base_sections = {s["label"]: s for s in base.get("sections", [])}
+    new_sections = {s["label"]: s for s in new.get("sections", [])}
+    for label in sorted(set(base_sections) - set(new_sections)):
+        diff.notes.append(f"section {label!r} only in base ledger")
+    for label in sorted(set(new_sections) - set(base_sections)):
+        diff.notes.append(f"section {label!r} only in new ledger")
+
+    for label in sorted(set(base_sections) & set(new_sections)):
+        base_series = _series_of(base_sections[label])
+        new_series = _series_of(new_sections[label])
+        for name in sorted(set(base_series) | set(new_series)):
+            old = base_series.get(name)
+            current = new_series.get(name)
+            if old is None:
+                diff.rows.append(
+                    DiffRow(
+                        label, name, "added",
+                        None, current.get("mean"),
+                        None, current.get("peak"),
+                        None,
+                    )
+                )
+                continue
+            if current is None:
+                diff.rows.append(
+                    DiffRow(
+                        label, name, "removed",
+                        old.get("mean"), None,
+                        old.get("peak"), None,
+                        None,
+                    )
+                )
+                continue
+            verdict, delta = _verdict(
+                float(old.get("mean", 0.0)),
+                float(current.get("mean", 0.0)),
+                threshold,
+            )
+            diff.rows.append(
+                DiffRow(
+                    label, name, verdict,
+                    old.get("mean"), current.get("mean"),
+                    old.get("peak"), current.get("peak"),
+                    delta,
+                )
+            )
+    return diff

@@ -97,9 +97,13 @@ def _make_telemetry() -> Telemetry:
 
 
 # --- workloads ---------------------------------------------------------------------
+#
+# Each workload factory accepts an optional ``make_telemetry`` so callers
+# can swap the hub configuration (``run_monitor`` passes one carrying a
+# ResourceMonitor) without the factories knowing what changed.
 
 
-def _trace_quickstart() -> list[TraceSection]:
+def _trace_quickstart(make_telemetry=None) -> list[TraceSection]:
     """The quickstart coflow on both architectures (examples/quickstart.py)."""
     from ..adcp.config import ADCPConfig
     from ..adcp.switch import ADCPSwitch
@@ -109,8 +113,9 @@ def _trace_quickstart() -> list[TraceSection]:
 
     workers = [0, 1, 4, 5]
     sections = []
+    mk = make_telemetry or _make_telemetry
 
-    adcp_tel = _make_telemetry()
+    adcp_tel = mk()
     adcp_config = ADCPConfig(
         num_ports=8, port_speed_bps=100 * GBPS, demux_factor=2,
         central_pipelines=4,
@@ -120,7 +125,7 @@ def _trace_quickstart() -> list[TraceSection]:
     adcp_result = adcp.run(adcp_app.workload(adcp_config.port_speed_bps))
     sections.append(TraceSection("adcp", adcp_tel, adcp_result))
 
-    rmt_tel = _make_telemetry()
+    rmt_tel = mk()
     rmt_config = RMTConfig(
         num_ports=8, pipelines=2, port_speed_bps=100 * GBPS,
         min_wire_packet_bytes=84.0, frequency_hz=1.25e9,
@@ -132,14 +137,14 @@ def _trace_quickstart() -> list[TraceSection]:
     return sections
 
 
-def _trace_recirculate() -> list[TraceSection]:
+def _trace_recirculate(make_telemetry=None) -> list[TraceSection]:
     """RMT hosting state by recirculation: every foreign-pipeline packet
     pays a loopback pass (the §2 bandwidth tax, on the timeline)."""
     from ..apps import ParameterServerApp
     from ..rmt.config import RMTConfig, StateMode
     from ..rmt.switch import RMTSwitch
 
-    telemetry = _make_telemetry()
+    telemetry = (make_telemetry or _make_telemetry)()
     config = RMTConfig(
         num_ports=8, pipelines=2, port_speed_bps=100 * GBPS,
         min_wire_packet_bytes=84.0, frequency_hz=1.25e9,
@@ -151,7 +156,7 @@ def _trace_recirculate() -> list[TraceSection]:
     return [TraceSection("rmt-recirculate", telemetry, result)]
 
 
-def _trace_mergejoin() -> list[TraceSection]:
+def _trace_mergejoin(make_telemetry=None) -> list[TraceSection]:
     """TM1's order-preserving merge joining two sorted relations."""
     from ..adcp.config import ADCPConfig
     from ..adcp.switch import ADCPSwitch
@@ -165,7 +170,7 @@ def _trace_mergejoin() -> list[TraceSection]:
         values = rng.integers(0, 1000, size=rows)
         return sorted((int(k), int(v)) for k, v in zip(keys, values))
 
-    telemetry = _make_telemetry()
+    telemetry = (make_telemetry or _make_telemetry)()
     app = SortMergeJoinApp(left_port=0, right_port=1, output_port=7)
     config = ADCPConfig(
         num_ports=8, port_speed_bps=100 * GBPS, demux_factor=2,
@@ -180,7 +185,7 @@ def _trace_mergejoin() -> list[TraceSection]:
     return [TraceSection("adcp-mergejoin", telemetry, result)]
 
 
-def _trace_mltrain() -> list[TraceSection]:
+def _trace_mltrain(make_telemetry=None) -> list[TraceSection]:
     """Table 1's ML-training row: parameter aggregation on both targets.
 
     The exact benchmark pair (``benchmarks/test_table1_applications.py``):
@@ -197,8 +202,9 @@ def _trace_mltrain() -> list[TraceSection]:
 
     workers = [0, 1, 4, 5]
     sections = []
+    mk = make_telemetry or _make_telemetry
 
-    adcp_tel = _make_telemetry()
+    adcp_tel = mk()
     adcp_config = ADCPConfig(
         num_ports=8, port_speed_bps=100 * GBPS, demux_factor=2,
         central_pipelines=4,
@@ -208,7 +214,7 @@ def _trace_mltrain() -> list[TraceSection]:
     adcp_result = adcp.run(adcp_app.workload(adcp_config.port_speed_bps))
     sections.append(TraceSection("adcp", adcp_tel, adcp_result))
 
-    rmt_tel = _make_telemetry()
+    rmt_tel = mk()
     rmt_config = RMTConfig(
         num_ports=8, pipelines=2, port_speed_bps=100 * GBPS,
         min_wire_packet_bytes=84.0, frequency_hz=1.25e9,
@@ -428,5 +434,211 @@ def run_trace(workload: str, out: str | Path | None = None) -> TraceRun:
             f"recirculated={section.result.recirculated_packets} "
             f"consumed={section.result.consumed} "
             f"(consistent with trace)"
+        )
+    return run
+
+
+# --- resource monitoring -----------------------------------------------------------
+
+
+@dataclass
+class MonitorSection:
+    """One monitored switch run: series, attribution, cross-checks."""
+
+    label: str
+    telemetry: Telemetry
+    result: object  # SwitchRunResult
+    monitor: object  # repro.telemetry.monitor.ResourceMonitor
+    attribution: dict
+    littles: list = field(default_factory=list)
+
+
+@dataclass
+class MonitorRun:
+    """Everything one ``monitor`` invocation produced."""
+
+    workload: str
+    interval_ns: float
+    sections: list[MonitorSection]
+    ledger: dict
+    ledger_path: Path
+    csv_paths: list[Path] = field(default_factory=list)
+    chrome_path: Path | None = None
+    lines: list[str] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        """JSON-friendly digest for ``--json`` output: the ledger plus
+        the artifact paths this invocation wrote."""
+        return {
+            "ledger_file": str(self.ledger_path),
+            "csv_files": [str(p) for p in self.csv_paths],
+            "chrome_file": (
+                str(self.chrome_path) if self.chrome_path else None
+            ),
+            "ledger": self.ledger,
+        }
+
+
+def _sectioned_path(base: Path, label: str, count: int) -> Path:
+    """Per-section artifact path: suffix the label when a workload has
+    several sections so they never overwrite each other."""
+    if count == 1:
+        return base
+    return base.with_name(f"{base.stem}_{label}{base.suffix}")
+
+
+def run_monitor(
+    workload: str,
+    interval_ns: float | None = None,
+    ledger_out: str | Path | None = None,
+    csv_out: str | Path | None = None,
+    chrome_out: str | Path | None = None,
+) -> MonitorRun:
+    """Run ``workload`` with a resource monitor sampling every
+    ``interval_ns`` simulated nanoseconds, and write the run ledger.
+
+    The ledger (default ``ledger_<workload>.json``) embeds per-section
+    series summaries, the latency-attribution table, and the Little's-law
+    cross-check of each TM's sampled occupancy against λW from the trace
+    (informational, same posture as the bottleneck report: grid sampling
+    undersamples very short bursty runs, so the flag only means much on
+    steadier workloads).  ``csv_out`` additionally dumps the full
+    columnar time-series; ``chrome_out`` writes the telemetry timeline
+    with the monitor's counter tracks merged in.
+    """
+    from .attribution import AttributionTable, monitor_littles_checks
+    from .ledger import build_ledger, write_ledger
+    from .monitor import DEFAULT_INTERVAL_NS, ResourceMonitor
+    from .profiler import profile_run as _profile_run
+
+    if workload not in TRACEABLE:
+        raise ConfigError(
+            f"unknown monitor workload {workload!r}; choose from "
+            f"{', '.join(sorted(TRACEABLE))}"
+        )
+    if interval_ns is None:
+        interval_ns = DEFAULT_INTERVAL_NS
+
+    def make_telemetry() -> Telemetry:
+        return Telemetry(
+            capacity=_CLI_CAPACITY,
+            snapshot_interval_s=_CLI_SNAPSHOT_INTERVAL_S,
+            monitor=ResourceMonitor(interval_ns=interval_ns),
+        )
+
+    sections: list[MonitorSection] = []
+    for trace_section in TRACEABLE[workload](make_telemetry=make_telemetry):
+        monitor = trace_section.telemetry.monitor
+        profile = _profile_run(
+            trace_section.telemetry.trace, label=trace_section.label
+        )
+        attribution = AttributionTable(profile).to_json()
+        littles = monitor_littles_checks(
+            trace_section.telemetry.trace,
+            monitor,
+            trace_section.result.duration_s,
+        )
+        sections.append(
+            MonitorSection(
+                trace_section.label,
+                trace_section.telemetry,
+                trace_section.result,
+                monitor,
+                attribution,
+                littles,
+            )
+        )
+
+    ledger = build_ledger(
+        workload=workload,
+        interval_ns=interval_ns,
+        config={
+            "trace_capacity": _CLI_CAPACITY,
+            "snapshot_interval_s": _CLI_SNAPSHOT_INTERVAL_S,
+        },
+        sections=[
+            {
+                "label": s.label,
+                "duration_s": s.result.duration_s,
+                "delivered": len(s.result.delivered),
+                "consumed": s.result.consumed,
+                "recirculated": s.result.recirculated_packets,
+                "samples": len(s.monitor),
+                "series": {
+                    name: summary.to_json()
+                    for name, summary in s.monitor.summaries().items()
+                },
+                "attribution": s.attribution,
+                "littles_law": [
+                    {
+                        "component": c.component,
+                        "predicted_occupancy": c.predicted_occupancy,
+                        "observed_occupancy": c.observed_occupancy,
+                        "consistent": c.consistent,
+                    }
+                    for c in s.littles
+                ],
+                "counters": s.result.counters,
+            }
+            for s in sections
+        ],
+    )
+    ledger_path = write_ledger(
+        ledger_out or f"ledger_{workload}.json", ledger
+    )
+
+    run = MonitorRun(workload, interval_ns, sections, ledger, ledger_path)
+    run.lines.append(
+        f"monitor workload {workload!r} "
+        f"(interval {interval_ns:g} ns) -> {ledger_path}"
+    )
+    for section in sections:
+        summaries = section.monitor.summaries()
+        run.lines.append(
+            f"  {section.label}: {len(section.monitor)} samples x "
+            f"{len(summaries)} series, "
+            f"duration {section.result.duration_s * 1e9:.0f} ns"
+        )
+        busiest = sorted(
+            summaries.values(), key=lambda s: s.peak, reverse=True
+        )[:5]
+        for summary in busiest:
+            run.lines.append(
+                f"    {summary.name:<44} peak {summary.peak:>10.4g} "
+                f"mean {summary.mean:>10.4g} p99 {summary.p99:>10.4g}"
+            )
+        for check in section.littles:
+            flag = "ok" if check.consistent else "MISMATCH"
+            run.lines.append(
+                f"    little's law {check.component}: "
+                f"predicted {check.predicted_occupancy:.2f} vs "
+                f"sampled {check.observed_occupancy:.2f} ({flag})"
+            )
+
+    if csv_out is not None:
+        base = Path(csv_out)
+        for section in sections:
+            path = section.monitor.write_csv(
+                _sectioned_path(base, section.label, len(sections))
+            )
+            run.csv_paths.append(path)
+            run.lines.append(f"  time-series csv ({section.label}) -> {path}")
+
+    if chrome_out is not None:
+        events: list[dict] = []
+        for section in sections:
+            events.extend(
+                chrome_trace_events(
+                    section.telemetry.trace,
+                    section.telemetry.metrics,
+                    pid=section.label,
+                )
+            )
+            events.extend(
+                section.monitor.chrome_counter_events(pid=section.label)
+            )
+        run.chrome_path = write_chrome_trace(chrome_out, events)
+        run.lines.append(
+            f"  chrome trace with monitor counters -> {run.chrome_path}"
         )
     return run

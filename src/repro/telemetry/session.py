@@ -31,6 +31,7 @@ from typing import Iterable
 from ..errors import ConfigError
 from .events import Category, Severity
 from .metrics import MetricRegistry, PeriodicSampler
+from .monitor import ResourceMonitor
 from .recorder import TraceRecorder
 
 
@@ -44,6 +45,9 @@ class Telemetry:
         snapshot_interval_s: Simulated-time spacing of metric snapshots;
             None disables periodic sampling (a final snapshot is still
             taken when the run finishes).
+        monitor: Optional :class:`~repro.telemetry.monitor.ResourceMonitor`
+            to attach at bind time: it collects every component's
+            ``monitor_probes()`` and samples them on the simulation clock.
     """
 
     def __init__(
@@ -52,6 +56,7 @@ class Telemetry:
         categories: Iterable[Category] | None = None,
         min_severity: Severity = Severity.DEBUG,
         snapshot_interval_s: float | None = None,
+        monitor: ResourceMonitor | None = None,
     ) -> None:
         if snapshot_interval_s is not None and snapshot_interval_s <= 0:
             raise ConfigError(
@@ -64,6 +69,7 @@ class Telemetry:
         )
         self.metrics = MetricRegistry()
         self.snapshot_interval_s = snapshot_interval_s
+        self.monitor = monitor
         self._switch = None
 
     # --- switch wiring ------------------------------------------------------------
@@ -111,13 +117,17 @@ class Telemetry:
             )
 
         if self.snapshot_interval_s is not None:
-            switch._sim.time_probe = PeriodicSampler(
-                self.metrics, self.snapshot_interval_s
+            switch._sim.add_time_probe(
+                PeriodicSampler(self.metrics, self.snapshot_interval_s)
             )
+        if self.monitor is not None:
+            self.monitor.attach(switch)
 
     def finish(self, now_s: float) -> None:
         """Take the end-of-run snapshot (called by the switch's ``run``)."""
         self.metrics.sample(now_s)
+        if self.monitor is not None:
+            self.monitor.finish(now_s)
 
     @property
     def switch(self):

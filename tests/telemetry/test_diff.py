@@ -1,0 +1,212 @@
+"""Run-ledger and ``repro diff`` tests: schema, verdicts, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.errors import ConfigError
+from repro.telemetry.ledger import (
+    DEFAULT_THRESHOLD,
+    LEDGER_SCHEMA,
+    build_ledger,
+    diff_ledgers,
+    load_ledger,
+    write_ledger,
+)
+from repro.telemetry.runner import run_monitor
+
+
+def _ledger(series, label="s", workload="w", attribution=None):
+    """A minimal one-section ledger from {name: (mean, peak)}."""
+    section = {
+        "label": label,
+        "series": {
+            name: {"samples": 3, "mean": mean, "peak": peak, "p99": peak,
+                   "last": mean}
+            for name, (mean, peak) in series.items()
+        },
+    }
+    if attribution is not None:
+        section["attribution"] = attribution
+    return build_ledger(workload=workload, interval_ns=50.0,
+                        sections=[section])
+
+
+class TestLedgerIO:
+    def test_round_trip(self, tmp_path):
+        ledger = _ledger({"a.x": (1.0, 2.0)})
+        path = write_ledger(tmp_path / "l.json", ledger)
+        assert load_ledger(path) == ledger
+        assert ledger["schema"] == LEDGER_SCHEMA
+
+    def test_written_json_is_deterministic(self, tmp_path):
+        ledger = _ledger({"b": (1.0, 1.0), "a": (2.0, 2.0)})
+        first = write_ledger(tmp_path / "1.json", ledger).read_bytes()
+        second = write_ledger(tmp_path / "2.json", ledger).read_bytes()
+        assert first == second
+
+    def test_load_rejects_non_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json {")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_ledger(bad)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "other.json"
+        bad.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ConfigError, match="schema"):
+            load_ledger(bad)
+
+
+class TestVerdicts:
+    def test_self_diff_all_unchanged(self):
+        ledger = _ledger({"a.x": (1.0, 2.0), "a.y": (0.0, 0.0)})
+        diff = diff_ledgers(ledger, ledger)
+        assert not diff.has_regression
+        assert diff.exit_code == 0
+        assert diff.counts() == {"unchanged": 2}
+        assert all(row.delta == 0.0 for row in diff.rows)
+
+    def test_regression_past_threshold(self):
+        base = _ledger({"tm.occupancy": (10.0, 20.0)})
+        new = _ledger({"tm.occupancy": (11.0, 20.0)})
+        diff = diff_ledgers(base, new, threshold=0.05)
+        assert diff.exit_code == 1
+        (row,) = diff.regressions
+        assert row.series == "tm.occupancy"
+        assert row.delta == pytest.approx(0.10)
+
+    def test_improvement_past_threshold(self):
+        base = _ledger({"tm.occupancy": (10.0, 20.0)})
+        new = _ledger({"tm.occupancy": (8.0, 20.0)})
+        diff = diff_ledgers(base, new)
+        assert diff.exit_code == 0
+        assert [row.series for row in diff.improvements] == ["tm.occupancy"]
+
+    def test_within_threshold_is_unchanged(self):
+        base = _ledger({"x": (100.0, 100.0)})
+        new = _ledger({"x": (104.0, 100.0)})
+        diff = diff_ledgers(base, new, threshold=0.05)
+        assert diff.counts() == {"unchanged": 1}
+
+    def test_pressure_appearing_from_zero_regresses(self):
+        base = _ledger({"x": (0.0, 0.0)})
+        new = _ledger({"x": (0.5, 1.0)})
+        diff = diff_ledgers(base, new)
+        assert diff.has_regression
+
+    def test_added_and_removed_are_structural(self):
+        base = _ledger({"x": (1.0, 1.0), "old": (5.0, 5.0)})
+        new = _ledger({"x": (1.0, 1.0), "new": (5.0, 5.0)})
+        diff = diff_ledgers(base, new)
+        verdicts = {row.series: row.verdict for row in diff.rows}
+        assert verdicts == {"x": "unchanged", "old": "removed",
+                            "new": "added"}
+        assert diff.exit_code == 0
+
+    def test_attribution_latency_joins_the_verdict_table(self):
+        attribution = {"packets": 10, "mean_latency_ns": 100.0}
+        worse = {"packets": 10, "mean_latency_ns": 150.0}
+        base = _ledger({"x": (1.0, 1.0)}, attribution=attribution)
+        new = _ledger({"x": (1.0, 1.0)}, attribution=worse)
+        diff = diff_ledgers(base, new)
+        (row,) = diff.regressions
+        assert row.series == "attribution.mean_latency_ns"
+
+    def test_mismatched_sections_noted(self):
+        base = _ledger({"x": (1.0, 1.0)}, label="adcp")
+        new = _ledger({"x": (1.0, 1.0)}, label="rmt")
+        diff = diff_ledgers(base, new)
+        assert not diff.rows
+        assert any("adcp" in note for note in diff.notes)
+        assert any("rmt" in note for note in diff.notes)
+
+    def test_negative_threshold_rejected(self):
+        ledger = _ledger({"x": (1.0, 1.0)})
+        with pytest.raises(ConfigError):
+            diff_ledgers(ledger, ledger, threshold=-0.1)
+
+    def test_default_threshold(self):
+        assert DEFAULT_THRESHOLD == 0.05
+
+
+class TestCLI:
+    def test_monitor_writes_valid_ledger(self, tmp_path, capsys):
+        target = tmp_path / "ledger.json"
+        assert main(["monitor", "recirculate", "--ledger",
+                     str(target)]) == 0
+        ledger = load_ledger(target)
+        assert ledger["workload"] == "recirculate"
+        (section,) = ledger["sections"]
+        assert section["series"]
+        assert section["samples"] > 0
+        out = capsys.readouterr().out
+        assert "monitor workload" in out
+
+    def test_monitor_json_mode(self, tmp_path, capsys):
+        target = tmp_path / "ledger.json"
+        assert main(["--json", "monitor", "recirculate", "--ledger",
+                     str(target)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ledger"]["schema"] == LEDGER_SCHEMA
+
+    def test_self_diff_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "ledger.json"
+        run_monitor("recirculate", ledger_out=target)
+        assert main(["diff", str(target), str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regressed" in out
+        assert "unchanged" in out
+
+    def test_diff_exits_one_on_regression(self, tmp_path, capsys):
+        base = write_ledger(tmp_path / "base.json",
+                            _ledger({"x": (10.0, 10.0)}))
+        new = write_ledger(tmp_path / "new.json",
+                           _ledger({"x": (20.0, 20.0)}))
+        assert main(["diff", str(base), str(new)]) == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_diff_threshold_flag_is_percent(self, tmp_path, capsys):
+        base = write_ledger(tmp_path / "base.json",
+                            _ledger({"x": (10.0, 10.0)}))
+        new = write_ledger(tmp_path / "new.json",
+                           _ledger({"x": (12.0, 12.0)}))
+        assert main(["diff", str(base), str(new)]) == 1
+        capsys.readouterr()
+        assert main(["diff", str(base), str(new),
+                     "--threshold", "25"]) == 0
+        capsys.readouterr()
+
+    def test_diff_json_mode(self, tmp_path, capsys):
+        base = write_ledger(tmp_path / "l.json", _ledger({"x": (1.0, 1.0)}))
+        assert main(["--json", "diff", str(base), str(base)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["has_regression"] is False
+
+    def test_diff_wants_two_paths(self, tmp_path, capsys):
+        base = write_ledger(tmp_path / "l.json", _ledger({"x": (1.0, 1.0)}))
+        assert main(["diff", str(base)]) == 2
+        assert "two ledger paths" in capsys.readouterr().err
+
+    def test_monitor_bad_interval(self, capsys):
+        assert main(["monitor", "recirculate", "--interval", "soon"]) == 2
+        assert "--interval" in capsys.readouterr().err
+
+    def test_unknown_monitor_workload(self, capsys):
+        assert main(["monitor", "bogus"]) == 2
+        assert "unknown monitor workload" in capsys.readouterr().err
+
+    def test_help_lists_every_subcommand(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for name in ("trace", "profile", "monitor", "diff"):
+            assert f"python -m repro {name} " in out
+
+    def test_unknown_subcommand_hints_registry(self, capsys):
+        assert main(["frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown artifact" in err
+        assert "subcommands: trace, profile, monitor, diff" in err
