@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 
 _records: list[dict] = []
@@ -44,8 +45,25 @@ def records() -> list[dict]:
 
 
 def write_artifact(path: str | Path) -> Path:
-    """Write every collected record as one JSON document."""
+    """Write every collected record as one JSON document.
+
+    The write is atomic (temp file in the target directory, then
+    ``os.replace``) so parallel benchmark workers and campaign cells
+    rewriting the same artifact can never interleave partial JSON.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(json.dumps({"reports": _records}, indent=1))
+    fd, tmp = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps({"reports": _records}, indent=1))
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return target

@@ -1,0 +1,112 @@
+"""Experiment T3 — campaign engine: worker scaling and determinism.
+
+Runs the builtin ``design-space`` campaign (2x2x2 grid, 8 real ADCP
+cells) once serially and once on four workers, with fresh output and
+cache directories for each run, then asserts the two aggregate reports
+are byte-identical — the engine's core contract.  Wall-clock numbers
+land in ``BENCH_PROFILE.json`` under ``campaign_scaling``.
+
+The ISSUE's >= 1.8x speedup target only applies on machines with at
+least four cores; on smaller runners (this container reports one) the
+numbers are recorded and a sub-target speedup prints a non-blocking
+``::warning::`` annotation rather than failing — same policy as the T2
+throughput trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchlib import report
+from repro.campaign import resolve_spec, run_campaign
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PROFILE_PATH = REPO_ROOT / "BENCH_PROFILE.json"
+
+#: Minimum parallel speedup expected at 4 workers on >= MIN_CORES cores.
+SPEEDUP_TARGET = 1.8
+MIN_CORES = 4
+PARALLEL_WORKERS = 4
+
+
+def _run(spec, tmp_path, run_id, workers):
+    start = time.perf_counter()
+    run = run_campaign(
+        spec,
+        workers=workers,
+        out_dir=tmp_path / f"out{run_id}",
+        cache_dir=tmp_path / f"cache{run_id}",
+    )
+    wall_s = time.perf_counter() - start
+    assert run.exit_code == 0, [o.error for o in run.failed]
+    return run, wall_s
+
+
+def test_campaign_scaling(tmp_path):
+    spec = resolve_spec("design-space")
+    cores = os.cpu_count() or 1
+
+    serial, serial_s = _run(spec, tmp_path, "serial", workers=1)
+    parallel, parallel_s = _run(
+        spec, tmp_path, "parallel", workers=PARALLEL_WORKERS
+    )
+
+    serial_bytes = serial.report_path.read_bytes()
+    parallel_bytes = parallel.report_path.read_bytes()
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+
+    warnings = []
+    if cores >= MIN_CORES and speedup < SPEEDUP_TARGET:
+        warnings.append(
+            f"::warning file=benchmarks/test_campaign_scaling.py::"
+            f"campaign speedup {speedup:.2f}x at {PARALLEL_WORKERS} "
+            f"workers on {cores} cores is below the {SPEEDUP_TARGET}x "
+            f"target"
+        )
+
+    measured = {
+        "campaign": spec.name,
+        "cells": len(spec.cells) or len(spec.expand()),
+        "workers": PARALLEL_WORKERS,
+        "cores": cores,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": speedup,
+        "report_bytes": len(serial_bytes),
+        "byte_identical": serial_bytes == parallel_bytes,
+        "speedup_target": SPEEDUP_TARGET,
+        "target_applies": cores >= MIN_CORES,
+    }
+    report(
+        "T3 — campaign worker scaling (design-space, 8 ADCP cells)",
+        [
+            f"serial (1 worker)  : {serial_s:6.2f} s",
+            f"parallel ({PARALLEL_WORKERS} workers): {parallel_s:6.2f} s "
+            f"({speedup:.2f}x, {cores} core(s) available)",
+            f"aggregate reports byte-identical: "
+            f"{measured['byte_identical']}",
+        ]
+        + warnings,
+        data={"campaign_scaling": measured, "warnings": warnings},
+    )
+    for line in warnings:
+        print(line)
+
+    try:
+        profile = json.loads(PROFILE_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        profile = {}
+    profile["campaign_scaling"] = measured
+    PROFILE_PATH.write_text(json.dumps(profile, indent=1))
+
+    # Hard gates: determinism always holds; the speedup target is only
+    # enforced where the ISSUE scopes it (>= MIN_CORES cores).
+    assert serial_bytes == parallel_bytes
+    assert len(serial.report["sections"]) == 8
+    if cores >= MIN_CORES:
+        # Warn (above) rather than fail on shared CI noise, but a
+        # parallel run slower than serial on real cores is a bug.
+        assert speedup > 1.0

@@ -11,6 +11,9 @@ Also hosts the telemetry tooling:
   the simulation clock and writes a run ledger.
 - ``python -m repro diff <base> <new>`` compares two run ledgers and
   exits non-zero on regression.
+- ``python -m repro campaign <spec>`` expands a declarative sweep into
+  cells, runs them on a worker pool with caching and a resumable
+  journal, and writes one diffable aggregate report.
 
 Subcommands live in the :data:`_SUBCOMMANDS` registry; usage text,
 ``--help``, and unknown-subcommand errors are all generated from it, so
@@ -69,16 +72,32 @@ def _print_run(run, json_mode: bool) -> None:
             print(line)
 
 
+def _parse_seed(options: dict[str, str]) -> int | None:
+    """The shared ``--seed`` option: a non-negative workload seed."""
+    if "seed" not in options:
+        return None
+    try:
+        return int(options["seed"])
+    except ValueError:
+        raise ConfigError(
+            f"--seed must be an integer, got {options['seed']!r}"
+        )
+
+
 def _main_trace(args: list[str], json_mode: bool) -> int:
     from .telemetry.runner import run_trace
 
-    positional, options = _parse_options(args, "trace", {"--out": "out"})
+    positional, options = _parse_options(
+        args, "trace", {"--out": "out", "--seed": "seed"}
+    )
     if len(positional) != 1:
         raise ConfigError(
             "trace takes exactly one workload name; "
             "see python -m repro --help"
         )
-    run = run_trace(positional[0], out=options.get("out"))
+    run = run_trace(
+        positional[0], out=options.get("out"), seed=_parse_seed(options)
+    )
     _print_run(run, json_mode)
     return 0
 
@@ -87,14 +106,18 @@ def _main_profile(args: list[str], json_mode: bool) -> int:
     from .telemetry.runner import run_profile
 
     positional, options = _parse_options(
-        args, "profile", {"--chrome": "chrome"}
+        args, "profile", {"--chrome": "chrome", "--seed": "seed"}
     )
     if len(positional) != 1:
         raise ConfigError(
             "profile takes exactly one workload name; "
             "see python -m repro --help"
         )
-    run = run_profile(positional[0], chrome_out=options.get("chrome"))
+    run = run_profile(
+        positional[0],
+        chrome_out=options.get("chrome"),
+        seed=_parse_seed(options),
+    )
     _print_run(run, json_mode)
     return 0
 
@@ -110,6 +133,7 @@ def _main_monitor(args: list[str], json_mode: bool) -> int:
             "--csv": "csv",
             "--chrome": "chrome",
             "--ledger": "ledger",
+            "--seed": "seed",
         },
     )
     if len(positional) != 1:
@@ -132,6 +156,7 @@ def _main_monitor(args: list[str], json_mode: bool) -> int:
         ledger_out=options.get("ledger"),
         csv_out=options.get("csv"),
         chrome_out=options.get("chrome"),
+        seed=_parse_seed(options),
     )
     _print_run(run, json_mode)
     return 0
@@ -174,23 +199,158 @@ def _main_diff(args: list[str], json_mode: bool) -> int:
     return diff.exit_code
 
 
+def _main_campaign(args: list[str], json_mode: bool) -> int:
+    from .campaign import resolve_spec, run_campaign
+    from .campaign.pool import (
+        DEFAULT_MAX_RETRIES,
+        DEFAULT_TIMEOUT_S,
+    )
+
+    # campaign takes repeated --axis and boolean flags, which the shared
+    # single-value parser doesn't model; parse by hand, same error style.
+    positional: list[str] = []
+    options: dict[str, str] = {}
+    axes: dict[str, list] = {}
+    resume = False
+    use_cache = True
+    value_options = {
+        "--workers": "workers",
+        "--out": "out",
+        "--cache-dir": "cache_dir",
+        "--timeout": "timeout",
+        "--retries": "retries",
+    }
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--resume":
+            resume = True
+            i += 1
+        elif arg == "--no-cache":
+            use_cache = False
+            i += 1
+        elif arg == "--axis":
+            if i + 1 >= len(args):
+                raise ConfigError("--axis requires name=v1,v2,...")
+            axis, values = _parse_axis_override(args[i + 1])
+            axes[axis] = values
+            i += 2
+        elif arg in value_options:
+            if i + 1 >= len(args):
+                raise ConfigError(f"{arg} requires a value")
+            options[value_options[arg]] = args[i + 1]
+            i += 2
+        elif arg.startswith("-"):
+            raise ConfigError(f"unknown campaign option {arg!r}")
+        else:
+            positional.append(arg)
+            i += 1
+    if len(positional) != 1:
+        raise ConfigError(
+            "campaign takes exactly one spec (a builtin name or a "
+            ".toml/.json path); see python -m repro --help"
+        )
+
+    def _int_option(key: str, default: int, minimum: int) -> int:
+        if key not in options:
+            return default
+        try:
+            value = int(options[key])
+        except ValueError:
+            raise ConfigError(
+                f"--{key} must be an integer, got {options[key]!r}"
+            )
+        if value < minimum:
+            raise ConfigError(f"--{key} must be >= {minimum}")
+        return value
+
+    timeout_s: float | None = DEFAULT_TIMEOUT_S
+    if "timeout" in options:
+        try:
+            timeout_s = float(options["timeout"])
+        except ValueError:
+            raise ConfigError(
+                f"--timeout must be a number of seconds, "
+                f"got {options['timeout']!r}"
+            )
+        if timeout_s <= 0:
+            timeout_s = None  # 0 or negative disables the timeout
+
+    spec = resolve_spec(positional[0]).restrict_axes(axes)
+    run = run_campaign(
+        spec,
+        workers=_int_option("workers", 1, 1),
+        resume=resume,
+        out_dir=options.get("out"),
+        cache_dir=options.get("cache_dir"),
+        use_cache=use_cache,
+        timeout_s=timeout_s,
+        max_retries=_int_option("retries", DEFAULT_MAX_RETRIES, 0),
+        progress=lambda message: print(message, file=sys.stderr, flush=True),
+    )
+    _print_run(run, json_mode)
+    return run.exit_code
+
+
+def _parse_axis_override(text: str) -> tuple[str, list]:
+    """Parse ``name=v1,v2`` into an axis override, coercing scalars."""
+    if "=" not in text:
+        raise ConfigError(
+            f"--axis expects name=v1,v2,..., got {text!r}"
+        )
+    axis, _, raw = text.partition("=")
+    if not axis or not raw:
+        raise ConfigError(
+            f"--axis expects name=v1,v2,..., got {text!r}"
+        )
+    values: list = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token in ("true", "false"):
+            values.append(token == "true")
+            continue
+        try:
+            values.append(int(token))
+            continue
+        except ValueError:
+            pass
+        try:
+            values.append(float(token))
+            continue
+        except ValueError:
+            pass
+        values.append(token)
+    if not values:
+        raise ConfigError(f"--axis {axis} needs at least one value")
+    return axis, values
+
+
 #: The single source of truth for subcommands: usage text, ``--help``,
 #: dispatch, and unknown-subcommand hints all derive from this table.
 _SUBCOMMANDS: dict[str, _Subcommand] = {
     "trace": _Subcommand(
-        "trace <workload> [--out PATH] [--json]", _main_trace
+        "trace <workload> [--out PATH] [--seed N] [--json]", _main_trace
     ),
     "profile": _Subcommand(
-        "profile <workload> [--chrome PATH] [--json]", _main_profile
+        "profile <workload> [--chrome PATH] [--seed N] [--json]",
+        _main_profile,
     ),
     "monitor": _Subcommand(
         "monitor <workload> [--interval NS] [--ledger PATH] "
-        "[--csv PATH] [--chrome PATH] [--json]",
+        "[--csv PATH] [--chrome PATH] [--seed N] [--json]",
         _main_monitor,
     ),
     "diff": _Subcommand(
         "diff <base_ledger> <new_ledger> [--threshold PCT] [--json]",
         _main_diff,
+    ),
+    "campaign": _Subcommand(
+        "campaign <spec.toml|spec.json|builtin> [--workers N] "
+        "[--resume] [--out DIR] [--axis name=v1,v2] [--timeout S] "
+        "[--retries N] [--cache-dir DIR] [--no-cache] [--json]",
+        _main_campaign,
     ),
 }
 
@@ -213,6 +373,12 @@ def _usage_lines() -> list[str]:
     lines.append(
         "diff compares two run ledgers written by monitor; it exits 1 "
         "when any series regressed past the threshold (default 5%)"
+    )
+    from .campaign.spec import BUILTIN_CAMPAIGNS
+
+    lines.append(
+        f"campaign builtins: {', '.join(sorted(BUILTIN_CAMPAIGNS))}; "
+        f"exit codes: 0 ok, 1 cell failure/interrupt, 2 bad spec"
     )
     return lines
 

@@ -1,0 +1,46 @@
+"""Campaign engine: declarative sweeps, parallel workers, cached cells.
+
+The orchestration layer every experiment runs on: a campaign spec
+(TOML/JSON or builtin) expands into deterministic cells, a process pool
+executes them with retry and timeout fault handling, a
+content-addressed cache reuses results across runs, a JSONL journal
+makes interrupted campaigns resumable, and the aggregate report is a
+run ledger ``repro diff`` can regression-check.
+
+See ``docs/CAMPAIGNS.md`` for the spec format and semantics.
+"""
+
+from .cache import ResultCache, source_digest
+from .cells import TARGETS, run_cell
+from .journal import Journal
+from .pool import Job, JobResult, WorkerPool
+from .runner import CampaignRun, run_campaign
+from .spec import (
+    BUILTIN_CAMPAIGNS,
+    CampaignSpec,
+    Cell,
+    config_digest,
+    load_spec,
+    resolve_spec,
+    spec_from_document,
+)
+
+__all__ = [
+    "BUILTIN_CAMPAIGNS",
+    "CampaignRun",
+    "CampaignSpec",
+    "Cell",
+    "Job",
+    "JobResult",
+    "Journal",
+    "ResultCache",
+    "TARGETS",
+    "WorkerPool",
+    "config_digest",
+    "load_spec",
+    "resolve_spec",
+    "run_campaign",
+    "run_cell",
+    "source_digest",
+    "spec_from_document",
+]

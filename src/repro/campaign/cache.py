@@ -1,0 +1,132 @@
+"""Content-addressed result cache for campaign cells.
+
+A cell's result is a pure function of (its config digest, the simulator
+source tree), so the cache key is exactly that pair: entries live at
+``.repro-cache/<source_digest>/<config_digest>.json``.  Editing any
+git-tracked file under ``src/`` changes the source digest and silently
+invalidates every entry — no staleness heuristics, no TTLs.
+
+Writes are atomic (temp file in the target directory, then
+``os.replace``) so concurrent campaigns — or a campaign killed
+mid-write — can never leave a partial JSON behind; a corrupt entry, if
+one appears through external interference, reads as a miss and is
+dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from pathlib import Path
+
+from ..errors import ConfigError
+from ..ioutil import atomic_write_text
+
+#: Default cache root, relative to the working directory.
+CACHE_ROOT = ".repro-cache"
+
+#: Cache entry format identifier.
+ENTRY_SCHEMA = "repro.campaign_cache/1"
+
+
+def _repo_root() -> Path:
+    """The repository root this package was imported from."""
+    return Path(__file__).resolve().parents[3]
+
+
+def source_digest(root: str | Path | None = None) -> str:
+    """Digest of the git-tracked simulator source under ``src/``.
+
+    Prefers ``git ls-files -s`` (mode + blob SHA per file — cheap and
+    already content-addressed); falls back to hashing file contents when
+    git is unavailable, and to ``"unknown"`` as a last resort so the
+    cache degrades to per-source-state-unsafe but still functional
+    behavior only when there is no way to know better.
+    """
+    base = Path(root) if root is not None else _repo_root()
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files", "-s", "--", "src"],
+            cwd=base,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        if proc.returncode == 0 and proc.stdout.strip():
+            return hashlib.sha256(
+                proc.stdout.encode("utf-8")
+            ).hexdigest()[:16]
+    except (OSError, subprocess.SubprocessError):
+        pass
+    src = base / "src"
+    if src.is_dir():
+        digest = hashlib.sha256()
+        for path in sorted(src.rglob("*.py")):
+            digest.update(str(path.relative_to(base)).encode("utf-8"))
+            digest.update(path.read_bytes())
+        return digest.hexdigest()[:16]
+    return "unknown"
+
+
+class ResultCache:
+    """Cell results keyed by (source digest, config digest).
+
+    Hit/miss counters accumulate over the cache's lifetime so campaign
+    reports can state exactly how much work was reused.
+    """
+
+    def __init__(
+        self,
+        root: str | Path = CACHE_ROOT,
+        source: str | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.source = source if source is not None else source_digest()
+        if not self.source:
+            raise ConfigError("cache source digest must be non-empty")
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / self.source / f"{digest}.json"
+
+    def get(self, digest: str) -> dict | None:
+        """The cached result for ``digest``, or None (counted) on miss."""
+        path = self.path_for(digest)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            # Corrupt or unreadable: treat as a miss and drop the entry
+            # so the rerun can repopulate it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != ENTRY_SCHEMA
+            or "result" not in entry
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(self, digest: str, result: dict) -> Path:
+        """Store ``result`` atomically; returns the entry path."""
+        entry = {
+            "schema": ENTRY_SCHEMA,
+            "config_digest": digest,
+            "source_digest": self.source,
+            "result": result,
+        }
+        return atomic_write_text(
+            self.path_for(digest),
+            json.dumps(entry, indent=1, sort_keys=True) + "\n",
+        )

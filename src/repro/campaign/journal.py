@@ -1,0 +1,92 @@
+"""The campaign journal: an append-only JSONL record of progress.
+
+One line per event, flushed as it happens, so a campaign killed at any
+instant leaves a readable prefix.  ``--resume`` replays the journal to
+find cells that already completed (and whose results the cache still
+holds) and reruns only the remainder.
+
+The journal is *per campaign output directory* and guarded by the spec
+digest: resuming with an edited spec is an error, not a silent partial
+rerun of mismatched cells.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from ..errors import ConfigError
+
+#: Journal format identifier (the ``campaign_start`` record carries it).
+JOURNAL_SCHEMA = "repro.campaign_journal/1"
+
+
+class Journal:
+    """Append-only JSONL event log for one campaign directory."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def append(self, record: dict) -> None:
+        """Append one event (a ``ts`` wall-clock stamp is added)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(
+            {**record, "ts": round(time.time(), 3)}, sort_keys=True
+        )
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def read(self) -> list[dict]:
+        """Every parseable record, tolerating a torn final line."""
+        if not self.path.exists():
+            return []
+        records: list[dict] = []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail write from a killed process
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def reset(self) -> None:
+        """Truncate the journal (a fresh, non-resumed campaign run)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+
+    # --- replay helpers ---------------------------------------------------------------
+
+    def start_record(self) -> dict | None:
+        for record in self.read():
+            if record.get("event") == "campaign_start":
+                return record
+        return None
+
+    def completed_digests(self) -> set[str]:
+        """Digests of cells that reached ``cell_done`` in any prior run."""
+        return {
+            record["digest"]
+            for record in self.read()
+            if record.get("event") == "cell_done" and "digest" in record
+        }
+
+    def check_resumable(self, spec_digest: str) -> None:
+        """Refuse to resume a journal written by a different spec."""
+        start = self.start_record()
+        if start is None:
+            raise ConfigError(
+                f"cannot --resume: {self.path} has no campaign_start "
+                f"record (was a campaign ever started here?)"
+            )
+        if start.get("spec_digest") != spec_digest:
+            raise ConfigError(
+                f"cannot --resume: the spec changed since this campaign "
+                f"started (journal {start.get('spec_digest')!r} vs "
+                f"current {spec_digest!r}); rerun without --resume"
+            )

@@ -1,0 +1,39 @@
+"""Filesystem helpers shared across subsystems.
+
+One invariant lives here: artifact writes are **atomic**.  Run ledgers,
+campaign cache entries, and benchmark artifacts are all written through
+:func:`atomic_write_text`, so a reader never observes a torn file and
+parallel writers resolve to one complete version or the other — the
+property the campaign engine's parallel cells depend on.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` via temp-file-then-``os.replace``.
+
+    The temp file is created in the destination directory (which is
+    created if missing) so the final rename is a same-filesystem atomic
+    operation; on any failure the temp file is removed.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return target

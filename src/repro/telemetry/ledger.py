@@ -77,11 +77,16 @@ def build_ledger(
 
 
 def write_ledger(path: str | Path, ledger: dict) -> Path:
-    """Write a ledger as deterministic JSON; returns the path written."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(json.dumps(ledger, indent=1, sort_keys=True) + "\n")
-    return target
+    """Write a ledger as deterministic JSON; returns the path written.
+
+    The write is atomic (temp-then-rename) so parallel campaign cells
+    and a reader diffing the ledger can never observe a partial file.
+    """
+    from ..ioutil import atomic_write_text
+
+    return atomic_write_text(
+        path, json.dumps(ledger, indent=1, sort_keys=True) + "\n"
+    )
 
 
 def load_ledger(path: str | Path) -> dict:

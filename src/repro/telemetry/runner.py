@@ -100,10 +100,13 @@ def _make_telemetry() -> Telemetry:
 #
 # Each workload factory accepts an optional ``make_telemetry`` so callers
 # can swap the hub configuration (``run_monitor`` passes one carrying a
-# ResourceMonitor) without the factories knowing what changed.
+# ResourceMonitor) without the factories knowing what changed, plus an
+# explicit ``seed``: all randomness flows through ``sim/rng`` from that
+# one number (workloads with no stochastic generator accept it for
+# interface uniformity — campaign sweeps pass seeds unconditionally).
 
 
-def _trace_quickstart(make_telemetry=None) -> list[TraceSection]:
+def _trace_quickstart(make_telemetry=None, seed=None) -> list[TraceSection]:
     """The quickstart coflow on both architectures (examples/quickstart.py)."""
     from ..adcp.config import ADCPConfig
     from ..adcp.switch import ADCPSwitch
@@ -137,7 +140,7 @@ def _trace_quickstart(make_telemetry=None) -> list[TraceSection]:
     return sections
 
 
-def _trace_recirculate(make_telemetry=None) -> list[TraceSection]:
+def _trace_recirculate(make_telemetry=None, seed=None) -> list[TraceSection]:
     """RMT hosting state by recirculation: every foreign-pipeline packet
     pays a loopback pass (the §2 bandwidth tax, on the timeline)."""
     from ..apps import ParameterServerApp
@@ -156,14 +159,20 @@ def _trace_recirculate(make_telemetry=None) -> list[TraceSection]:
     return [TraceSection("rmt-recirculate", telemetry, result)]
 
 
-def _trace_mergejoin(make_telemetry=None) -> list[TraceSection]:
+#: Pinned relation seed for the mergejoin reference workload; an
+#: explicit ``seed`` overrides it (the default keeps committed baselines
+#: byte-stable).
+_MERGEJOIN_SEED = 7
+
+
+def _trace_mergejoin(make_telemetry=None, seed=None) -> list[TraceSection]:
     """TM1's order-preserving merge joining two sorted relations."""
     from ..adcp.config import ADCPConfig
     from ..adcp.switch import ADCPSwitch
     from ..apps import SortMergeJoinApp
     from ..sim.rng import make_rng
 
-    rng = make_rng(7)
+    rng = make_rng(_MERGEJOIN_SEED if seed is None else seed)
 
     def relation(rows: int, key_space: int) -> list[tuple[int, int]]:
         keys = rng.integers(0, key_space, size=rows)
@@ -185,7 +194,7 @@ def _trace_mergejoin(make_telemetry=None) -> list[TraceSection]:
     return [TraceSection("adcp-mergejoin", telemetry, result)]
 
 
-def _trace_mltrain(make_telemetry=None) -> list[TraceSection]:
+def _trace_mltrain(make_telemetry=None, seed=None) -> list[TraceSection]:
     """Table 1's ML-training row: parameter aggregation on both targets.
 
     The exact benchmark pair (``benchmarks/test_table1_applications.py``):
@@ -298,7 +307,9 @@ class ProfileRun:
 
 
 def run_profile(
-    workload: str, chrome_out: str | Path | None = None
+    workload: str,
+    chrome_out: str | Path | None = None,
+    seed: int | None = None,
 ) -> ProfileRun:
     """Run ``workload`` traced, then attribute every packet's latency.
 
@@ -318,7 +329,7 @@ def run_profile(
             f"{', '.join(sorted(TRACEABLE))}"
         )
     sections = []
-    for trace_section in TRACEABLE[workload]():
+    for trace_section in TRACEABLE[workload](seed=seed):
         profile = _profile_run(
             trace_section.telemetry.trace, label=trace_section.label
         )
@@ -384,7 +395,11 @@ def run_profile(
     return run
 
 
-def run_trace(workload: str, out: str | Path | None = None) -> TraceRun:
+def run_trace(
+    workload: str,
+    out: str | Path | None = None,
+    seed: int | None = None,
+) -> TraceRun:
     """Run ``workload`` with telemetry on and export its timeline.
 
     Writes a Chrome trace-event JSON (default ``trace_<workload>.json`` in
@@ -397,7 +412,7 @@ def run_trace(workload: str, out: str | Path | None = None) -> TraceRun:
             f"unknown trace workload {workload!r}; choose from "
             f"{', '.join(sorted(TRACEABLE))}"
         )
-    sections = TRACEABLE[workload]()
+    sections = TRACEABLE[workload](seed=seed)
 
     errors: list[str] = []
     for section in sections:
@@ -493,6 +508,7 @@ def run_monitor(
     ledger_out: str | Path | None = None,
     csv_out: str | Path | None = None,
     chrome_out: str | Path | None = None,
+    seed: int | None = None,
 ) -> MonitorRun:
     """Run ``workload`` with a resource monitor sampling every
     ``interval_ns`` simulated nanoseconds, and write the run ledger.
@@ -527,7 +543,9 @@ def run_monitor(
         )
 
     sections: list[MonitorSection] = []
-    for trace_section in TRACEABLE[workload](make_telemetry=make_telemetry):
+    for trace_section in TRACEABLE[workload](
+        make_telemetry=make_telemetry, seed=seed
+    ):
         monitor = trace_section.telemetry.monitor
         profile = _profile_run(
             trace_section.telemetry.trace, label=trace_section.label

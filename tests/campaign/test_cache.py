@@ -1,0 +1,65 @@
+"""Result cache: addressing, atomicity, corruption, invalidation."""
+
+from __future__ import annotations
+
+from repro.campaign import ResultCache, source_digest
+
+
+def _cache(tmp_path, source="srcdigest") -> ResultCache:
+    return ResultCache(tmp_path / "cache", source=source)
+
+
+def test_roundtrip_counts_hits_and_misses(tmp_path):
+    cache = _cache(tmp_path)
+    assert cache.get("abc") is None
+    assert (cache.hits, cache.misses) == (0, 1)
+    cache.put("abc", {"schema": "x", "value": 1})
+    assert cache.get("abc") == {"schema": "x", "value": 1}
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_entries_keyed_by_source_and_config_digest(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put("abc", {"value": 1})
+    assert cache.path_for("abc").exists()
+    assert "srcdigest" in str(cache.path_for("abc"))
+    # A different source digest sees a cold cache over the same root.
+    other = _cache(tmp_path, source="othersrc")
+    assert other.get("abc") is None
+
+
+def test_writes_are_atomic_and_leave_no_temp_files(tmp_path):
+    cache = _cache(tmp_path)
+    for i in range(5):
+        cache.put("abc", {"value": i})
+    directory = cache.path_for("abc").parent
+    leftovers = [p for p in directory.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []
+    assert cache.get("abc") == {"value": 4}
+
+
+def test_corrupt_entry_reads_as_miss_and_is_dropped(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put("abc", {"value": 1})
+    cache.path_for("abc").write_text("{ torn json")
+    assert cache.get("abc") is None
+    assert not cache.path_for("abc").exists()
+    # Wrong shape (valid JSON, wrong schema) is also a miss.
+    cache.path_for("def").parent.mkdir(parents=True, exist_ok=True)
+    cache.path_for("def").write_text('{"schema": "other", "x": 1}')
+    assert cache.get("def") is None
+
+
+def test_source_digest_is_stable_and_content_sensitive(tmp_path):
+    # The real repo digest: stable across calls.
+    assert source_digest() == source_digest()
+    # The content-hash fallback (no git): sensitive to edits.
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "m.py").write_text("x = 1\n")
+    before = source_digest(tmp_path)
+    (src / "m.py").write_text("x = 2\n")
+    after = source_digest(tmp_path)
+    assert before != after
+    # No src tree at all degrades to the documented sentinel.
+    assert source_digest(tmp_path / "nowhere") == "unknown"

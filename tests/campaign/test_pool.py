@@ -1,0 +1,126 @@
+"""Worker pool fault handling: crash retry, timeouts, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.pool import Job, WorkerPool
+from repro.errors import ConfigError
+
+
+def _echo_jobs(count: int) -> list[Job]:
+    return [
+        Job(i, "_echo", {"seed": i, "value": i}, label=f"cell{i}")
+        for i in range(count)
+    ]
+
+
+def test_results_ordered_by_index_regardless_of_workers():
+    for workers in (1, 3):
+        outcome = WorkerPool(workers=workers).run(_echo_jobs(5))
+        assert [r.index for r in outcome.results] == list(range(5))
+        assert all(r.status == "ok" for r in outcome.results)
+        assert [
+            r.value["sections"][0]["duration_s"] for r in outcome.results
+        ] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert not outcome.interrupted
+
+
+def test_sigkilled_worker_is_retried_and_succeeds(tmp_path):
+    jobs = [
+        Job(
+            0,
+            "_flaky",
+            {
+                "seed": 0,
+                "sentinel": str(tmp_path / "sentinel"),
+                "mode": "kill-once",
+            },
+        )
+    ]
+    outcome = WorkerPool(workers=1, backoff_s=0.01).run(jobs)
+    (result,) = outcome.results
+    assert result.status == "ok"
+    assert result.attempts == 2  # first attempt SIGKILLed itself
+
+
+def test_deterministic_exception_is_not_retried(tmp_path):
+    jobs = [
+        Job(
+            0,
+            "_flaky",
+            {
+                "seed": 0,
+                "sentinel": str(tmp_path / "sentinel"),
+                "mode": "fail-once",
+            },
+        )
+    ]
+    outcome = WorkerPool(workers=1, backoff_s=0.01).run(jobs)
+    (result,) = outcome.results
+    assert result.status == "failed"
+    assert result.attempts == 1
+    assert "injected failure" in result.error
+
+
+def test_unknown_target_fails_without_retry():
+    outcome = WorkerPool(workers=1).run([Job(0, "no-such", {})])
+    (result,) = outcome.results
+    assert result.status == "failed"
+    assert "unknown cell target" in result.error
+
+
+def test_timeout_kills_and_eventually_fails(tmp_path):
+    jobs = [
+        Job(
+            0,
+            "_flaky",
+            {
+                "seed": 0,
+                "sentinel": str(tmp_path / "sentinel"),
+                "mode": "sleep-always",
+                "sleep_s": 30.0,
+            },
+        )
+    ]
+    outcome = WorkerPool(
+        workers=1, timeout_s=0.2, max_retries=1, backoff_s=0.01
+    ).run(jobs)
+    (result,) = outcome.results
+    assert result.status == "failed"
+    assert result.attempts == 2  # original + one retry, both timed out
+    assert "timeout" in result.error
+
+
+def test_failures_do_not_block_other_cells(tmp_path):
+    jobs = _echo_jobs(3) + [
+        Job(
+            3,
+            "_flaky",
+            {
+                "seed": 3,
+                "sentinel": str(tmp_path / "sentinel"),
+                "mode": "fail-once",
+            },
+        )
+    ]
+    outcome = WorkerPool(workers=2, backoff_s=0.01).run(jobs)
+    statuses = {r.index: r.status for r in outcome.results}
+    assert statuses == {0: "ok", 1: "ok", 2: "ok", 3: "failed"}
+
+
+def test_pool_parameter_validation():
+    with pytest.raises(ConfigError):
+        WorkerPool(workers=0)
+    with pytest.raises(ConfigError):
+        WorkerPool(timeout_s=0)
+    with pytest.raises(ConfigError):
+        WorkerPool(max_retries=-1)
+
+
+def test_on_done_fires_once_per_job():
+    seen: list[int] = []
+    WorkerPool(workers=2).run(
+        _echo_jobs(4), on_done=lambda job, result: seen.append(job.index)
+    )
+    assert sorted(seen) == [0, 1, 2, 3]
