@@ -142,6 +142,92 @@ def test_perf_trajectory(bench_rmt_config, bench_adcp_config):
     assert measured["adcp"]["events_per_s"] > 0
 
 
+def _measure_fabric(target: str) -> dict:
+    """Best-of-N wall clock for one fabric run (leaf-spine, all-reduce)."""
+    from repro.fabric import run_fabric
+
+    best_s = float("inf")
+    run = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run = run_fabric(
+            "leaf-spine-2x2",
+            "fabric-allreduce",
+            target=target,
+            make_telemetry=lambda: None,
+        )
+        best_s = min(best_s, time.perf_counter() - start)
+    packets = sum(
+        len(s.result.delivered) + s.result.consumed + len(s.result.dropped)
+        for s in run.sections
+    )
+    return {
+        "wall_s": best_s,
+        "packets": packets,
+        "events": run.events,
+        "packets_per_s": packets / best_s,
+        "events_per_s": run.events / best_s,
+        "sim_duration_s": run.duration_s,
+    }
+
+
+def test_fabric_throughput_trajectory():
+    """Fabric-scale simulator throughput: 4 switches on one kernel.
+
+    Same trajectory discipline as the single-switch rows — measured
+    pkt/s and evt/s folded into BENCH_PROFILE.json under ``fabric``,
+    non-blocking warning on a >20% drop vs the committed copy.
+    """
+    try:
+        profile = json.loads(PROFILE_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        profile = {}
+    baseline = profile.get("fabric", {})
+
+    measured = {
+        "rmt": _measure_fabric("rmt"),
+        "adcp": _measure_fabric("adcp"),
+    }
+
+    rows = []
+    warnings = []
+    for label, row in measured.items():
+        rows.append(
+            f"{label:>5}: {row['wall_s'] * 1e3:7.2f} ms wall, "
+            f"{row['packets_per_s'] / 1e3:8.1f} kpkt/s, "
+            f"{row['events_per_s'] / 1e3:8.1f} kevt/s"
+        )
+        old = baseline.get(label)
+        if old and old.get("packets_per_s"):
+            ratio = row["packets_per_s"] / old["packets_per_s"]
+            rows.append(
+                f"       vs committed baseline: {ratio - 1.0:+.1%} pkt/s"
+            )
+            if ratio < 1.0 - REGRESSION_THRESHOLD:
+                warnings.append(
+                    f"::warning file=benchmarks/test_perf_trajectory.py::"
+                    f"fabric {label} throughput dropped {1.0 - ratio:.0%} "
+                    f"vs the committed BENCH_PROFILE.json baseline "
+                    f"({row['packets_per_s']:.0f} vs "
+                    f"{old['packets_per_s']:.0f} pkt/s)"
+                )
+
+    report(
+        "T2c — fabric throughput trajectory (leaf-spine-2x2 all-reduce)",
+        rows + warnings,
+        data={"fabric": measured, "warnings": warnings},
+    )
+    for line in warnings:
+        print(line)
+
+    profile["fabric"] = measured
+    PROFILE_PATH.write_text(json.dumps(profile, indent=1))
+
+    for row in measured.values():
+        assert row["packets"] > 0
+        assert row["events_per_s"] > 0
+
+
 def _monitored_hub():
     """A hub carrying only the resource monitor: tracing disabled so the
     measurement isolates clock-grid sampling from event recording."""

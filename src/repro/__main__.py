@@ -9,6 +9,9 @@ Also hosts the telemetry tooling:
   latency and reports bottlenecks.
 - ``python -m repro monitor <workload>`` samples resource time-series on
   the simulation clock and writes a run ledger.
+- ``python -m repro fabric <topology> <workload>`` simulates a
+  multi-switch fabric (leaf-spine or fat-tree) end to end and writes a
+  diffable run ledger.
 - ``python -m repro diff <base> <new>`` compares two run ledgers and
   exits non-zero on regression.
 - ``python -m repro campaign <spec>`` expands a declarative sweep into
@@ -159,6 +162,71 @@ def _main_monitor(args: list[str], json_mode: bool) -> int:
         seed=_parse_seed(options),
     )
     _print_run(run, json_mode)
+    return 0
+
+
+def _main_fabric(args: list[str], json_mode: bool) -> int:
+    from .fabric import run_fabric
+    from .telemetry.ledger import write_ledger
+
+    positional, options = _parse_options(
+        args,
+        "fabric",
+        {
+            "--target": "target",
+            "--placement": "placement",
+            "--routing": "routing",
+            "--coflows": "coflows",
+            "--vector": "vector",
+            "--load": "load",
+            "--ledger": "ledger",
+            "--seed": "seed",
+        },
+    )
+    if len(positional) != 2:
+        raise ConfigError(
+            "fabric takes a topology spec and a workload name "
+            "(e.g. fabric leaf-spine-2x2 fabric-allreduce); "
+            "see python -m repro --help"
+        )
+
+    def _int_option(key: str, default: int) -> int:
+        if key not in options:
+            return default
+        try:
+            return int(options[key])
+        except ValueError:
+            raise ConfigError(
+                f"--{key} must be an integer, got {options[key]!r}"
+            )
+
+    load = 1.0
+    if "load" in options:
+        try:
+            load = float(options["load"])
+        except ValueError:
+            raise ConfigError(
+                f"--load must be a number in (0, 1], got {options['load']!r}"
+            )
+    run = run_fabric(
+        positional[0],
+        positional[1],
+        target=options.get("target", "adcp"),
+        placement=options.get("placement", "ingress"),
+        routing=options.get("routing", "ecmp"),
+        seed=_parse_seed(options) or 0,
+        coflows=_int_option("coflows", 2),
+        vector=_int_option("vector", 64),
+        load=load,
+    )
+    if "ledger" in options:
+        path = write_ledger(options["ledger"], run.ledger())
+        print(f"ledger: {path}", file=sys.stderr)
+    if json_mode:
+        print(json.dumps(run.summary(), indent=1))
+    else:
+        for line in run.lines():
+            print(line)
     return 0
 
 
@@ -342,6 +410,13 @@ _SUBCOMMANDS: dict[str, _Subcommand] = {
         "[--csv PATH] [--chrome PATH] [--seed N] [--json]",
         _main_monitor,
     ),
+    "fabric": _Subcommand(
+        "fabric <topology> <workload> [--target rmt|adcp] "
+        "[--placement ingress|central|hash] [--routing ecmp|flowlet] "
+        "[--coflows N] [--vector N] [--load F] [--ledger PATH] "
+        "[--seed N] [--json]",
+        _main_fabric,
+    ),
     "diff": _Subcommand(
         "diff <base_ledger> <new_ledger> [--threshold PCT] [--json]",
         _main_diff,
@@ -369,6 +444,12 @@ def _usage_lines() -> list[str]:
     )
     lines.append(
         f"trace/profile/monitor workloads: {', '.join(sorted(TRACEABLE))}"
+    )
+    from .fabric.workloads import FABRIC_WORKLOADS
+
+    lines.append(
+        f"fabric workloads: {', '.join(FABRIC_WORKLOADS)} on "
+        f"leaf-spine-LxS[xH] or fat-tree-kK topologies"
     )
     lines.append(
         "diff compares two run ledgers written by monitor; it exits 1 "

@@ -43,6 +43,8 @@ class ADCPSwitch(Component):
         placement: PlacementPolicy | None = None,
         ordered_flows: list[int] | None = None,
         telemetry=None,
+        sim: Simulator | None = None,
+        name: str = "adcp",
     ) -> None:
         """Build an ADCP switch.
 
@@ -55,7 +57,7 @@ class ADCPSwitch(Component):
         ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is opt-in;
         when omitted, instrumentation reduces to per-site None checks.
         """
-        super().__init__("adcp")
+        super().__init__(name)
         self.config = config
         self.app = app
         self.telemetry = telemetry
@@ -144,8 +146,13 @@ class ADCPSwitch(Component):
         self._merge = (
             KWayMergeScheduler(list(ordered_flows)) if ordered_flows else None
         )
-        self._sim = Simulator()
+        self._sim = sim if sim is not None else Simulator()
         self._result = SwitchRunResult()
+        self.port_sinks = {}
+        """Optional per-port delivery hooks (fabric links); see RMTSwitch."""
+        self.route_resolver = None
+        """Optional ``fn(packet) -> port | None`` consulted for unrouted
+        unicast packets before TM2 admission (fabric next-hop selection)."""
         if telemetry is not None:
             telemetry.bind(self)
             # A recorder disabled at construction skips trace wiring
@@ -243,10 +250,20 @@ class ADCPSwitch(Component):
         for time, packet in timed_packets:
             self._schedule_ingress(packet, time)
         self._sim.run(until=until)
-        self._result.duration_s = self._sim.now
+        return self.finalize()
+
+    def inject(self, packet: Packet, time: float) -> None:
+        """Schedule one packet arrival without draining the event queue
+        (fabric entry point; see :meth:`RMTSwitch.inject`)."""
+        self._schedule_ingress(packet, time)
+
+    def finalize(self, now_s: float | None = None) -> SwitchRunResult:
+        """Seal the run result once the (possibly shared) simulator drained."""
+        now = self._sim.now if now_s is None else now_s
+        self._result.duration_s = now
         self._result.counters = self.stats.snapshot()
         if self.telemetry is not None:
-            self.telemetry.finish(self._sim.now)
+            self.telemetry.finish(now)
         return self._result
 
     def _schedule_ingress(self, packet: Packet, time: float) -> None:
@@ -387,6 +404,13 @@ class ADCPSwitch(Component):
             self._to_tm2(packet, record.exit_time)
 
     def _to_tm2(self, packet: Packet, ready: float) -> None:
+        if (
+            self.route_resolver is not None
+            and packet.meta.egress_port is None
+            and not packet.meta.egress_ports
+        ):
+            # Fabric next-hop selection; None falls through to no_route.
+            packet.meta.egress_port = self.route_resolver(packet)
         if packet.meta.egress_ports:
             deliveries = self.tm2.multicast_admit(
                 packet, packet.meta.egress_ports, ready
@@ -464,6 +488,9 @@ class ADCPSwitch(Component):
                     lane=lane,
                     departure_s=departure,
                 )
+            sink = self.port_sinks.get(port)
+            if sink is not None:
+                sink(packet, departure)
 
     def _drop(
         self, packet: Packet, decision: Decision, when: float = 0.0

@@ -153,3 +153,14 @@ class SwitchApp:
         decide where to run the app's state hook.
         """
         return False
+
+    def claims(self, packet: Packet) -> bool:
+        """Whether this packet is input to the app's stateful hook.
+
+        Single-switch apps own every packet they see, so the default is
+        True.  Fabric deployments override this: a switch hosting one
+        coflow's state also forwards traffic of coflows placed elsewhere,
+        and the RMT steering / recirculation machinery must leave those
+        transit packets on the plain forwarding path.
+        """
+        return True

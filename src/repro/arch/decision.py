@@ -32,10 +32,11 @@ class Decision:
     """A verdict plus any packets the hook wants to emit.
 
     ``emissions`` are switch-originated packets (aggregation results,
-    multicast copies); each must have ``meta.egress_port`` or
-    ``meta.egress_ports`` set.  Emissions are legal with any verdict — a
-    CONSUME that completes an aggregation typically consumes the trigger
-    packet *and* emits the result.
+    multicast copies); each must name a destination — ``meta.egress_port``
+    or ``meta.egress_ports`` set, or a nonzero IPv4 ``dst_ip`` for a
+    fabric to resolve into a next-hop port.  Emissions are legal with any
+    verdict — a CONSUME that completes an aggregation typically consumes
+    the trigger packet *and* emits the result.
     """
 
     verdict: Verdict
@@ -59,9 +60,17 @@ class Decision:
         return cls(Verdict.RECIRCULATE)
 
     def validate(self) -> None:
-        """Check every emission names at least one egress port."""
+        """Check every emission names a destination (port or dst_ip)."""
         for packet in self.emissions:
-            if packet.meta.egress_port is None and not packet.meta.egress_ports:
-                raise ConfigError(
-                    "emitted packet has no egress port assigned"
-                )
+            if packet.meta.egress_port is not None or packet.meta.egress_ports:
+                continue
+            if (
+                packet.has_header("ipv4")
+                and packet.header("ipv4")["dst_ip"] != 0
+            ):
+                # Fabric-addressed: the switch's route resolver maps the
+                # destination IP to a next-hop port at TM admission.
+                continue
+            raise ConfigError(
+                "emitted packet has no egress port assigned"
+            )

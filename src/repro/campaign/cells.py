@@ -236,6 +236,46 @@ def _cell_coflow_mix(params: dict) -> dict:
     )
 
 
+def _cell_fabric(params: dict) -> dict:
+    """One multi-switch fabric run (topology x placement x routing).
+
+    Wraps :func:`repro.fabric.run_fabric`: coflows traverse a fat-tree
+    or leaf-spine of RMT/ADCP switches, and the cell's ledger carries
+    one section per switch plus the fabric section (links, per-coflow
+    CCT, ``max_cct_s``) — so a placement sweep's axis tables compare
+    coflow completion time directly.
+    """
+    p = _take(
+        "fabric",
+        params,
+        {
+            "topology": (str, "leaf-spine-2x2"),
+            "workload": (str, "fabric-allreduce"),
+            "target": (str, "adcp"),
+            "placement": (str, "ingress"),
+            "routing": (str, "ecmp"),
+            "coflows": (int, 2),
+            "vector": (int, 64),
+            "load": ((int, float), 1.0),
+            "seed": (int, _REQUIRED),
+        },
+    )
+    from ..fabric import run_fabric
+
+    run = run_fabric(
+        p["topology"],
+        p["workload"],
+        target=p["target"],
+        placement=p["placement"],
+        routing=p["routing"],
+        coflows=p["coflows"],
+        vector=p["vector"],
+        load=float(p["load"]),
+        seed=p["seed"],
+    )
+    return run.ledger()
+
+
 # --- test scaffolding -------------------------------------------------------------
 
 
@@ -307,6 +347,7 @@ def _cell_flaky(params: dict) -> dict:
 TARGETS: dict = {
     "design-space": _cell_design_space,
     "coflow-mix": _cell_coflow_mix,
+    "fabric": _cell_fabric,
     "_echo": _cell_echo,
     "_flaky": _cell_flaky,
 }

@@ -90,6 +90,78 @@ def _execute(conn, target: str, params: dict) -> None:
         conn.close()
 
 
+def run_serial(jobs: list[Job], on_done=None) -> PoolOutcome:
+    """Execute every job in-process, one after another.
+
+    The degenerate pool for single-worker boxes: no subprocess, no
+    pipe, no fork — each cell runs in the caller's interpreter.  The
+    fault shape narrows accordingly: there is no crash/timeout retry
+    (a crash takes the campaign down with it, as it would any plain
+    script), a raising cell fails permanently after one attempt, and
+    the first Ctrl-C skips every cell not yet started — the finished
+    ones are already journaled, so ``--resume`` picks up from there.
+    """
+    from .cells import run_cell
+
+    outcome = PoolOutcome()
+
+    def finish(job: Job, result: JobResult) -> None:
+        outcome.results.append(result)
+        if on_done is not None:
+            on_done(job, result)
+
+    for job in jobs:
+        if outcome.interrupted:
+            finish(
+                job,
+                JobResult(
+                    job.index,
+                    "skipped",
+                    error="campaign interrupted before this cell ran",
+                ),
+            )
+            continue
+        started = time.monotonic()
+        try:
+            value = run_cell(job.target, job.params)
+        except KeyboardInterrupt:
+            outcome.interrupted = True
+            finish(
+                job,
+                JobResult(
+                    job.index,
+                    "skipped",
+                    error="campaign interrupted before this cell ran",
+                    attempts=1,
+                ),
+            )
+            continue
+        except Exception as error:
+            finish(
+                job,
+                JobResult(
+                    job.index,
+                    "failed",
+                    error=f"{type(error).__name__}: {error}",
+                    attempts=1,
+                    elapsed_s=time.monotonic() - started,
+                ),
+            )
+            continue
+        finish(
+            job,
+            JobResult(
+                job.index,
+                "ok",
+                value=value,
+                attempts=1,
+                elapsed_s=time.monotonic() - started,
+            ),
+        )
+    outcome.results.sort(key=lambda r: r.index)
+    return outcome
+
+
 @dataclass
 class _Running:
     job: Job

@@ -18,6 +18,7 @@ text, not in the report.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -34,6 +35,7 @@ from .pool import (
     JobResult,
     PoolOutcome,
     WorkerPool,
+    run_serial,
 )
 from .spec import CampaignSpec, Cell
 
@@ -44,7 +46,9 @@ JOURNAL_FILENAME = "journal.jsonl"
 
 #: Per-cell scalar metrics the axis tables aggregate (summed over a
 #: cell's sections; lower is better for every one of them).
-_TABLE_METRICS = ("duration_s", "recirculated")
+#: ``max_cct_s`` only appears in fabric cells' "fabric" section and
+#: sums to zero elsewhere.
+_TABLE_METRICS = ("duration_s", "recirculated", "max_cct_s")
 
 
 @dataclass
@@ -229,6 +233,7 @@ def run_campaign(
     max_retries: int = DEFAULT_MAX_RETRIES,
     backoff_s: float = DEFAULT_BACKOFF_S,
     progress: Callable[[str], None] | None = None,
+    serial: bool | None = None,
 ) -> CampaignRun:
     """Run (or resume) a campaign; returns the :class:`CampaignRun`.
 
@@ -237,6 +242,13 @@ def run_campaign(
     cache root (default ``.repro-cache/``); ``use_cache=False`` runs
     every cell and stores nothing — the knob benchmarks use to measure
     honest wall-clock scaling.
+
+    ``serial`` picks the execution path: ``True`` runs cells in-process
+    one at a time (no fork, no pipes — the right shape for one-core
+    boxes and debuggers), ``False`` forces the worker pool, and the
+    default ``None`` auto-selects serial when only one worker is
+    requested or the machine has a single CPU.  The aggregate report
+    is byte-identical either way; the journal records which path ran.
     """
     if spec.target not in TARGETS:
         raise ConfigError(
@@ -245,6 +257,9 @@ def run_campaign(
         )
     cells = spec.expand()
     spec_digest = spec.digest()
+    if serial is None:
+        serial = workers == 1 or (os.cpu_count() or 2) == 1
+    execution = "serial" if serial else "pool"
     directory = Path(out_dir) if out_dir is not None else Path(
         f"campaign_{spec.name}"
     )
@@ -263,7 +278,11 @@ def run_campaign(
         journal.check_resumable(spec_digest)
         resumed_digests = journal.completed_digests()
         journal.append(
-            {"event": "campaign_resume", "spec_digest": spec_digest}
+            {
+                "event": "campaign_resume",
+                "spec_digest": spec_digest,
+                "execution": execution,
+            }
         )
     else:
         journal.reset()
@@ -276,6 +295,7 @@ def run_campaign(
                 "spec_digest": spec_digest,
                 "cells": len(cells),
                 "workers": workers,
+                "execution": execution,
                 "source_digest": cache.source if cache else None,
             }
         )
@@ -380,13 +400,16 @@ def run_campaign(
 
     interrupted = False
     if jobs:
-        pool = WorkerPool(
-            workers=workers,
-            timeout_s=timeout_s,
-            max_retries=max_retries,
-            backoff_s=backoff_s,
-        )
-        outcome: PoolOutcome = pool.run(jobs, on_done=on_done)
+        if serial:
+            outcome: PoolOutcome = run_serial(jobs, on_done=on_done)
+        else:
+            pool = WorkerPool(
+                workers=workers,
+                timeout_s=timeout_s,
+                max_retries=max_retries,
+                backoff_s=backoff_s,
+            )
+            outcome = pool.run(jobs, on_done=on_done)
         interrupted = outcome.interrupted
 
     ordered = [outcomes[cell.index] for cell in cells]

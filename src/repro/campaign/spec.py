@@ -378,6 +378,9 @@ def load_spec(path: str | Path) -> CampaignSpec:
 #: explore — array width x demux factor x port speed — over the pinned
 #: parameter-server workload.  ``coflow-mix`` sweeps the Table 1
 #: application classes across seeds on the matched 8-port ADCP.
+#: ``fabric-sweep`` crosses coflow state placement with topology on the
+#: multi-switch fabric, so the axis tables show how much coflow
+#: completion time placement buys at fabric scale.
 BUILTIN_CAMPAIGNS: dict[str, dict] = {
     "design-space": {
         "name": "design-space",
@@ -398,6 +401,22 @@ BUILTIN_CAMPAIGNS: dict[str, dict] = {
         "axes": {
             "app": ["paramserver", "dbshuffle", "graphmining", "groupcomm"],
             "seed": [21, 42],
+        },
+    },
+    "fabric-sweep": {
+        "name": "fabric-sweep",
+        "target": "fabric",
+        "mode": "grid",
+        "seed": 3,
+        "fixed": {
+            "workload": "fabric-allreduce",
+            "target": "adcp",
+            "routing": "ecmp",
+            "seed": 7,
+        },
+        "axes": {
+            "placement": ["ingress", "central", "hash"],
+            "topology": ["leaf-spine-2x2", "fat-tree-k4"],
         },
     },
 }

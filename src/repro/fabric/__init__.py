@@ -1,0 +1,48 @@
+"""Multi-switch fabric: topologies, links, routing, and state placement.
+
+The paper's single-switch models (:mod:`repro.rmt`, :mod:`repro.adcp`)
+answer *how* a switch hosts coflow state; this package answers *where* —
+it composes many switch instances into a simulated datacenter on one
+shared discrete-event kernel, connects them with latency/bandwidth
+links, routes coflow traffic across equal-cost paths (ECMP or flowlet),
+and lets a fabric-level placement policy decide which switch executes
+each coflow's stateful aggregation (the §3.1 argument at fabric scale).
+"""
+
+from .app import FabricAggregateApp, HostedCoflow
+from .link import HostEndpoint, Link
+from .placement import FABRIC_PLACEMENTS, make_placement
+from .routing import EcmpSelector, FlowletSelector, make_selector
+from .runner import FabricRun, run_fabric
+from .topology import (
+    RoutingTable,
+    Topology,
+    fat_tree,
+    host_ip,
+    leaf_spine,
+    parse_topology,
+)
+from .workloads import FABRIC_WORKLOADS, FabricWorkload, build_workload
+
+__all__ = [
+    "FABRIC_PLACEMENTS",
+    "FABRIC_WORKLOADS",
+    "EcmpSelector",
+    "FabricAggregateApp",
+    "FabricRun",
+    "FabricWorkload",
+    "FlowletSelector",
+    "HostEndpoint",
+    "HostedCoflow",
+    "Link",
+    "RoutingTable",
+    "Topology",
+    "build_workload",
+    "fat_tree",
+    "host_ip",
+    "leaf_spine",
+    "make_placement",
+    "make_selector",
+    "parse_topology",
+    "run_fabric",
+]

@@ -1,0 +1,87 @@
+"""Fabric-level coflow state placement: which switch hosts the state.
+
+The paper's §3.1 frees state placement from the port→pipeline mapping
+*inside* a switch; at fabric scale the same question recurs one level
+up — which *switch* runs a coflow's aggregation?  (LOADER and
+State-Compute Replication both treat this as the primary design axis.)
+Three policies bracket the space:
+
+- ``ingress`` — pin the state to the edge/leaf switch of the coflow's
+  first worker (state sits where some of the data enters; remote
+  workers pay extra hops both ways).
+- ``central`` — host in the most-central tier (cores, else spines):
+  symmetric distance to every worker.
+- ``hash`` — hash-partition coflows across *all* switches, the
+  load-spreading strawman.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..sim.rng import stable_hash64
+from .topology import Topology
+
+
+class FabricPlacement:
+    """Base policy: map one coflow onto the switch hosting its state."""
+
+    name = "base"
+
+    def choose(
+        self, coflow_id: int, worker_hosts: tuple[int, ...], topology: Topology
+    ) -> str:
+        raise NotImplementedError
+
+
+class IngressPinnedPlacement(FabricPlacement):
+    """The edge switch of the lowest-numbered worker host."""
+
+    name = "ingress"
+
+    def choose(
+        self, coflow_id: int, worker_hosts: tuple[int, ...], topology: Topology
+    ) -> str:
+        if not worker_hosts:
+            raise ConfigError(f"coflow {coflow_id} has no worker hosts")
+        return topology.hosts[min(worker_hosts)].switch
+
+
+class CentralPlacement(FabricPlacement):
+    """A top-tier (core/spine) switch, hashed per coflow to spread load."""
+
+    name = "central"
+
+    def choose(
+        self, coflow_id: int, worker_hosts: tuple[int, ...], topology: Topology
+    ) -> str:
+        tier = topology.top_tier()
+        return tier[stable_hash64(f"central/{coflow_id}") % len(tier)]
+
+
+class HashPartitionedPlacement(FabricPlacement):
+    """Any switch in the fabric, hashed per coflow."""
+
+    name = "hash"
+
+    def choose(
+        self, coflow_id: int, worker_hosts: tuple[int, ...], topology: Topology
+    ) -> str:
+        names = topology.switch_names
+        return names[stable_hash64(f"hash/{coflow_id}") % len(names)]
+
+
+FABRIC_PLACEMENTS = {
+    "ingress": IngressPinnedPlacement,
+    "central": CentralPlacement,
+    "hash": HashPartitionedPlacement,
+}
+
+
+def make_placement(name: str) -> FabricPlacement:
+    try:
+        return FABRIC_PLACEMENTS[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown placement policy {name!r}; choose from "
+            f"{', '.join(sorted(FABRIC_PLACEMENTS))}"
+        )

@@ -1,0 +1,341 @@
+"""Fabric topology model and generators (leaf-spine, fat-tree).
+
+A :class:`Topology` is pure structure: named switches, the hosts hanging
+off them, and the port-to-port wiring between switches.  It computes
+nothing about time — latency and bandwidth belong to the runtime
+:class:`~repro.fabric.link.Link` objects — but it does precompute the
+equal-cost routing tables (shortest-path next-hop port sets) that the
+per-switch resolvers select from.
+
+Topology specs are strings so the CLI and campaign axes can carry them:
+
+- ``leaf-spine-LxS`` — L leaf switches, S spines, 2 hosts per leaf
+  (``leaf-spine-LxSxH`` overrides hosts per leaf).
+- ``fat-tree-k4`` / ``fat-tree-k8`` — the canonical k-ary fat-tree:
+  k pods of k/2 edge + k/2 aggregation switches, (k/2)^2 cores,
+  k^3/4 hosts.
+
+Host addressing: host ``h<i>`` has IPv4 address ``i + 1`` (zero stays
+"unaddressed" on the wire), via :func:`host_ip`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+
+def host_ip(host_id: int) -> int:
+    """The IPv4 address of host ``h<host_id>`` (0 means 'no address')."""
+    return host_id + 1
+
+
+def host_of_ip(ip: int) -> int | None:
+    """Inverse of :func:`host_ip`; None for the unaddressed 0."""
+    return None if ip == 0 else ip - 1
+
+
+@dataclass(frozen=True)
+class Host:
+    """One server endpoint: attached to ``switch`` on ``port``."""
+
+    host_id: int
+    switch: str
+    port: int
+
+    @property
+    def name(self) -> str:
+        return f"h{self.host_id}"
+
+    @property
+    def ip(self) -> int:
+        return host_ip(self.host_id)
+
+
+@dataclass
+class SwitchNode:
+    """One switch position in the fabric.
+
+    ``links`` maps a local port to ``(peer switch, peer port)``;
+    ``host_ports`` maps a local port to the attached host id.  Every
+    port of the switch must be wired to exactly one of the two.
+    """
+
+    name: str
+    tier: str
+    num_ports: int
+    links: dict[int, tuple[str, int]] = field(default_factory=dict)
+    host_ports: dict[int, int] = field(default_factory=dict)
+
+    def neighbors(self) -> list[str]:
+        """Peer switch names, deduplicated, in port order."""
+        seen: list[str] = []
+        for port in sorted(self.links):
+            peer = self.links[port][0]
+            if peer not in seen:
+                seen.append(peer)
+        return seen
+
+
+@dataclass(frozen=True)
+class RoutingTable:
+    """Equal-cost next-hop ports of one switch.
+
+    ``to_switch[name]`` / ``to_host[id]`` are the sorted local ports
+    whose peers sit on a shortest path to the destination; a selector
+    (:mod:`repro.fabric.routing`) picks one per packet.
+    """
+
+    switch: str
+    to_switch: dict[str, tuple[int, ...]]
+    to_host: dict[int, tuple[int, ...]]
+
+
+class Topology:
+    """A validated multi-switch fabric graph."""
+
+    def __init__(
+        self,
+        name: str,
+        switches: dict[str, SwitchNode],
+        hosts: dict[int, Host],
+    ) -> None:
+        if not switches:
+            raise ConfigError(f"topology {name!r} has no switches")
+        self.name = name
+        self.switches = dict(switches)
+        self.hosts = dict(hosts)
+        self._validate()
+
+    # --- validation ---------------------------------------------------------------
+
+    def _validate(self) -> None:
+        for name, node in self.switches.items():
+            if node.name != name:
+                raise ConfigError(
+                    f"switch {name!r} registered under mismatched key"
+                )
+            used = sorted(node.links) + sorted(node.host_ports)
+            if len(set(used)) != len(used):
+                raise ConfigError(
+                    f"switch {name!r} wires some port to both a link "
+                    f"and a host"
+                )
+            for port in used:
+                if not 0 <= port < node.num_ports:
+                    raise ConfigError(
+                        f"switch {name!r} port {port} out of range "
+                        f"[0, {node.num_ports})"
+                    )
+            if len(used) != node.num_ports:
+                raise ConfigError(
+                    f"switch {name!r} has {node.num_ports} ports but only "
+                    f"{len(used)} are wired"
+                )
+            for port, (peer, peer_port) in node.links.items():
+                if peer not in self.switches:
+                    raise ConfigError(
+                        f"switch {name!r} port {port} links to unknown "
+                        f"switch {peer!r}"
+                    )
+                back = self.switches[peer].links.get(peer_port)
+                if back != (name, port):
+                    raise ConfigError(
+                        f"link {name}:{port} -> {peer}:{peer_port} is not "
+                        f"symmetric"
+                    )
+        for host_id, host in self.hosts.items():
+            if host.host_id != host_id:
+                raise ConfigError(
+                    f"host {host_id} registered under mismatched key"
+                )
+            node = self.switches.get(host.switch)
+            if node is None:
+                raise ConfigError(
+                    f"host h{host_id} attached to unknown switch "
+                    f"{host.switch!r}"
+                )
+            if node.host_ports.get(host.port) != host_id:
+                raise ConfigError(
+                    f"host h{host_id} claims {host.switch}:{host.port} but "
+                    f"the switch does not wire it back"
+                )
+
+    # --- queries ------------------------------------------------------------------
+
+    @property
+    def switch_names(self) -> list[str]:
+        return sorted(self.switches)
+
+    @property
+    def host_ids(self) -> list[int]:
+        return sorted(self.hosts)
+
+    def tier(self, tier: str) -> list[str]:
+        """Sorted names of the switches in one tier."""
+        return sorted(
+            name for name, node in self.switches.items() if node.tier == tier
+        )
+
+    def top_tier(self) -> list[str]:
+        """The most-central tier: cores if present, else spines."""
+        for tier in ("core", "spine"):
+            names = self.tier(tier)
+            if names:
+                return names
+        return self.switch_names
+
+    def edge_links(self) -> list[tuple[str, int, str, int]]:
+        """Every directed switch-to-switch wire as (src, port, dst, port)."""
+        out = []
+        for name in self.switch_names:
+            node = self.switches[name]
+            for port in sorted(node.links):
+                peer, peer_port = node.links[port]
+                out.append((name, port, peer, peer_port))
+        return out
+
+    # --- routing ------------------------------------------------------------------
+
+    def routes(self) -> dict[str, RoutingTable]:
+        """Per-switch equal-cost next-hop tables (BFS shortest paths)."""
+        distances: dict[str, dict[str, int]] = {}
+        for destination in self.switch_names:
+            dist = {destination: 0}
+            frontier = deque([destination])
+            while frontier:
+                current = frontier.popleft()
+                for neighbor in self.switches[current].neighbors():
+                    if neighbor not in dist:
+                        dist[neighbor] = dist[current] + 1
+                        frontier.append(neighbor)
+            if len(dist) != len(self.switches):
+                raise ConfigError(
+                    f"topology {self.name!r} is disconnected: "
+                    f"{destination!r} unreachable from some switches"
+                )
+            distances[destination] = dist
+
+        tables: dict[str, RoutingTable] = {}
+        for name in self.switch_names:
+            node = self.switches[name]
+            to_switch: dict[str, tuple[int, ...]] = {}
+            for destination in self.switch_names:
+                if destination == name:
+                    continue
+                dist = distances[destination]
+                ports = tuple(
+                    sorted(
+                        port
+                        for port, (peer, _) in node.links.items()
+                        if dist[peer] == dist[name] - 1
+                    )
+                )
+                to_switch[destination] = ports
+            to_host: dict[int, tuple[int, ...]] = {}
+            for host_id, host in self.hosts.items():
+                if host.switch == name:
+                    to_host[host_id] = (host.port,)
+                else:
+                    to_host[host_id] = to_switch[host.switch]
+            tables[name] = RoutingTable(name, to_switch, to_host)
+        return tables
+
+
+# --- generators --------------------------------------------------------------------
+
+
+def leaf_spine(
+    leaves: int = 2, spines: int = 2, hosts_per_leaf: int = 2
+) -> Topology:
+    """A two-tier Clos: every leaf uplinks to every spine."""
+    if leaves < 1 or spines < 1 or hosts_per_leaf < 1:
+        raise ConfigError(
+            "leaf-spine needs at least one leaf, spine, and host per leaf"
+        )
+    switches: dict[str, SwitchNode] = {}
+    hosts: dict[int, Host] = {}
+    for leaf in range(leaves):
+        name = f"leaf{leaf}"
+        node = SwitchNode(name, "leaf", hosts_per_leaf + spines)
+        for i in range(hosts_per_leaf):
+            host_id = leaf * hosts_per_leaf + i
+            node.host_ports[i] = host_id
+            hosts[host_id] = Host(host_id, name, i)
+        for spine in range(spines):
+            node.links[hosts_per_leaf + spine] = (f"spine{spine}", leaf)
+        switches[name] = node
+    for spine in range(spines):
+        name = f"spine{spine}"
+        node = SwitchNode(name, "spine", leaves)
+        for leaf in range(leaves):
+            node.links[leaf] = (f"leaf{leaf}", hosts_per_leaf + spine)
+        switches[name] = node
+    return Topology(
+        f"leaf-spine-{leaves}x{spines}"
+        + (f"x{hosts_per_leaf}" if hosts_per_leaf != 2 else ""),
+        switches,
+        hosts,
+    )
+
+
+def fat_tree(k: int = 4) -> Topology:
+    """The canonical k-ary fat-tree (k even): k^3/4 hosts, 5k^2/4 switches."""
+    if k < 2 or k % 2 != 0:
+        raise ConfigError(f"fat-tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    switches: dict[str, SwitchNode] = {}
+    hosts: dict[int, Host] = {}
+
+    for pod in range(k):
+        for e in range(half):
+            name = f"edge{pod}-{e}"
+            node = SwitchNode(name, "edge", k)
+            for i in range(half):
+                host_id = pod * half * half + e * half + i
+                node.host_ports[i] = host_id
+                hosts[host_id] = Host(host_id, name, i)
+            for a in range(half):
+                # Edge uplink a <-> aggregation a's downlink e.
+                node.links[half + a] = (f"agg{pod}-{a}", e)
+            switches[name] = node
+        for a in range(half):
+            name = f"agg{pod}-{a}"
+            node = SwitchNode(name, "agg", k)
+            for e in range(half):
+                node.links[e] = (f"edge{pod}-{e}", half + a)
+            for j in range(half):
+                # Core group a serves aggregation index a in every pod;
+                # core (a, j) port p plugs into pod p.
+                node.links[half + j] = (f"core{a}-{j}", pod)
+            switches[name] = node
+
+    for a in range(half):
+        for j in range(half):
+            name = f"core{a}-{j}"
+            node = SwitchNode(name, "core", k)
+            for pod in range(k):
+                node.links[pod] = (f"agg{pod}-{a}", half + j)
+            switches[name] = node
+
+    return Topology(f"fat-tree-k{k}", switches, hosts)
+
+
+def parse_topology(spec: str) -> Topology:
+    """Build a topology from its spec string (see module docstring)."""
+    if spec.startswith("leaf-spine-"):
+        dims = spec[len("leaf-spine-"):].split("x")
+        if len(dims) in (2, 3) and all(d.isdigit() for d in dims):
+            leaves, spines = int(dims[0]), int(dims[1])
+            hosts_per_leaf = int(dims[2]) if len(dims) == 3 else 2
+            return leaf_spine(leaves, spines, hosts_per_leaf)
+    if spec.startswith("fat-tree-k"):
+        arity = spec[len("fat-tree-k"):]
+        if arity.isdigit():
+            return fat_tree(int(arity))
+    raise ConfigError(
+        f"unknown topology spec {spec!r}; expected leaf-spine-LxS[xH] "
+        f"(e.g. leaf-spine-2x2) or fat-tree-kK (e.g. fat-tree-k4)"
+    )

@@ -1,0 +1,289 @@
+"""Fabric workloads: coflow traffic spread over a topology's hosts.
+
+Both workloads speak the :mod:`repro.coflow` vocabulary — each worker's
+stream is a :class:`~repro.coflow.model.Flow` materialized through
+:meth:`Flow.packets` — then re-addressed for the fabric: source/dest
+IPv4 addresses name hosts (:func:`~repro.fabric.topology.host_ip`), and
+per-switch resolvers (not a pre-assigned egress port) do the routing.
+
+- ``fabric-allreduce``: per coflow, W worker hosts each stream the full
+  vector toward the coflow's *placed* switch, which aggregates and
+  unicasts results back to every worker (stateful; placement matters).
+- ``fabric-shuffle``: mapper hosts send per-reducer flows addressed to
+  the reducer hosts (stateless transit; exercises ECMP spreading).
+
+Hosts inject back-to-back at ``load`` x the host link rate via
+:class:`~repro.net.traffic.DeterministicSource`; all randomness (worker
+selection) flows from the seed through :mod:`repro.sim.rng`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+
+from ..coflow.model import Coflow, Flow, FlowDirection
+from ..errors import ConfigError
+from ..net.headers import OP_DATA, OP_RESULT
+from ..net.packet import Packet
+from ..net.traffic import DeterministicSource
+from ..sim.rng import make_rng, stable_hash64
+from .topology import Topology, host_ip
+
+FABRIC_WORKLOADS = ("fabric-allreduce", "fabric-shuffle")
+
+#: Worker hosts per aggregation coflow (capped by the host count).
+_WORKERS_PER_COFLOW = 4
+
+
+@dataclass(frozen=True)
+class FabricCoflowSpec:
+    """One fabric coflow: its descriptor plus fabric addressing."""
+
+    coflow_id: int
+    worker_hosts: tuple[int, ...]
+    vector_elements: int
+    aggregated: bool
+
+    def to_coflow(self, topology: Topology) -> Coflow:
+        """The :mod:`repro.coflow` descriptor (for bookkeeping/metrics)."""
+        flows = [
+            Flow(
+                flow_id=index,
+                src_port=topology.hosts[host].port,
+                dst_port=0,
+                element_count=self.vector_elements,
+                direction=FlowDirection.INPUT,
+                worker_id=index,
+            )
+            for index, host in enumerate(self.worker_hosts)
+        ]
+        return Coflow(
+            self.coflow_id,
+            flows,
+            pattern="aggregation" if self.aggregated else "shuffle",
+        )
+
+
+@dataclass
+class FabricWorkload:
+    """Everything the fabric runner needs to drive and verify one run."""
+
+    name: str
+    kind: str  # "allreduce" | "shuffle"
+    coflows: list[FabricCoflowSpec]
+    #: host id -> time-ordered (arrival_s, packet) at the host's NIC.
+    arrivals: dict[int, list[tuple[float, Packet]]]
+    #: (coflow_id, host_id) -> expected terminal packet count at the host.
+    expected: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: Opcode of the terminal packets ``expected`` counts.
+    terminal_opcode: int = OP_RESULT
+
+    @property
+    def aggregated(self) -> bool:
+        return self.kind == "allreduce"
+
+    @property
+    def injected_packets(self) -> int:
+        return sum(len(stream) for stream in self.arrivals.values())
+
+
+def _flow_packets(
+    spec: FabricCoflowSpec,
+    worker_index: int,
+    host: int,
+    topology: Topology,
+    elements_per_packet: int,
+    dst_host: int | None,
+) -> list[Packet]:
+    """Materialize one worker's flow and re-address it for the fabric."""
+    flow = Flow(
+        flow_id=spec.coflow_id * 1024 + worker_index,
+        src_port=topology.hosts[host].port,
+        dst_port=0,
+        element_count=spec.vector_elements,
+        direction=FlowDirection.INPUT,
+        worker_id=worker_index,
+    )
+    packets = flow.packets(
+        spec.coflow_id,
+        elements_per_packet,
+        value_fn=lambda key: key + 1,
+        opcode=OP_DATA,
+    )
+    for packet in packets:
+        ip = packet.header("ipv4")
+        ip["src_ip"] = host_ip(host)
+        if dst_host is not None:
+            ip["dst_ip"] = host_ip(dst_host)
+        # Flow.packets pins dst_port for the single-switch world; the
+        # fabric routes hop by hop instead.
+        packet.meta.egress_port = None
+    return packets
+
+
+def _timed(
+    per_host_packets: dict[int, list[Packet]],
+    topology: Topology,
+    link_bps: float,
+    load: float,
+) -> dict[int, list[tuple[float, Packet]]]:
+    if not 0.0 < load <= 1.0:
+        raise ConfigError(f"load must be in (0, 1], got {load}")
+    arrivals: dict[int, list[tuple[float, Packet]]] = {}
+    for host in sorted(per_host_packets):
+        packets = per_host_packets[host]
+        source = DeterministicSource(
+            port=topology.hosts[host].port,
+            link_bps=link_bps * load,
+            packets=packets,
+        )
+        arrivals[host] = list(source.packets())
+    return arrivals
+
+
+def _interleave(streams: list[list[Packet]]) -> list[Packet]:
+    """Round-robin merge so concurrent coflows share the host NIC."""
+    out: list[Packet] = []
+    cursor = 0
+    while any(cursor < len(s) for s in streams):
+        for stream in streams:
+            if cursor < len(stream):
+                out.append(stream[cursor])
+        cursor += 1
+    return out
+
+
+def _pick_workers(
+    host_ids: list[int], count: int, name: str, coflow_id: int, seed: int
+) -> tuple[int, ...]:
+    rng = make_rng(stable_hash64(f"{name}/{seed}/{coflow_id}") % (2**32))
+    chosen = rng.choice(len(host_ids), size=count, replace=False)
+    return tuple(sorted(host_ids[int(i)] for i in chosen))
+
+
+def build_workload(
+    name: str,
+    topology: Topology,
+    *,
+    coflows: int = 2,
+    vector: int = 64,
+    elements_per_packet: int = 1,
+    link_bps: float,
+    load: float = 1.0,
+    seed: int = 0,
+) -> FabricWorkload:
+    """Build one registered fabric workload over ``topology``'s hosts."""
+    if coflows < 1:
+        raise ConfigError(f"need at least one coflow, got {coflows}")
+    if vector < 1:
+        raise ConfigError(f"vector must be non-empty, got {vector}")
+    if name == "fabric-allreduce":
+        return _allreduce(
+            topology, coflows, vector, elements_per_packet, link_bps, load, seed
+        )
+    if name == "fabric-shuffle":
+        return _shuffle(
+            topology, coflows, vector, elements_per_packet, link_bps, load, seed
+        )
+    raise ConfigError(
+        f"unknown fabric workload {name!r}; choose from "
+        f"{', '.join(FABRIC_WORKLOADS)}"
+    )
+
+
+def _allreduce(
+    topology: Topology,
+    coflows: int,
+    vector: int,
+    elements_per_packet: int,
+    link_bps: float,
+    load: float,
+    seed: int,
+) -> FabricWorkload:
+    hosts = topology.host_ids
+    workers_per_coflow = min(_WORKERS_PER_COFLOW, len(hosts))
+    if workers_per_coflow < 2:
+        raise ConfigError("allreduce needs a topology with >= 2 hosts")
+    specs: list[FabricCoflowSpec] = []
+    per_host: dict[int, list[list[Packet]]] = {h: [] for h in hosts}
+    expected: dict[tuple[int, int], int] = {}
+    result_batches = ceil(vector / elements_per_packet)
+    for index in range(coflows):
+        coflow_id = index + 1
+        workers = _pick_workers(
+            hosts, workers_per_coflow, "fabric-allreduce", coflow_id, seed
+        )
+        spec = FabricCoflowSpec(coflow_id, workers, vector, aggregated=True)
+        specs.append(spec)
+        for worker_index, host in enumerate(workers):
+            per_host[host].append(
+                _flow_packets(
+                    spec, worker_index, host, topology,
+                    elements_per_packet, dst_host=None,
+                )
+            )
+            expected[(coflow_id, host)] = result_batches
+    merged = {
+        host: _interleave(streams)
+        for host, streams in per_host.items()
+        if streams
+    }
+    return FabricWorkload(
+        name="fabric-allreduce",
+        kind="allreduce",
+        coflows=specs,
+        arrivals=_timed(merged, topology, link_bps, load),
+        expected=expected,
+        terminal_opcode=OP_RESULT,
+    )
+
+
+def _shuffle(
+    topology: Topology,
+    coflows: int,
+    vector: int,
+    elements_per_packet: int,
+    link_bps: float,
+    load: float,
+    seed: int,
+) -> FabricWorkload:
+    hosts = topology.host_ids
+    if len(hosts) < 2:
+        raise ConfigError("shuffle needs a topology with >= 2 hosts")
+    mappers = hosts[: len(hosts) // 2]
+    reducers = hosts[len(hosts) // 2:]
+    packets_per_flow = ceil(vector / elements_per_packet)
+    specs: list[FabricCoflowSpec] = []
+    per_host: dict[int, list[list[Packet]]] = {h: [] for h in hosts}
+    expected: dict[tuple[int, int], int] = {}
+    for index in range(coflows):
+        coflow_id = index + 1
+        spec = FabricCoflowSpec(
+            coflow_id, tuple(mappers), vector, aggregated=False
+        )
+        specs.append(spec)
+        for m_index, mapper in enumerate(mappers):
+            for r_index, reducer in enumerate(reducers):
+                worker_index = m_index * len(reducers) + r_index
+                per_host[mapper].append(
+                    _flow_packets(
+                        spec, worker_index, mapper, topology,
+                        elements_per_packet, dst_host=reducer,
+                    )
+                )
+        for reducer in reducers:
+            expected[(coflow_id, reducer)] = len(mappers) * packets_per_flow
+    merged = {
+        host: _interleave(streams)
+        for host, streams in per_host.items()
+        if streams
+    }
+    return FabricWorkload(
+        name="fabric-shuffle",
+        kind="shuffle",
+        coflows=specs,
+        arrivals=_timed(merged, topology, link_bps, load),
+        expected=expected,
+        terminal_opcode=OP_DATA,
+    )

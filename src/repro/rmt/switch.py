@@ -93,8 +93,10 @@ class RMTSwitch(Component):
         config: RMTConfig,
         app: SwitchApp | None = None,
         telemetry=None,
+        sim: Simulator | None = None,
+        name: str = "rmt",
     ) -> None:
-        super().__init__("rmt")
+        super().__init__(name)
         self.config = config
         self.app = app
         self.telemetry = telemetry
@@ -156,8 +158,19 @@ class RMTSwitch(Component):
             )
             for i in range(config.pipelines)
         ]
-        self._sim = Simulator()
+        self._sim = sim if sim is not None else Simulator()
         self._result = SwitchRunResult()
+        self.port_sinks = {}
+        """Optional per-port delivery hooks: ``{port: fn(packet, departure_s)}``.
+
+        A fabric registers its :class:`~repro.fabric.link.Link` objects
+        here so a transmitted packet continues to the next switch (or a
+        host NIC) instead of leaving the simulated world.  The packet is
+        still counted as delivered by *this* switch first.
+        """
+        self.route_resolver = None
+        """Optional ``fn(packet) -> port | None`` consulted for unrouted
+        unicast packets before TM admission (fabric next-hop selection)."""
         if telemetry is not None:
             telemetry.bind(self)
             # A recorder disabled at construction skips trace wiring
@@ -253,12 +266,26 @@ class RMTSwitch(Component):
         experiment so state and stats start clean.
         """
         for time, packet in timed_packets:
-            self._sim.at(time, self._make_ingress_event(packet, time))
+            self.inject(packet, time)
         self._sim.run(until=until)
-        self._result.duration_s = self._sim.now
+        return self.finalize()
+
+    def inject(self, packet: Packet, time: float) -> None:
+        """Schedule one packet arrival without draining the event queue.
+
+        A fabric pre-loads host arrivals and feeds link handoffs through
+        this; the shared simulator is drained once by the fabric runner,
+        after which each switch is :meth:`finalize`-d.
+        """
+        self._sim.at(time, self._make_ingress_event(packet, time))
+
+    def finalize(self, now_s: float | None = None) -> SwitchRunResult:
+        """Seal the run result once the (possibly shared) simulator drained."""
+        now = self._sim.now if now_s is None else now_s
+        self._result.duration_s = now
         self._result.counters = self.stats.snapshot()
         if self.telemetry is not None:
-            self.telemetry.finish(self._sim.now)
+            self.telemetry.finish(now)
         return self._result
 
     def _make_ingress_event(self, packet: Packet, time: float):
@@ -294,6 +321,7 @@ class RMTSwitch(Component):
                 app.uses_central_state()
                 and self.config.state_mode is StateMode.RECIRCULATE
                 and not self._central_done(packet)
+                and app.claims(packet)
             ):
                 state_pipe = self.state_pipeline_of_key(app.placement_key(packet))
                 if pipeline.index == state_pipe:
@@ -424,6 +452,14 @@ class RMTSwitch(Component):
     def _to_traffic_manager(
         self, packet: Packet, ready: float, from_region: str
     ) -> None:
+        if (
+            self.route_resolver is not None
+            and packet.meta.egress_port is None
+            and not packet.meta.egress_ports
+        ):
+            # Fabric next-hop selection; None leaves the packet to the
+            # local steering path (state packets) or the no_route drop.
+            packet.meta.egress_port = self.route_resolver(packet)
         if from_region == "egress":
             # Emissions born in an egress pipeline cannot re-enter the TM
             # directly; they must loop around (Figure 2's restriction).
@@ -459,6 +495,7 @@ class RMTSwitch(Component):
             and self.app.uses_central_state()
             and self.config.state_mode is StateMode.EGRESS_PIN
             and not self._central_done(packet)
+            and self.app.claims(packet)
         ):
             # Steer to the state pipeline regardless of destination port.
             state_pipe = self.state_pipeline_of_key(
@@ -577,6 +614,9 @@ class RMTSwitch(Component):
                 departure_s=departure,
                 recirculations=packet.meta.recirculations,
             )
+        sink = self.port_sinks.get(port)
+        if sink is not None:
+            sink(packet, departure)
 
     # --- central-state bookkeeping ------------------------------------------------------
 

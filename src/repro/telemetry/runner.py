@@ -235,11 +235,44 @@ def _trace_mltrain(make_telemetry=None, seed=None) -> list[TraceSection]:
     return sections
 
 
+def _trace_fabric(workload_name: str):
+    """Factory-of-factories for the fabric workloads: one leaf-spine
+    fabric run per target, with every switch as its own section (each
+    switch owns its telemetry hub, so the per-section consistency and
+    attribution checks hold switch-by-switch)."""
+
+    def factory(make_telemetry=None, seed=None) -> list[TraceSection]:
+        from ..fabric import run_fabric
+
+        sections: list[TraceSection] = []
+        for target in ("adcp", "rmt"):
+            run = run_fabric(
+                "leaf-spine-2x2",
+                workload_name,
+                target=target,
+                seed=0 if seed is None else seed,
+                make_telemetry=make_telemetry or _make_telemetry,
+            )
+            sections.extend(
+                TraceSection(
+                    f"{target}-{section.label}",
+                    section.telemetry,
+                    section.result,
+                )
+                for section in run.sections
+            )
+        return sections
+
+    return factory
+
+
 TRACEABLE = {
     "quickstart": _trace_quickstart,
     "recirculate": _trace_recirculate,
     "mergejoin": _trace_mergejoin,
     "mltrain": _trace_mltrain,
+    "fabric-allreduce": _trace_fabric("fabric-allreduce"),
+    "fabric-shuffle": _trace_fabric("fabric-shuffle"),
 }
 
 

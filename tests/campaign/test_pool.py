@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.campaign.pool import Job, WorkerPool
+from repro.campaign.pool import Job, WorkerPool, run_serial
 from repro.errors import ConfigError
 
 
@@ -124,3 +124,42 @@ def test_on_done_fires_once_per_job():
         _echo_jobs(4), on_done=lambda job, result: seen.append(job.index)
     )
     assert sorted(seen) == [0, 1, 2, 3]
+
+
+class TestSerial:
+    def test_serial_matches_pool_values(self):
+        serial = run_serial(_echo_jobs(4))
+        pooled = WorkerPool(workers=2).run(_echo_jobs(4))
+        assert [r.index for r in serial.results] == [0, 1, 2, 3]
+        assert all(r.status == "ok" for r in serial.results)
+        assert [r.value for r in serial.results] == [
+            r.value for r in pooled.results
+        ]
+        assert not serial.interrupted
+
+    def test_serial_failure_is_permanent_single_attempt(self, tmp_path):
+        jobs = _echo_jobs(1) + [
+            Job(
+                1,
+                "_flaky",
+                {
+                    "seed": 1,
+                    "sentinel": str(tmp_path / "sentinel"),
+                    "mode": "fail-once",
+                },
+            )
+        ] + [Job(2, "_echo", {"seed": 2, "value": 2})]
+        outcome = run_serial(jobs)
+        statuses = {r.index: r.status for r in outcome.results}
+        assert statuses == {0: "ok", 1: "failed", 2: "ok"}
+        failed = outcome.by_index()[1]
+        assert failed.attempts == 1
+        assert "injected failure" in failed.error
+
+    def test_serial_on_done_fires_in_job_order(self):
+        seen: list[int] = []
+        run_serial(
+            _echo_jobs(3),
+            on_done=lambda job, result: seen.append(job.index),
+        )
+        assert seen == [0, 1, 2]

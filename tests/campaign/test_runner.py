@@ -99,7 +99,11 @@ class TestFaults:
                 {"mode": "ok", "sentinel": str(tmp_path / "s1")},
             ),
         )
-        run = _run(spec, tmp_path, "a", workers=2, backoff_s=0.01)
+        # serial=False: a kill-once cell run in-process would SIGKILL
+        # the test runner itself, so pin the subprocess pool path.
+        run = _run(
+            spec, tmp_path, "a", workers=2, backoff_s=0.01, serial=False
+        )
         assert run.exit_code == 0
         killed = run.outcomes[0]
         assert killed.status == "ok" and killed.attempts == 2
@@ -124,6 +128,52 @@ class TestFaults:
         assert len(run.failed) == 1
         # The report still aggregates the completed cell.
         assert len(run.report["sections"]) == 1
+
+
+class TestSerialExecution:
+    def test_one_worker_auto_selects_serial_and_journals_it(
+        self, tmp_path
+    ):
+        run = _run(_echo_spec(), tmp_path, "a", workers=1)
+        assert run.exit_code == 0
+        start = Journal(run.journal_path).read()[0]
+        assert start["event"] == "campaign_start"
+        assert start["execution"] == "serial"
+
+    def test_forced_pool_is_journaled_as_pool(self, tmp_path):
+        run = _run(_echo_spec(), tmp_path, "a", workers=1, serial=False)
+        assert run.exit_code == 0
+        start = Journal(run.journal_path).read()[0]
+        assert start["execution"] == "pool"
+
+    def test_serial_and_pool_reports_are_byte_identical(self, tmp_path):
+        serial = _run(_echo_spec(), tmp_path, "s", serial=True)
+        pooled = _run(
+            _echo_spec(), tmp_path, "p", workers=2, serial=False
+        )
+        assert serial.exit_code == pooled.exit_code == 0
+        assert (
+            serial.report_path.read_bytes()
+            == pooled.report_path.read_bytes()
+        )
+
+    def test_serial_failure_does_not_block_later_cells(self, tmp_path):
+        spec = _echo_spec(
+            name="serialfail",
+            target="_flaky",
+            mode="list",
+            axes={},
+            cells=(
+                {"mode": "fail-once", "sentinel": str(tmp_path / "s0"),
+                 "cell": 0},
+                {"mode": "ok", "sentinel": str(tmp_path / "s1"),
+                 "cell": 1},
+            ),
+        )
+        run = _run(spec, tmp_path, "a", serial=True)
+        assert run.exit_code == 1
+        assert [o.status for o in run.outcomes] == ["failed", "ok"]
+        assert run.failed[0].attempts == 1
 
 
 class TestResume:

@@ -192,7 +192,9 @@ class TestOverridesAndLoading:
             resolve_spec("nope")
 
     def test_builtins_validate_and_expand(self):
+        expected = {"design-space": 8, "coflow-mix": 8, "fabric-sweep": 6}
+        assert set(expected) == set(BUILTIN_CAMPAIGNS)
         for name in BUILTIN_CAMPAIGNS:
             cells = resolve_spec(name).expand()
-            assert len(cells) == 8
+            assert len(cells) == expected[name]
             assert len({c.digest for c in cells}) == len(cells)

@@ -1,0 +1,117 @@
+"""Path selectors: ECMP distribution, flowlet stickiness, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fabric import EcmpSelector, FlowletSelector, make_selector
+from repro.net.headers import OP_DATA, coflow_header, standard_stack
+from repro.net.packet import Packet
+
+
+def _packet(coflow_id: int, flow_id: int, seq: int = 0) -> Packet:
+    return Packet(
+        standard_stack()
+        + [coflow_header(coflow_id, flow_id, seq=seq, opcode=OP_DATA)]
+    )
+
+
+class TestEcmp:
+    def test_flow_sticks_to_one_path(self):
+        selector = EcmpSelector(salt=7)
+        picks = {
+            selector.choose(_packet(1, 1, seq), (2, 3, 4, 5), 0.0)
+            for seq in range(50)
+        }
+        assert len(picks) == 1
+
+    def test_flows_spread_over_candidates(self):
+        selector = EcmpSelector(salt=7)
+        counts = {2: 0, 3: 0, 4: 0, 5: 0}
+        flows = 400
+        for flow in range(flows):
+            counts[selector.choose(_packet(1, flow), (2, 3, 4, 5), 0.0)] += 1
+        # Fair hashing: every port gets within 2x of the ideal share.
+        ideal = flows / 4
+        for port, count in counts.items():
+            assert ideal / 2 <= count <= ideal * 2, (port, counts)
+
+    def test_salt_decorrelates_switches(self):
+        a = EcmpSelector(salt=1)
+        b = EcmpSelector(salt=2)
+        picks_a = [a.choose(_packet(1, f), (0, 1, 2, 3), 0.0) for f in range(64)]
+        picks_b = [b.choose(_packet(1, f), (0, 1, 2, 3), 0.0) for f in range(64)]
+        assert picks_a != picks_b  # same flows, independent hashing
+
+    def test_deterministic_across_instances(self):
+        picks = [
+            EcmpSelector(salt=9).choose(_packet(3, f), (0, 1), 0.0)
+            for f in range(32)
+        ]
+        again = [
+            EcmpSelector(salt=9).choose(_packet(3, f), (0, 1), 0.0)
+            for f in range(32)
+        ]
+        assert picks == again
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigError, match="empty candidate"):
+            EcmpSelector().choose(_packet(1, 1), (), 0.0)
+
+
+class TestFlowlet:
+    def test_sticky_within_flowlet(self):
+        selector = FlowletSelector(gap_s=1e-6, salt=3)
+        picks = {
+            selector.choose(_packet(1, 1, seq), (0, 1, 2, 3), seq * 1e-8)
+            for seq in range(20)
+        }
+        assert len(picks) == 1
+        assert selector.flowlets_started == 1
+
+    def test_idle_gap_starts_a_new_flowlet(self):
+        selector = FlowletSelector(gap_s=1e-6, salt=3)
+        selector.choose(_packet(1, 1, 0), (0, 1, 2, 3), 0.0)
+        selector.choose(_packet(1, 1, 1), (0, 1, 2, 3), 5e-6)  # > gap
+        assert selector.flowlets_started == 2
+
+    def test_no_intra_flowlet_reordering(self):
+        """Within one flowlet every packet takes the same port, so a
+        FIFO path cannot reorder them; the history proves it."""
+        selector = FlowletSelector(gap_s=1e-6, salt=11)
+        now = 0.0
+        for seq in range(60):
+            # Bursts of 10 packets, then an idle gap forcing a re-hash.
+            if seq % 10 == 0 and seq:
+                now += 5e-6
+            selector.choose(_packet(2, 7, seq), (0, 1, 2, 3), now)
+            now += 1e-8
+        (history,) = selector.history.values()
+        assert [seq for seq, _ in history] == sorted(
+            seq for seq, _ in history
+        )
+        # Port only ever changes across a burst boundary.
+        for (seq_a, port_a), (seq_b, port_b) in zip(history, history[1:]):
+            if seq_b % 10 != 0:
+                assert port_a == port_b, (seq_a, seq_b)
+
+    def test_gap_must_be_positive(self):
+        with pytest.raises(ConfigError, match="gap must be positive"):
+            FlowletSelector(gap_s=0.0)
+
+
+class TestFactory:
+    def test_make_selector_modes(self):
+        assert isinstance(make_selector("ecmp", "leaf0", 1e-6), EcmpSelector)
+        assert isinstance(
+            make_selector("flowlet", "leaf0", 1e-6), FlowletSelector
+        )
+        with pytest.raises(ConfigError, match="unknown routing"):
+            make_selector("spray", "leaf0", 1e-6)
+
+    def test_per_switch_salts_differ(self):
+        assert (
+            make_selector("ecmp", "leaf0", 1e-6).salt
+            != make_selector("ecmp", "leaf1", 1e-6).salt
+        )

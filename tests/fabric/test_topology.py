@@ -1,0 +1,143 @@
+"""Topology generators, validation, and equal-cost routing tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fabric import (
+    Topology,
+    fat_tree,
+    host_ip,
+    leaf_spine,
+    parse_topology,
+)
+from repro.fabric.topology import Host, SwitchNode, host_of_ip
+
+
+class TestLeafSpine:
+    def test_default_shape(self):
+        topo = leaf_spine(2, 2)
+        assert topo.name == "leaf-spine-2x2"
+        assert topo.tier("leaf") == ["leaf0", "leaf1"]
+        assert topo.tier("spine") == ["spine0", "spine1"]
+        assert topo.host_ids == [0, 1, 2, 3]
+
+    def test_every_leaf_uplinks_to_every_spine(self):
+        topo = leaf_spine(3, 2)
+        for leaf in topo.tier("leaf"):
+            assert topo.switches[leaf].neighbors() == ["spine0", "spine1"]
+        for spine in topo.tier("spine"):
+            assert topo.switches[spine].neighbors() == [
+                "leaf0",
+                "leaf1",
+                "leaf2",
+            ]
+
+    def test_hosts_per_leaf_override_changes_name_and_count(self):
+        topo = leaf_spine(2, 2, hosts_per_leaf=4)
+        assert topo.name == "leaf-spine-2x2x4"
+        assert len(topo.hosts) == 8
+        assert all(
+            topo.hosts[h].switch == f"leaf{h // 4}" for h in topo.host_ids
+        )
+
+    def test_rejects_empty_dimensions(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            leaf_spine(0, 2)
+
+
+class TestFatTree:
+    def test_k4_counts(self):
+        topo = fat_tree(4)
+        assert topo.name == "fat-tree-k4"
+        assert len(topo.switches) == 20  # 8 edge + 8 agg + 4 core
+        assert len(topo.tier("edge")) == 8
+        assert len(topo.tier("agg")) == 8
+        assert len(topo.tier("core")) == 4
+        assert len(topo.hosts) == 16  # k^3 / 4
+
+    def test_k8_counts(self):
+        topo = fat_tree(8)
+        assert len(topo.switches) == 80  # 5k^2/4
+        assert len(topo.hosts) == 128  # k^3/4
+
+    def test_odd_arity_rejected(self):
+        with pytest.raises(ConfigError, match="even"):
+            fat_tree(3)
+
+    def test_core_reaches_every_pod(self):
+        topo = fat_tree(4)
+        for core in topo.tier("core"):
+            peers = topo.switches[core].neighbors()
+            pods = {peer.split("-")[0][len("agg"):] for peer in peers}
+            assert pods == {"0", "1", "2", "3"}
+
+
+class TestValidation:
+    def test_asymmetric_link_rejected(self):
+        a = SwitchNode("a", "leaf", 1, links={0: ("b", 0)})
+        b = SwitchNode("b", "leaf", 1, links={0: ("a", 1)})
+        with pytest.raises(ConfigError, match="not.*symmetric"):
+            Topology("bad", {"a": a, "b": b}, {})
+
+    def test_unwired_port_rejected(self):
+        a = SwitchNode("a", "leaf", 2, links={0: ("b", 0)})
+        b = SwitchNode("b", "leaf", 1, links={0: ("a", 0)})
+        with pytest.raises(ConfigError, match="only 1 are wired"):
+            Topology("bad", {"a": a, "b": b}, {})
+
+    def test_host_must_be_wired_back(self):
+        a = SwitchNode("a", "leaf", 1, links={0: ("b", 0)})
+        b = SwitchNode("b", "leaf", 1, links={0: ("a", 0)})
+        with pytest.raises(ConfigError, match="does not wire it back"):
+            Topology("bad", {"a": a, "b": b}, {0: Host(0, "a", 5)})
+
+    def test_disconnected_topology_rejected_at_routing(self):
+        a = SwitchNode("a", "leaf", 1, host_ports={0: 0})
+        b = SwitchNode("b", "leaf", 1, host_ports={0: 1})
+        topo = Topology(
+            "split",
+            {"a": a, "b": b},
+            {0: Host(0, "a", 0), 1: Host(1, "b", 0)},
+        )
+        with pytest.raises(ConfigError, match="disconnected"):
+            topo.routes()
+
+
+class TestRoutes:
+    def test_leaf_spine_equal_cost_uplinks(self):
+        topo = leaf_spine(2, 2)
+        tables = topo.routes()
+        # leaf0 -> leaf1 crosses either spine: both uplink ports.
+        assert tables["leaf0"].to_switch["leaf1"] == (2, 3)
+        # leaf0 -> spine0 is the direct uplink only.
+        assert tables["leaf0"].to_switch["spine0"] == (2,)
+        # Local host: the access port; remote host: the uplink set.
+        assert tables["leaf0"].to_host[0] == (0,)
+        assert tables["leaf0"].to_host[2] == (2, 3)
+
+    def test_fat_tree_intra_pod_stays_in_pod(self):
+        topo = fat_tree(4)
+        tables = topo.routes()
+        # edge0-0 -> edge0-1 goes up to either aggregation in pod 0.
+        ports = tables["edge0-0"].to_switch["edge0-1"]
+        peers = {topo.switches["edge0-0"].links[p][0] for p in ports}
+        assert peers == {"agg0-0", "agg0-1"}
+
+
+class TestParseAndAddressing:
+    def test_parse_round_trip(self):
+        assert parse_topology("leaf-spine-2x2").name == "leaf-spine-2x2"
+        assert parse_topology("leaf-spine-4x2x1").name == "leaf-spine-4x2x1"
+        assert parse_topology("fat-tree-k4").name == "fat-tree-k4"
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("ring-4", "leaf-spine-", "fat-tree-kX", "leaf-spine-2"):
+            with pytest.raises(ConfigError, match="unknown topology"):
+                parse_topology(bad)
+
+    def test_host_ip_reserves_zero(self):
+        assert host_ip(0) == 1
+        assert host_of_ip(0) is None
+        assert host_of_ip(host_ip(7)) == 7

@@ -209,4 +209,4 @@ class TestCLI:
         assert main(["frobnicate"]) == 2
         err = capsys.readouterr().err
         assert "unknown artifact" in err
-        assert "subcommands: trace, profile, monitor, diff" in err
+        assert "subcommands: trace, profile, monitor, fabric, diff" in err
