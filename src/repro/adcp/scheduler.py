@@ -16,7 +16,6 @@ output deviates from sorted order.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from collections import deque
 from typing import Callable, Hashable
@@ -143,8 +142,7 @@ class KWayMergeScheduler:
                     blocked = True
             if blocked or not heads:
                 break
-            heapq.heapify(heads)
-            _, _, flow = heads[0]
+            _, _, flow = min(heads)
             released.append(self._buffers[flow].popleft())
         self.released += len(released)
         return released

@@ -121,6 +121,14 @@ class ADCPSwitch(Component):
             app.bind_placement(config.central_pipelines)
             if placement is None:
                 placement = app.placement_policy
+        # Hook elision: a region hook the app never overrode is the base
+        # class's forward-everything default, which the pipelines treat
+        # as no hook at all — unlocking their parse/deparse-free path.
+        # Width enforcement at the central area keys off the *app*, not
+        # the (possibly elided) hook, so it survives elision.
+        self._ingress_hook = self._elide_hook("ingress")
+        self._central_hook = self._elide_hook("central")
+        self._egress_hook = self._elide_hook("egress")
         tm_latency = config.tm_latency_cycles / config.central_clock_hz
         self.tm1 = ApplicationTrafficManager(
             "tm1",
@@ -171,6 +179,16 @@ class ADCPSwitch(Component):
                 self._sim.trace = trace
 
     # --- topology helpers --------------------------------------------------------
+
+    def _elide_hook(self, region: str):
+        """The app's hook for ``region``, or None if it is the inherited
+        :class:`~repro.arch.app.SwitchApp` default (pure forward)."""
+        app = self.app
+        if app is None:
+            return None
+        if getattr(type(app), region) is getattr(SwitchApp, region):
+            return None
+        return getattr(app, region)
 
     @staticmethod
     def _default_key(packet: Packet) -> int:
@@ -247,15 +265,38 @@ class ADCPSwitch(Component):
 
         One run per switch instance, as with :class:`RMTSwitch`.
         """
-        for time, packet in timed_packets:
-            self._schedule_ingress(packet, time)
+        if self.trace is None:
+            # Batched admission: one kernel event per distinct arrival
+            # timestamp.  Equivalent to per-packet events because the
+            # kernel breaks (time, priority) ties in schedule order — see
+            # :func:`repro.net.traffic.batch_arrivals`.
+            from ..net.traffic import batch_arrivals
+
+            for time, burst in batch_arrivals(timed_packets):
+                self._sim.at(time, self._make_burst_event(burst, time))
+        else:
+            for time, packet in timed_packets:
+                self._schedule_ingress(packet, time)
         self._sim.run(until=until)
         return self.finalize()
+
+    def _make_burst_event(self, burst: list[Packet], time: float):
+        def event() -> None:
+            self._sim.events_coalesced += len(burst) - 1
+            for packet in burst:
+                self._ingress_service(packet, time)
+
+        return event
 
     def inject(self, packet: Packet, time: float) -> None:
         """Schedule one packet arrival without draining the event queue
         (fabric entry point; see :meth:`RMTSwitch.inject`)."""
         self._schedule_ingress(packet, time)
+
+    def inject_burst(self, packets: list[Packet], time: float) -> None:
+        """Schedule several same-timestamp arrivals as one kernel event
+        (see :meth:`RMTSwitch.inject_burst`)."""
+        self._sim.at(time, self._make_burst_event(list(packets), time))
 
     def finalize(self, now_s: float | None = None) -> SwitchRunResult:
         """Seal the run result once the (possibly shared) simulator drained."""
@@ -290,8 +331,7 @@ class ADCPSwitch(Component):
                 port=port,
                 lane=lane,
             )
-        hook = self.app.ingress if self.app is not None else None
-        record = pipeline.service(packet, ready, hook)
+        record = pipeline.service(packet, ready, self._ingress_hook)
         decision = record.decision
 
         for emission in decision.emissions:
@@ -350,6 +390,9 @@ class ADCPSwitch(Component):
                     released=len(released),
                     depth=self._merge.pending(),
                 )
+        if self.trace is None and len(released) > 1:
+            self._to_tm1_burst(released, ready)
+            return
         for ready_packet in released:
             if self.trace is not None:
                 self._emit(
@@ -370,14 +413,53 @@ class ADCPSwitch(Component):
 
         self._sim.at(deliver, event)
 
+    def _to_tm1_burst(self, packets: list[Packet], ready: float) -> None:
+        """Admit a same-time burst into TM1 and serve it with one event.
+
+        Only taken untraced: accounting (admission order, drop order,
+        central service order) is identical to per-packet
+        :meth:`_to_tm1` calls because the releases all share ``ready``
+        and the kernel would dispatch their equal-time events in
+        schedule order anyway.
+        """
+        admitted, rejected = self.tm1.admit_burst(packets, ready)
+        for packet in rejected:
+            self._result.dropped.append(packet)
+            self._emit_drop(packet, ready)
+        if not admitted:
+            return
+        deliver = admitted[0][2]
+        for _, _, each in admitted:
+            if each != deliver:
+                # Unequal delivery times (not possible with a constant
+                # TM latency, but cheap to guard): fall back to one
+                # event per packet.
+                for packet, partition, when in admitted:
+                    self._sim.at(
+                        when,
+                        lambda p=packet, c=partition, w=when: (
+                            self._central_service(p, c, w)
+                        ),
+                    )
+                return
+
+        def event() -> None:
+            self._sim.events_coalesced += len(admitted) - 1
+            for packet, partition, _ in admitted:
+                self._central_service(packet, partition, deliver)
+
+        self._sim.at(deliver, event)
+
     def _central_service(
         self, packet: Packet, partition: int, ready: float
     ) -> None:
         pipeline = self.central[partition]
         packet.meta.central_pipeline = partition
-        hook = self.app.central if self.app is not None else None
         record = pipeline.service(
-            packet, ready, hook, enforce_width=hook is not None
+            packet,
+            ready,
+            self._central_hook,
+            enforce_width=self.app is not None,
         )
         self.tm1.release(packet, now=record.exit_time)
         packet.meta.central_done = True
@@ -415,8 +497,11 @@ class ADCPSwitch(Component):
             deliveries = self.tm2.multicast_admit(
                 packet, packet.meta.egress_ports, ready
             )
-            for copy, lane, deliver in deliveries:
-                self._schedule_egress(copy, lane, deliver)
+            if self.trace is None and len(deliveries) > 1:
+                self._schedule_egress_burst(deliveries)
+            else:
+                for copy, lane, deliver in deliveries:
+                    self._schedule_egress(copy, lane, deliver)
             return
         if packet.meta.egress_port is None:
             packet.meta.drop_reason = "no_route"
@@ -443,6 +528,28 @@ class ADCPSwitch(Component):
                 reason=packet.meta.drop_reason,
             )
 
+    def _schedule_egress_burst(self, deliveries) -> None:
+        """One kernel event for a whole multicast fan-out.
+
+        All copies of one multicast admission share a delivery time, so
+        serving them in replication order inside a single event is
+        dispatch-for-dispatch identical to the per-copy events the
+        traced path schedules (equal-time events pop in push order).
+        """
+        deliver = deliveries[0][2]
+        for _, _, each in deliveries:
+            if each != deliver:
+                for copy, lane, when in deliveries:
+                    self._schedule_egress(copy, lane, when)
+                return
+
+        def event() -> None:
+            self._sim.events_coalesced += len(deliveries) - 1
+            for copy, lane, _ in deliveries:
+                self._egress_service(copy, lane, deliver)
+
+        self._sim.at(deliver, event)
+
     def _schedule_egress(self, packet: Packet, lane: int, deliver: float) -> None:
         def event() -> None:
             self._egress_service(packet, lane, deliver)
@@ -452,8 +559,7 @@ class ADCPSwitch(Component):
     def _egress_service(self, packet: Packet, lane: int, ready: float) -> None:
         pipeline = self.egress[lane]
         packet.meta.egress_pipeline = lane
-        hook = self.app.egress if self.app is not None else None
-        record = pipeline.service(packet, ready, hook)
+        record = pipeline.service(packet, ready, self._egress_hook)
         self.tm2.release(packet, now=record.exit_time)
         decision = record.decision
 

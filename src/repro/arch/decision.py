@@ -27,7 +27,7 @@ class Verdict(Enum):
     escape hatch for cross-pipeline data movement)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Decision:
     """A verdict plus any packets the hook wants to emit.
 

@@ -58,10 +58,21 @@ class HashPlacement(PlacementPolicy):
 
     The default policy for aggregation workloads: "place a given weight to
     aggregate on a pipeline based on the weight's ID hash" (section 3.1).
+    Placements are memoized: the hash is pure and the switches consult the
+    policy once per packet on the steering path.
     """
 
+    def __init__(self, partitions: int) -> None:
+        super().__init__(partitions)
+        self._memo: dict[int, int] = {}
+
     def place(self, key: int) -> int:
-        return stable_hash64(key) % self.partitions
+        partition = self._memo.get(key)
+        if partition is None:
+            partition = self._memo[key] = (
+                stable_hash64(key) % self.partitions
+            )
+        return partition
 
 
 class RangePlacement(PlacementPolicy):

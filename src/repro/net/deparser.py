@@ -13,7 +13,10 @@ from __future__ import annotations
 from ..errors import DeparseError
 from .headers import Header
 from .packet import Element, ElementArray, Packet
-from .phv import PHV
+from .phv import PHV, _element_names
+
+
+_MISSING = object()
 
 
 class Deparser:
@@ -31,13 +34,23 @@ class Deparser:
 
     def deparse(self, phv: PHV, original: Packet) -> Packet:
         """Return a new packet reflecting PHV modifications."""
+        phv_values = phv._values
         headers: list[Header] = []
         for header in original.headers:
             rebuilt = header.copy()
-            for spec in header.type.fields:
-                phv_name = f"{header.type.name}.{spec.name}"
-                if phv_name in phv:
-                    rebuilt[spec.name] = phv[phv_name]
+            rebuilt_values = rebuilt._values
+            # The per-type plan carries precomputed qualified names and
+            # max values; the range check mirrors Header.__setitem__
+            # (hooks can write out-of-range values into the PHV, and the
+            # deparser is where that must surface).
+            for phv_name, field_name, max_value in header.type._deparse_plan:
+                value = phv_values.get(phv_name, _MISSING)
+                if value is _MISSING:
+                    continue
+                if 0 <= value <= max_value:
+                    rebuilt_values[field_name] = value
+                else:
+                    rebuilt[field_name] = value  # raises the range ConfigError
             headers.append(rebuilt)
 
         payload = self._rebuild_array(phv, original)
@@ -77,8 +90,9 @@ class Deparser:
                 f"array {self.array_name!r} key/value lengths differ "
                 f"({key_len} vs {value_len})"
             )
-        keys = [phv[f"{key_array}[{i}]"] for i in range(key_len)]
-        values = [phv[f"{value_array}[{i}]"] for i in range(value_len)]
+        phv_values = phv._values
+        keys = [phv_values[n] for n in _element_names(key_array, key_len)]
+        values = [phv_values[n] for n in _element_names(value_array, value_len)]
         width = (
             original.payload.element_width_bytes if original.payload else 8
         )

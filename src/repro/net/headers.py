@@ -48,24 +48,44 @@ class HeaderType:
         names = [f.name for f in self.fields]
         if len(set(names)) != len(names):
             raise ConfigError(f"header type {self.name!r} has duplicate fields")
+        # Layout caches: header types are frozen, and field lookups /
+        # width sums sit on the per-packet parse and deparse paths, so
+        # pay for them once at construction.
+        object.__setattr__(self, "_by_name", {f.name: f for f in self.fields})
+        object.__setattr__(
+            self, "_max_by_name", {f.name: f.max_value for f in self.fields}
+        )
+        object.__setattr__(self, "_zero_values", {f.name: 0 for f in self.fields})
+        bits = sum(f.width_bits for f in self.fields)
+        object.__setattr__(self, "_width_bits", bits)
+        object.__setattr__(self, "_width_bytes", (bits + 7) // 8)
+        # Deparse plan: per field, the PHV-qualified name ("type.field"),
+        # the bare field name, and the max value for range re-checks.
+        object.__setattr__(
+            self,
+            "_deparse_plan",
+            tuple(
+                (f"{self.name}.{f.name}", f.name, f.max_value)
+                for f in self.fields
+            ),
+        )
 
     @property
     def width_bits(self) -> int:
-        return sum(f.width_bits for f in self.fields)
+        return self._width_bits
 
     @property
     def width_bytes(self) -> int:
-        bits = self.width_bits
-        return (bits + 7) // 8
+        return self._width_bytes
 
     def field(self, name: str) -> FieldSpec:
-        for spec in self.fields:
-            if spec.name == name:
-                return spec
-        raise ConfigError(f"header type {self.name!r} has no field {name!r}")
+        spec = self._by_name.get(name)
+        if spec is None:
+            raise ConfigError(f"header type {self.name!r} has no field {name!r}")
+        return spec
 
     def __contains__(self, name: str) -> bool:
-        return any(f.name == name for f in self.fields)
+        return name in self._by_name
 
     def instantiate(self, **values: int) -> "Header":
         """Create a header instance, defaulting unset fields to zero."""
@@ -80,7 +100,7 @@ class Header:
 
     def __init__(self, header_type: HeaderType, values: dict[str, int] | None = None):
         self.type = header_type
-        self._values: dict[str, int] = {f.name: 0 for f in header_type.fields}
+        self._values: dict[str, int] = dict(header_type._zero_values)
         if values:
             for name, value in values.items():
                 self[name] = value
@@ -93,8 +113,11 @@ class Header:
         return self._values[name]
 
     def __setitem__(self, name: str, value: int) -> None:
-        spec = self.type.field(name)
-        if not 0 <= value <= spec.max_value:
+        max_value = self.type._max_by_name.get(name)
+        if max_value is None:
+            self.type.field(name)  # raises the no-such-field ConfigError
+        if not 0 <= value <= max_value:
+            spec = self.type.field(name)
             raise ConfigError(
                 f"value {value} out of range for {self.type.name}.{name} "
                 f"({spec.width_bits} bits)"
@@ -108,7 +131,13 @@ class Header:
         return self._values.items()
 
     def copy(self) -> "Header":
-        return Header(self.type, dict(self._values))
+        # Values in an existing header already passed range validation,
+        # so the copy skips __init__ entirely (deparse copies every
+        # header of every serviced packet).
+        clone = Header.__new__(Header)
+        clone.type = self.type
+        clone._values = dict(self._values)
+        return clone
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Header):

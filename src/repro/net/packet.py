@@ -26,6 +26,17 @@ from .headers import Header
 _packet_ids = itertools.count()
 
 
+def consume_packet_id() -> int:
+    """Draw (and discard) the next global packet id.
+
+    Fast paths that skip constructing a transient :class:`Packet` (e.g.
+    the deparser bypass in ``Pipeline.service``) call this so the id
+    stream — and therefore every downstream packet's id — is identical
+    to the instrumented path's.
+    """
+    return next(_packet_ids)
+
+
 @dataclass
 class Element:
     """One data element of an array payload: a key and a value.
@@ -95,7 +106,7 @@ class ElementArray:
         return f"<ElementArray n={len(self.elements)} w={self.element_width_bytes}B>"
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketMetadata:
     """Switch-internal metadata that travels with a packet but not on the wire."""
 
@@ -136,62 +147,123 @@ class Packet:
             raise ConfigError(
                 f"extra payload must be non-negative, got {extra_payload_bytes}"
             )
-        self.headers = list(headers)
-        self.payload = payload
+        self._headers = list(headers)
+        self._payload = payload
         self.extra_payload_bytes = extra_payload_bytes
         self.meta = PacketMetadata()
         self.packet_id = next(_packet_ids)
+        # Size, header-index, and parser-verdict caches, rebuilt lazily
+        # after the headers or payload attribute is reassigned (the only
+        # mutations the pipeline performs).
+        self._sizes: tuple[int, int, int, int] | None = None
+        self._by_type: dict[str, Header] | None = None
+        self._accepts_memo: tuple | None = None
 
     # --- header access -------------------------------------------------------
 
+    @property
+    def headers(self) -> list[Header]:
+        return self._headers
+
+    @headers.setter
+    def headers(self, value) -> None:
+        self._headers = value if type(value) is list else list(value)
+        self._sizes = None
+        self._by_type = None
+        self._accepts_memo = None
+
+    @property
+    def payload(self) -> ElementArray | None:
+        return self._payload
+
+    @payload.setter
+    def payload(self, value: ElementArray | None) -> None:
+        self._payload = value
+        self._sizes = None
+        self._accepts_memo = None
+
+    def _header_index(self) -> dict[str, Header]:
+        """First-header-of-each-type lookup table (parse/deparse hot path)."""
+        index = self._by_type
+        if index is None:
+            index = {}
+            for header in self._headers:
+                index.setdefault(header.type.name, header)
+            self._by_type = index
+        return index
+
     def header(self, type_name: str) -> Header:
         """Return the first header of the given type name."""
-        for header in self.headers:
-            if header.type.name == type_name:
-                return header
-        raise ConfigError(f"packet has no {type_name!r} header")
+        header = self._header_index().get(type_name)
+        if header is None:
+            raise ConfigError(f"packet has no {type_name!r} header")
+        return header
 
     def has_header(self, type_name: str) -> bool:
-        return any(h.type.name == type_name for h in self.headers)
+        return type_name in self._header_index()
 
     # --- sizes ----------------------------------------------------------------
 
+    def _size_tuple(self) -> tuple[int, int, int, int]:
+        sizes = self._sizes
+        if sizes is None:
+            header_bytes = sum(h.type._width_bytes for h in self._headers)
+            payload = self._payload
+            payload_bytes = (
+                payload.width_bytes if payload else 0
+            ) + self.extra_payload_bytes
+            frame = max(
+                header_bytes + payload_bytes + ETHERNET_FCS_BYTES,
+                ETHERNET_MIN_FRAME_BYTES,
+            )
+            sizes = self._sizes = (
+                header_bytes,
+                payload_bytes,
+                frame,
+                frame + ETHERNET_OVERHEAD_BYTES,
+            )
+        return sizes
+
     @property
     def header_bytes(self) -> int:
-        return sum(h.type.width_bytes for h in self.headers)
+        return self._size_tuple()[0]
 
     @property
     def payload_bytes(self) -> int:
-        array = self.payload.width_bytes if self.payload else 0
-        return array + self.extra_payload_bytes
+        return self._size_tuple()[1]
 
     @property
     def frame_bytes(self) -> int:
         """Ethernet frame size, padded to the 64 B minimum, including FCS."""
-        raw = self.header_bytes + self.payload_bytes + ETHERNET_FCS_BYTES
-        return max(raw, ETHERNET_MIN_FRAME_BYTES)
+        return self._size_tuple()[2]
 
     @property
     def wire_bytes(self) -> int:
         """Wire footprint: frame plus preamble and inter-frame gap."""
-        return self.frame_bytes + ETHERNET_OVERHEAD_BYTES
+        return self._size_tuple()[3]
 
     @property
     def goodput_bytes(self) -> int:
         """Application-useful bytes: the element array only."""
-        return self.payload.width_bytes if self.payload else 0
+        return self._payload.width_bytes if self._payload else 0
 
     @property
     def element_count(self) -> int:
-        return len(self.payload) if self.payload else 0
+        payload = self._payload
+        return len(payload.elements) if payload else 0
 
     def copy(self) -> "Packet":
         """Deep copy with fresh packet id and reset metadata."""
         clone = Packet(
-            [h.copy() for h in self.headers],
-            self.payload.copy() if self.payload else None,
+            [h.copy() for h in self._headers],
+            self._payload.copy() if self._payload else None,
             self.extra_payload_bytes,
         )
+        # A copy starts bit-identical, so it can share the parent's size
+        # tuple and parser verdict (immutable; both sides invalidate on
+        # header mutation).
+        clone._sizes = self._sizes
+        clone._accepts_memo = self._accepts_memo
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from ..errors import ConfigError, ParseError
 from .headers import HeaderType
 from .packet import Packet
-from .phv import PHV, PHVLayout
+from .phv import PHV, PHVLayout, containers_needed
 
 
 @dataclass
@@ -166,6 +166,10 @@ class ParseResult:
     headers_extracted: tuple[str, ...]
 
 
+#: Interned accept-walk signatures (see Parser._accept_sig).
+_ACCEPT_SIGS: dict = {}
+
+
 class Parser:
     """Executes a parse graph against packets, producing PHVs.
 
@@ -190,38 +194,118 @@ class Parser:
         self.array_capable = array_capable
         self.packets_parsed = 0
         self.packets_rejected = 0
+        # Per-state extraction plans, precomputed once: the PHV-qualified
+        # name, bare field name, container class, and container count of
+        # every field.  The parse loop walks these instead of re-deriving
+        # strings and container math per packet.
+        self._field_plans: dict[str, tuple] = {}
+        for state_name in graph._states:
+            state = graph._states[state_name]
+            if state.header_type is not None:
+                header_type = state.header_type
+                rows = [
+                    (
+                        f"{header_type.name}.{spec.name}",
+                        spec.name,
+                        *containers_needed(spec.width_bits),
+                    )
+                    for spec in header_type.fields
+                ]
+                totals: dict = {}
+                for _, _, cls, count in rows:
+                    totals[cls] = totals.get(cls, 0) + count
+                self._field_plans[state_name] = (rows, tuple(totals.items()))
+        # Compiled accept program: one flat tuple per state, so the
+        # verdict-only walk touches no ParseState attributes or method
+        # calls.  Row: (header name or None, select field, transitions
+        # with stringified targets, default target, array cap or -1).
+        self._accept_prog: dict[str, tuple] = {}
+        for state_name, state in graph._states.items():
+            transitions = {k: str(v) for k, v in state.transitions.items()}
+            self._accept_prog[state_name] = (
+                state.header_type.name if state.header_type else None,
+                state.select_field,
+                transitions,
+                transitions.get("default", "accept"),
+                state.max_array_elements
+                if state.extract_array is not None
+                else -1,
+            )
+        # Structural signature of the verdict-only walk: two parsers with
+        # the same signature accept/reject/raise on exactly the same
+        # packets, so a verdict memoized on the packet by one is valid
+        # for the other (cross-pipeline reuse).  Interned so the hot
+        # check is a single identity comparison.
+        signature = (
+            graph.start,
+            max_depth,
+            array_capable,
+            tuple(
+                sorted(
+                    (
+                        name,
+                        row[0],
+                        row[1],
+                        tuple(sorted(row[2].items(), key=repr)),
+                        row[3],
+                        row[4],
+                    )
+                    for name, row in self._accept_prog.items()
+                )
+            ),
+        )
+        self._accept_sig = _ACCEPT_SIGS.setdefault(signature, signature)
 
     def parse(self, packet: Packet) -> ParseResult:
         """Parse ``packet`` into a fresh PHV."""
         phv = PHV(self.layout)
-        headers_by_type = {h.type.name: h for h in packet.headers}
+        accepted, visited, bytes_examined, extracted = self._parse_into(
+            phv, packet
+        )
+        if accepted:
+            self.packets_parsed += 1
+        else:
+            self.packets_rejected += 1
+        return ParseResult(phv, accepted, visited, bytes_examined, extracted)
+
+    def _parse_into(
+        self, phv: PHV, packet: Packet
+    ) -> tuple[bool, int, int, tuple[str, ...]]:
+        """Graph walk + container fill into ``phv``, without accounting.
+
+        Shared by :meth:`parse` (which adds the parsed/rejected counts)
+        and :class:`LazyPHV` materialization (whose verdict and counts
+        were already taken by :meth:`accepts`, so filling must not count
+        the packet a second time).
+        """
+        headers_by_type = packet._header_index()
         visited = 0
         bytes_examined = 0
         extracted: list[str] = []
         state_name = self.graph.start
+        states = self.graph._states
+        plans = self._field_plans
 
         while state_name not in ParseGraph.RESERVED:
             if visited >= self.max_depth:
                 raise ParseError(
                     f"parse depth exceeded {self.max_depth} (loop in graph?)"
                 )
-            state = self.graph.state(state_name)
+            state = states.get(state_name)
+            if state is None:
+                state = self.graph.state(state_name)  # raises ConfigError
             visited += 1
             selector: int | None = None
 
-            if state.header_type is not None:
-                header = headers_by_type.get(state.header_type.name)
+            header_type = state.header_type
+            if header_type is not None:
+                header = headers_by_type.get(header_type.name)
                 if header is None:
-                    self.packets_rejected += 1
-                    return ParseResult(phv, False, visited, bytes_examined, tuple(extracted))
-                bytes_examined += state.header_type.width_bytes
-                for spec in state.header_type.fields:
-                    phv.allocate(
-                        f"{state.header_type.name}.{spec.name}",
-                        spec.width_bits,
-                        header[spec.name],
-                    )
-                extracted.append(state.header_type.name)
+                    return False, visited, bytes_examined, tuple(extracted)
+                bytes_examined += header_type.width_bytes
+                rows, totals = plans[state_name]
+                phv._allocate_planned(rows, totals, header._values)
+                extracted.append(header_type.name)
                 if state.select_field is not None:
                     selector = header[state.select_field]
 
@@ -233,11 +317,98 @@ class Parser:
             state_name = state.next_state(selector)
 
         accepted = state_name == "accept"
+        return accepted, visited, bytes_examined, tuple(extracted)
+
+    def accepts(self, packet: Packet) -> bool:
+        """Walk the parse graph without materializing a PHV.
+
+        The forwarding fast path (no application hook, no tracing) only
+        needs the accept/reject verdict; this performs the identical
+        graph walk — same depth bound, same array-width check, same
+        ``packets_parsed``/``packets_rejected`` accounting — while
+        skipping container allocation entirely.  Any packet this method
+        accepts (or rejects, or raises on), :meth:`parse` treats the
+        same way.
+
+        The verdict is memoized on the packet (invalidated when its
+        headers or payload are reassigned — the only mutations the
+        pipeline performs) so the egress pass, recirculations, and
+        multicast copies skip the walk; a hit still performs the same
+        parsed/rejected accounting.  Walks that raise are never
+        memoized, so repeat offenders raise identically.
+        """
+        sig = self._accept_sig
+        memo = packet._accepts_memo
+        if memo is not None and memo[0] is sig:
+            accepted = memo[1]
+            if accepted:
+                self.packets_parsed += 1
+            else:
+                self.packets_rejected += 1
+            return accepted
+        headers_by_type = packet._header_index()
+        prog = self._accept_prog
+        max_depth = self.max_depth
+        array_capable = self.array_capable
+        visited = 0
+        state_name = self.graph.start
+
+        while state_name != "accept" and state_name != "reject":
+            if visited >= max_depth:
+                raise ParseError(
+                    f"parse depth exceeded {max_depth} (loop in graph?)"
+                )
+            row = prog.get(state_name)
+            if row is None:
+                self.graph.state(state_name)  # raises ConfigError
+            visited += 1
+            header_name, select_field, transitions, default, array_max = row
+            selector: int | None = None
+
+            if header_name is not None:
+                header = headers_by_type.get(header_name)
+                if header is None:
+                    self.packets_rejected += 1
+                    packet._accepts_memo = (sig, False)
+                    return False
+                if select_field is not None:
+                    selector = header[select_field]
+
+            if array_max >= 0 and array_capable:
+                payload = packet.payload
+                if payload is not None and len(payload) > array_max:
+                    raise ParseError(
+                        f"packet carries {len(payload)} elements but state "
+                        f"{state_name!r} extracts at most {array_max}"
+                    )
+
+            if selector is None:
+                state_name = default
+            else:
+                state_name = (
+                    transitions.get(selector)
+                    or transitions.get("default")
+                    or "reject"
+                )
+
+        accepted = state_name == "accept"
         if accepted:
             self.packets_parsed += 1
         else:
             self.packets_rejected += 1
-        return ParseResult(phv, accepted, visited, bytes_examined, tuple(extracted))
+        packet._accepts_memo = (sig, accepted)
+        return accepted
+
+    def lazy_phv(self, packet: Packet) -> "LazyPHV":
+        """A PHV whose container fill is deferred until first access.
+
+        Pair with :meth:`accepts`: the verdict and parser accounting come
+        from the walk, and the containers are only materialized if the
+        application hook actually reads or writes the PHV.  Hooks that
+        work off the packet alone (common for array apps, which consume
+        the payload directly) never pay for allocation at all.
+        """
+        return LazyPHV(self, packet)
 
     def _extract_array(self, state: ParseState, packet: Packet, phv: PHV) -> None:
         name = state.extract_array
@@ -251,10 +422,8 @@ class Parser:
                     f"packet carries {len(payload)} elements but state "
                     f"{state.name!r} extracts at most {state.max_array_elements}"
                 )
-            phv.allocate_array(f"{name}.key", len(payload))
-            phv.allocate_array(f"{name}.value", len(payload))
-            phv.set_array(f"{name}.key", payload.keys())
-            phv.set_array(f"{name}.value", payload.values())
+            phv._allocate_array_planned(f"{name}.key", payload.keys())
+            phv._allocate_array_planned(f"{name}.value", payload.values())
         else:
             # Classic RMT: only the first element is liftable as scalars.
             first = payload[0]
@@ -262,3 +431,90 @@ class Parser:
             phv.allocate(f"{name}.value[0]", 32, first.value)
             phv._values[f"{name}.key.length"] = 1
             phv._values[f"{name}.value.length"] = 1
+
+
+class LazyPHV(PHV):
+    """A PHV that materializes its containers on first touch.
+
+    Created by :meth:`Parser.lazy_phv` on the untraced hook path after
+    :meth:`Parser.accepts` has already delivered the verdict and taken
+    the parsed/rejected counts.  Every field accessor and mutator below
+    first runs the parser's fill walk (:meth:`Parser._parse_into`, which
+    performs no accounting) and then behaves as a plain PHV; intrinsic
+    metadata reads stay lazy because they never depend on the fill.
+
+    A hook that never touches the PHV leaves it empty and clean, which is
+    indistinguishable from an eagerly parsed PHV the hook did not modify:
+    the pipeline's deparse-skip only consults ``_dirty``.
+    """
+
+    def __init__(self, parser: Parser, packet: Packet) -> None:
+        super().__init__(parser.layout)
+        self._parser: Parser | None = parser
+        self._packet: Packet | None = packet
+
+    def _materialize(self) -> None:
+        parser = self._parser
+        if parser is not None:
+            packet = self._packet
+            self._parser = None
+            self._packet = None
+            parser._parse_into(self, packet)
+
+    def __contains__(self, name: str) -> bool:
+        self._materialize()
+        return PHV.__contains__(self, name)
+
+    def __getitem__(self, name: str) -> int:
+        self._materialize()
+        return PHV.__getitem__(self, name)
+
+    def __setitem__(self, name: str, value: int) -> None:
+        self._materialize()
+        PHV.__setitem__(self, name, value)
+
+    def get(self, name: str, default: int | None = None) -> int | None:
+        self._materialize()
+        return PHV.get(self, name, default)
+
+    def fields(self):
+        self._materialize()
+        return PHV.fields(self)
+
+    def used(self, cls) -> int:
+        self._materialize()
+        return PHV.used(self, cls)
+
+    @property
+    def used_bits(self) -> int:
+        self._materialize()
+        return PHV.used_bits.fget(self)
+
+    def allocate(self, name: str, width_bits: int, value: int = 0) -> None:
+        self._materialize()
+        PHV.allocate(self, name, width_bits, value)
+
+    def allocate_array(
+        self, name: str, length: int, element_width_bits: int = 32
+    ) -> None:
+        self._materialize()
+        PHV.allocate_array(self, name, length, element_width_bits)
+
+    def array_length(self, name: str) -> int:
+        self._materialize()
+        return PHV.array_length(self, name)
+
+    def array(self, name: str) -> list[int]:
+        self._materialize()
+        return PHV.array(self, name)
+
+    def set_array(self, name: str, values: list[int]) -> None:
+        self._materialize()
+        PHV.set_array(self, name, values)
+
+    def set_meta(self, name: str, value) -> None:
+        # Metadata is outside the container budget, but a dirty PHV is
+        # deparsed — which reads every container — so mutation of any
+        # kind forces the fill.
+        self._materialize()
+        PHV.set_meta(self, name, value)

@@ -27,6 +27,11 @@ class ContainerClass(Enum):
     HALF = 16
     WORD = 32
 
+    # Enum's default __hash__ hashes the member *name* string on every
+    # call; members are singletons, so identity hashing is equivalent and
+    # much cheaper for the per-field ``_used``/``_caps`` dict operations.
+    __hash__ = object.__hash__
+
     @classmethod
     def for_width(cls, width_bits: int) -> "ContainerClass":
         """Smallest container class that fits a field of ``width_bits``.
@@ -39,6 +44,40 @@ class ContainerClass(Enum):
         if width_bits <= 16:
             return cls.HALF
         return cls.WORD
+
+
+def containers_needed(width_bits: int) -> "tuple[ContainerClass, int]":
+    """Container class and count for a field of ``width_bits``.
+
+    Memoized per width: enum construction and ``.value`` reads are
+    surprisingly expensive and this runs for every parsed field.
+    """
+    cached = _NEEDED_BY_WIDTH.get(width_bits)
+    if cached is None:
+        cls = ContainerClass.for_width(width_bits)
+        if width_bits <= cls.value:
+            cached = (cls, 1)
+        else:
+            word = ContainerClass.WORD.value
+            cached = (ContainerClass.WORD, (width_bits + word - 1) // word)
+        _NEEDED_BY_WIDTH[width_bits] = cached
+    return cached
+
+
+_NEEDED_BY_WIDTH: dict[int, tuple[ContainerClass, int]] = {}
+
+
+def _element_names(array_name: str, length: int) -> list[str]:
+    """Memoized ``name[i]`` strings for array views (hot in parse/deparse)."""
+    key = (array_name, length)
+    names = _ELEMENT_NAMES.get(key)
+    if names is None:
+        names = [f"{array_name}[{i}]" for i in range(length)]
+        _ELEMENT_NAMES[key] = names
+    return names
+
+
+_ELEMENT_NAMES: dict[tuple[str, int], list[str]] = {}
 
 
 @dataclass(frozen=True)
@@ -79,7 +118,8 @@ class PHV:
     """
 
     def __init__(self, layout: PHVLayout | None = None) -> None:
-        self.layout = layout or PHVLayout()
+        layout = layout or PHVLayout()
+        self.layout = layout
         self._values: dict[str, int] = {}
         self._containers: dict[str, tuple[ContainerClass, int]] = {}
         self._used: dict[ContainerClass, int] = {
@@ -87,7 +127,23 @@ class PHV:
             ContainerClass.HALF: 0,
             ContainerClass.WORD: 0,
         }
+        # The capacity table is read-only and identical for every PHV of
+        # a layout, so it is built once and cached on the (frozen) layout.
+        caps = getattr(layout, "_caps", None)
+        if caps is None:
+            caps = {
+                ContainerClass.BYTE: layout.byte_containers,
+                ContainerClass.HALF: layout.half_containers,
+                ContainerClass.WORD: layout.word_containers,
+            }
+            object.__setattr__(layout, "_caps", caps)
+        self._caps: dict[ContainerClass, int] = caps
         self._meta: dict[str, object] = {}
+        # Set by every post-parse mutator (hook-facing APIs); parser bulk
+        # allocation leaves it clear.  A clean PHV lets the pipeline skip
+        # the deparse rebuild: writing unmodified values back produces a
+        # packet equal to the original.
+        self._dirty = False
 
     # --- intrinsic metadata ----------------------------------------------------
     # Forwarding decisions (egress port, drop flag) live outside the
@@ -96,6 +152,7 @@ class PHV:
     def set_meta(self, name: str, value) -> None:
         """Set an intrinsic-metadata field (not charged against containers)."""
         self._meta[name] = value
+        self._dirty = True
 
     def get_meta(self, name: str, default=None):
         """Read an intrinsic-metadata field."""
@@ -105,25 +162,107 @@ class PHV:
         return name in self._meta
 
     def _containers_needed(self, width_bits: int) -> tuple[ContainerClass, int]:
-        cls = ContainerClass.for_width(width_bits)
-        if width_bits <= cls.value:
-            return cls, 1
-        count = (width_bits + ContainerClass.WORD.value - 1) // ContainerClass.WORD.value
-        return ContainerClass.WORD, count
+        return containers_needed(width_bits)
 
     def allocate(self, name: str, width_bits: int, value: int = 0) -> None:
         """Allocate containers for ``name`` and set its value."""
         if name in self._values:
             raise ConfigError(f"PHV field {name!r} already allocated")
-        cls, count = self._containers_needed(width_bits)
-        if self._used[cls] + count > self.layout.capacity(cls):
+        cls, count = containers_needed(width_bits)
+        used = self._used[cls]
+        if used + count > self._caps[cls]:
             raise ConfigError(
                 f"PHV out of {cls.name} containers allocating {name!r} "
-                f"({self._used[cls]}+{count} > {self.layout.capacity(cls)})"
+                f"({used}+{count} > {self._caps[cls]})"
             )
-        self._used[cls] += count
+        self._used[cls] = used + count
         self._containers[name] = (cls, count)
         self._values[name] = value
+        self._dirty = True
+
+    def _allocate_planned(
+        self,
+        plan: "list[tuple[str, str, ContainerClass, int]]",
+        class_totals: "tuple[tuple[ContainerClass, int], ...]",
+        header_values: dict[str, int],
+    ) -> None:
+        """Bulk :meth:`allocate` over a parser field plan.
+
+        ``plan`` rows are ``(qualified_name, field_name, class, count)``
+        and ``class_totals`` the per-class container sums, both
+        precomputed at parser construction.  When the whole plan fits,
+        capacity is charged per class rather than per field; when it
+        does not (or a name collides), the per-field loop below raises
+        the same errors :meth:`allocate` would.  Per-name container
+        records are not kept on this path — nothing reads them, and
+        :meth:`used`/:attr:`used_bits` come from the per-class totals.
+        """
+        values = self._values
+        used = self._used
+        caps = self._caps
+        fits = True
+        for cls, total in class_totals:
+            if used[cls] + total > caps[cls]:
+                fits = False
+                break
+        if fits:
+            collide = False
+            for qname, fname, cls, count in plan:
+                if qname in values:
+                    collide = True
+                    break
+                values[qname] = header_values[fname]
+            if not collide:
+                for cls, total in class_totals:
+                    used[cls] += total
+                return
+            raise ConfigError(f"PHV field {qname!r} already allocated")
+        for qname, fname, cls, count in plan:
+            if qname in values:
+                raise ConfigError(f"PHV field {qname!r} already allocated")
+            in_use = used[cls]
+            if in_use + count > caps[cls]:
+                raise ConfigError(
+                    f"PHV out of {cls.name} containers allocating {qname!r} "
+                    f"({in_use}+{count} > {caps[cls]})"
+                )
+            used[cls] = in_use + count
+            values[qname] = header_values[fname]
+
+    def _allocate_array_planned(
+        self, name: str, element_values: list[int]
+    ) -> None:
+        """Bulk :meth:`allocate_array` + :meth:`set_array` for 32-bit
+        elements, with identical collision/capacity semantics."""
+        values = self._values
+        used = self._used
+        word = ContainerClass.WORD
+        cap = self._caps[word]
+        length = len(element_values)
+        names = _element_names(name, length)
+        if used[word] + length <= cap:
+            for qname, value in zip(names, element_values):
+                if qname in values:
+                    raise ConfigError(
+                        f"PHV field {qname!r} already allocated"
+                    )
+                values[qname] = value
+            used[word] += length
+        else:
+            for qname, value in zip(names, element_values):
+                if qname in values:
+                    raise ConfigError(
+                        f"PHV field {qname!r} already allocated"
+                    )
+                in_use = used[word]
+                if in_use + 1 > cap:
+                    raise ConfigError(
+                        f"PHV out of WORD containers allocating {qname!r} "
+                        f"({in_use}+1 > {cap})"
+                    )
+                used[word] = in_use + 1
+                values[qname] = value
+        values[f"{name}.length"] = length
 
     def __contains__(self, name: str) -> bool:
         return name in self._values
@@ -139,6 +278,7 @@ class PHV:
                 f"PHV field {name!r} was never allocated by the parser"
             )
         self._values[name] = value
+        self._dirty = True
 
     def get(self, name: str, default: int | None = None) -> int | None:
         return self._values.get(name, default)
@@ -180,7 +320,13 @@ class PHV:
 
     def array(self, name: str) -> list[int]:
         """Return the array view's values as a list."""
-        return [self[f"{name}[{i}]"] for i in range(self.array_length(name))]
+        vals = self._values
+        try:
+            return [
+                vals[n] for n in _element_names(name, self.array_length(name))
+            ]
+        except KeyError as missing:
+            raise ConfigError(f"PHV has no field {missing.args[0]!r}") from None
 
     def set_array(self, name: str, values: list[int]) -> None:
         """Overwrite an array view in place (length must match)."""
@@ -189,5 +335,11 @@ class PHV:
             raise ConfigError(
                 f"array {name!r} has length {length}, got {len(values)} values"
             )
-        for i, value in enumerate(values):
-            self[f"{name}[{i}]"] = value
+        vals = self._values
+        for element, value in zip(_element_names(name, length), values):
+            if element not in vals:
+                raise ConfigError(
+                    f"PHV field {element!r} was never allocated by the parser"
+                )
+            vals[element] = value
+        self._dirty = True

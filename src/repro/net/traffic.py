@@ -17,6 +17,8 @@ from ..units import BITS_PER_BYTE
 from .headers import coflow_header, standard_stack
 from .packet import Element, ElementArray, Packet
 
+_TEMPLATE_HEADERS: list | None = None
+
 
 def make_coflow_packet(
     coflow_id: int,
@@ -30,24 +32,34 @@ def make_coflow_packet(
     src_ip: int = 0,
     dst_ip: int = 0,
 ) -> Packet:
-    """Build a fully-formed coflow packet (Eth/IP/UDP/coflow + array)."""
-    headers = standard_stack(src_ip=src_ip, dst_ip=dst_ip)
-    headers.append(
-        coflow_header(
-            coflow_id,
-            flow_id,
-            seq=seq,
-            opcode=opcode,
-            element_count=len(elements),
-            element_width_bytes=element_width_bytes,
-            worker_id=worker_id,
-            round_=round_,
-        )
-    )
+    """Build a fully-formed coflow packet (Eth/IP/UDP/coflow + array).
+
+    Workload generators call this once per packet, so the fixed parts of
+    the stack (Ethernet/IPv4/UDP with their next-protocol wiring) come
+    from a shared template and only the variable fields are set — with
+    the same range validation ``instantiate`` performs.
+    """
+    global _TEMPLATE_HEADERS
+    template = _TEMPLATE_HEADERS
+    if template is None:
+        template = _TEMPLATE_HEADERS = standard_stack()
+        template.append(coflow_header(0, 0))
+    eth, ip, udp, coflow = (h.copy() for h in template)
+    if src_ip or dst_ip:
+        ip["src_ip"] = src_ip
+        ip["dst_ip"] = dst_ip
+    coflow["coflow_id"] = coflow_id
+    coflow["flow_id"] = flow_id
+    coflow["seq"] = seq
+    coflow["opcode"] = opcode
+    coflow["element_count"] = len(elements)
+    coflow["element_width_bytes"] = element_width_bytes
+    coflow["worker_id"] = worker_id
+    coflow["round"] = round_
     payload = ElementArray(
         [Element(k, v) for k, v in elements], element_width_bytes
     )
-    return Packet(headers, payload)
+    return Packet([eth, ip, udp, coflow], payload)
 
 
 class TrafficSource:
@@ -135,6 +147,31 @@ class PoissonSource(TrafficSource):
             packet.meta.ingress_port = self.port
             packet.meta.arrival_time = time
             yield time, packet
+
+
+def batch_arrivals(
+    timed_packets,
+) -> Iterator[tuple[float, list[Packet]]]:
+    """Group a time-ordered ``(time, packet)`` stream into clock edges.
+
+    Yields ``(time, [packets...])`` with one entry per distinct
+    timestamp, packets in stream order.  Used by the switch run loops to
+    admit a whole same-timestamp burst with one kernel event instead of
+    one event per packet: because every injection is scheduled at the
+    default priority and the kernel breaks (time, priority) ties by
+    schedule order, servicing the burst in stream order inside one event
+    dispatches in exactly the order the per-packet events would have.
+    """
+    batch_time: float | None = None
+    batch: list[Packet] = []
+    for time, packet in timed_packets:
+        if time != batch_time and batch:
+            yield batch_time, batch
+            batch = []
+        batch_time = time
+        batch.append(packet)
+    if batch:
+        yield batch_time, batch
 
 
 def merge_sources(sources: list[TrafficSource]) -> Iterator[tuple[float, Packet]]:

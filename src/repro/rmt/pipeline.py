@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigError, SimulationError
 from ..net.deparser import Deparser
-from ..net.packet import Packet
+from ..net.packet import Packet, consume_packet_id
 from ..net.parser import ParseGraph, Parser
 from ..net.phv import PHV, PHVLayout
 from ..sim.component import Component
@@ -47,7 +47,13 @@ class Stage(Component):
         self.memory = memory or StageMemory()
 
 
-@dataclass
+#: Shared verdict for hookless services.  No caller mutates a plain
+#: forwarding decision (emissions stay empty, verdict/reason are read
+#: only), so one instance serves every pure-forwarding packet.
+_FORWARD_DECISION = Decision(Verdict.FORWARD, [])
+
+
+@dataclass(slots=True)
 class ServiceRecord:
     """Timing of one packet's trip through a pipeline."""
 
@@ -143,6 +149,17 @@ class Pipeline(Component):
         self._tables: dict[str, MatchTable] = {}
         self._free_at = 0.0
         self._busy_s = 0.0
+        # Per-service timing constants; the frequency and stage ladder
+        # are fixed at construction, so hoist the divisions out of the
+        # service loop.
+        self._cycle_s = 1.0 / frequency_hz
+        self._latency_s = (parser_latency_cycles + stages) * self._cycle_s
+        # Per-service stat handles, bound on first use so the stats
+        # registry keeps the seed's creation order (packets and elements
+        # are always created together; the histogram first appears when
+        # an accepted packet reaches the delay observation).
+        self._svc_counters = None
+        self._delay_hist = None
         self.context = PipelineRuntimeContext(self)
         self.trace = None
         """Optional :class:`~repro.telemetry.recorder.TraceRecorder`; the
@@ -152,12 +169,12 @@ class Pipeline(Component):
 
     @property
     def cycle_s(self) -> float:
-        return 1.0 / self.frequency_hz
+        return self._cycle_s
 
     @property
     def latency_s(self) -> float:
         """Fill latency: parser plus one cycle per stage."""
-        return (self.parser_latency_cycles + len(self.stages)) * self.cycle_s
+        return self._latency_s
 
     def get_register(self, name: str, size: int, width_bits: int = 32) -> RegisterArray:
         """Get or lazily create a register array local to this pipeline."""
@@ -214,14 +231,72 @@ class Pipeline(Component):
         if ready_time < 0:
             raise SimulationError(f"negative ready time {ready_time}")
         start = max(ready_time, self._free_at)
-        self._free_at = start + self.cycle_s
-        self._busy_s += self.cycle_s
-        exit_time = start + self.latency_s
+        cycle_s = self._cycle_s
+        self._free_at = start + cycle_s
+        self._busy_s += cycle_s
+        exit_time = start + self._latency_s
 
-        result = self.parser.parse(packet)
-        self.counter("packets").add()
-        self.counter("elements").add(packet.element_count)
-        if not result.accepted:
+        if hook is None and self.trace is None:
+            # Pure-forwarding fast path: no hook can read or write the
+            # PHV and no span is recorded, so the accept/reject walk is
+            # all that is observable — skip parse/deparse entirely.
+            # Counters, width enforcement, and the queueing-delay
+            # histogram update in the same order as the full path.
+            accepted = self.parser.accepts(packet)
+            counters = self._svc_counters
+            if counters is None:
+                counters = self._svc_counters = (
+                    self.counter("packets"),
+                    self.counter("elements"),
+                )
+            counters[0].add()
+            counters[1].add(packet.element_count)
+            if not accepted:
+                self.counter("parse_rejects").add()
+                return ServiceRecord(
+                    ready_time, start, exit_time, Decision.drop("parse_reject")
+                )
+            if enforce_width and packet.element_count > self.array_width:
+                raise SimulationError(
+                    f"{self.path}: packet with {packet.element_count} "
+                    f"elements reached a stateful hook on a width-"
+                    f"{self.array_width} pipeline; the workload must be "
+                    f"restructured to scalar packets on this target"
+                )
+            # The full path's deparse builds a transient Packet, which
+            # draws one global packet id; draw it here too so id
+            # assignment is identical with and without instrumentation.
+            consume_packet_id()
+            self.deparser.packets_deparsed += 1
+            record = ServiceRecord(
+                ready_time, start, exit_time, _FORWARD_DECISION
+            )
+            hist = self._delay_hist
+            if hist is None:
+                hist = self._delay_hist = self.histogram("queueing_delay_s")
+            hist.observe(start - ready_time)
+            return record
+
+        if self.trace is None:
+            # Untraced hook path: take the verdict (and the parser's
+            # accounting) from the walk, and hand the hook a PHV that
+            # only materializes its containers if touched.  Hooks that
+            # work off the packet alone never pay for allocation.
+            accepted = self.parser.accepts(packet)
+            phv = self.parser.lazy_phv(packet)
+        else:
+            result = self.parser.parse(packet)
+            accepted = result.accepted
+            phv = result.phv
+        counters = self._svc_counters
+        if counters is None:
+            counters = self._svc_counters = (
+                self.counter("packets"),
+                self.counter("elements"),
+            )
+        counters[0].add()
+        counters[1].add(packet.element_count)
+        if not accepted:
             self.counter("parse_rejects").add()
             decision = Decision.drop("parse_reject")
             record = ServiceRecord(ready_time, start, exit_time, decision)
@@ -238,23 +313,34 @@ class Pipeline(Component):
             )
 
         if hook is None:
-            decision = Decision.forward()
+            decision = _FORWARD_DECISION
         else:
             self.context.now = start
-            decision = hook(self.context, packet, result.phv)
+            decision = hook(self.context, packet, phv)
             decision.validate()
 
-        deparsed = self.deparser.deparse(result.phv, packet)
-        # Propagate in-place so the caller's reference stays valid.
-        packet.headers = deparsed.headers
-        packet.payload = deparsed.payload
+        if phv._dirty:
+            deparsed = self.deparser.deparse(phv, packet)
+            # Propagate in-place so the caller's reference stays valid.
+            packet.headers = deparsed.headers
+            packet.payload = deparsed.payload
+        else:
+            # Every hook-facing PHV mutator sets ``_dirty``; a clean PHV
+            # deparses to a packet equal to the original, so skip the
+            # rebuild while keeping the id draw and the deparse count
+            # identical to the rebuilt path.
+            consume_packet_id()
+            self.deparser.packets_deparsed += 1
 
-        if result.phv.get_meta("drop"):
-            decision = Decision.drop(str(result.phv.get_meta("drop_reason")))
+        if phv.get_meta("drop"):
+            decision = Decision.drop(str(phv.get_meta("drop_reason")))
         if decision.verdict is Verdict.DROP:
             self.counter("drops").add()
         record = ServiceRecord(ready_time, start, exit_time, decision)
-        self.histogram("queueing_delay_s").observe(record.queueing_delay)
+        hist = self._delay_hist
+        if hist is None:
+            hist = self._delay_hist = self.histogram("queueing_delay_s")
+        hist.observe(record.queueing_delay)
         if self.trace is not None:
             self._trace_service(packet, record)
         return record

@@ -32,6 +32,7 @@ from ..arch.decision import Decision, Verdict
 from ..arch.port import TxPort
 from ..errors import CompileError, ConfigError
 from ..net.packet import Packet
+from ..net.traffic import batch_arrivals
 from ..sim.component import Component
 from ..sim.event import Simulator
 from ..sim.rng import stable_hash64
@@ -188,6 +189,23 @@ class RMTSwitch(Component):
                 self._sim.trace = trace
         if app is not None:
             app.bind_placement(config.pipelines)
+        # Hook elision: a hook the app never overrode is the base-class
+        # pass-through (``Decision.forward()`` touching nothing), which the
+        # pipeline treats as None and services on its no-PHV fast path.
+        # The central hook is never elided this way for width enforcement:
+        # ``enforce_width`` is passed independently of the hook.
+        self._ingress_hook = self._elide_hook("ingress")
+        self._egress_hook = self._elide_hook("egress")
+        self._central_hook = self._elide_hook("central")
+        self._uses_central = app is not None and app.uses_central_state()
+
+    def _elide_hook(self, region: str):
+        app = self.app
+        if app is None:
+            return None
+        if getattr(type(app), region) is getattr(SwitchApp, region):
+            return None
+        return getattr(app, region)
 
     # --- topology helpers ---------------------------------------------------------
 
@@ -265,8 +283,18 @@ class RMTSwitch(Component):
         called once per switch instance; construct a fresh switch per
         experiment so state and stats start clean.
         """
-        for time, packet in timed_packets:
-            self.inject(packet, time)
+        if self.trace is None:
+            # Batched admission: one kernel event per distinct arrival
+            # timestamp, servicing the whole burst in stream order.  All
+            # injections carry the default event priority and the kernel
+            # breaks (time, priority) ties in schedule order, so this
+            # dispatches identically to one event per packet.  Traced
+            # runs keep per-packet events so span streams are unchanged.
+            for time, burst in batch_arrivals(timed_packets):
+                self._sim.at(time, self._make_burst_event(burst, time))
+        else:
+            for time, packet in timed_packets:
+                self.inject(packet, time)
         self._sim.run(until=until)
         return self.finalize()
 
@@ -278,6 +306,16 @@ class RMTSwitch(Component):
         after which each switch is :meth:`finalize`-d.
         """
         self._sim.at(time, self._make_ingress_event(packet, time))
+
+    def inject_burst(self, packets: list[Packet], time: float) -> None:
+        """Schedule several same-timestamp arrivals as one kernel event.
+
+        The burst is serviced in list order, which matches the dispatch
+        order per-packet :meth:`inject` calls would produce (equal-time
+        events pop in push order).  Callers with tracing enabled should
+        keep per-packet injection so span streams are unchanged.
+        """
+        self._sim.at(time, self._make_burst_event(list(packets), time))
 
     def finalize(self, now_s: float | None = None) -> SwitchRunResult:
         """Seal the run result once the (possibly shared) simulator drained."""
@@ -291,6 +329,14 @@ class RMTSwitch(Component):
     def _make_ingress_event(self, packet: Packet, time: float):
         def event() -> None:
             self._ingress_service(packet, time)
+
+        return event
+
+    def _make_burst_event(self, burst: list[Packet], time: float):
+        def event() -> None:
+            self._sim.events_coalesced += len(burst) - 1
+            for packet in burst:
+                self._ingress_service(packet, time)
 
         return event
 
@@ -318,27 +364,27 @@ class RMTSwitch(Component):
         runs_central_here = False
         if app is not None and not packet.meta.dropped:
             if (
-                app.uses_central_state()
+                self._uses_central
                 and self.config.state_mode is StateMode.RECIRCULATE
                 and not self._central_done(packet)
                 and app.claims(packet)
             ):
                 state_pipe = self.state_pipeline_of_key(app.placement_key(packet))
                 if pipeline.index == state_pipe:
-                    hook = app.central
+                    hook = self._central_hook
                     enforce = True
                     runs_central_here = True
                 else:
                     # Wrong pipeline: one plain ingress pass, then loop
                     # around through the state pipeline's recirc port.
-                    record = pipeline.service(packet, ready, app.ingress)
+                    record = pipeline.service(packet, ready, self._ingress_hook)
                     if record.decision.verdict is Verdict.DROP:
                         self._drop(packet, record.decision, record.exit_time)
                         return
                     self._recirculate_to(packet, state_pipe, record.exit_time)
                     return
             else:
-                hook = app.ingress
+                hook = self._ingress_hook
 
         record = pipeline.service(packet, ready, hook, enforce_width=enforce)
         if runs_central_here:
@@ -486,13 +532,19 @@ class RMTSwitch(Component):
             deliveries = self.tm.multicast_admit(
                 packet, packet.meta.egress_ports, ready
             )
-            for copy, pipeline, deliver in deliveries:
-                self._schedule_egress(copy, pipeline, deliver)
+            if self.trace is None and len(deliveries) > 1:
+                # All copies of one multicast admission share a deliver
+                # time (same ready, same TM latency), so one kernel event
+                # services the burst in replication order — identical
+                # dispatch order to the per-copy events it replaces.
+                self._schedule_egress_burst(deliveries)
+            else:
+                for copy, pipeline, deliver in deliveries:
+                    self._schedule_egress(copy, pipeline, deliver)
             return
 
         if (
-            self.app is not None
-            and self.app.uses_central_state()
+            self._uses_central
             and self.config.state_mode is StateMode.EGRESS_PIN
             and not self._central_done(packet)
             and self.app.claims(packet)
@@ -545,20 +597,36 @@ class RMTSwitch(Component):
 
         self._sim.at(deliver, event)
 
+    def _schedule_egress_burst(self, deliveries) -> None:
+        """One event servicing several same-time egress deliveries in order."""
+        first_deliver = deliveries[0][2]
+        if any(deliver != first_deliver for _, _, deliver in deliveries):
+            # Shouldn't happen (one admission, one TM latency), but fall
+            # back to per-copy events rather than reorder anything.
+            for copy, pipeline, deliver in deliveries:
+                self._schedule_egress(copy, pipeline, deliver)
+            return
+
+        def event() -> None:
+            self._sim.events_coalesced += len(deliveries) - 1
+            for copy, pipeline, deliver in deliveries:
+                self._egress_service(copy, pipeline, deliver, False)
+
+        self._sim.at(first_deliver, event)
+
     def _egress_service(
         self, packet: Packet, pipeline_index: int, ready: float, run_central: bool
     ) -> None:
         pipeline = self.egress[pipeline_index]
         packet.meta.egress_pipeline = pipeline_index
-        app = self.app
         hook = None
         enforce = False
-        if app is not None:
+        if self.app is not None:
             if run_central:
-                hook = app.central
+                hook = self._central_hook
                 enforce = True
             else:
-                hook = app.egress
+                hook = self._egress_hook
         record = pipeline.service(packet, ready, hook, enforce_width=enforce)
         self.tm.release(packet, now=record.exit_time)
         if run_central:

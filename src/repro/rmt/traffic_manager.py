@@ -50,6 +50,10 @@ class TrafficManager(Component):
         self.trace = None
         """Optional :class:`~repro.telemetry.recorder.TraceRecorder`; the
         owning switch wires it when telemetry is enabled."""
+        # Counter handles, bound on first use so the stats registry sees
+        # the same creation order as per-call ``self.counter(...)`` lookups.
+        self._admitted_counter = None
+        self._drops_counter = None
 
     @property
     def credits(self) -> int:
@@ -79,7 +83,10 @@ class TrafficManager(Component):
         knows the destination (recirculation loopbacks, pinned state).
         """
         if self.occupancy >= self.buffer_packets:
-            self.counter("drops").add()
+            drops = self._drops_counter
+            if drops is None:
+                drops = self._drops_counter = self.counter("drops")
+            drops.add()
             packet.meta.drop_reason = f"{self.name}_buffer_full"
             if self.trace is not None:
                 self._trace_event(
@@ -89,7 +96,10 @@ class TrafficManager(Component):
         self.occupancy += 1
         if self.occupancy > self.peak_occupancy:
             self.peak_occupancy = self.occupancy
-        self.counter("admitted").add()
+        admitted = self._admitted_counter
+        if admitted is None:
+            admitted = self._admitted_counter = self.counter("admitted")
+        admitted.add()
         if pipeline is None:
             pipeline = self.route(packet)
         deliver = ready_time + self.latency_s
@@ -105,6 +115,33 @@ class TrafficManager(Component):
                 deliver_s=deliver,
             )
         return pipeline, deliver
+
+    def admit_burst(
+        self,
+        packets: list[Packet],
+        ready_time: float,
+        pipeline: int | None = None,
+    ) -> tuple[list[tuple[Packet, int, float]], list[Packet]]:
+        """Admit a whole same-timestamp burst in stream order.
+
+        One clock edge can deliver several packets (batched injection, a
+        pipeline bank draining in lockstep); admitting them in a single
+        call keeps the per-packet accounting identical to sequential
+        :meth:`admit` while letting the switch schedule one kernel event
+        for the burst.  Returns ``(admitted, rejected)`` where
+        ``admitted`` holds ``(packet, egress_pipeline, deliver_time)``
+        triples and ``rejected`` the buffer-full drops, both in stream
+        order.
+        """
+        admitted: list[tuple[Packet, int, float]] = []
+        rejected: list[Packet] = []
+        for packet in packets:
+            outcome = self.admit(packet, ready_time, pipeline)
+            if outcome is None:
+                rejected.append(packet)
+            else:
+                admitted.append((packet, outcome[0], outcome[1]))
+        return admitted, rejected
 
     def release(self, packet: Packet, now: float | None = None) -> None:
         """Report that a previously admitted packet left the buffer.

@@ -4,9 +4,11 @@ The switch models in :mod:`repro.rmt` and :mod:`repro.adcp` are built from
 clocked components that exchange items through bounded channels.  This
 package provides the kernel underneath them:
 
-- :class:`~repro.sim.event.EventQueue` and
+- :class:`~repro.sim.event.EventQueue`,
+  :class:`~repro.sim.event.CalendarQueue` and
   :class:`~repro.sim.event.Simulator` — a classic discrete-event core with
-  deterministic tie-breaking.
+  deterministic tie-breaking and interchangeable queue backends (see
+  docs/KERNEL.md for the backend contract).
 - :class:`~repro.sim.clock.Clock` and
   :class:`~repro.sim.clock.ClockDomain` — cycle arithmetic for components
   running at different frequencies (the ADCP's multi-clock MAT memories
@@ -21,11 +23,19 @@ package provides the kernel underneath them:
 
 from .clock import Clock, ClockDomain
 from .component import Channel, Component
-from .event import Event, EventQueue, Simulator
+from .event import (
+    QUEUE_BACKENDS,
+    CalendarQueue,
+    Event,
+    EventQueue,
+    Simulator,
+    make_event_queue,
+)
 from .rng import make_rng, split_rng
 from .stats import Counter, Histogram, StatsRegistry
 
 __all__ = [
+    "CalendarQueue",
     "Channel",
     "Clock",
     "ClockDomain",
@@ -34,8 +44,10 @@ __all__ = [
     "Event",
     "EventQueue",
     "Histogram",
+    "QUEUE_BACKENDS",
     "Simulator",
     "StatsRegistry",
+    "make_event_queue",
     "make_rng",
     "split_rng",
 ]

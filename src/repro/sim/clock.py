@@ -33,15 +33,19 @@ class Clock:
                 f"clock {self.name!r} frequency must be positive, "
                 f"got {self.frequency_hz}"
             )
+        # The period is read on every cycle conversion in the scheduling
+        # hot path; cache it once (the dataclass is frozen, so the
+        # frequency can never drift out from under the cache).
+        object.__setattr__(self, "_period_s", 1.0 / self.frequency_hz)
 
     @property
     def period_s(self) -> float:
         """Duration of one cycle, in seconds."""
-        return 1.0 / self.frequency_hz
+        return self._period_s
 
     def cycles_to_seconds(self, cycles: float) -> float:
         """Convert a cycle count to seconds."""
-        return cycles * self.period_s
+        return cycles * self._period_s
 
     def seconds_to_cycles(self, seconds: float) -> float:
         """Convert a duration to (possibly fractional) cycles."""
@@ -54,7 +58,7 @@ class Clock:
     def edge_after(self, time_s: float) -> float:
         """Time of the first rising edge strictly after ``time_s``."""
         cycle = self.cycle_at(time_s)
-        edge = (cycle + 1) * self.period_s
+        edge = (cycle + 1) * self._period_s
         return edge
 
     def derived(self, multiplier: float, name: str | None = None) -> "Clock":

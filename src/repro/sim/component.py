@@ -38,23 +38,38 @@ class Component:
         if parent is not None:
             parent.children.append(self)
             self.stats: StatsRegistry = parent.stats
+            self._path = f"{parent._path}.{name}"
         else:
             self.stats = StatsRegistry()
+            self._path = name
+        # Per-component memo from stat name to Counter/Histogram object.
+        # Instruments are still *created* lazily on first use (creation
+        # order decides snapshot ordering, which run ledgers depend on);
+        # the memo only skips the dotted-path formatting and registry
+        # lookup on every subsequent hit.
+        self._stat_memo: dict[str, Any] = {}
 
     @property
     def path(self) -> str:
         """Dotted path from the root component to this one."""
-        if self.parent is None:
-            return self.name
-        return f"{self.parent.path}.{self.name}"
+        return self._path
 
     def counter(self, stat: str):
         """Counter scoped under this component's path."""
-        return self.stats.counter(f"{self.path}.{stat}")
+        found = self._stat_memo.get(stat)
+        if found is None:
+            found = self.stats.counter(f"{self._path}.{stat}")
+            self._stat_memo[stat] = found
+        return found
 
     def histogram(self, stat: str):
         """Histogram scoped under this component's path."""
-        return self.stats.histogram(f"{self.path}.{stat}")
+        key = stat + "#h"
+        found = self._stat_memo.get(key)
+        if found is None:
+            found = self.stats.histogram(f"{self._path}.{stat}")
+            self._stat_memo[key] = found
+        return found
 
     def walk(self) -> Iterator["Component"]:
         """Depth-first iteration over this component and its descendants."""

@@ -1,0 +1,222 @@
+"""Differential equivalence of the event-queue backends.
+
+The kernel's correctness claim is total: every backend dispatches the
+identical ``(time, priority, sequence)`` order, so swapping backends can
+never change a simulation result — only its wall-clock speed.  These
+tests drive randomly generated schedules through the ``heap`` and
+``calendar`` backends side by side (Hypothesis shrinks failures to
+minimal schedules) and require bit-identical dispatch sequences, final
+clocks, and event counts.
+
+The op language covers the full scheduling surface: absolute scheduling
+(``at``), relative scheduling (``after``), priorities (including ties),
+cancellation of pending events, events that schedule further events from
+inside their own dispatch, and bounded drains (``until``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.event import (
+    CALENDAR_BOOTSTRAP_PUSHES,
+    CalendarQueue,
+    EventQueue,
+    Simulator,
+)
+
+# Times are drawn from a small grid so equal-time ties (the hardest case
+# for a bucketed queue) are common rather than astronomically rare.
+_TIMES = st.integers(0, 40).map(lambda t: t * 0.25)
+_PRIORITIES = st.integers(-2, 2)
+
+
+@st.composite
+def schedules(draw):
+    """A schedule: ops applied up front, plus nested ops fired mid-run.
+
+    Each top-level op is one of:
+      ("at", time, priority, nested) — schedule; ``nested`` is a list of
+          (delay, priority) pairs the event schedules when it fires;
+      ("after", delay, priority, nested) — relative variant;
+      ("cancel", index) — cancel the index-th scheduled event (modulo the
+          number scheduled so far; ignored when nothing is pending).
+    """
+    nested = st.lists(
+        st.tuples(_TIMES, _PRIORITIES), min_size=0, max_size=2
+    )
+    op = st.one_of(
+        st.tuples(st.just("at"), _TIMES, _PRIORITIES, nested),
+        st.tuples(st.just("after"), _TIMES, _PRIORITIES, nested),
+        st.tuples(st.just("cancel"), st.integers(0, 64)),
+    )
+    ops = draw(st.lists(op, min_size=1, max_size=40))
+    until = draw(st.one_of(st.none(), _TIMES))
+    return ops, until
+
+
+def _run_schedule(ops, until, backend):
+    """Apply a schedule to a fresh Simulator; return its observable log.
+
+    The log records every dispatch as ``(tag, now)`` — ``tag`` is the
+    schedule position that created the event, so two backends agree iff
+    they fired the same events at the same clock readings in the same
+    order.
+    """
+    sim = Simulator(queue_backend=backend)
+    log: list[tuple[str, float]] = []
+    handles: list = []
+
+    def make_action(tag, nested):
+        def action() -> None:
+            log.append((tag, sim.now))
+            for i, (delay, priority) in enumerate(nested):
+                handles.append(
+                    sim.after(delay, make_action(f"{tag}.n{i}", ()), priority)
+                )
+
+        return action
+
+    for index, op in enumerate(ops):
+        if op[0] == "cancel":
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+            continue
+        kind, value, priority, nested = op
+        action = make_action(f"op{index}", nested)
+        if kind == "at":
+            handles.append(sim.at(value, action, priority))
+        else:
+            handles.append(sim.after(value, action, priority))
+
+    dispatched = sim.run(until=until)
+    return log, sim.now, dispatched, sim.events_dispatched
+
+
+class TestBackendEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(schedules())
+    def test_heap_and_calendar_dispatch_identically(self, schedule):
+        ops, until = schedule
+        heap_run = _run_schedule(ops, until, "heap")
+        calendar_run = _run_schedule(ops, until, "calendar")
+        assert heap_run == calendar_run
+
+    @settings(max_examples=100, deadline=None)
+    @given(schedules())
+    def test_auto_matches_heap(self, schedule):
+        ops, until = schedule
+        assert _run_schedule(ops, until, "heap") == _run_schedule(
+            ops, until, "auto"
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(_TIMES, _PRIORITIES), min_size=1, max_size=200
+        )
+    )
+    def test_queue_drain_order_matches(self, pushes):
+        """Raw queue-level check: identical pop order, including beyond
+        the calendar's heap-mode bootstrap threshold."""
+        heap_q = EventQueue()
+        cal_q = CalendarQueue()
+        for time, priority in pushes:
+            heap_q.push(time, lambda: None, priority)
+            cal_q.push(time, lambda: None, priority)
+        while True:
+            a = heap_q.pop()
+            b = cal_q.pop()
+            if a is None or b is None:
+                assert a is None and b is None
+                break
+            assert (a.time, a.priority, a.sequence) == (
+                b.time,
+                b.priority,
+                b.sequence,
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.tuples(_TIMES, _PRIORITIES), min_size=1, max_size=120),
+        st.data(),
+    )
+    def test_drain_order_matches_under_cancellation(self, pushes, data):
+        heap_q = EventQueue()
+        cal_q = CalendarQueue()
+        heap_events = []
+        cal_events = []
+        for time, priority in pushes:
+            heap_events.append(heap_q.push(time, lambda: None, priority))
+            cal_events.append(cal_q.push(time, lambda: None, priority))
+        to_cancel = data.draw(
+            st.lists(
+                st.integers(0, len(pushes) - 1), max_size=len(pushes)
+            )
+        )
+        for index in set(to_cancel):
+            heap_events[index].cancel()
+            cal_events[index].cancel()
+        assert len(heap_q) == len(cal_q)
+        while True:
+            a = heap_q.pop()
+            b = cal_q.pop()
+            if a is None or b is None:
+                assert a is None and b is None
+                break
+            assert (a.time, a.priority, a.sequence) == (
+                b.time,
+                b.priority,
+                b.sequence,
+            )
+
+
+class TestCalendarInternals:
+    def test_bootstrap_crossing_preserves_order(self):
+        """Pushes straddling the heap-to-buckets migration keep order."""
+        cal_q = CalendarQueue()
+        heap_q = EventQueue()
+        total = CALENDAR_BOOTSTRAP_PUSHES * 3
+        for i in range(total):
+            time = float((i * 7919) % 97)  # scrambled, many duplicates
+            cal_q.push(time, lambda: None)
+            heap_q.push(time, lambda: None)
+        order_cal = []
+        order_heap = []
+        while (event := cal_q.pop()) is not None:
+            order_cal.append((event.time, event.sequence))
+        while (event := heap_q.pop()) is not None:
+            order_heap.append((event.time, event.sequence))
+        assert order_cal == order_heap
+
+    def test_interleaved_push_pop_across_years(self):
+        """Popping while pushing ever-later times forces year re-basing;
+        order must stay exact throughout."""
+        cal_q = CalendarQueue()
+        heap_q = EventQueue()
+        popped_cal = []
+        popped_heap = []
+        time = 0.0
+        for round_ in range(40):
+            for i in range(16):
+                time += 0.5 + (i % 3)
+                cal_q.push(time, lambda: None)
+                heap_q.push(time, lambda: None)
+            for _ in range(10):
+                a = cal_q.pop()
+                b = heap_q.pop()
+                assert (a is None) == (b is None)
+                if a is not None:
+                    popped_cal.append((a.time, a.sequence))
+                    popped_heap.append((b.time, b.sequence))
+        assert popped_cal == popped_heap
+
+    def test_simulator_reports_selected_backend(self):
+        assert Simulator(queue_backend="heap").queue.backend == "heap"
+        assert Simulator(queue_backend="calendar").queue.backend in (
+            "calendar",
+        )
+        assert not math.isnan(Simulator(queue_backend="auto").now)

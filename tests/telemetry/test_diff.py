@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -210,3 +211,47 @@ class TestCLI:
         err = capsys.readouterr().err
         assert "unknown artifact" in err
         assert "subcommands: trace, profile, monitor, fabric, diff" in err
+
+
+class TestBaselineByteIdentity:
+    """Regenerate the committed baseline ledgers and require byte-identity.
+
+    These are the end-to-end anchors for the event-kernel rework: batched
+    admission, lazy PHV parsing, and the calendar queue must leave every
+    observable number in the run ledgers untouched.  The only permitted
+    difference is ``git_sha`` (stamped at build time), which is pinned to
+    the baseline's value before the byte comparison.
+    """
+
+    BASELINES = Path(__file__).resolve().parents[2] / "baselines"
+
+    def _assert_byte_identical(self, tmp_path, baseline_name, ledger):
+        baseline_path = self.BASELINES / baseline_name
+        baseline = load_ledger(baseline_path)
+        regen = dict(ledger)
+        assert "git_sha" in regen
+        regen["git_sha"] = baseline["git_sha"]
+        rewritten = write_ledger(tmp_path / baseline_name, regen)
+        assert rewritten.read_bytes() == baseline_path.read_bytes(), (
+            f"{baseline_name} drifted from the committed baseline; if the "
+            "change is intentional, regenerate the baseline and say why"
+        )
+
+    def test_mltrain_ledger_matches_baseline(self, tmp_path):
+        result = run_monitor(
+            "mltrain", ledger_out=tmp_path / "ledger_mltrain.json"
+        )
+        assert result.ledger_path is not None
+        self._assert_byte_identical(
+            tmp_path,
+            "ledger_mltrain.json",
+            load_ledger(result.ledger_path),
+        )
+
+    def test_fabric_leafspine_ledger_matches_baseline(self, tmp_path):
+        from repro.fabric import run_fabric
+
+        run = run_fabric("leaf-spine-2x2", "fabric-allreduce")
+        self._assert_byte_identical(
+            tmp_path, "ledger_fabric_leafspine.json", run.ledger()
+        )
