@@ -258,6 +258,118 @@ def test_fabric_throughput_trajectory():
         assert row["events_per_s"] > 0
 
 
+SERVE_DURATION_NS = 10_000.0
+SERVE_WINDOW_NS = 500.0
+
+
+def _measure_serve(target: str, *, monitored: bool) -> dict:
+    """Best-of-N wall clock for one serve run (leaf-spine, all-reduce).
+
+    ``monitored=True`` is the real serving configuration: rolling
+    windows every ``SERVE_WINDOW_NS`` plus per-switch resource monitors
+    on the same grid.  ``monitored=False`` drives the identical
+    schedule with monitoring effectively off — no per-switch monitors
+    (``make_telemetry=lambda: None``) and a single window covering the
+    whole horizon, so the time probe fires once.  The pair isolates the
+    cost of always-on observation.
+    """
+    from repro.serve.runner import run_serve
+
+    kwargs = dict(
+        target=target,
+        duration_ns=SERVE_DURATION_NS,
+        window_ns=SERVE_WINDOW_NS if monitored else SERVE_DURATION_NS,
+    )
+    if not monitored:
+        kwargs["make_telemetry"] = lambda: None
+    best_s = float("inf")
+    run = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run = run_serve("leaf-spine-2x2", "fabric-allreduce", **kwargs)
+        best_s = min(best_s, time.perf_counter() - start)
+    totals = run.totals()
+    events = run.events + run.events_coalesced
+    return {
+        "wall_s": best_s,
+        "offered_packets": totals["injected"],
+        "delivered_packets": totals["delivered_to_hosts"],
+        "offered_pps_sim": totals["injected"] / run.schedule.duration_s,
+        "achieved_pps_sim": totals["delivered_to_hosts"] / run.duration_s,
+        "windows": totals["windows"],
+        "events": events,
+        "events_per_s": events / best_s,
+        "sim_duration_s": run.duration_s,
+    }
+
+
+def test_serve_throughput_trajectory():
+    """Serving-mode trajectory: offered vs achieved load, monitor cost.
+
+    Folds a ``serve`` section into BENCH_PROFILE.json: per-target
+    events/s with full monitoring on, the offered vs achieved packet
+    rates (simulated domain), and the wall-clock overhead of always-on
+    monitoring vs the same run with observation off.  Non-blocking
+    warning on a >20% events/s drop vs the committed copy.
+    """
+    try:
+        profile = json.loads(PROFILE_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        profile = {}
+    baseline = profile.get("serve", {})
+
+    measured = {}
+    rows = []
+    warnings = []
+    for label in ("rmt", "adcp"):
+        full = _measure_serve(label, monitored=True)
+        bare = _measure_serve(label, monitored=False)
+        overhead = full["wall_s"] / bare["wall_s"] - 1.0
+        measured[label] = {
+            **full,
+            "bare_wall_s": bare["wall_s"],
+            "monitor_overhead": overhead,
+        }
+        rows.append(
+            f"{label:>5}: {full['wall_s'] * 1e3:7.2f} ms wall, "
+            f"{full['events_per_s'] / 1e3:8.1f} kevt/s, "
+            f"offered {full['offered_pps_sim'] / 1e6:6.1f} Mpkt/s vs "
+            f"achieved {full['achieved_pps_sim'] / 1e6:6.1f} Mpkt/s (sim), "
+            f"monitor overhead {overhead:+.1%}"
+        )
+        old = baseline.get(label)
+        if old and old.get("events_per_s"):
+            ratio = full["events_per_s"] / old["events_per_s"]
+            rows.append(
+                f"       vs committed baseline: {ratio - 1.0:+.1%} evt/s"
+            )
+            if ratio < 1.0 - REGRESSION_THRESHOLD:
+                warnings.append(
+                    f"::warning file=benchmarks/test_perf_trajectory.py::"
+                    f"serve {label} throughput dropped {1.0 - ratio:.0%} "
+                    f"vs the committed BENCH_PROFILE.json baseline "
+                    f"({full['events_per_s']:.0f} vs "
+                    f"{old['events_per_s']:.0f} evt/s)"
+                )
+
+    report(
+        "T2e — serve throughput trajectory (leaf-spine-2x2, open-loop)",
+        rows + warnings,
+        data={"serve": measured, "warnings": warnings},
+    )
+    for line in warnings:
+        print(line)
+
+    profile["serve"] = measured
+    PROFILE_PATH.write_text(json.dumps(profile, indent=1))
+
+    for row in measured.values():
+        assert row["delivered_packets"] > 0
+        assert row["offered_packets"] >= row["delivered_packets"]
+        assert row["events_per_s"] > 0
+        assert row["windows"] >= 10
+
+
 #: events/s of the pre-overhaul kernel on the RMT quickstart row (the
 #: BENCH_PROFILE.json committed before the calendar-queue + batched-
 #: admission rework).  The kernel-bench warns when any backend falls

@@ -12,6 +12,10 @@ Also hosts the telemetry tooling:
 - ``python -m repro fabric <topology> <workload>`` simulates a
   multi-switch fabric (leaf-spine or fat-tree) end to end and writes a
   diffable run ledger.
+- ``python -m repro serve <topology> <workload>`` streams open-loop,
+  rate-controlled traffic into a continuously-running fabric, emitting
+  rolling-window records with live SLO verdicts and a diffable serve
+  ledger (exit 1 on SLO violation).
 - ``python -m repro diff <base> <new>`` compares two run ledgers and
   exits non-zero on regression.
 - ``python -m repro campaign <spec>`` expands a declarative sweep into
@@ -230,6 +234,152 @@ def _main_fabric(args: list[str], json_mode: bool) -> int:
     return 0
 
 
+def _main_serve(args: list[str], json_mode: bool) -> int:
+    from .serve import BurstPhase, parse_duration_ns, run_serve
+    from .serve.runner import (
+        DEFAULT_DURATION_NS,
+        DEFAULT_RATE,
+        DEFAULT_WINDOW_NS,
+    )
+    from .telemetry.ledger import write_ledger
+
+    # serve takes repeated --slo and --burst flags, which the shared
+    # single-value parser doesn't model; parse by hand, same error style.
+    positional: list[str] = []
+    options: dict[str, str] = {}
+    slos: list[str] = []
+    bursts: list[BurstPhase] = []
+    value_options = {
+        "--target": "target",
+        "--placement": "placement",
+        "--routing": "routing",
+        "--rate": "rate",
+        "--arrivals": "arrivals",
+        "--duration": "duration",
+        "--window": "window",
+        "--ramp": "ramp",
+        "--coflows": "coflows",
+        "--vector": "vector",
+        "--interval": "interval",
+        "--ledger": "ledger",
+        "--stream": "stream",
+        "--seed": "seed",
+    }
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--slo":
+            if i + 1 >= len(args):
+                raise ConfigError("--slo requires an expression")
+            slos.append(args[i + 1])
+            i += 2
+        elif arg == "--burst":
+            if i + 1 >= len(args):
+                raise ConfigError("--burst requires FACTOR@START:END")
+            bursts.append(BurstPhase.parse(args[i + 1]))
+            i += 2
+        elif arg in value_options:
+            if i + 1 >= len(args):
+                raise ConfigError(f"{arg} requires a value")
+            options[value_options[arg]] = args[i + 1]
+            i += 2
+        elif arg.startswith("-"):
+            raise ConfigError(f"unknown serve option {arg!r}")
+        else:
+            positional.append(arg)
+            i += 1
+    if len(positional) != 2:
+        raise ConfigError(
+            "serve takes a topology spec and a workload name "
+            "(e.g. serve leaf-spine-2x2 fabric-allreduce); "
+            "see python -m repro --help"
+        )
+
+    def _int_option(key: str, default: int) -> int:
+        if key not in options:
+            return default
+        try:
+            return int(options[key])
+        except ValueError:
+            raise ConfigError(
+                f"--{key} must be an integer, got {options[key]!r}"
+            )
+
+    def _duration_option(key: str, default_ns: float) -> float:
+        if key not in options:
+            return default_ns
+        return parse_duration_ns(options[key])
+
+    rate = DEFAULT_RATE
+    if "rate" in options:
+        try:
+            rate = float(options["rate"])
+        except ValueError:
+            raise ConfigError(
+                f"--rate must be a number, got {options['rate']!r}"
+            )
+    interval_ns: float | None = None
+    if "interval" in options:
+        try:
+            interval_ns = float(options["interval"])
+        except ValueError:
+            raise ConfigError(
+                f"--interval must be a number of ns, "
+                f"got {options['interval']!r}"
+            )
+
+    stream_file = None
+    if "stream" in options:
+        stream_file = open(options["stream"], "w")
+
+    def emit_window(record: dict) -> None:
+        if json_mode:
+            print(
+                json.dumps({"type": "window", **record}, sort_keys=True),
+                flush=True,
+            )
+        else:
+            from .serve.runner import _window_line
+
+            print(_window_line(record), flush=True)
+        if stream_file is not None:
+            stream_file.write(json.dumps(record, sort_keys=True) + "\n")
+            stream_file.flush()
+
+    try:
+        run = run_serve(
+            positional[0],
+            positional[1],
+            target=options.get("target", "adcp"),
+            placement=options.get("placement", "ingress"),
+            routing=options.get("routing", "ecmp"),
+            seed=_parse_seed(options) or 0,
+            rate=rate,
+            arrivals=options.get("arrivals", "poisson"),
+            duration_ns=_duration_option("duration", DEFAULT_DURATION_NS),
+            window_ns=_duration_option("window", DEFAULT_WINDOW_NS),
+            ramp_ns=_duration_option("ramp", 0.0) if "ramp" in options else 0.0,
+            bursts=tuple(bursts),
+            coflows=_int_option("coflows", 2),
+            vector=_int_option("vector", 64),
+            slos=slos,
+            interval_ns=interval_ns,
+            on_window=emit_window,
+        )
+    finally:
+        if stream_file is not None:
+            stream_file.close()
+    if "ledger" in options:
+        path = write_ledger(options["ledger"], run.ledger())
+        print(f"ledger: {path}", file=sys.stderr)
+    if json_mode:
+        print(json.dumps(run.summary(), sort_keys=True))
+    else:
+        for line in run.lines():
+            print(line)
+    return run.exit_code
+
+
 def _main_diff(args: list[str], json_mode: bool) -> int:
     from .telemetry.ledger import (
         DEFAULT_THRESHOLD,
@@ -417,6 +567,16 @@ _SUBCOMMANDS: dict[str, _Subcommand] = {
         "[--seed N] [--json]",
         _main_fabric,
     ),
+    "serve": _Subcommand(
+        "serve <topology> <workload> [--target rmt|adcp] "
+        "[--placement ingress|central|hash] [--routing ecmp|flowlet] "
+        "[--rate F] [--arrivals poisson|periodic] [--duration DUR] "
+        "[--window DUR] [--ramp DUR] [--burst FACTOR@START:END] "
+        "[--slo METRIC<=BOUND ...] [--coflows N] [--vector N] "
+        "[--interval NS] [--ledger PATH] [--stream PATH] [--seed N] "
+        "[--json]",
+        _main_serve,
+    ),
     "diff": _Subcommand(
         "diff <base_ledger> <new_ledger> [--threshold PCT] [--json]",
         _main_diff,
@@ -448,8 +608,13 @@ def _usage_lines() -> list[str]:
     from .fabric.workloads import FABRIC_WORKLOADS
 
     lines.append(
-        f"fabric workloads: {', '.join(FABRIC_WORKLOADS)} on "
-        f"leaf-spine-LxS[xH] or fat-tree-kK topologies"
+        f"fabric/serve workloads: {', '.join(FABRIC_WORKLOADS)} on "
+        f"leaf-spine-LxS[xH], fat-tree-kK, or single-N topologies"
+    )
+    lines.append(
+        "serve streams rolling-window records live (JSONL with --json); "
+        "exit codes: 0 SLOs met, 1 SLO violated, 2 usage error "
+        "(durations accept ns/us/ms/s suffixes, e.g. --window 1us)"
     )
     lines.append(
         "diff compares two run ledgers written by monitor; it exits 1 "

@@ -131,6 +131,12 @@ class FabricAggregateApp(SwitchApp):
                 )
                 self._completed[(coflow_id, partition)] += 1
         emissions = self._drain_emissions(coflow_id, partition)
+        if emissions and packet.meta.origin_time is not None:
+            # Results inherit the origin of the data packet whose
+            # contribution completed the chunk, so serve-mode latency
+            # spans host departure -> result delivery (docs/SERVING.md).
+            for emission in emissions:
+                emission.meta.origin_time = packet.meta.origin_time
         return Decision.consume(*emissions)
 
     def _drain_emissions(self, coflow_id: int, partition: int) -> list[Packet]:

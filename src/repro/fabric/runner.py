@@ -58,6 +58,30 @@ class SwitchSection:
     result: object
 
 
+def switch_section_json(section: SwitchSection) -> dict:
+    """One switch's ledger section (shared by batch and serve runners)."""
+    result = section.result
+    entry = {
+        "label": section.label,
+        "duration_s": result.duration_s,
+        "delivered": len(result.delivered),
+        "consumed": result.consumed,
+        "recirculated": result.recirculated_packets,
+        "samples": 0,
+        "series": {},
+        "counters": result.counters,
+    }
+    telemetry = section.telemetry
+    monitor = getattr(telemetry, "monitor", None)
+    if monitor is not None:
+        entry["samples"] = len(monitor)
+        entry["series"] = {
+            name: summary.to_json()
+            for name, summary in monitor.summaries().items()
+        }
+    return entry
+
+
 @dataclass
 class FabricRun:
     """Everything one fabric run produced, plus its reporting helpers."""
@@ -107,26 +131,7 @@ class FabricRun:
     # --- reporting ----------------------------------------------------------------
 
     def _switch_section(self, section: SwitchSection) -> dict:
-        result = section.result
-        entry = {
-            "label": section.label,
-            "duration_s": result.duration_s,
-            "delivered": len(result.delivered),
-            "consumed": result.consumed,
-            "recirculated": result.recirculated_packets,
-            "samples": 0,
-            "series": {},
-            "counters": result.counters,
-        }
-        telemetry = section.telemetry
-        monitor = getattr(telemetry, "monitor", None)
-        if monitor is not None:
-            entry["samples"] = len(monitor)
-            entry["series"] = {
-                name: summary.to_json()
-                for name, summary in monitor.summaries().items()
-            }
-        return entry
+        return switch_section_json(section)
 
     def _point(self, value: float) -> dict:
         """A single-sample series summary (scalar fabric outcomes)."""
@@ -293,6 +298,173 @@ def _make_resolver(name, table, selector, placement_map, sim):
     return resolve
 
 
+@dataclass
+class FabricInstance:
+    """A wired-but-idle fabric: switches, links, hosts on one kernel.
+
+    Produced by :func:`build_fabric`; both the batch runner
+    (:func:`run_fabric`) and serve mode (:mod:`repro.serve.runner`)
+    drive one of these — construction order is shared so a given
+    (topology, target, seed) wires bit-identically in either mode.
+    """
+
+    topology: Topology
+    sim: Simulator
+    switches: dict
+    hubs: dict
+    links: dict[str, Link]
+    hosts: dict[int, HostEndpoint]
+    selectors: dict
+    latency_s: float
+
+    def finalize_sections(self) -> list[SwitchSection]:
+        """Finalize every switch (in name order) into ledger sections."""
+        return [
+            SwitchSection(
+                name,
+                self.hubs[name],
+                self.switches[name].finalize(self.sim.now),
+            )
+            for name in self.topology.switch_names
+        ]
+
+
+def build_fabric(
+    topo: Topology,
+    *,
+    target: str,
+    routing: str = "ecmp",
+    placement_map: dict[int, str] | None = None,
+    hosted_by_switch: dict[str, list[HostedCoflow]] | None = None,
+    elements_per_packet: int = 1,
+    link_latency_ns: float = DEFAULT_LINK_LATENCY_NS,
+    flowlet_gap_ns: float = DEFAULT_FLOWLET_GAP_NS,
+    interval_ns: float = DEFAULT_INTERVAL_NS,
+    make_telemetry=None,
+    sim: Simulator | None = None,
+    host_sink=None,
+) -> FabricInstance:
+    """Construct and wire every switch, link, and host NIC of ``topo``.
+
+    ``host_sink`` optionally wraps each :class:`HostEndpoint`'s deliver
+    function (``host_sink(endpoint) -> deliver``) so a caller can observe
+    deliveries — serve mode hooks per-window latency accounting here —
+    without changing what the endpoint records.
+    """
+    if target not in ("rmt", "adcp"):
+        raise ConfigError(
+            f"fabric target must be rmt or adcp, got {target!r}"
+        )
+    if link_latency_ns < 0:
+        raise ConfigError(
+            f"link latency must be >= 0, got {link_latency_ns}"
+        )
+    placement_map = placement_map or {}
+    hosted_by_switch = hosted_by_switch or {}
+    if make_telemetry is None:
+
+        def make_telemetry():
+            from ..telemetry import ResourceMonitor, Telemetry
+
+            hub = Telemetry(monitor=ResourceMonitor(interval_ns=interval_ns))
+            hub.trace.disable()
+            return hub
+
+    if sim is None:
+        sim = Simulator()
+    build = _rmt_switch if target == "rmt" else _adcp_switch
+    switches = {}
+    hubs = {}
+    for name in topo.switch_names:
+        node = topo.switches[name]
+        hosted = hosted_by_switch.get(name)
+        app = FabricAggregateApp(hosted, elements_per_packet) if hosted else None
+        hub = make_telemetry()
+        hubs[name] = hub
+        switches[name] = build(node, app, hub, sim)
+
+    tables = topo.routes()
+    selectors = {}
+    for name, switch in switches.items():
+        selector = make_selector(routing, name, flowlet_gap_ns * _NS)
+        selectors[name] = selector
+        switch.route_resolver = _make_resolver(
+            name, tables[name], selector, placement_map, sim
+        )
+
+    latency_s = link_latency_ns * _NS
+    links: dict[str, Link] = {}
+    for src, src_port, dst, dst_port in topo.edge_links():
+        link = Link(
+            f"{src}:{src_port}->{dst}",
+            latency_s,
+            switch_handoff(switches[dst], dst_port),
+        )
+        switches[src].port_sinks[src_port] = link
+        links[link.name] = link
+    hosts: dict[int, HostEndpoint] = {}
+    for host_id in topo.host_ids:
+        host = topo.hosts[host_id]
+        endpoint = HostEndpoint(host_id)
+        hosts[host_id] = endpoint
+        deliver = endpoint.deliver if host_sink is None else host_sink(endpoint)
+        link = Link(
+            f"{host.switch}:{host.port}->h{host_id}",
+            latency_s,
+            deliver,
+        )
+        switches[host.switch].port_sinks[host.port] = link
+        links[link.name] = link
+    return FabricInstance(
+        topology=topo,
+        sim=sim,
+        switches=switches,
+        hubs=hubs,
+        links=links,
+        hosts=hosts,
+        selectors=selectors,
+        latency_s=latency_s,
+    )
+
+
+def inject_arrivals(
+    fabric: FabricInstance,
+    arrivals: dict[int, list[tuple[float, Packet]]],
+    *,
+    stamp_origin: bool = False,
+) -> None:
+    """Schedule per-host NIC streams into their edge switches.
+
+    Each (host-departure time, packet) pair arrives ``latency_s`` later
+    at the switch; batched injection (one kernel event per distinct
+    arrival timestamp per host stream) applies whenever the switch runs
+    untraced.  Host streams are injected one after another, so
+    equal-time bursts from different hosts keep their relative order —
+    identical dispatch to per-packet injection.  ``stamp_origin``
+    records the host-departure time in ``meta.origin_time`` for
+    end-to-end latency accounting (serve mode).
+    """
+    topo = fabric.topology
+    latency_s = fabric.latency_s
+    for host_id, stream in arrivals.items():
+        switch = fabric.switches[topo.hosts[host_id].switch]
+
+        def shifted(stream=stream):
+            for time, packet in stream:
+                if stamp_origin:
+                    packet.meta.origin_time = time
+                arrival = time + latency_s
+                packet.meta.arrival_time = arrival
+                yield arrival, packet
+
+        if switch.trace is None:
+            for arrival, burst in batch_arrivals(shifted()):
+                switch.inject_burst(burst, arrival)
+        else:
+            for arrival, packet in shifted():
+                switch.inject(packet, arrival)
+
+
 def _verify_allreduce(run_workload, hosts) -> None:
     """Every worker got the exact aggregate: value[k] == (k+1) * workers."""
     for spec in run_workload.coflows:
@@ -381,89 +553,25 @@ def run_fabric(
                 )
             )
 
-    if make_telemetry is None:
-
-        def make_telemetry():
-            from ..telemetry import ResourceMonitor, Telemetry
-
-            hub = Telemetry(monitor=ResourceMonitor(interval_ns=interval_ns))
-            hub.trace.disable()
-            return hub
-
-    sim = Simulator()
-    build = _rmt_switch if target == "rmt" else _adcp_switch
-    switches = {}
-    hubs = {}
-    for name in topo.switch_names:
-        node = topo.switches[name]
-        hosted = hosted_by_switch.get(name)
-        app = FabricAggregateApp(hosted, epp) if hosted else None
-        hub = make_telemetry()
-        hubs[name] = hub
-        switches[name] = build(node, app, hub, sim)
-
-    tables = topo.routes()
-    selectors = {}
-    for name, switch in switches.items():
-        selector = make_selector(routing, name, flowlet_gap_ns * _NS)
-        selectors[name] = selector
-        switch.route_resolver = _make_resolver(
-            name, tables[name], selector, placement_map, sim
-        )
-
-    latency_s = link_latency_ns * _NS
-    links: dict[str, Link] = {}
-    for src, src_port, dst, dst_port in topo.edge_links():
-        link = Link(
-            f"{src}:{src_port}->{dst}",
-            latency_s,
-            switch_handoff(switches[dst], dst_port),
-        )
-        switches[src].port_sinks[src_port] = link
-        links[link.name] = link
-    hosts: dict[int, HostEndpoint] = {}
-    for host_id in topo.host_ids:
-        host = topo.hosts[host_id]
-        endpoint = HostEndpoint(host_id)
-        hosts[host_id] = endpoint
-        link = Link(
-            f"{host.switch}:{host.port}->h{host_id}",
-            latency_s,
-            endpoint.deliver,
-        )
-        switches[host.switch].port_sinks[host.port] = link
-        links[link.name] = link
-
-    for host_id, stream in work.arrivals.items():
-        switch = switches[topo.hosts[host_id].switch]
-        if switch.trace is None:
-            # Batched injection: one kernel event per distinct arrival
-            # timestamp within this host's (time-ordered) stream.  Host
-            # streams are injected one after another, so equal-time
-            # bursts from different hosts keep their relative order —
-            # identical dispatch to per-packet injection.
-            def shifted(stream=stream):
-                for time, packet in stream:
-                    arrival = time + latency_s
-                    packet.meta.arrival_time = arrival
-                    yield arrival, packet
-
-            for arrival, burst in batch_arrivals(shifted()):
-                switch.inject_burst(burst, arrival)
-        else:
-            for time, packet in stream:
-                arrival = time + latency_s
-                packet.meta.arrival_time = arrival
-                switch.inject(packet, arrival)
+    fabric = build_fabric(
+        topo,
+        target=target,
+        routing=routing,
+        placement_map=placement_map,
+        hosted_by_switch=hosted_by_switch,
+        elements_per_packet=epp,
+        link_latency_ns=link_latency_ns,
+        flowlet_gap_ns=flowlet_gap_ns,
+        interval_ns=interval_ns,
+        make_telemetry=make_telemetry,
+    )
+    sim = fabric.sim
+    hosts = fabric.hosts
+    inject_arrivals(fabric, work.arrivals)
 
     sim.run()
 
-    sections = [
-        SwitchSection(
-            name, hubs[name], switches[name].finalize(sim.now)
-        )
-        for name in topo.switch_names
-    ]
+    sections = fabric.finalize_sections()
 
     cct_s: dict[int, float] = {}
     for (coflow_id, host_id), expected in sorted(work.expected.items()):
@@ -495,7 +603,7 @@ def run_fabric(
         seed=seed,
         params=params,
         sections=sections,
-        links=links,
+        links=fabric.links,
         hosts=hosts,
         placement_map=placement_map,
         cct_s=cct_s,
@@ -504,5 +612,5 @@ def run_fabric(
         injected=work.injected_packets,
         events_coalesced=sim.events_coalesced,
         interval_ns=interval_ns,
-        selectors=selectors,
+        selectors=fabric.selectors,
     )

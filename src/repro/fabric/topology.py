@@ -247,6 +247,26 @@ class Topology:
 # --- generators --------------------------------------------------------------------
 
 
+def single_switch(hosts: int = 8) -> Topology:
+    """One switch with ``hosts`` directly-attached servers, no fabric links.
+
+    The degenerate fabric: routing tables collapse to local host ports
+    and every placement policy picks the only switch.  Serve mode uses
+    it to soak a single RMT/ADCP instance under open-loop load without
+    multi-hop effects (docs/SERVING.md).
+    """
+    if hosts < 2:
+        raise ConfigError(
+            f"single-switch topology needs >= 2 hosts, got {hosts}"
+        )
+    node = SwitchNode("sw0", "single", hosts)
+    host_map: dict[int, Host] = {}
+    for i in range(hosts):
+        node.host_ports[i] = i
+        host_map[i] = Host(i, "sw0", i)
+    return Topology(f"single-{hosts}", {"sw0": node}, host_map)
+
+
 def leaf_spine(
     leaves: int = 2, spines: int = 2, hosts_per_leaf: int = 2
 ) -> Topology:
@@ -335,7 +355,12 @@ def parse_topology(spec: str) -> Topology:
         arity = spec[len("fat-tree-k"):]
         if arity.isdigit():
             return fat_tree(int(arity))
+    if spec.startswith("single-"):
+        count = spec[len("single-"):]
+        if count.isdigit():
+            return single_switch(int(count))
     raise ConfigError(
         f"unknown topology spec {spec!r}; expected leaf-spine-LxS[xH] "
-        f"(e.g. leaf-spine-2x2) or fat-tree-kK (e.g. fat-tree-k4)"
+        f"(e.g. leaf-spine-2x2), fat-tree-kK (e.g. fat-tree-k4), or "
+        f"single-N (e.g. single-8)"
     )

@@ -172,19 +172,30 @@ def build_workload(
     link_bps: float,
     load: float = 1.0,
     seed: int = 0,
+    coflow_base: int = 0,
 ) -> FabricWorkload:
-    """Build one registered fabric workload over ``topology``'s hosts."""
+    """Build one registered fabric workload over ``topology``'s hosts.
+
+    ``coflow_base`` offsets the generated coflow ids (ids run
+    ``base+1 .. base+coflows``): serve mode builds the same workload
+    round after round and needs globally-unique ids, while worker
+    selection stays a pure function of ``(name, seed, coflow_id)``.
+    """
     if coflows < 1:
         raise ConfigError(f"need at least one coflow, got {coflows}")
     if vector < 1:
         raise ConfigError(f"vector must be non-empty, got {vector}")
+    if coflow_base < 0:
+        raise ConfigError(f"coflow_base must be >= 0, got {coflow_base}")
     if name == "fabric-allreduce":
         return _allreduce(
-            topology, coflows, vector, elements_per_packet, link_bps, load, seed
+            topology, coflows, vector, elements_per_packet, link_bps, load,
+            seed, coflow_base,
         )
     if name == "fabric-shuffle":
         return _shuffle(
-            topology, coflows, vector, elements_per_packet, link_bps, load, seed
+            topology, coflows, vector, elements_per_packet, link_bps, load,
+            seed, coflow_base,
         )
     raise ConfigError(
         f"unknown fabric workload {name!r}; choose from "
@@ -200,6 +211,7 @@ def _allreduce(
     link_bps: float,
     load: float,
     seed: int,
+    coflow_base: int,
 ) -> FabricWorkload:
     hosts = topology.host_ids
     workers_per_coflow = min(_WORKERS_PER_COFLOW, len(hosts))
@@ -210,7 +222,7 @@ def _allreduce(
     expected: dict[tuple[int, int], int] = {}
     result_batches = ceil(vector / elements_per_packet)
     for index in range(coflows):
-        coflow_id = index + 1
+        coflow_id = coflow_base + index + 1
         workers = _pick_workers(
             hosts, workers_per_coflow, "fabric-allreduce", coflow_id, seed
         )
@@ -247,6 +259,7 @@ def _shuffle(
     link_bps: float,
     load: float,
     seed: int,
+    coflow_base: int,
 ) -> FabricWorkload:
     hosts = topology.host_ids
     if len(hosts) < 2:
@@ -258,7 +271,7 @@ def _shuffle(
     per_host: dict[int, list[list[Packet]]] = {h: [] for h in hosts}
     expected: dict[tuple[int, int], int] = {}
     for index in range(coflows):
-        coflow_id = index + 1
+        coflow_id = coflow_base + index + 1
         spec = FabricCoflowSpec(
             coflow_id, tuple(mappers), vector, aggregated=False
         )

@@ -119,6 +119,12 @@ class PacketMetadata:
     lane: int | None = None  # ADCP demux lane within a port
     arrival_time: float = 0.0
     departure_time: float = 0.0
+    origin_time: float | None = None
+    """First transmission time at the originating host NIC, surviving
+    per-hop meta resets (:func:`~repro.fabric.link.switch_handoff`) so
+    serve mode can report end-to-end latency.  Result packets emitted by
+    an aggregation inherit the origin of the data packet that completed
+    the chunk.  None for runs that don't track end-to-end latency."""
     recirculations: int = 0
     drop_reason: str | None = None
     central_done: bool = False

@@ -1,0 +1,131 @@
+"""Declarative SLO objectives over window records, with live verdicts.
+
+An objective is a comparison against one window metric, written the way
+it reads: ``p99_latency_ns<=1500``, ``drop_rate<=0.01``,
+``throughput_pps>=2e9``.  A :class:`SloPolicy` holds any number of
+objectives and evaluates every closed window: a window is *compliant*
+when no objective is violated.  Metrics that are ``None`` in a window
+(no latency samples in an empty window, say) are vacuously compliant —
+an SLO on p99 latency cannot fail when nothing was delivered.
+
+The roll-up (:meth:`SloPolicy.summarize`) reports per-objective
+violation counts, the compliant-window fraction, and a pass/fail
+verdict; serve's CLI exit code is 1 exactly when a non-empty policy
+failed (docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+_OPERATORS = {
+    "<=": operator.le,
+    ">=": operator.ge,
+    "<": operator.lt,
+    ">": operator.gt,
+}
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective: ``metric OP bound``."""
+
+    metric: str
+    op: str
+    bound: float
+
+    @property
+    def spec(self) -> str:
+        return f"{self.metric}{self.op}{self.bound:g}"
+
+    def check(self, value: float) -> bool:
+        return _OPERATORS[self.op](value, self.bound)
+
+    @classmethod
+    def parse(cls, text: str) -> "SloObjective":
+        raw = str(text).strip().replace(" ", "")
+        # Two-character operators first, so "<=" never parses as "<".
+        for op in ("<=", ">=", "<", ">"):
+            if op in raw:
+                metric, _, bound_text = raw.partition(op)
+                break
+        else:
+            raise ConfigError(
+                f"bad SLO {text!r}; expected METRIC<=BOUND or "
+                f"METRIC>=BOUND (e.g. p99_latency_ns<=1500)"
+            )
+        if not metric:
+            raise ConfigError(f"bad SLO {text!r}: missing metric name")
+        try:
+            bound = float(bound_text)
+        except ValueError:
+            raise ConfigError(
+                f"bad SLO {text!r}: bound {bound_text!r} is not a number"
+            )
+        return cls(metric, op, bound)
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """An ordered set of objectives evaluated against every window."""
+
+    objectives: tuple[SloObjective, ...] = ()
+
+    @classmethod
+    def parse(cls, specs) -> "SloPolicy":
+        return cls(tuple(SloObjective.parse(spec) for spec in specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.objectives)
+
+    def validate_metrics(self, known: list[str]) -> None:
+        """Fail fast (usage error) on objectives naming unknown metrics."""
+        known_set = set(known)
+        for objective in self.objectives:
+            if objective.metric not in known_set:
+                raise ConfigError(
+                    f"SLO metric {objective.metric!r} is not a window "
+                    f"metric; choose from {', '.join(sorted(known_set))}"
+                )
+
+    def evaluate(self, record: dict) -> list[str]:
+        """Specs of the objectives this window violates (empty = ok)."""
+        violated = []
+        for objective in self.objectives:
+            value = record.get(objective.metric)
+            if value is None:
+                continue
+            if not objective.check(float(value)):
+                violated.append(objective.spec)
+        return violated
+
+    def summarize(self, windows: list[dict]) -> dict:
+        """Compliance roll-up over annotated windows (see runner).
+
+        Each window must carry the ``slo`` entry the serve runner
+        attaches at close ({"compliant": bool, "violations": [...]}).
+        """
+        total = len(windows)
+        by_objective = {obj.spec: 0 for obj in self.objectives}
+        compliant = 0
+        for record in windows:
+            verdict = record.get("slo", {})
+            if verdict.get("compliant", True):
+                compliant += 1
+            for spec in verdict.get("violations", ()):
+                if spec in by_objective:
+                    by_objective[spec] += 1
+        violations = total - compliant
+        return {
+            "objectives": [obj.spec for obj in self.objectives],
+            "windows": total,
+            "compliant_windows": compliant,
+            "compliance": compliant / total if total else 1.0,
+            "violations_by_objective": by_objective,
+            "verdict": (
+                "pass" if (not self.objectives or violations == 0) else "fail"
+            ),
+        }

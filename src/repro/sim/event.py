@@ -464,6 +464,8 @@ class Simulator:
         sampler and the resource monitor: because probes never schedule
         events, observing a run cannot change its event order or final
         duration."""
+        self._time_probes: list[Callable[[float], None]] = []
+        self._probe_chain: Callable[[float], None] | None = None
 
     def add_time_probe(self, probe: Callable[[float], None]) -> None:
         """Install ``probe`` on the clock, chaining after any existing one.
@@ -472,17 +474,58 @@ class Simulator:
         attaching several observers (metric snapshots plus a resource
         monitor) costs the uninstrumented fast path nothing.  Probes fire
         in installation order with the same new-time argument.
+
+        Probes registered here are also tracked individually so the
+        dispatcher can consult their ``next_deadline_s()`` (when every
+        probe offers one) and keep dispatching on the uninstrumented
+        fast path between deadlines — see :meth:`_probe_deadline`.
         """
         current = self.time_probe
         if current is None:
             self.time_probe = probe
+            self._time_probes = [probe]
+            self._probe_chain = probe
             return
+        if current is not self._probe_chain:
+            # A probe was installed by direct assignment, bypassing this
+            # method.  Keep chaining it, but record it as an opaque
+            # member: it carries no deadline contract, so the probed
+            # fast path stands down (``_probe_deadline`` returns None).
+            self._time_probes = [current]
 
         def chained(new_time_s: float, _first=current, _second=probe) -> None:
             _first(new_time_s)
             _second(new_time_s)
 
+        self._time_probes.append(probe)
         self.time_probe = chained
+        self._probe_chain = chained
+
+    def _probe_deadline(self) -> float | None:
+        """Earliest ``next_deadline_s()`` across registered time probes.
+
+        Returns None when any probe lacks the deadline protocol (or when
+        ``time_probe`` was assigned directly, hiding its members), which
+        sends :meth:`run` to the instrumented reference loop.
+
+        The protocol (docs/KERNEL.md): a probe exposing
+        ``next_deadline_s() -> float`` promises that calls with
+        ``new_time < deadline`` are no-ops, and that after a call with
+        ``new_time >= deadline`` the reported deadline strictly exceeds
+        that ``new_time``.  Grid samplers (ResourceMonitor,
+        PeriodicSampler, RollingWindowMonitor) satisfy this naturally.
+        """
+        if self.time_probe is not self._probe_chain or not self._time_probes:
+            return None
+        deadline = float("inf")
+        for probe in self._time_probes:
+            next_deadline = getattr(probe, "next_deadline_s", None)
+            if next_deadline is None:
+                return None
+            deadline_s = next_deadline()
+            if deadline_s < deadline:
+                deadline = deadline_s
+        return deadline
 
     def at(self, time: float, action: Action, priority: int = 0) -> Event:
         """Schedule ``action`` at absolute time ``time`` (seconds)."""
@@ -509,14 +552,19 @@ class Simulator:
         ``until`` is given, events at exactly ``until`` still fire; later
         ones stay queued and ``now`` advances to ``until``.
 
-        Dispatch is split into two specialized loops with identical
+        Dispatch is split into specialized loops with identical
         semantics: the uninstrumented one (no trace, no time probe, no
-        ``max_events``) does no per-event feature branching — see
-        docs/KERNEL.md for the fast-path discipline.
+        ``max_events``) does no per-event feature branching; when every
+        registered time probe publishes a ``next_deadline_s()`` the
+        probed fast path dispatches uninstrumented *between* deadlines —
+        see docs/KERNEL.md for the fast-path discipline.
         """
-        if (self.trace is None and self.time_probe is None
-                and max_events is None):
-            return self._run_fast(until)
+        if self.trace is None and max_events is None:
+            if self.time_probe is None:
+                return self._run_fast(until)
+            deadline = self._probe_deadline()
+            if deadline is not None:
+                return self._run_fast_probed(until, deadline)
         return self._run_instrumented(until, max_events)
 
     def _run_fast(self, until: float | None) -> int:
@@ -541,6 +589,71 @@ class Simulator:
         if until is not None and queue.peek_time() is not None:
             # Later events stay queued; the clock still advances to the
             # bound, matching the instrumented loop.
+            self.now = until
+        self.events_dispatched += dispatched
+        return dispatched
+
+    def _run_fast_probed(self, until: float | None, deadline: float) -> int:
+        """Uninstrumented dispatch with deadline-aware time probes.
+
+        Events strictly before the earliest probe deadline dispatch with
+        the same one-pop-per-event loop as :meth:`_run_fast`; the probe
+        chain only fires when an advance reaches a deadline — exactly
+        the calls the instrumented loop would make that are not no-ops
+        under the probe contract (see :meth:`_probe_deadline`).  Probes
+        must all be registered before ``run``; installing one from
+        inside an event action is not supported on this path.
+        """
+        queue = self.queue
+        pop_due = queue.pop_due
+        peek_time = queue.peek_time
+        probe = self.time_probe
+        bound = float("inf") if until is None else until
+        dispatched = 0
+        now = self.now
+        while True:
+            inner = bound if bound < deadline else deadline
+            event = pop_due(inner)
+            if event is None:
+                next_time = peek_time()
+                if next_time is None or next_time > bound:
+                    break
+                # deadline < next_time <= bound: the coming advance
+                # crosses at least one probe deadline.  Fire the chain
+                # with the advance target, as the instrumented loop
+                # would, then re-read the horizon.
+                probe(next_time)
+                refreshed = self._probe_deadline()
+                deadline = float("inf") if refreshed is None else refreshed
+                if deadline <= next_time:
+                    raise SimulationError(
+                        "time probe violated the deadline contract: "
+                        f"next_deadline_s() {deadline} did not advance "
+                        f"past probed time {next_time}"
+                    )
+                continue
+            time = event.time
+            if time < now:
+                raise SimulationError(
+                    f"event time {time} precedes current time {now}"
+                )
+            if time > now:
+                if time >= deadline:
+                    probe(time)
+                    refreshed = self._probe_deadline()
+                    deadline = float("inf") if refreshed is None else refreshed
+                    if deadline <= time:
+                        raise SimulationError(
+                            "time probe violated the deadline contract: "
+                            f"next_deadline_s() {deadline} did not advance "
+                            f"past probed time {time}"
+                        )
+                now = self.now = time
+            event.action()
+            dispatched += 1
+        if until is not None and peek_time() is not None:
+            if until > now:
+                probe(until)
             self.now = until
         self.events_dispatched += dispatched
         return dispatched

@@ -10,12 +10,17 @@ unchanged — with a non-zero exit when any series regressed past the
 threshold.  That gives CI (and every future perf PR) a one-command
 answer to "did this change move queue pressure or utilization?".
 
-Diff semantics: every monitored series is a *pressure* metric (occupancy,
-backlog, access counts, loop depth) or a utilization — for all of them a
-higher mean at the same workload means more contention, so **lower is
-better**.  The verdict compares mean values; peaks are reported alongside
-for context.  A series present in only one ledger is ``added``/``removed``
-(structural, never a regression by itself).
+Diff semantics: most monitored series are *pressure* metrics (occupancy,
+backlog, access counts, loop depth) or utilizations — for them a higher
+mean at the same workload means more contention, so **lower is better**.
+Serve-mode ledgers (``repro.serve_ledger/1``, docs/SERVING.md) add
+goodness metrics — throughput, SLO compliance — where higher is better;
+a series can declare its polarity with a ``direction`` field in its
+summary (``"higher"``/``"lower"``), and otherwise name-pattern defaults
+apply (:func:`series_direction`).  The verdict compares mean values;
+peaks are reported alongside for context.  A series present in only one
+ledger is ``added``/``removed`` (structural, never a regression by
+itself).
 """
 
 from __future__ import annotations
@@ -30,6 +35,25 @@ from ..errors import ConfigError
 
 #: Ledger format identifier; bump the suffix on breaking schema changes.
 LEDGER_SCHEMA = "repro.run_ledger/1"
+
+#: Serve-mode ledger format (window series + SLO summary, docs/SERVING.md).
+#: Shares the sections/series shape with run ledgers, so ``repro diff``
+#: accepts both families.
+SERVE_LEDGER_SCHEMA = "repro.serve_ledger/1"
+
+#: Schema families :func:`load_ledger` accepts (prefix match on the part
+#: before the version suffix).
+LEDGER_FAMILIES = ("repro.run_ledger", "repro.serve_ledger")
+
+#: Name fragments that mark a series as higher-is-better when its summary
+#: carries no explicit ``direction`` field.
+HIGHER_IS_BETTER_MARKERS = (
+    "throughput",
+    "goodput",
+    "compliance",
+    "delivered",
+    "completed",
+)
 
 #: Default relative-change tolerance (fraction) before a verdict flips.
 DEFAULT_THRESHOLD = 0.05
@@ -98,11 +122,11 @@ def load_ledger(path: str | Path) -> dict:
         raise ConfigError(f"{source} is not valid JSON: {error}")
     if not isinstance(document, dict) or "schema" not in document:
         raise ConfigError(f"{source} is not a run ledger (no schema field)")
-    schema = document["schema"]
-    family = LEDGER_SCHEMA.rsplit("/", 1)[0]
-    if not str(schema).startswith(family):
+    schema = str(document["schema"])
+    if not any(schema.startswith(family) for family in LEDGER_FAMILIES):
         raise ConfigError(
-            f"{source} has schema {schema!r}, expected {LEDGER_SCHEMA!r}"
+            f"{source} has schema {schema!r}, expected one of "
+            f"{', '.join(LEDGER_FAMILIES)}"
         )
     return document
 
@@ -122,6 +146,7 @@ class DiffRow:
     base_peak: float | None
     new_peak: float | None
     delta: float | None  # relative mean change; None when undefined
+    direction: str = "lower"  # which way is better: "lower" | "higher"
 
     def to_json(self) -> dict:
         return {
@@ -133,6 +158,7 @@ class DiffRow:
             "base_peak": self.base_peak,
             "new_peak": self.new_peak,
             "delta": self.delta,
+            "direction": self.direction,
         }
 
 
@@ -226,18 +252,49 @@ def _series_of(section: dict) -> dict[str, dict]:
     return series
 
 
-def _verdict(base_mean: float, new_mean: float, threshold: float):
-    """(verdict, relative delta) for one series; lower mean is better."""
+def series_direction(name: str, *summaries: dict | None) -> str:
+    """Which way a series is better: ``"lower"`` (default) or ``"higher"``.
+
+    An explicit ``direction`` field in either summary wins (first match
+    in the order given, so callers pass the new summary first); otherwise
+    the name is matched against :data:`HIGHER_IS_BETTER_MARKERS` —
+    throughput-shaped series read higher-is-better, everything else
+    keeps the pressure-metric default.
+    """
+    for summary in summaries:
+        if summary is not None:
+            declared = summary.get("direction")
+            if declared in ("higher", "lower"):
+                return declared
+    lowered = name.lower()
+    for marker in HIGHER_IS_BETTER_MARKERS:
+        if marker in lowered:
+            return "higher"
+    return "lower"
+
+
+def _verdict(
+    base_mean: float,
+    new_mean: float,
+    threshold: float,
+    direction: str = "lower",
+):
+    """(verdict, relative delta) for one series under ``direction``."""
+    higher_is_better = direction == "higher"
     if base_mean == 0.0 and new_mean == 0.0:
         return "unchanged", 0.0
     if base_mean == 0.0:
-        # Pressure appeared where there was none: infinite relative
-        # growth, always past any threshold.
-        return "regressed", math.inf
+        # A value appeared where there was none: infinite relative
+        # growth, always past any threshold.  Pressure appearing is a
+        # regression; throughput appearing is an improvement.
+        verdict = "improved" if higher_is_better and new_mean > 0 else "regressed"
+        return verdict, math.inf
     delta = (new_mean - base_mean) / abs(base_mean)
-    if delta > threshold:
+    worse = delta < -threshold if higher_is_better else delta > threshold
+    better = delta > threshold if higher_is_better else delta < -threshold
+    if worse:
         return "regressed", delta
-    if delta < -threshold:
+    if better:
         return "improved", delta
     return "unchanged", delta
 
@@ -279,13 +336,14 @@ def diff_ledgers(
         for name in sorted(set(base_series) | set(new_series)):
             old = base_series.get(name)
             current = new_series.get(name)
+            direction = series_direction(name, current, old)
             if old is None:
                 diff.rows.append(
                     DiffRow(
                         label, name, "added",
                         None, current.get("mean"),
                         None, current.get("peak"),
-                        None,
+                        None, direction,
                     )
                 )
                 continue
@@ -295,7 +353,7 @@ def diff_ledgers(
                         label, name, "removed",
                         old.get("mean"), None,
                         old.get("peak"), None,
-                        None,
+                        None, direction,
                     )
                 )
                 continue
@@ -303,13 +361,14 @@ def diff_ledgers(
                 float(old.get("mean", 0.0)),
                 float(current.get("mean", 0.0)),
                 threshold,
+                direction,
             )
             diff.rows.append(
                 DiffRow(
                     label, name, verdict,
                     old.get("mean"), current.get("mean"),
                     old.get("peak"), current.get("peak"),
-                    delta,
+                    delta, direction,
                 )
             )
     return diff

@@ -158,3 +158,7 @@ class PeriodicSampler:
         while self._next_s <= new_time_s:
             self.metrics.sample(self._next_s)
             self._next_s += self.interval_s
+
+    def next_deadline_s(self) -> float:
+        """Next grid boundary (kernel probe-deadline contract)."""
+        return self._next_s

@@ -189,6 +189,15 @@ class ResourceMonitor:
             self.sample(self._next_s)
             self._next_s += self.interval_s
 
+    def next_deadline_s(self) -> float:
+        """Next grid boundary — the kernel's probe-deadline contract.
+
+        Clock advances strictly below this are no-ops, and any call at
+        or past it moves the grid beyond the probed time, so the
+        dispatcher may run uninstrumented in between (docs/KERNEL.md).
+        """
+        return self._next_s
+
     def sample(self, time_s: float) -> None:
         """Capture one row: every probe evaluated at ``time_s``."""
         if not self._frozen:

@@ -1,0 +1,96 @@
+"""SLO objective parsing, evaluation, and roll-up verdicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.slo import SloObjective, SloPolicy
+
+
+class TestObjectiveParse:
+    @pytest.mark.parametrize(
+        "text,metric,op,bound",
+        [
+            ("p99_latency_ns<=1500", "p99_latency_ns", "<=", 1500.0),
+            ("throughput_pps>=2e9", "throughput_pps", ">=", 2e9),
+            ("drop_rate<0.01", "drop_rate", "<", 0.01),
+            ("tm_occupancy>3", "tm_occupancy", ">", 3.0),
+            ("drop_rate <= 0.5", "drop_rate", "<=", 0.5),
+        ],
+    )
+    def test_forms(self, text, metric, op, bound):
+        objective = SloObjective.parse(text)
+        assert (objective.metric, objective.op, objective.bound) == (
+            metric,
+            op,
+            bound,
+        )
+
+    def test_two_char_operators_win(self):
+        # "<=" must not parse as "<" with bound "=1500".
+        assert SloObjective.parse("x<=1").op == "<="
+        assert SloObjective.parse("x>=1").op == ">="
+
+    @pytest.mark.parametrize(
+        "text", ["p99", "p99=1500", "<=1500", "p99<=fast"]
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ConfigError, match="SLO"):
+            SloObjective.parse(text)
+
+    def test_spec_round_trips(self):
+        objective = SloObjective.parse("drop_rate<=0.01")
+        assert SloObjective.parse(objective.spec) == objective
+
+
+class TestPolicy:
+    def test_empty_policy_is_falsy_and_passes(self):
+        policy = SloPolicy.parse([])
+        assert not policy
+        summary = policy.summarize([{"slo": {"compliant": True}}])
+        assert summary["verdict"] == "pass"
+        assert summary["objectives"] == []
+
+    def test_evaluate_lists_violations(self):
+        policy = SloPolicy.parse(["drop_rate<=0.01", "delivered>=5"])
+        record = {"drop_rate": 0.5, "delivered": 10}
+        assert policy.evaluate(record) == ["drop_rate<=0.01"]
+        assert policy.evaluate({"drop_rate": 0.0, "delivered": 10}) == []
+
+    def test_none_values_pass_vacuously(self):
+        # An empty window has no p99; a latency SLO cannot fail on it.
+        policy = SloPolicy.parse(["p99_latency_ns<=100"])
+        assert policy.evaluate({"p99_latency_ns": None}) == []
+
+    def test_validate_metrics_rejects_unknown(self):
+        policy = SloPolicy.parse(["bogus<=1"])
+        with pytest.raises(ConfigError, match="bogus"):
+            policy.validate_metrics(["drop_rate", "delivered"])
+        SloPolicy.parse(["drop_rate<=1"]).validate_metrics(["drop_rate"])
+
+    def test_summarize_counts_by_objective(self):
+        policy = SloPolicy.parse(["a<=1", "b<=1"])
+        windows = [
+            {"slo": {"compliant": False, "violations": ["a<=1"]}},
+            {"slo": {"compliant": False, "violations": ["a<=1", "b<=1"]}},
+            {"slo": {"compliant": True, "violations": []}},
+        ]
+        summary = policy.summarize(windows)
+        assert summary["verdict"] == "fail"
+        assert summary["windows"] == 3
+        assert summary["compliant_windows"] == 1
+        assert summary["compliance"] == pytest.approx(1 / 3)
+        assert summary["violations_by_objective"] == {"a<=1": 2, "b<=1": 1}
+
+    def test_all_compliant_passes(self):
+        policy = SloPolicy.parse(["a<=1"])
+        windows = [{"slo": {"compliant": True, "violations": []}}] * 4
+        summary = policy.summarize(windows)
+        assert summary["verdict"] == "pass"
+        assert summary["compliance"] == 1.0
+
+    def test_no_windows_is_vacuously_compliant(self):
+        summary = SloPolicy.parse(["a<=1"]).summarize([])
+        assert summary["compliance"] == 1.0
+        assert summary["verdict"] == "pass"

@@ -220,3 +220,197 @@ class TestCalendarInternals:
             "calendar",
         )
         assert not math.isnan(Simulator(queue_backend="auto").now)
+
+
+class GridProbe:
+    """Deadline-aware tumbling-grid probe (the contract docs/KERNEL.md
+    specifies and the telemetry samplers implement): calls strictly
+    before the current boundary are no-ops, and a call at or past it
+    rolls the boundary forward.  It logs every boundary crossing with a
+    caller-supplied sample so two runs agree iff their probes fired at
+    the same positions in the dispatch stream.
+    """
+
+    def __init__(self, width, sample=None):
+        self.width = width
+        self.index = 0
+        self.calls = 0
+        self.crossings: list[tuple[float, object]] = []
+        self._sample = sample
+
+    def next_deadline_s(self) -> float:
+        return (self.index + 1) * self.width
+
+    def __call__(self, new_time_s: float) -> None:
+        self.calls += 1
+        while (self.index + 1) * self.width <= new_time_s:
+            boundary = (self.index + 1) * self.width
+            sample = self._sample() if self._sample is not None else None
+            self.crossings.append((boundary, sample))
+            self.index += 1
+
+
+def _run_probed_schedule(
+    ops, until, backend, widths, force_instrumented=False
+):
+    """Like ``_run_schedule`` but with grid probes attached.
+
+    Returns everything observable: the dispatch log, each probe's
+    crossing log (boundary, dispatches-so-far), the final clock, and the
+    dispatch count.  ``force_instrumented=True`` routes the identical
+    schedule through the reference loop via ``max_events``.
+    """
+    sim = Simulator(queue_backend=backend)
+    log: list[tuple[str, float]] = []
+    probes = [GridProbe(w, sample=lambda: len(log)) for w in widths]
+    for probe in probes:
+        sim.add_time_probe(probe)
+    handles: list = []
+
+    def make_action(tag, nested):
+        def action() -> None:
+            log.append((tag, sim.now))
+            for i, (delay, priority) in enumerate(nested):
+                handles.append(
+                    sim.after(delay, make_action(f"{tag}.n{i}", ()), priority)
+                )
+
+        return action
+
+    for index, op in enumerate(ops):
+        if op[0] == "cancel":
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+            continue
+        kind, value, priority, nested = op
+        action = make_action(f"op{index}", nested)
+        if kind == "at":
+            handles.append(sim.at(value, action, priority))
+        else:
+            handles.append(sim.after(value, action, priority))
+
+    if force_instrumented:
+        dispatched = sim.run(until=until, max_events=1 << 60)
+    else:
+        assert sim._probe_deadline() == min(w for w in widths)
+        dispatched = sim.run(until=until)
+    observable = (
+        log,
+        [probe.crossings for probe in probes],
+        sim.now,
+        dispatched,
+    )
+    return observable, sum(probe.calls for probe in probes)
+
+
+_WIDTHS = st.sampled_from([0.25, 0.5, 0.75, 1.3, 2.0])
+
+
+class TestProbedFastPathEquivalence:
+    """The probed fast path must be observation-equivalent to the
+    instrumented reference loop: same dispatch log, same boundary
+    crossings at the same positions in the dispatch stream, same final
+    clock — while calling the probe no more often."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(schedules(), _WIDTHS)
+    def test_probed_fast_matches_instrumented(self, schedule, width):
+        ops, until = schedule
+        fast, fast_calls = _run_probed_schedule(ops, until, "heap", [width])
+        ref, ref_calls = _run_probed_schedule(
+            ops, until, "heap", [width], force_instrumented=True
+        )
+        assert fast == ref
+        # Between boundaries the fast path never fires the probe; the
+        # reference loop fires it on every strict time advance.
+        assert fast_calls <= ref_calls
+
+    @settings(max_examples=100, deadline=None)
+    @given(schedules(), _WIDTHS)
+    def test_probed_backends_agree(self, schedule, width):
+        ops, until = schedule
+        heap, _ = _run_probed_schedule(ops, until, "heap", [width])
+        calendar, _ = _run_probed_schedule(ops, until, "calendar", [width])
+        assert heap == calendar
+
+    @settings(max_examples=100, deadline=None)
+    @given(schedules(), _WIDTHS, _WIDTHS)
+    def test_chained_probes_match_instrumented(self, schedule, w1, w2):
+        """Two grid probes chain; the dispatcher tracks the min deadline."""
+        ops, until = schedule
+        fast, _ = _run_probed_schedule(ops, until, "heap", [w1, w2])
+        ref, _ = _run_probed_schedule(
+            ops, until, "heap", [w1, w2], force_instrumented=True
+        )
+        assert fast == ref
+
+    def test_fast_path_skips_intermediate_advances(self):
+        """A dense run with one wide window: the fast path fires the
+        probe only at crossings, the reference at every advance."""
+        ops = [("at", i * 0.25, 0, []) for i in range(40)]
+        fast, fast_calls = _run_probed_schedule(ops, None, "heap", [2.0])
+        ref, ref_calls = _run_probed_schedule(
+            ops, None, "heap", [2.0], force_instrumented=True
+        )
+        assert fast == ref
+        assert fast_calls < ref_calls
+
+    def test_boundary_tick_event_probed_first(self):
+        """An event exactly on a boundary fires *after* the probe: the
+        crossing's dispatch count excludes it (window semantics)."""
+        ops = [("at", 0.5, 0, []), ("at", 1.0, 0, []), ("at", 1.5, 0, [])]
+        (log, crossings, now, dispatched), _ = _run_probed_schedule(
+            ops, None, "heap", [1.0]
+        )
+        assert dispatched == 3 and now == 1.5
+        # One crossing (at 1.0), having seen only the 0.5 dispatch.
+        assert crossings == [[(1.0, 1)]]
+
+    def test_until_gap_fires_pending_crossings(self):
+        """Draining to a bound past the last event still probes the
+        bound when later events remain queued (matching the reference)."""
+        ops = [("at", 0.25, 0, []), ("at", 9.0, 0, [])]
+        fast, _ = _run_probed_schedule(ops, 5.0, "heap", [1.0])
+        ref, _ = _run_probed_schedule(
+            ops, 5.0, "heap", [1.0], force_instrumented=True
+        )
+        assert fast == ref
+        log, crossings, now, dispatched = fast
+        assert now == 5.0 and dispatched == 1
+        assert [b for b, _ in crossings[0]] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_stuck_deadline_raises(self):
+        """A probe that never advances its deadline violates the
+        contract; the fast path fails loudly instead of spinning."""
+
+        class Stuck:
+            def next_deadline_s(self) -> float:
+                return 1.0
+
+            def __call__(self, new_time_s: float) -> None:
+                pass
+
+        sim = Simulator(queue_backend="heap")
+        sim.add_time_probe(Stuck())
+        sim.at(2.0, lambda: None)
+        try:
+            sim.run()
+        except Exception as exc:
+            assert "deadline contract" in str(exc)
+        else:  # pragma: no cover - the point of the test
+            raise AssertionError("contract violation went undetected")
+
+    def test_probe_without_deadline_disables_fast_path(self):
+        """A probe lacking ``next_deadline_s`` keeps the reference loop
+        (deadline None), and chaining it after a grid probe demotes the
+        whole chain."""
+        sim = Simulator(queue_backend="heap")
+        sim.add_time_probe(GridProbe(1.0))
+        assert sim._probe_deadline() == 1.0
+        sim.add_time_probe(lambda t: None)
+        assert sim._probe_deadline() is None
+
+    def test_directly_assigned_probe_disables_fast_path(self):
+        sim = Simulator(queue_backend="heap")
+        sim.time_probe = GridProbe(1.0)
+        assert sim._probe_deadline() is None

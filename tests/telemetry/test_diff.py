@@ -12,9 +12,11 @@ from repro.errors import ConfigError
 from repro.telemetry.ledger import (
     DEFAULT_THRESHOLD,
     LEDGER_SCHEMA,
+    SERVE_LEDGER_SCHEMA,
     build_ledger,
     diff_ledgers,
     load_ledger,
+    series_direction,
     write_ledger,
 )
 from repro.telemetry.runner import run_monitor
@@ -134,6 +136,87 @@ class TestVerdicts:
         assert DEFAULT_THRESHOLD == 0.05
 
 
+class TestDirections:
+    """Per-metric direction metadata: throughput-like series improve when
+    they rise; everything else keeps the lower-is-better default."""
+
+    def test_default_direction_is_lower(self):
+        base = _ledger({"tm.occupancy": (10.0, 10.0)})
+        new = _ledger({"tm.occupancy": (12.0, 12.0)})
+        diff = diff_ledgers(base, new)
+        (row,) = diff.regressions
+        assert row.direction == "lower"
+
+    def test_throughput_increase_improves(self):
+        base = _ledger({"serve.throughput_pps": (10.0, 10.0)})
+        new = _ledger({"serve.throughput_pps": (20.0, 20.0)})
+        diff = diff_ledgers(base, new)
+        assert diff.exit_code == 0
+        (row,) = diff.improvements
+        assert row.direction == "higher"
+
+    def test_compliance_decrease_regresses(self):
+        base = _ledger({"slo.compliance": (1.0, 1.0)})
+        new = _ledger({"slo.compliance": (0.5, 0.5)})
+        diff = diff_ledgers(base, new)
+        assert diff.has_regression
+        (row,) = diff.regressions
+        assert row.series == "slo.compliance"
+        assert row.direction == "higher"
+
+    def test_explicit_direction_field_wins(self):
+        # A series whose *name* says nothing: the summary's own
+        # ``direction`` field must override the lower-is-better default.
+        def tagged(mean):
+            section = {
+                "label": "s",
+                "series": {
+                    "app.score": {
+                        "samples": 3, "mean": mean, "peak": mean,
+                        "p99": mean, "last": mean, "direction": "higher",
+                    }
+                },
+            }
+            return build_ledger(workload="w", interval_ns=50.0,
+                                sections=[section])
+
+        diff = diff_ledgers(tagged(10.0), tagged(5.0))
+        assert diff.has_regression
+        (row,) = diff.regressions
+        assert row.direction == "higher"
+
+    def test_higher_series_appearing_from_zero_improves(self):
+        base = _ledger({"serve.delivered": (0.0, 0.0)})
+        new = _ledger({"serve.delivered": (5.0, 5.0)})
+        diff = diff_ledgers(base, new)
+        assert not diff.has_regression
+        assert [row.series for row in diff.improvements] == [
+            "serve.delivered"
+        ]
+
+    def test_series_direction_helper(self):
+        assert series_direction("a.throughput_pps") == "higher"
+        assert series_direction("slo.compliance") == "higher"
+        assert series_direction("tm.occupancy") == "lower"
+        assert series_direction("x", {"direction": "higher"}) == "higher"
+        assert series_direction("x", {}, {"direction": "higher"}) == "higher"
+
+    def test_direction_in_json_rows(self):
+        base = _ledger({"serve.throughput_pps": (10.0, 10.0)})
+        diff = diff_ledgers(base, base)
+        payload = diff.to_json()
+        (row,) = payload["rows"]
+        assert row["direction"] == "higher"
+
+    def test_serve_schema_loads_and_diffs(self, tmp_path):
+        ledger = _ledger({"serve.delivered": (5.0, 5.0)})
+        ledger["schema"] = SERVE_LEDGER_SCHEMA
+        path = write_ledger(tmp_path / "serve.json", ledger)
+        loaded = load_ledger(path)
+        assert loaded["schema"] == SERVE_LEDGER_SCHEMA
+        assert diff_ledgers(loaded, loaded).exit_code == 0
+
+
 class TestCLI:
     def test_monitor_writes_valid_ledger(self, tmp_path, capsys):
         target = tmp_path / "ledger.json"
@@ -210,7 +293,10 @@ class TestCLI:
         assert main(["frobnicate"]) == 2
         err = capsys.readouterr().err
         assert "unknown artifact" in err
-        assert "subcommands: trace, profile, monitor, fabric, diff" in err
+        assert (
+            "subcommands: trace, profile, monitor, fabric, serve, diff"
+            in err
+        )
 
 
 class TestBaselineByteIdentity:
