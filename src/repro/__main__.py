@@ -16,6 +16,9 @@ Also hosts the telemetry tooling:
   rate-controlled traffic into a continuously-running fabric, emitting
   rolling-window records with live SLO verdicts and a diffable serve
   ledger (exit 1 on SLO violation).
+- ``python -m repro spans <topology> <workload>`` head-samples 1-in-N
+  packets through a fabric (fast path live) and writes per-hop span
+  timelines plus a diffable span ledger.
 - ``python -m repro diff <base> <new>`` compares two run ledgers and
   exits non-zero on regression.
 - ``python -m repro campaign <spec>`` expands a declarative sweep into
@@ -91,11 +94,26 @@ def _parse_seed(options: dict[str, str]) -> int | None:
         )
 
 
+def _parse_sample(options: dict[str, str]) -> int | None:
+    """The shared ``--sample`` option: head-sample 1 in N packets."""
+    if "sample" not in options:
+        return None
+    try:
+        sample = int(options["sample"])
+    except ValueError:
+        raise ConfigError(
+            f"--sample must be an integer, got {options['sample']!r}"
+        )
+    if sample < 1:
+        raise ConfigError(f"--sample must be >= 1, got {sample}")
+    return sample
+
+
 def _main_trace(args: list[str], json_mode: bool) -> int:
     from .telemetry.runner import run_trace
 
     positional, options = _parse_options(
-        args, "trace", {"--out": "out", "--seed": "seed"}
+        args, "trace", {"--out": "out", "--seed": "seed", "--sample": "sample"}
     )
     if len(positional) != 1:
         raise ConfigError(
@@ -103,7 +121,44 @@ def _main_trace(args: list[str], json_mode: bool) -> int:
             "see python -m repro --help"
         )
     run = run_trace(
-        positional[0], out=options.get("out"), seed=_parse_seed(options)
+        positional[0],
+        out=options.get("out"),
+        seed=_parse_seed(options),
+        sample=_parse_sample(options),
+    )
+    _print_run(run, json_mode)
+    return 0
+
+
+def _main_spans(args: list[str], json_mode: bool) -> int:
+    from .telemetry.runner import DEFAULT_SAMPLE, run_spans
+
+    positional, options = _parse_options(
+        args,
+        "spans",
+        {
+            "--target": "target",
+            "--sample": "sample",
+            "--seed": "seed",
+            "--ledger": "ledger",
+            "--out": "ledger",  # alias, parallel to trace --out
+            "--chrome": "chrome",
+        },
+    )
+    if len(positional) != 2:
+        raise ConfigError(
+            "spans takes a topology spec and a workload name "
+            "(e.g. spans leaf-spine-2x2 fabric-allreduce); "
+            "see python -m repro --help"
+        )
+    run = run_spans(
+        positional[0],
+        positional[1],
+        target=options.get("target", "both"),
+        sample=_parse_sample(options) or DEFAULT_SAMPLE,
+        seed=_parse_seed(options) or 0,
+        ledger_out=options.get("ledger"),
+        chrome_out=options.get("chrome"),
     )
     _print_run(run, json_mode)
     return 0
@@ -264,6 +319,7 @@ def _main_serve(args: list[str], json_mode: bool) -> int:
         "--ledger": "ledger",
         "--stream": "stream",
         "--seed": "seed",
+        "--sample": "sample",
     }
     i = 0
     while i < len(args):
@@ -365,7 +421,16 @@ def _main_serve(args: list[str], json_mode: bool) -> int:
             slos=slos,
             interval_ns=interval_ns,
             on_window=emit_window,
+            sample=_parse_sample(options),
         )
+        # Sampled span hops join the same JSONL stream as the windows,
+        # tagged with their own record type.
+        for record in run.span_records():
+            line = json.dumps({"type": "span", **record}, sort_keys=True)
+            if json_mode:
+                print(line, flush=True)
+            if stream_file is not None:
+                stream_file.write(line + "\n")
     finally:
         if stream_file is not None:
             stream_file.close()
@@ -549,7 +614,8 @@ def _parse_axis_override(text: str) -> tuple[str, list]:
 #: dispatch, and unknown-subcommand hints all derive from this table.
 _SUBCOMMANDS: dict[str, _Subcommand] = {
     "trace": _Subcommand(
-        "trace <workload> [--out PATH] [--seed N] [--json]", _main_trace
+        "trace <workload> [--out PATH] [--sample N] [--seed N] [--json]",
+        _main_trace,
     ),
     "profile": _Subcommand(
         "profile <workload> [--chrome PATH] [--seed N] [--json]",
@@ -573,9 +639,14 @@ _SUBCOMMANDS: dict[str, _Subcommand] = {
         "[--rate F] [--arrivals poisson|periodic] [--duration DUR] "
         "[--window DUR] [--ramp DUR] [--burst FACTOR@START:END] "
         "[--slo METRIC<=BOUND ...] [--coflows N] [--vector N] "
-        "[--interval NS] [--ledger PATH] [--stream PATH] [--seed N] "
-        "[--json]",
+        "[--interval NS] [--sample N] [--ledger PATH] [--stream PATH] "
+        "[--seed N] [--json]",
         _main_serve,
+    ),
+    "spans": _Subcommand(
+        "spans <topology> <workload> [--target rmt|adcp|both] "
+        "[--sample N] [--ledger PATH] [--chrome PATH] [--seed N] [--json]",
+        _main_spans,
     ),
     "diff": _Subcommand(
         "diff <base_ledger> <new_ledger> [--threshold PCT] [--json]",
@@ -615,6 +686,11 @@ def _usage_lines() -> list[str]:
         "serve streams rolling-window records live (JSONL with --json); "
         "exit codes: 0 SLOs met, 1 SLO violated, 2 usage error "
         "(durations accept ns/us/ms/s suffixes, e.g. --window 1us)"
+    )
+    lines.append(
+        "spans head-samples 1 in N packets (default 16) through a fabric "
+        "with the fast path live and writes a diffable span ledger; "
+        "trace --sample N merges span slices into the full timeline"
     )
     lines.append(
         "diff compares two run ledgers written by monitor; it exits 1 "

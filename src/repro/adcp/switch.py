@@ -62,6 +62,7 @@ class ADCPSwitch(Component):
         self.app = app
         self.telemetry = telemetry
         self.trace = None
+        self.spans = None
         if app is not None and app.elements_per_packet > config.array_width:
             raise ConfigError(
                 f"app {app.name!r} packs {app.elements_per_packet} elements "
@@ -163,6 +164,10 @@ class ADCPSwitch(Component):
         unicast packets before TM2 admission (fabric next-hop selection)."""
         if telemetry is not None:
             telemetry.bind(self)
+            # Sampled spans ride outside the trace path: the recorder is
+            # consulted per packet with one None check, so the switch
+            # keeps the ``trace is None`` fast paths (docs/SPANS.md).
+            self.spans = getattr(telemetry, "spans", None)
             # A recorder disabled at construction skips trace wiring
             # entirely, so such a hub costs the same as passing none
             # (metrics/snapshots still work; re-enabling later has no
@@ -265,6 +270,8 @@ class ADCPSwitch(Component):
 
         One run per switch instance, as with :class:`RMTSwitch`.
         """
+        if self.spans is not None:
+            timed_packets = self._sampled_stream(timed_packets)
         if self.trace is None:
             # Batched admission: one kernel event per distinct arrival
             # timestamp.  Equivalent to per-packet events because the
@@ -287,6 +294,29 @@ class ADCPSwitch(Component):
                 self._ingress_service(packet, time)
 
         return event
+
+    def _sampled_stream(self, timed_packets):
+        """Head-based span sampling at injection (docs/SPANS.md); keeps
+        batched admission intact (see :meth:`RMTSwitch._sampled_stream`)."""
+        admit = self.spans.admit
+        for time, packet in timed_packets:
+            admit(packet)
+            yield time, packet
+
+    def _span_service(self, packet, record, pipeline, queue_hop="ingress_queue"):
+        """Record one pipeline pass's span hops for a sampled packet."""
+        span = packet.meta.span
+        if span is not None:
+            self.spans.service(
+                span,
+                packet.packet_id,
+                self.name,
+                record.ready_time,
+                record.service_start,
+                pipeline.parser_latency_cycles * pipeline.cycle_s,
+                record.exit_time,
+                queue_hop,
+            )
 
     def inject(self, packet: Packet, time: float) -> None:
         """Schedule one packet arrival without draining the event queue
@@ -332,10 +362,14 @@ class ADCPSwitch(Component):
                 lane=lane,
             )
         record = pipeline.service(packet, ready, self._ingress_hook)
+        if self.spans is not None:
+            self._span_service(packet, record, pipeline)
         decision = record.decision
 
         for emission in decision.emissions:
             emission.meta.arrival_time = packet.meta.arrival_time
+            if packet.meta.span is not None:
+                emission.meta.span = packet.meta.span
             self._to_tm2(emission, record.exit_time)
 
         if decision.verdict is Verdict.DROP:
@@ -407,6 +441,11 @@ class ADCPSwitch(Component):
             self._emit_drop(packet, ready)
             return
         partition, deliver = admitted
+        if self.spans is not None and packet.meta.span is not None:
+            self.spans.record(
+                packet.meta.span, packet.packet_id, self.name,
+                "tm", ready, deliver,
+            )
 
         def event() -> None:
             self._central_service(packet, partition, deliver)
@@ -428,6 +467,14 @@ class ADCPSwitch(Component):
             self._emit_drop(packet, ready)
         if not admitted:
             return
+        spans = self.spans
+        if spans is not None:
+            for packet, _, when in admitted:
+                if packet.meta.span is not None:
+                    spans.record(
+                        packet.meta.span, packet.packet_id, self.name,
+                        "tm", ready, when,
+                    )
         deliver = admitted[0][2]
         for _, _, each in admitted:
             if each != deliver:
@@ -461,6 +508,8 @@ class ADCPSwitch(Component):
             self._central_hook,
             enforce_width=self.app is not None,
         )
+        if self.spans is not None:
+            self._span_service(packet, record, pipeline, "tm")
         self.tm1.release(packet, now=record.exit_time)
         packet.meta.central_done = True
         decision = record.decision
@@ -469,6 +518,8 @@ class ADCPSwitch(Component):
             emission.meta.arrival_time = packet.meta.arrival_time
             emission.meta.central_pipeline = partition
             emission.meta.central_done = True
+            if packet.meta.span is not None:
+                emission.meta.span = packet.meta.span
             self._to_tm2(emission, record.exit_time)
 
         if decision.verdict is Verdict.DROP:
@@ -497,6 +548,16 @@ class ADCPSwitch(Component):
             deliveries = self.tm2.multicast_admit(
                 packet, packet.meta.egress_ports, ready
             )
+            spans = self.spans
+            if spans is not None and packet.meta.span is not None:
+                # Replicated copies get fresh metadata; keep them on the
+                # parent's span so every multicast leg is traced.
+                span = packet.meta.span
+                for copy, _, deliver in deliveries:
+                    copy.meta.span = span
+                    spans.record(
+                        span, copy.packet_id, self.name, "tm", ready, deliver
+                    )
             if self.trace is None and len(deliveries) > 1:
                 self._schedule_egress_burst(deliveries)
             else:
@@ -515,6 +576,11 @@ class ADCPSwitch(Component):
             self._emit_drop(packet, ready)
             return
         lane, deliver = admitted
+        if self.spans is not None and packet.meta.span is not None:
+            self.spans.record(
+                packet.meta.span, packet.packet_id, self.name,
+                "tm", ready, deliver,
+            )
         self._schedule_egress(packet, lane, deliver)
 
     def _emit_drop(self, packet: Packet, when: float) -> None:
@@ -560,6 +626,8 @@ class ADCPSwitch(Component):
         pipeline = self.egress[lane]
         packet.meta.egress_pipeline = lane
         record = pipeline.service(packet, ready, self._egress_hook)
+        if self.spans is not None:
+            self._span_service(packet, record, pipeline, "tm")
         self.tm2.release(packet, now=record.exit_time)
         decision = record.decision
 
@@ -582,6 +650,11 @@ class ADCPSwitch(Component):
             port = packet.meta.egress_port
             assert port is not None  # TM2 routed by it
             departure = self.tx_ports[port].transmit(packet, record.exit_time)
+            if self.spans is not None and packet.meta.span is not None:
+                self.spans.record(
+                    packet.meta.span, packet.packet_id, self.name,
+                    "egress_serial", record.exit_time, departure,
+                )
             self._result.delivered.append(packet)
             self.counter("delivered").add()
             if self.trace is not None:

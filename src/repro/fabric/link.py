@@ -38,6 +38,10 @@ class Link:
         self.packets = 0
         self.wire_bytes = 0
         self.last_arrival_s = 0.0
+        self.spans = None
+        """Optional :class:`~repro.telemetry.spans.SpanRecorder` shared
+        with the fabric's switches; sampled packets get a ``link`` hop
+        (wire flight time) per traversal."""
 
     def __call__(self, packet: Packet, departure_s: float) -> None:
         """Port-sink hook: the sender finished serializing at ``departure_s``."""
@@ -46,6 +50,12 @@ class Link:
         arrival = departure_s + self.latency_s
         if arrival > self.last_arrival_s:
             self.last_arrival_s = arrival
+        spans = self.spans
+        if spans is not None and packet.meta.span is not None:
+            spans.record(
+                packet.meta.span, packet.packet_id, self.name,
+                "link", departure_s, arrival,
+            )
         self.deliver(packet, arrival)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -57,8 +67,9 @@ def switch_handoff(switch, ingress_port: int) -> Deliver:
 
     Per-hop metadata (the previous switch's egress decisions and arrival
     stamp) is reset so each switch processes the packet as a fresh
-    arrival; end-to-end identity (headers, payload, packet id) and the
-    cumulative recirculation count survive.
+    arrival; end-to-end identity (headers, payload, packet id), the
+    cumulative recirculation count, and the span id (``meta.span`` —
+    sampling is decided once at injection, docs/SPANS.md) survive.
     """
 
     def deliver(packet: Packet, arrival_s: float) -> None:

@@ -24,7 +24,6 @@ from dataclasses import dataclass, field
 from ..errors import ConfigError, SimulationError
 from ..net.headers import OP_DATA
 from ..net.packet import Packet
-from ..net.traffic import batch_arrivals
 from ..sim.event import Simulator
 from ..telemetry.monitor import DEFAULT_INTERVAL_NS
 from ..units import GBPS
@@ -104,6 +103,9 @@ class FabricRun:
     events_coalesced: int = 0
     interval_ns: float = DEFAULT_INTERVAL_NS
     selectors: dict = field(default_factory=dict)
+    span_coflows: dict = field(default_factory=dict)
+    """Sampled span id -> coflow label, filled when the run carried a
+    span recorder (see :func:`inject_arrivals`)."""
 
     # --- derived ------------------------------------------------------------------
 
@@ -343,6 +345,7 @@ def build_fabric(
     make_telemetry=None,
     sim: Simulator | None = None,
     host_sink=None,
+    spans=None,
 ) -> FabricInstance:
     """Construct and wire every switch, link, and host NIC of ``topo``.
 
@@ -350,6 +353,12 @@ def build_fabric(
     function (``host_sink(endpoint) -> deliver``) so a caller can observe
     deliveries — serve mode hooks per-window latency accounting here —
     without changing what the endpoint records.
+
+    ``spans`` optionally shares one
+    :class:`~repro.telemetry.spans.SpanRecorder` across every switch and
+    link, so a sampled packet's hops line up in one fabric-wide stream
+    (docs/SPANS.md); the sampling decision itself happens in
+    :func:`inject_arrivals`.
     """
     if target not in ("rmt", "adcp"):
         raise ConfigError(
@@ -382,6 +391,8 @@ def build_fabric(
         hub = make_telemetry()
         hubs[name] = hub
         switches[name] = build(node, app, hub, sim)
+        if spans is not None:
+            switches[name].spans = spans
 
     tables = topo.routes()
     selectors = {}
@@ -401,6 +412,8 @@ def build_fabric(
             switch_handoff(switches[dst], dst_port),
         )
         switches[src].port_sinks[src_port] = link
+        if spans is not None:
+            link.spans = spans
         links[link.name] = link
     hosts: dict[int, HostEndpoint] = {}
     for host_id in topo.host_ids:
@@ -414,6 +427,8 @@ def build_fabric(
             deliver,
         )
         switches[host.switch].port_sinks[host.port] = link
+        if spans is not None:
+            link.spans = spans
         links[link.name] = link
     return FabricInstance(
         topology=topo,
@@ -432,37 +447,69 @@ def inject_arrivals(
     arrivals: dict[int, list[tuple[float, Packet]]],
     *,
     stamp_origin: bool = False,
-) -> None:
+    spans=None,
+) -> dict[int, str]:
     """Schedule per-host NIC streams into their edge switches.
 
     Each (host-departure time, packet) pair arrives ``latency_s`` later
-    at the switch; batched injection (one kernel event per distinct
-    arrival timestamp per host stream) applies whenever the switch runs
-    untraced.  Host streams are injected one after another, so
-    equal-time bursts from different hosts keep their relative order —
-    identical dispatch to per-packet injection.  ``stamp_origin``
-    records the host-departure time in ``meta.origin_time`` for
-    end-to-end latency accounting (serve mode).
+    at the switch.  All host streams are merged by arrival time first —
+    within one host a stream's timestamps are strictly increasing, so
+    the coalescing opportunity (several hosts transmitting on the same
+    tick into the same edge switch) only exists *across* streams — and
+    consecutive same-``(arrival, switch)`` runs are injected as one
+    burst event when the switch runs untraced.  The merge sort is
+    stable, so equal-time entries keep host order: dispatch (and
+    therefore every downstream event) is identical to the per-packet
+    injection a traced switch still gets.
+
+    ``stamp_origin`` records the host-departure time in
+    ``meta.origin_time`` for end-to-end latency accounting (serve mode).
+
+    ``spans`` optionally makes the head-based sampling decision here, at
+    true injection (handoffs between switches never re-decide); the
+    returned dict maps each sampled span id to its coflow label
+    (``"c<id>"``), for critical-path attribution.  Empty without spans.
     """
     topo = fabric.topology
     latency_s = fabric.latency_s
+    span_coflows: dict[int, str] = {}
+    entries: list[tuple[float, object, Packet]] = []
     for host_id, stream in arrivals.items():
         switch = fabric.switches[topo.hosts[host_id].switch]
+        for time, packet in stream:
+            if stamp_origin:
+                packet.meta.origin_time = time
+            if spans is not None and spans.admit(packet):
+                if packet.has_header("coflow"):
+                    coflow_id = packet.header("coflow")["coflow_id"]
+                    span_coflows.setdefault(
+                        packet.meta.span, f"c{coflow_id}"
+                    )
+            arrival = time + latency_s
+            packet.meta.arrival_time = arrival
+            entries.append((arrival, switch, packet))
+    entries.sort(key=lambda entry: entry[0])
 
-        def shifted(stream=stream):
-            for time, packet in stream:
-                if stamp_origin:
-                    packet.meta.origin_time = time
-                arrival = time + latency_s
-                packet.meta.arrival_time = arrival
-                yield arrival, packet
-
-        if switch.trace is None:
-            for arrival, burst in batch_arrivals(shifted()):
-                switch.inject_burst(burst, arrival)
-        else:
-            for arrival, packet in shifted():
+    start = 0
+    count = len(entries)
+    while start < count:
+        arrival, switch, _ = entries[start]
+        end = start + 1
+        while (
+            end < count
+            and entries[end][0] == arrival
+            and entries[end][1] is switch
+        ):
+            end += 1
+        if switch.trace is not None or end - start == 1:
+            for _, _, packet in entries[start:end]:
                 switch.inject(packet, arrival)
+        else:
+            switch.inject_burst(
+                [entry[2] for entry in entries[start:end]], arrival
+            )
+        start = end
+    return span_coflows
 
 
 def _verify_allreduce(run_workload, hosts) -> None:
@@ -508,14 +555,18 @@ def run_fabric(
     flowlet_gap_ns: float = DEFAULT_FLOWLET_GAP_NS,
     interval_ns: float = DEFAULT_INTERVAL_NS,
     make_telemetry=None,
+    spans=None,
 ) -> FabricRun:
     """Simulate ``workload`` on ``topology`` and verify the outcome.
 
     ``make_telemetry`` is called once per switch and may return None (no
     per-switch observability) or a :class:`~repro.telemetry.Telemetry`
     hub; the default attaches a monitor-only hub so the ledger carries
-    per-switch series.  All other knobs are plain data so campaign axes
-    can sweep them.
+    per-switch series.  ``spans`` optionally attaches one shared
+    :class:`~repro.telemetry.spans.SpanRecorder` (sampled fabric-wide
+    spans; the run's ``span_coflows`` then maps span ids to coflow
+    labels).  All other knobs are plain data so campaign axes can sweep
+    them.
     """
     if target not in ("rmt", "adcp"):
         raise ConfigError(
@@ -564,10 +615,11 @@ def run_fabric(
         flowlet_gap_ns=flowlet_gap_ns,
         interval_ns=interval_ns,
         make_telemetry=make_telemetry,
+        spans=spans,
     )
     sim = fabric.sim
     hosts = fabric.hosts
-    inject_arrivals(fabric, work.arrivals)
+    span_coflows = inject_arrivals(fabric, work.arrivals, spans=spans)
 
     sim.run()
 
@@ -613,4 +665,5 @@ def run_fabric(
         events_coalesced=sim.events_coalesced,
         interval_ns=interval_ns,
         selectors=fabric.selectors,
+        span_coflows=span_coflows,
     )

@@ -129,6 +129,12 @@ class PacketMetadata:
     drop_reason: str | None = None
     central_done: bool = False
     """Whether the app's stateful (central) hook already ran on this packet."""
+    span: int | None = None
+    """Span id attached by head-based sampling at injection, surviving
+    per-hop meta resets (:func:`~repro.fabric.link.switch_handoff`) so one
+    sampled packet — and every ``OP_RESULT`` emission it triggers, which
+    inherits the id — yields a causal cross-switch trace.  None for
+    unsampled packets; see :mod:`repro.telemetry.spans`."""
 
     @property
     def dropped(self) -> bool:

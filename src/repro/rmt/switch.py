@@ -102,6 +102,7 @@ class RMTSwitch(Component):
         self.app = app
         self.telemetry = telemetry
         self.trace = None
+        self.spans = None
         if (
             app is not None
             and app.uses_central_state()
@@ -174,6 +175,10 @@ class RMTSwitch(Component):
         unicast packets before TM admission (fabric next-hop selection)."""
         if telemetry is not None:
             telemetry.bind(self)
+            # Sampled spans ride outside the trace path: the recorder is
+            # consulted per packet with one None check, so the switch
+            # keeps the ``trace is None`` fast paths (docs/SPANS.md).
+            self.spans = getattr(telemetry, "spans", None)
             # A recorder disabled at construction skips trace wiring
             # entirely, so such a hub costs the same as passing none
             # (metrics/snapshots still work; re-enabling later has no
@@ -283,6 +288,8 @@ class RMTSwitch(Component):
         called once per switch instance; construct a fresh switch per
         experiment so state and stats start clean.
         """
+        if self.spans is not None:
+            timed_packets = self._sampled_stream(timed_packets)
         if self.trace is None:
             # Batched admission: one kernel event per distinct arrival
             # timestamp, servicing the whole burst in stream order.  All
@@ -325,6 +332,33 @@ class RMTSwitch(Component):
         if self.telemetry is not None:
             self.telemetry.finish(now)
         return self._result
+
+    def _sampled_stream(self, timed_packets):
+        """Head-based span sampling at injection (docs/SPANS.md).
+
+        Wrapping the arrival stream keeps batched admission intact: the
+        sampling decision is per packet, but the kernel still sees one
+        event per distinct timestamp.
+        """
+        admit = self.spans.admit
+        for time, packet in timed_packets:
+            admit(packet)
+            yield time, packet
+
+    def _span_service(self, packet, record, pipeline, queue_hop="ingress_queue"):
+        """Record one pipeline pass's span hops for a sampled packet."""
+        span = packet.meta.span
+        if span is not None:
+            self.spans.service(
+                span,
+                packet.packet_id,
+                self.name,
+                record.ready_time,
+                record.service_start,
+                pipeline.parser_latency_cycles * pipeline.cycle_s,
+                record.exit_time,
+                queue_hop,
+            )
 
     def _make_ingress_event(self, packet: Packet, time: float):
         def event() -> None:
@@ -378,6 +412,8 @@ class RMTSwitch(Component):
                     # Wrong pipeline: one plain ingress pass, then loop
                     # around through the state pipeline's recirc port.
                     record = pipeline.service(packet, ready, self._ingress_hook)
+                    if self.spans is not None:
+                        self._span_service(packet, record, pipeline)
                     if record.decision.verdict is Verdict.DROP:
                         self._drop(packet, record.decision, record.exit_time)
                         return
@@ -387,6 +423,8 @@ class RMTSwitch(Component):
                 hook = self._ingress_hook
 
         record = pipeline.service(packet, ready, hook, enforce_width=enforce)
+        if self.spans is not None:
+            self._span_service(packet, record, pipeline)
         if runs_central_here:
             self._mark_central_done(packet)
         self._apply_decision(
@@ -426,11 +464,26 @@ class RMTSwitch(Component):
                 )
             return
         _, deliver = admitted
+        spans = self.spans
+        span = packet.meta.span if spans is not None else None
+        if span is not None:
+            spans.record(span, packet.packet_id, self.name, "tm", ready, deliver)
         egress = self.egress[pipeline]
         record = egress.service(packet, deliver, None)
+        if spans is not None:
+            self._span_service(packet, record, egress, "tm")
         self.tm.release(packet, now=record.exit_time)
         loop = self.recirc_ports[pipeline]
         re_arrival = loop.transmit(packet, record.exit_time)
+        if span is not None:
+            spans.record(
+                span,
+                packet.packet_id,
+                self.name,
+                "egress_serial",
+                record.exit_time,
+                re_arrival,
+            )
         packet.meta.recirculations += 1
         self._result.recirculated_packets += 1
         self._result.recirculated_wire_bytes += packet.wire_bytes
@@ -458,6 +511,8 @@ class RMTSwitch(Component):
         for emission in decision.emissions:
             emission.meta.arrival_time = packet.meta.arrival_time
             emission.meta.ingress_port = packet.meta.ingress_port
+            if packet.meta.span is not None:
+                emission.meta.span = packet.meta.span
             self._mark_central_done(emission)
             self._to_traffic_manager(emission, ready, from_region=region)
 
@@ -532,6 +587,16 @@ class RMTSwitch(Component):
             deliveries = self.tm.multicast_admit(
                 packet, packet.meta.egress_ports, ready
             )
+            spans = self.spans
+            if spans is not None and packet.meta.span is not None:
+                # Replicated copies get fresh metadata; keep them on the
+                # parent's span so every multicast leg is traced.
+                span = packet.meta.span
+                for copy, _, deliver in deliveries:
+                    copy.meta.span = span
+                    spans.record(
+                        span, copy.packet_id, self.name, "tm", ready, deliver
+                    )
             if self.trace is None and len(deliveries) > 1:
                 # All copies of one multicast admission share a deliver
                 # time (same ready, same TM latency), so one kernel event
@@ -559,6 +624,11 @@ class RMTSwitch(Component):
                 self._emit_tm_drop(packet, ready)
                 return
             _, deliver = admitted
+            if self.spans is not None and packet.meta.span is not None:
+                self.spans.record(
+                    packet.meta.span, packet.packet_id, self.name,
+                    "tm", ready, deliver,
+                )
             self._schedule_egress(
                 packet, state_pipe, deliver, run_central=True
             )
@@ -576,6 +646,11 @@ class RMTSwitch(Component):
             self._emit_tm_drop(packet, ready)
             return
         pipeline, deliver = admitted
+        if self.spans is not None and packet.meta.span is not None:
+            self.spans.record(
+                packet.meta.span, packet.packet_id, self.name,
+                "tm", ready, deliver,
+            )
         self._schedule_egress(packet, pipeline, deliver)
 
     def _emit_tm_drop(self, packet: Packet, when: float) -> None:
@@ -628,6 +703,8 @@ class RMTSwitch(Component):
             else:
                 hook = self._egress_hook
         record = pipeline.service(packet, ready, hook, enforce_width=enforce)
+        if self.spans is not None:
+            self._span_service(packet, record, pipeline, "tm")
         self.tm.release(packet, now=record.exit_time)
         if run_central:
             self._mark_central_done(packet)
@@ -636,6 +713,8 @@ class RMTSwitch(Component):
         for emission in decision.emissions:
             emission.meta.arrival_time = packet.meta.arrival_time
             emission.meta.egress_pipeline = pipeline_index
+            if packet.meta.span is not None:
+                emission.meta.span = packet.meta.span
             self._mark_central_done(emission)
             self._to_traffic_manager(
                 emission, record.exit_time, from_region="egress"
@@ -670,6 +749,11 @@ class RMTSwitch(Component):
         port = packet.meta.egress_port
         assert port is not None
         departure = self.tx_ports[port].transmit(packet, ready)
+        if self.spans is not None and packet.meta.span is not None:
+            self.spans.record(
+                packet.meta.span, packet.packet_id, self.name,
+                "egress_serial", ready, departure,
+            )
         self._result.delivered.append(packet)
         self.counter("delivered").add()
         if self.trace is not None:

@@ -81,6 +81,8 @@ class ServeRun:
     events: int = 0
     events_coalesced: int = 0
     window_ns: float = DEFAULT_WINDOW_NS
+    spans: object | None = None  # SpanRecorder when sampling was on
+    span_coflows: dict = field(default_factory=dict)
 
     # --- derived ------------------------------------------------------------------
 
@@ -167,9 +169,24 @@ class ServeRun:
             "counters": {},
         }
 
+    def span_records(self) -> list[dict]:
+        """Sampled span hops as JSON records (empty without sampling)."""
+        if self.spans is None:
+            return []
+        return [record.to_json() for record in self.spans.records]
+
     def ledger(self) -> dict:
         """The run as a ``repro.serve_ledger/1`` document (diffable)."""
         sections = [self._serve_section()]
+        if self.spans is not None:
+            from ..telemetry.spans import span_overview_series
+
+            sections.append(
+                {
+                    "label": "spans",
+                    "series": span_overview_series(self.spans),
+                }
+            )
         sections.extend(switch_section_json(s) for s in self.sections)
         label = (
             f"serve:{self.workload}@{self.topology.name}:{self.target}"
@@ -188,7 +205,7 @@ class ServeRun:
 
     def summary(self) -> dict:
         """Flat JSON summary (the CLI's final ``--json`` line)."""
-        return {
+        out = {
             "type": "summary",
             "topology": self.topology.name,
             "workload": self.workload,
@@ -200,6 +217,16 @@ class ServeRun:
             "slo": self.slo,
             **self.totals(),
         }
+        if self.spans is not None:
+            sampler = self.spans.sampler
+            out["spans"] = {
+                "sample": sampler.sample,
+                "packets_offered": sampler.offered,
+                "packets_sampled": sampler.admitted,
+                "coverage": sampler.coverage,
+                "records": len(self.spans.records),
+            }
+        return out
 
     def lines(self) -> list[str]:
         totals = self.totals()
@@ -220,6 +247,13 @@ class ServeRun:
                 f"{self.slo['compliant_windows']}/{self.slo['windows']} "
                 f"windows compliant "
                 f"({', '.join(self.slo['objectives'])})"
+            )
+        if self.spans is not None:
+            sampler = self.spans.sampler
+            out.append(
+                f"  spans: {sampler.admitted}/{sampler.offered} packets "
+                f"sampled (1 in {sampler.sample}), "
+                f"{len(self.spans.records)} hop records"
             )
         out.append(
             f"  duration {self.duration_s * 1e9:.1f} ns, "
@@ -268,6 +302,7 @@ def run_serve(
     queue_backend: str | None = None,
     make_telemetry=None,
     on_window=None,
+    sample: int | None = None,
 ) -> ServeRun:
     """Serve ``workload`` on ``topology`` under open-loop load.
 
@@ -275,6 +310,10 @@ def run_serve(
     already annotated with its SLO verdict — the CLI streams these as
     JSONL.  ``interval_ns`` sets the per-switch ResourceMonitor grid and
     defaults to the window width, so switch series align with windows.
+    ``sample`` head-samples 1-in-``sample`` injected packets for per-hop
+    span tracing (:mod:`repro.telemetry.spans`) without leaving the fast
+    path; the records land in ``ServeRun.spans``, the JSONL stream, and
+    a ``spans`` ledger section.
     """
     if window_ns <= 0:
         raise ConfigError(f"window width must be positive, got {window_ns}")
@@ -370,6 +409,13 @@ def run_serve(
 
         return deliver
 
+    spans = None
+    if sample is not None:
+        from ..telemetry.sampler import SpanSampler
+        from ..telemetry.spans import SpanRecorder
+
+        spans = SpanRecorder(SpanSampler(seed=seed, sample=sample))
+
     sim = Simulator(queue_backend)
     fabric = build_fabric(
         topo,
@@ -384,6 +430,7 @@ def run_serve(
         make_telemetry=make_telemetry,
         sim=sim,
         host_sink=host_sink,
+        spans=spans,
     )
 
     # Fabric-wide gauges and counters for the window records, summed
@@ -426,7 +473,9 @@ def run_serve(
     policy.validate_metrics(monitor.metric_names())
     sim.add_time_probe(monitor)
 
-    inject_arrivals(fabric, schedule.arrivals, stamp_origin=True)
+    span_coflows = inject_arrivals(
+        fabric, schedule.arrivals, stamp_origin=True, spans=spans
+    )
     sim.run()
     monitor.finish(max(sim.now, schedule.duration_s))
     sections = fabric.finalize_sections()
@@ -451,6 +500,7 @@ def run_serve(
         "vector": vector,
         "link_latency_ns": link_latency_ns,
         "slos": [objective.spec for objective in policy.objectives],
+        "sample": sample,
     }
     return ServeRun(
         topology=topo,
@@ -469,4 +519,6 @@ def run_serve(
         events=sim.events_dispatched,
         events_coalesced=sim.events_coalesced,
         window_ns=window_ns,
+        spans=spans,
+        span_coflows=span_coflows,
     )

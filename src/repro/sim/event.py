@@ -467,6 +467,16 @@ class Simulator:
         self._time_probes: list[Callable[[float], None]] = []
         self._probe_chain: Callable[[float], None] | None = None
 
+    @property
+    def logical_events(self) -> int:
+        """Dispatched plus coalesced events: the backend- and
+        batching-independent work count.  Two runs of one workload agree
+        on this number whether admission was batched (``counters``/
+        ``sampled`` telemetry, ``trace is None``) or per-packet
+        (``full``), which is what makes telemetry-level overhead
+        comparisons in events/s meaningful."""
+        return self.events_dispatched + self.events_coalesced
+
     def add_time_probe(self, probe: Callable[[float], None]) -> None:
         """Install ``probe`` on the clock, chaining after any existing one.
 

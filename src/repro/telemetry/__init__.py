@@ -38,12 +38,26 @@ from .attribution import (
 from .ledger import (
     DEFAULT_THRESHOLD,
     LEDGER_SCHEMA,
+    SPAN_LEDGER_SCHEMA,
     DiffRow,
     LedgerDiff,
     build_ledger,
     diff_ledgers,
     load_ledger,
     write_ledger,
+)
+from .sampler import SpanSampler, TelemetryLevel
+from .spans import (
+    SPAN_HOPS,
+    CoflowCriticalPath,
+    SpanRecord,
+    SpanRecorder,
+    build_span_ledger,
+    coflow_critical_paths,
+    span_chrome_events,
+    span_hop_totals,
+    span_overview_series,
+    write_span_ledger,
 )
 from .metrics import MetricRegistry, MetricSnapshot, PeriodicSampler
 from .monitor import (
@@ -70,6 +84,7 @@ __all__ = [
     "BottleneckReport",
     "BUCKETS",
     "Category",
+    "CoflowCriticalPath",
     "CriticalComponent",
     "DEFAULT_CATEGORIES",
     "DEFAULT_INTERVAL_NS",
@@ -85,25 +100,37 @@ __all__ = [
     "QUEUE_BUCKETS",
     "ResourceMonitor",
     "RunProfile",
+    "SPAN_HOPS",
+    "SPAN_LEDGER_SCHEMA",
     "Segment",
     "SeriesSummary",
     "Severity",
+    "SpanRecord",
+    "SpanRecorder",
+    "SpanSampler",
     "Telemetry",
+    "TelemetryLevel",
     "TraceEvent",
     "TraceRecorder",
     "VERBOSE_CATEGORIES",
     "analyze_bottlenecks",
     "attribution_gap",
     "build_ledger",
+    "build_span_ledger",
     "chrome_trace_events",
+    "coflow_critical_paths",
     "diff_ledgers",
     "load_ledger",
     "merged_chrome_events",
     "monitor_littles_checks",
     "profile_chrome_events",
     "profile_run",
+    "span_chrome_events",
+    "span_hop_totals",
+    "span_overview_series",
     "text_report",
     "to_chrome_trace",
     "write_chrome_trace",
     "write_ledger",
+    "write_span_ledger",
 ]

@@ -41,18 +41,28 @@ LEDGER_SCHEMA = "repro.run_ledger/1"
 #: accepts both families.
 SERVE_LEDGER_SCHEMA = "repro.serve_ledger/1"
 
+#: Sampled-span ledger format (per-hop span totals + coverage,
+#: docs/SPANS.md).  Same sections/series shape again, so span ledgers
+#: diff with the same comparator.
+SPAN_LEDGER_SCHEMA = "repro.span_ledger/1"
+
 #: Schema families :func:`load_ledger` accepts (prefix match on the part
 #: before the version suffix).
-LEDGER_FAMILIES = ("repro.run_ledger", "repro.serve_ledger")
+LEDGER_FAMILIES = ("repro.run_ledger", "repro.serve_ledger", "repro.span_ledger")
 
 #: Name fragments that mark a series as higher-is-better when its summary
-#: carries no explicit ``direction`` field.
+#: carries no explicit ``direction`` field.  ``coverage`` and ``sampled``
+#: mark the span-ledger goodness metrics (span coverage, sampled-mode
+#: events/s): losing sampled spans or sampled-path throughput at the same
+#: workload is the regression, not the improvement.
 HIGHER_IS_BETTER_MARKERS = (
     "throughput",
     "goodput",
     "compliance",
     "delivered",
     "completed",
+    "coverage",
+    "sampled",
 )
 
 #: Default relative-change tolerance (fraction) before a verdict flips.

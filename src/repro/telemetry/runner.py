@@ -67,10 +67,11 @@ class TraceRun:
     path: Path
     sections: list[TraceSection]
     lines: list[str] = field(default_factory=list)
+    spans: object | None = None  # SpanRecorder when --sample was given
 
     def summary(self) -> dict:
         """JSON-friendly digest for ``--json`` output."""
-        return {
+        out = {
             "workload": self.workload,
             "trace_file": str(self.path),
             "sections": [
@@ -87,6 +88,16 @@ class TraceRun:
                 for s in self.sections
             ],
         }
+        if self.spans is not None:
+            sampler = self.spans.sampler
+            out["spans"] = {
+                "sample": sampler.sample,
+                "packets_offered": sampler.offered,
+                "packets_sampled": sampler.admitted,
+                "coverage": sampler.coverage,
+                "records": len(self.spans.records),
+            }
+        return out
 
 
 def _make_telemetry() -> Telemetry:
@@ -104,9 +115,12 @@ def _make_telemetry() -> Telemetry:
 # explicit ``seed``: all randomness flows through ``sim/rng`` from that
 # one number (workloads with no stochastic generator accept it for
 # interface uniformity — campaign sweeps pass seeds unconditionally).
+# The optional ``spans`` is a shared SpanRecorder: every switch (and, on
+# fabric workloads, every link) of the run points at it, so sampled
+# packets leave per-hop spans without touching the trace path.
 
 
-def _trace_quickstart(make_telemetry=None, seed=None) -> list[TraceSection]:
+def _trace_quickstart(make_telemetry=None, seed=None, spans=None) -> list[TraceSection]:
     """The quickstart coflow on both architectures (examples/quickstart.py)."""
     from ..adcp.config import ADCPConfig
     from ..adcp.switch import ADCPSwitch
@@ -125,6 +139,8 @@ def _trace_quickstart(make_telemetry=None, seed=None) -> list[TraceSection]:
     )
     adcp_app = ParameterServerApp(workers, 256, elements_per_packet=16)
     adcp = ADCPSwitch(adcp_config, adcp_app, telemetry=adcp_tel)
+    if spans is not None:
+        adcp.spans = spans
     adcp_result = adcp.run(adcp_app.workload(adcp_config.port_speed_bps))
     sections.append(TraceSection("adcp", adcp_tel, adcp_result))
 
@@ -135,12 +151,14 @@ def _trace_quickstart(make_telemetry=None, seed=None) -> list[TraceSection]:
     )
     rmt_app = ParameterServerApp(workers, 256, elements_per_packet=1)
     rmt = RMTSwitch(rmt_config, rmt_app, telemetry=rmt_tel)
+    if spans is not None:
+        rmt.spans = spans
     rmt_result = rmt.run(rmt_app.workload(rmt_config.port_speed_bps))
     sections.append(TraceSection("rmt", rmt_tel, rmt_result))
     return sections
 
 
-def _trace_recirculate(make_telemetry=None, seed=None) -> list[TraceSection]:
+def _trace_recirculate(make_telemetry=None, seed=None, spans=None) -> list[TraceSection]:
     """RMT hosting state by recirculation: every foreign-pipeline packet
     pays a loopback pass (the §2 bandwidth tax, on the timeline)."""
     from ..apps import ParameterServerApp
@@ -155,6 +173,8 @@ def _trace_recirculate(make_telemetry=None, seed=None) -> list[TraceSection]:
     )
     app = ParameterServerApp([0, 1, 4, 5], 128, elements_per_packet=1)
     switch = RMTSwitch(config, app, telemetry=telemetry)
+    if spans is not None:
+        switch.spans = spans
     result = switch.run(app.workload(config.port_speed_bps))
     return [TraceSection("rmt-recirculate", telemetry, result)]
 
@@ -165,7 +185,7 @@ def _trace_recirculate(make_telemetry=None, seed=None) -> list[TraceSection]:
 _MERGEJOIN_SEED = 7
 
 
-def _trace_mergejoin(make_telemetry=None, seed=None) -> list[TraceSection]:
+def _trace_mergejoin(make_telemetry=None, seed=None, spans=None) -> list[TraceSection]:
     """TM1's order-preserving merge joining two sorted relations."""
     from ..adcp.config import ADCPConfig
     from ..adcp.switch import ADCPSwitch
@@ -188,13 +208,15 @@ def _trace_mergejoin(make_telemetry=None, seed=None) -> list[TraceSection]:
     switch = ADCPSwitch(
         config, app, ordered_flows=app.ordered_flows(), telemetry=telemetry
     )
+    if spans is not None:
+        switch.spans = spans
     result = switch.run(
         app.workload(config.port_speed_bps, relation(80, 40), relation(80, 40))
     )
     return [TraceSection("adcp-mergejoin", telemetry, result)]
 
 
-def _trace_mltrain(make_telemetry=None, seed=None) -> list[TraceSection]:
+def _trace_mltrain(make_telemetry=None, seed=None, spans=None) -> list[TraceSection]:
     """Table 1's ML-training row: parameter aggregation on both targets.
 
     The exact benchmark pair (``benchmarks/test_table1_applications.py``):
@@ -220,6 +242,8 @@ def _trace_mltrain(make_telemetry=None, seed=None) -> list[TraceSection]:
     )
     adcp_app = ParameterServerApp(workers, 128, elements_per_packet=16)
     adcp = ADCPSwitch(adcp_config, adcp_app, telemetry=adcp_tel)
+    if spans is not None:
+        adcp.spans = spans
     adcp_result = adcp.run(adcp_app.workload(adcp_config.port_speed_bps))
     sections.append(TraceSection("adcp", adcp_tel, adcp_result))
 
@@ -230,6 +254,8 @@ def _trace_mltrain(make_telemetry=None, seed=None) -> list[TraceSection]:
     )
     rmt_app = ParameterServerApp(workers, 128, elements_per_packet=1)
     rmt = RMTSwitch(rmt_config, rmt_app, telemetry=rmt_tel)
+    if spans is not None:
+        rmt.spans = spans
     rmt_result = rmt.run(rmt_app.workload(rmt_config.port_speed_bps))
     sections.append(TraceSection("rmt", rmt_tel, rmt_result))
     return sections
@@ -241,18 +267,31 @@ def _trace_fabric(workload_name: str):
     switch owns its telemetry hub, so the per-section consistency and
     attribution checks hold switch-by-switch)."""
 
-    def factory(make_telemetry=None, seed=None) -> list[TraceSection]:
+    def factory(make_telemetry=None, seed=None, spans=None) -> list[TraceSection]:
+        from dataclasses import replace
+
         from ..fabric import run_fabric
 
         sections: list[TraceSection] = []
         for target in ("adcp", "rmt"):
+            first_record = len(spans.records) if spans is not None else 0
             run = run_fabric(
                 "leaf-spine-2x2",
                 workload_name,
                 target=target,
                 seed=0 if seed is None else seed,
                 make_telemetry=make_telemetry or _make_telemetry,
+                spans=spans,
             )
+            if spans is not None:
+                # Both targets share switch names (leaf0, spine0, ...);
+                # prefix this run's records so the span tracks stay
+                # distinct, matching the section labels below.
+                records = spans.records
+                for i in range(first_record, len(records)):
+                    records[i] = replace(
+                        records[i], switch=f"{target}-{records[i].switch}"
+                    )
             sections.extend(
                 TraceSection(
                     f"{target}-{section.label}",
@@ -432,6 +471,7 @@ def run_trace(
     workload: str,
     out: str | Path | None = None,
     seed: int | None = None,
+    sample: int | None = None,
 ) -> TraceRun:
     """Run ``workload`` with telemetry on and export its timeline.
 
@@ -439,13 +479,26 @@ def run_trace(
     the working directory) and returns the :class:`TraceRun` with the
     text report in ``.lines``.  Raises :class:`SimulationError` if the
     event stream disagrees with the run's terminal counters.
+
+    ``sample`` additionally samples 1-in-``sample`` packets head-based
+    (:mod:`repro.telemetry.sampler`) and merges their per-hop span slices
+    into the exported timeline — here the spans ride *alongside* the full
+    trace; under ``sampled`` telemetry they are what remains of it.
     """
     if workload not in TRACEABLE:
         raise ConfigError(
             f"unknown trace workload {workload!r}; choose from "
             f"{', '.join(sorted(TRACEABLE))}"
         )
-    sections = TRACEABLE[workload](seed=seed)
+    spans = None
+    if sample is not None:
+        from .sampler import SpanSampler
+        from .spans import SpanRecorder
+
+        spans = SpanRecorder(
+            SpanSampler(seed=0 if seed is None else seed, sample=sample)
+        )
+    sections = TRACEABLE[workload](seed=seed, spans=spans)
 
     errors: list[str] = []
     for section in sections:
@@ -464,11 +517,22 @@ def run_trace(
                 pid=section.label,
             )
         )
+    if spans is not None:
+        from .spans import span_chrome_events
+
+        events.extend(span_chrome_events(spans.records))
     path = write_chrome_trace(out or f"trace_{workload}.json", events)
 
-    run = TraceRun(workload, path, sections)
+    run = TraceRun(workload, path, sections, spans=spans)
     run.lines.append(f"trace workload {workload!r} -> {path}")
     run.lines.append(f"  chrome trace events: {len(events)}")
+    if spans is not None:
+        sampler = spans.sampler
+        run.lines.append(
+            f"  spans: {sampler.admitted}/{sampler.offered} packets "
+            f"sampled (1 in {sampler.sample}), "
+            f"{len(spans.records)} hop records"
+        )
     for section in sections:
         run.lines.extend(
             text_report(
@@ -692,4 +756,182 @@ def run_monitor(
         run.lines.append(
             f"  chrome trace with monitor counters -> {run.chrome_path}"
         )
+    return run
+
+
+# --- sampled fabric spans ----------------------------------------------------------
+
+
+@dataclass
+class SpansSection:
+    """One target's sampled fabric run."""
+
+    target: str
+    recorder: object  # repro.telemetry.spans.SpanRecorder
+    run: object  # repro.fabric.runner.FabricRun
+    critical_paths: list  # list[CoflowCriticalPath]
+
+
+@dataclass
+class SpansRun:
+    """Everything one ``spans`` invocation produced."""
+
+    topology: str
+    workload: str
+    sample: int
+    seed: int
+    sections: list[SpansSection]
+    ledger: dict
+    ledger_path: Path | None = None
+    chrome_path: Path | None = None
+    lines: list[str] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        """JSON-friendly digest for ``--json`` output."""
+        return {
+            "topology": self.topology,
+            "workload": self.workload,
+            "sample": self.sample,
+            "seed": self.seed,
+            "ledger_file": (
+                str(self.ledger_path) if self.ledger_path else None
+            ),
+            "chrome_file": (
+                str(self.chrome_path) if self.chrome_path else None
+            ),
+            "sections": [
+                {
+                    "target": s.target,
+                    "packets_offered": s.recorder.sampler.offered,
+                    "packets_sampled": s.recorder.sampler.admitted,
+                    "coverage": s.recorder.sampler.coverage,
+                    "records": len(s.recorder.records),
+                    "spans": len({r.span for r in s.recorder.records}),
+                    "critical_paths": [
+                        p.to_json() for p in s.critical_paths
+                    ],
+                }
+                for s in self.sections
+            ],
+        }
+
+
+#: Default head-sampling rate for ``spans`` CLI runs: 1 in 16 keeps the
+#: fast path representative while still covering every coflow.
+DEFAULT_SAMPLE = 16
+
+
+def run_spans(
+    topology: str,
+    workload: str,
+    target: str = "both",
+    sample: int = DEFAULT_SAMPLE,
+    seed: int = 0,
+    ledger_out: str | Path | None = None,
+    chrome_out: str | Path | None = None,
+) -> SpansRun:
+    """Run a fabric workload with 1-in-``sample`` span tracing.
+
+    Runs ``workload`` on ``topology`` per target (default both) with a
+    head-based :class:`~repro.telemetry.sampler.SpanSampler` — the fast
+    path stays live, only the sampled subset leaves per-hop records —
+    then attributes each coflow's sampled completion time to its
+    dominant hop.  ``ledger_out`` writes one combined
+    ``repro.span_ledger/1`` (per-switch hop digests, coverage, critical
+    paths; byte-identical per seed modulo ``git_sha``, diffable with
+    ``repro diff``); ``chrome_out`` writes the fabric-wide timeline with
+    one track per switch and link.
+    """
+    from ..fabric import run_fabric
+    from .ledger import SPAN_LEDGER_SCHEMA, git_sha
+    from .sampler import SpanSampler
+    from .spans import (
+        SpanRecorder,
+        build_span_ledger,
+        coflow_critical_paths,
+        span_chrome_events,
+        write_span_ledger,
+    )
+
+    if target == "both":
+        targets: tuple[str, ...] = ("adcp", "rmt")
+    elif target in ("adcp", "rmt"):
+        targets = (target,)
+    else:
+        raise ConfigError(
+            f"unknown spans target {target!r} (choices: adcp, rmt, both)"
+        )
+
+    sections: list[SpansSection] = []
+    merged_sections: list[dict] = []
+    critical: dict[str, list] = {}
+    for name in targets:
+        recorder = SpanRecorder(SpanSampler(seed=seed, sample=sample))
+        fabric_run = run_fabric(
+            topology, workload, target=name, seed=seed, spans=recorder
+        )
+        paths = coflow_critical_paths(
+            recorder.records, fabric_run.span_coflows
+        )
+        sections.append(SpansSection(name, recorder, fabric_run, paths))
+        doc = build_span_ledger(
+            workload,
+            recorder,
+            seed=seed,
+            span_coflows=fabric_run.span_coflows,
+            config={"topology": topology, "target": name},
+        )
+        merged_sections.extend(
+            {"label": f"{name}-{sec['label']}", "series": sec["series"]}
+            for sec in doc["sections"]
+        )
+        critical[name] = doc["critical_paths"]
+
+    # One combined document for the whole invocation.  The raw per-hop
+    # records live in the Chrome export; the ledger keeps the diffable
+    # digests so committed baselines stay small.
+    ledger = {
+        "schema": SPAN_LEDGER_SCHEMA,
+        "workload": workload,
+        "topology": topology,
+        "targets": list(targets),
+        "seed": seed,
+        "sample": sample,
+        "git_sha": git_sha(),
+        "sections": merged_sections,
+        "critical_paths": critical,
+    }
+
+    run = SpansRun(topology, workload, sample, seed, sections, ledger)
+    run.lines.append(
+        f"spans {workload!r} on {topology} "
+        f"(1 in {sample} head-sampled, seed {seed})"
+    )
+    for section in sections:
+        sampler = section.recorder.sampler
+        tracks = len({r.switch for r in section.recorder.records})
+        run.lines.append(
+            f"  {section.target}: {sampler.admitted}/{sampler.offered} "
+            f"packets sampled, {len(section.recorder.records)} hop "
+            f"records across {tracks} tracks"
+        )
+        for path in section.critical_paths:
+            run.lines.append(
+                f"    coflow {path.coflow}: sampled cct "
+                f"{path.cct_s * 1e9:.1f} ns, dominant hop "
+                f"{path.dominant} over {path.spans} spans"
+            )
+
+    if ledger_out is not None:
+        run.ledger_path = write_span_ledger(ledger_out, ledger)
+        run.lines.append(f"  span ledger -> {run.ledger_path}")
+    if chrome_out is not None:
+        events: list[dict] = []
+        for section in sections:
+            prefix = f"{section.target}-" if len(sections) > 1 else ""
+            events.extend(
+                span_chrome_events(section.recorder.records, prefix)
+            )
+        run.chrome_path = write_chrome_trace(chrome_out, events)
+        run.lines.append(f"  chrome span timeline -> {run.chrome_path}")
     return run

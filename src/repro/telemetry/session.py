@@ -33,6 +33,7 @@ from .events import Category, Severity
 from .metrics import MetricRegistry, PeriodicSampler
 from .monitor import ResourceMonitor
 from .recorder import TraceRecorder
+from .sampler import SpanSampler, TelemetryLevel
 
 
 class Telemetry:
@@ -48,6 +49,11 @@ class Telemetry:
         monitor: Optional :class:`~repro.telemetry.monitor.ResourceMonitor`
             to attach at bind time: it collects every component's
             ``monitor_probes()`` and samples them on the simulation clock.
+        spans: Optional :class:`~repro.telemetry.spans.SpanRecorder` the
+            switch exposes as ``switch.spans`` — sampled per-hop spans
+            without touching the trace path (docs/SPANS.md).  Several
+            hubs may share one recorder (a fabric records all switches
+            into one span stream).
     """
 
     def __init__(
@@ -57,6 +63,7 @@ class Telemetry:
         min_severity: Severity = Severity.DEBUG,
         snapshot_interval_s: float | None = None,
         monitor: ResourceMonitor | None = None,
+        spans=None,
     ) -> None:
         if snapshot_interval_s is not None and snapshot_interval_s <= 0:
             raise ConfigError(
@@ -70,7 +77,46 @@ class Telemetry:
         self.metrics = MetricRegistry()
         self.snapshot_interval_s = snapshot_interval_s
         self.monitor = monitor
+        self.spans = spans
         self._switch = None
+
+    @classmethod
+    def at_level(
+        cls,
+        level: "TelemetryLevel | str",
+        *,
+        seed: int = 0,
+        sample: int = 16,
+        interval_ns: float | None = None,
+        capacity: int = 65536,
+    ) -> "Telemetry":
+        """Build a hub for one rung of the telemetry-level ladder.
+
+        ``off``/``counters``/``sampled`` disable the trace recorder
+        *before* switch construction, so the switch keeps the
+        ``trace is None`` fast path (docs/KERNEL.md); ``counters`` and
+        ``sampled`` add a :class:`ResourceMonitor` (deadline-aware, so
+        dispatch stays on ``_run_fast_probed``), and ``sampled`` adds a
+        :class:`~repro.telemetry.spans.SpanRecorder` sampling 1 in
+        ``sample`` packets.  ``full`` is the PR 1 instrumented path.
+        """
+        from .spans import SpanRecorder
+
+        level = TelemetryLevel.parse(level)
+        monitor = None
+        if level.wants_monitor:
+            monitor = (
+                ResourceMonitor(interval_ns=interval_ns)
+                if interval_ns is not None
+                else ResourceMonitor()
+            )
+        spans = None
+        if level.wants_spans:
+            spans = SpanRecorder(SpanSampler(seed=seed, sample=sample))
+        hub = cls(capacity=capacity, monitor=monitor, spans=spans)
+        if level.preserves_fast_path:
+            hub.trace.disable()
+        return hub
 
     # --- switch wiring ------------------------------------------------------------
 

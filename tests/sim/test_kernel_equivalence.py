@@ -414,3 +414,117 @@ class TestProbedFastPathEquivalence:
         sim = Simulator(queue_backend="heap")
         sim.time_probe = GridProbe(1.0)
         assert sim._probe_deadline() is None
+
+
+# --- telemetry-level differential -------------------------------------------------
+#
+# The observability ladder's core claim (docs/TELEMETRY.md): ``counters``
+# and ``sampled`` are *pure observers* — a switch run at either level is
+# bit-identical to the fully-instrumented ``full`` run in everything the
+# simulation computes (dispatch order, packet ids modulo the process-
+# global offset, terminal counters, the final clock), while keeping the
+# ``trace is None`` fast path the instrumented run forfeits.  And the
+# head-based span sampler must pick the same packets on every queue
+# backend, since its decision predates the kernel entirely.
+
+_LEVEL_WORKERS = st.lists(
+    st.integers(0, 7), min_size=2, max_size=4, unique=True
+)
+_LEVEL_ELEMENTS = st.sampled_from([8, 16, 32])
+_LEVEL_SAMPLES = st.sampled_from([1, 2, 4, 16])
+
+
+def _run_at_level(level, workers, elements, sample, backend="heap"):
+    """One RMT run at a telemetry level; returns its observable digest."""
+    from repro.apps import ParameterServerApp
+    from repro.rmt.config import RMTConfig
+    from repro.rmt.switch import RMTSwitch
+    from repro.telemetry import Telemetry
+    from repro.units import GBPS
+
+    telemetry = Telemetry.at_level(level, seed=0, sample=sample)
+    config = RMTConfig(
+        num_ports=8, pipelines=2, port_speed_bps=100 * GBPS,
+        min_wire_packet_bytes=84.0, frequency_hz=1.25e9,
+    )
+    app = ParameterServerApp(sorted(workers), elements, elements_per_packet=1)
+    switch = RMTSwitch(
+        config, app, telemetry=telemetry, sim=Simulator(backend)
+    )
+    result = switch.run(app.workload(config.port_speed_bps))
+    base = min(p.packet_id for p in result.delivered)
+    digest = (
+        [
+            (p.packet_id - base, p.meta.egress_port, p.meta.departure_time)
+            for p in result.delivered
+        ],
+        len(result.dropped),
+        result.consumed,
+        result.recirculated_packets,
+        result.duration_s,
+        sorted(result.counters.items()),
+        switch._sim.logical_events,
+        switch._sim.now,
+    )
+    return digest, switch, telemetry
+
+
+class TestTelemetryLevelEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(_LEVEL_WORKERS, _LEVEL_ELEMENTS, _LEVEL_SAMPLES)
+    def test_fast_levels_match_instrumented(
+        self, workers, elements, sample
+    ):
+        """``counters``/``sampled`` vs ``full``: identical dispatch order
+        (delivery sequence with run-relative packet ids), final counter
+        values, and logical event count — with the fast path kept."""
+        full, full_switch, _ = _run_at_level(
+            "full", workers, elements, sample
+        )
+        assert full_switch.trace is not None
+        for level in ("counters", "sampled"):
+            fast, fast_switch, _ = _run_at_level(
+                level, workers, elements, sample
+            )
+            assert fast == full
+            assert fast_switch.trace is None
+            # Batched admission really engaged (same-timestamp arrivals
+            # exist whenever two or more workers inject): the logical
+            # work matched above, the physical events were fewer.
+            if len(workers) > 1:
+                assert fast_switch._sim.events_coalesced > 0
+                assert full_switch._sim.events_coalesced == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(_LEVEL_WORKERS, _LEVEL_ELEMENTS, _LEVEL_SAMPLES)
+    def test_sampling_identical_across_backends(
+        self, workers, elements, sample
+    ):
+        """The span sampler's decisions — and every record they produce —
+        are byte-identical on heap, calendar, and auto backends."""
+        runs = {}
+        for backend in ("heap", "calendar", "auto"):
+            digest, _, telemetry = _run_at_level(
+                "sampled", workers, elements, sample, backend=backend
+            )
+            spans = telemetry.spans
+            runs[backend] = (
+                digest,
+                spans.sampler.offered,
+                spans.sampler.admitted,
+                [
+                    (r.span, r.packet, r.switch, r.hop, r.start_s, r.end_s)
+                    for r in spans.records
+                ],
+            )
+        assert runs["heap"] == runs["calendar"] == runs["auto"]
+
+    def test_sampled_records_cover_only_sampled_subset(self):
+        """Every record belongs to an admitted span; sample=1 records
+        every packet (coverage 1.0)."""
+        _, _, everything = _run_at_level("sampled", [0, 1, 4, 5], 16, 1)
+        assert everything.spans.sampler.coverage == 1.0
+        _, _, subset = _run_at_level("sampled", [0, 1, 4, 5], 16, 4)
+        sampled_ids = {r.span for r in subset.spans.records}
+        assert 0 < subset.spans.sampler.admitted < subset.spans.sampler.offered
+        assert len(sampled_ids) == subset.spans.sampler.admitted

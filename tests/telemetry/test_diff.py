@@ -294,7 +294,7 @@ class TestCLI:
         err = capsys.readouterr().err
         assert "unknown artifact" in err
         assert (
-            "subcommands: trace, profile, monitor, fabric, serve, diff"
+            "subcommands: trace, profile, monitor, fabric, serve, spans, diff"
             in err
         )
 
@@ -340,4 +340,12 @@ class TestBaselineByteIdentity:
         run = run_fabric("leaf-spine-2x2", "fabric-allreduce")
         self._assert_byte_identical(
             tmp_path, "ledger_fabric_leafspine.json", run.ledger()
+        )
+
+    def test_span_leafspine_ledger_matches_baseline(self, tmp_path):
+        from repro.telemetry.runner import run_spans
+
+        run = run_spans("leaf-spine-2x2", "fabric-allreduce", sample=8)
+        self._assert_byte_identical(
+            tmp_path, "span_ledger_leafspine.json", run.ledger
         )
