@@ -1,0 +1,147 @@
+"""Experiment T2g — stateful-primitive throughput trajectory.
+
+Times each stateful reference workload (one per primitive: token bucket
+exercises state-compute replication, SYN flood the EFSM engine, heavy
+hitter the count-min + MAT promotion path, key cache the replicated
+object) on both switch models and records kernel events/s of *the
+simulator itself*.  The measurements land under ``stateful`` in
+``BENCH_PROFILE.json``; the committed copy is the trajectory baseline,
+and a run more than 20% slower prints a non-blocking ``::warning::``
+line instead of failing — wall-clock on shared CI runners is too noisy
+for a hard gate.
+
+Same measurement discipline as ``test_perf_trajectory.py``: only
+``switch.run(arrivals)`` is timed (stream construction and placement
+binding stay outside), and ``events`` counts dispatched + coalesced so
+the unit stays comparable across kernel generations.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchlib import report
+from repro.adcp.switch import ADCPSwitch
+from repro.rmt.switch import RMTSwitch
+from repro.stateful.runner import _ADCP_EPP, _single_configs
+from repro.stateful.workloads import STATEFUL_WORKLOADS, build_single
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PROFILE_PATH = REPO_ROOT / "BENCH_PROFILE.json"
+
+#: Throughput drop versus the committed baseline that triggers a warning.
+REGRESSION_THRESHOLD = 0.20
+
+#: Which primitive each workload stresses (for the printed table).
+PRIMITIVES = {
+    "tokenbucket": "scr",
+    "synflood": "efsm",
+    "heavyhitter": "count-min+mat",
+    "keycache": "replicated",
+}
+
+FLOWS = 64
+SKEW = 1.2
+PACKETS = 240
+SEED = 0
+REPEATS = 3
+
+
+def _measure(workload: str, target: str) -> dict:
+    """Best-of-N run-only wall clock for one (workload, target) pair."""
+    config = _single_configs(target)
+    epp = _ADCP_EPP.get(workload, 1) if target == "adcp" else 1
+    best_s = float("inf")
+    switch = result = None
+    for _ in range(REPEATS):
+        stream = build_single(
+            workload,
+            flows=FLOWS,
+            skew=SKEW,
+            packets=PACKETS,
+            seed=SEED,
+            elements_per_packet=epp,
+            port_speed_bps=config.port_speed_bps,
+        )
+        cls = ADCPSwitch if target == "adcp" else RMTSwitch
+        switch = cls(config, stream.app)
+        arrivals = stream.arrivals(config.port_speed_bps)
+        start = time.perf_counter()
+        result = switch.run(arrivals)
+        best_s = min(best_s, time.perf_counter() - start)
+    packets = len(result.delivered) + result.consumed + len(result.dropped)
+    events = switch._sim.events_dispatched + switch._sim.events_coalesced
+    return {
+        "primitive": PRIMITIVES[workload],
+        "wall_s": best_s,
+        "packets": packets,
+        "events": events,
+        "events_dispatched": switch._sim.events_dispatched,
+        "events_coalesced": switch._sim.events_coalesced,
+        "packets_per_s": packets / best_s,
+        "events_per_s": events / best_s,
+        "sim_duration_s": result.duration_s,
+    }
+
+
+def test_stateful_throughput_trajectory():
+    """T2g — events/s per stateful primitive, both targets."""
+    try:
+        profile = json.loads(PROFILE_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        profile = {}
+    baseline = profile.get("stateful", {}).get("workloads", {})
+
+    measured = {}
+    rows = []
+    warnings = []
+    for workload in STATEFUL_WORKLOADS:
+        for target in ("rmt", "adcp"):
+            label = f"{target}:{workload}"
+            row = _measure(workload, target)
+            measured[label] = row
+            rows.append(
+                f"{label:>17} [{row['primitive']:>13}]: "
+                f"{row['wall_s'] * 1e3:7.2f} ms wall, "
+                f"{row['events_per_s'] / 1e3:8.1f} kevt/s"
+            )
+            old = baseline.get(label)
+            if old and old.get("events_per_s"):
+                ratio = row["events_per_s"] / old["events_per_s"]
+                rows.append(
+                    f"{'':>34}vs committed baseline: "
+                    f"{ratio - 1.0:+.1%} evt/s"
+                )
+                if ratio < 1.0 - REGRESSION_THRESHOLD:
+                    warnings.append(
+                        f"::warning file=benchmarks/test_stateful_bench.py::"
+                        f"stateful {label} throughput dropped "
+                        f"{1.0 - ratio:.0%} vs the committed "
+                        f"BENCH_PROFILE.json baseline "
+                        f"({row['events_per_s']:.0f} vs "
+                        f"{old['events_per_s']:.0f} evt/s)"
+                    )
+
+    report(
+        "T2g — stateful primitive trajectory (single switch, run-only)",
+        rows + warnings,
+        data={"stateful": measured, "warnings": warnings},
+    )
+    for line in warnings:
+        print(line)
+
+    profile["stateful"] = {
+        "flows": FLOWS,
+        "skew": SKEW,
+        "packets": PACKETS,
+        "repeats": REPEATS,
+        "workloads": measured,
+    }
+    PROFILE_PATH.write_text(json.dumps(profile, indent=1))
+
+    # Sanity, not a perf gate: every primitive made real progress.
+    for label, row in measured.items():
+        assert row["packets"] > 0, label
+        assert row["events_per_s"] > 0, label

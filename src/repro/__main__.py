@@ -19,6 +19,9 @@ Also hosts the telemetry tooling:
 - ``python -m repro spans <topology> <workload>`` head-samples 1-in-N
   packets through a fabric (fast path live) and writes per-hop span
   timelines plus a diffable span ledger.
+- ``python -m repro stateful <workload>`` runs one stateful-primitive
+  workload (EFSM, replicated objects, state-compute replication) on one
+  or both targets and writes a diffable stateful ledger.
 - ``python -m repro diff <base> <new>`` compares two run ledgers and
   exits non-zero on regression.
 - ``python -m repro campaign <spec>`` expands a declarative sweep into
@@ -610,6 +613,57 @@ def _parse_axis_override(text: str) -> tuple[str, list]:
     return axis, values
 
 
+def _main_stateful(args: list[str], json_mode: bool) -> int:
+    from .stateful.runner import run_stateful
+
+    positional, options = _parse_options(
+        args,
+        "stateful",
+        {
+            "--target": "target",
+            "--topology": "topology",
+            "--flows": "flows",
+            "--skew": "skew",
+            "--packets": "packets",
+            "--ledger": "ledger",
+            "--seed": "seed",
+        },
+    )
+    if len(positional) != 1:
+        raise ConfigError(
+            "stateful takes exactly one workload name "
+            "(tokenbucket, synflood, heavyhitter, keycache); "
+            "see python -m repro --help"
+        )
+
+    def _int_option(key: str, default: int) -> int:
+        if key not in options:
+            return default
+        try:
+            return int(options[key])
+        except ValueError:
+            raise ConfigError(
+                f"--{key} must be an integer, got {options[key]!r}"
+            )
+
+    try:
+        skew = float(options.get("skew", 1.2))
+    except ValueError:
+        raise ConfigError(f"--skew must be a number, got {options['skew']!r}")
+    run = run_stateful(
+        positional[0],
+        target=options.get("target", "both"),
+        topology=options.get("topology", "single"),
+        flows=_int_option("flows", 64),
+        skew=skew,
+        packets=_int_option("packets", 400),
+        seed=_parse_seed(options),
+        ledger_out=options.get("ledger"),
+    )
+    _print_run(run, json_mode)
+    return 0
+
+
 #: The single source of truth for subcommands: usage text, ``--help``,
 #: dispatch, and unknown-subcommand hints all derive from this table.
 _SUBCOMMANDS: dict[str, _Subcommand] = {
@@ -648,6 +702,12 @@ _SUBCOMMANDS: dict[str, _Subcommand] = {
         "[--sample N] [--ledger PATH] [--chrome PATH] [--seed N] [--json]",
         _main_spans,
     ),
+    "stateful": _Subcommand(
+        "stateful <workload> [--target rmt|adcp|both] "
+        "[--topology single|<fabric>] [--flows N] [--skew F] "
+        "[--packets N] [--ledger PATH] [--seed N] [--json]",
+        _main_stateful,
+    ),
     "diff": _Subcommand(
         "diff <base_ledger> <new_ledger> [--threshold PCT] [--json]",
         _main_diff,
@@ -678,9 +738,19 @@ def _usage_lines() -> list[str]:
     )
     from .fabric.workloads import FABRIC_WORKLOADS
 
+    from .stateful.workloads import (
+        FABRIC_STATEFUL_WORKLOADS,
+        STATEFUL_WORKLOADS,
+    )
+
     lines.append(
-        f"fabric/serve workloads: {', '.join(FABRIC_WORKLOADS)} on "
+        f"fabric/serve workloads: "
+        f"{', '.join(FABRIC_WORKLOADS + FABRIC_STATEFUL_WORKLOADS)} on "
         f"leaf-spine-LxS[xH], fat-tree-kK, or single-N topologies"
+    )
+    lines.append(
+        f"stateful workloads: {', '.join(STATEFUL_WORKLOADS)} "
+        f"(EFSM/replicated/SCR primitives; see docs/PRIMITIVES.md)"
     )
     lines.append(
         "serve streams rolling-window records live (JSONL with --json); "

@@ -276,6 +276,43 @@ def _cell_fabric(params: dict) -> dict:
     return run.ledger()
 
 
+def _cell_stateful(params: dict) -> dict:
+    """One stateful-primitive run (workload x flow count x skew x target).
+
+    Wraps :func:`repro.stateful.run_stateful`: the cell's ledger is the
+    ``repro.stateful_ledger/1`` artifact — per-target sections with
+    admission/detection verdicts and state-access counts plus the
+    compile-divergence section — so a flows x skew x target sweep shows
+    how access concentration moves the primitive quality metrics on each
+    architecture.
+    """
+    p = _take(
+        "stateful",
+        params,
+        {
+            "workload": (str, "tokenbucket"),
+            "topology": (str, "single"),
+            "target": (str, "both"),
+            "flows": (int, 64),
+            "skew": ((int, float), 1.2),
+            "packets": (int, 400),
+            "seed": (int, _REQUIRED),
+        },
+    )
+    from ..stateful.runner import run_stateful
+
+    run = run_stateful(
+        p["workload"],
+        target=p["target"],
+        topology=p["topology"],
+        flows=p["flows"],
+        skew=float(p["skew"]),
+        packets=p["packets"],
+        seed=p["seed"],
+    )
+    return run.ledger()
+
+
 # --- test scaffolding -------------------------------------------------------------
 
 
@@ -348,6 +385,7 @@ TARGETS: dict = {
     "design-space": _cell_design_space,
     "coflow-mix": _cell_coflow_mix,
     "fabric": _cell_fabric,
+    "stateful": _cell_stateful,
     "_echo": _cell_echo,
     "_flaky": _cell_flaky,
 }

@@ -403,6 +403,22 @@ BUILTIN_CAMPAIGNS: dict[str, dict] = {
             "seed": [21, 42],
         },
     },
+    "stateful-sweep": {
+        "name": "stateful-sweep",
+        "target": "stateful",
+        "mode": "grid",
+        "seed": 4,
+        "fixed": {
+            "workload": "tokenbucket",
+            "packets": 240,
+            "seed": 11,
+        },
+        "axes": {
+            "flows": [16, 64],
+            "skew": [1.1, 1.5],
+            "target": ["rmt", "adcp"],
+        },
+    },
     "fabric-sweep": {
         "name": "fabric-sweep",
         "target": "fabric",

@@ -106,6 +106,10 @@ class FabricRun:
     span_coflows: dict = field(default_factory=dict)
     """Sampled span id -> coflow label, filled when the run carried a
     span recorder (see :func:`inject_arrivals`)."""
+    app_factory: object = None
+    """The workload's per-switch app factory, when it carried one
+    (``stateful-*`` workloads) — exposes the app instances the run
+    built, for post-run counter harvesting."""
 
     # --- derived ------------------------------------------------------------------
 
@@ -338,6 +342,7 @@ def build_fabric(
     routing: str = "ecmp",
     placement_map: dict[int, str] | None = None,
     hosted_by_switch: dict[str, list[HostedCoflow]] | None = None,
+    app_factory=None,
     elements_per_packet: int = 1,
     link_latency_ns: float = DEFAULT_LINK_LATENCY_NS,
     flowlet_gap_ns: float = DEFAULT_FLOWLET_GAP_NS,
@@ -387,7 +392,16 @@ def build_fabric(
     for name in topo.switch_names:
         node = topo.switches[name]
         hosted = hosted_by_switch.get(name)
-        app = FabricAggregateApp(hosted, elements_per_packet) if hosted else None
+        if app_factory is not None:
+            # Stateful workloads host their own app on every switch
+            # (claims() gates by opcode, so transit still forwards).
+            app = app_factory(name)
+        else:
+            app = (
+                FabricAggregateApp(hosted, elements_per_packet)
+                if hosted
+                else None
+            )
         hub = make_telemetry()
         hubs[name] = hub
         switches[name] = build(node, app, hub, sim)
@@ -610,6 +624,7 @@ def run_fabric(
         routing=routing,
         placement_map=placement_map,
         hosted_by_switch=hosted_by_switch,
+        app_factory=work.app_factory,
         elements_per_packet=epp,
         link_latency_ns=link_latency_ns,
         flowlet_gap_ns=flowlet_gap_ns,
@@ -666,4 +681,5 @@ def run_fabric(
         interval_ns=interval_ns,
         selectors=fabric.selectors,
         span_coflows=span_coflows,
+        app_factory=work.app_factory,
     )

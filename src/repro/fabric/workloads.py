@@ -78,6 +78,12 @@ class FabricWorkload:
     expected: dict[tuple[int, int], int] = field(default_factory=dict)
     #: Opcode of the terminal packets ``expected`` counts.
     terminal_opcode: int = OP_RESULT
+    #: Optional per-switch app constructor (``factory(switch_name) ->
+    #: SwitchApp``) for workloads that host their own stateful apps —
+    #: the ``stateful-*`` family — instead of coflow aggregation.  When
+    #: set, :func:`repro.fabric.runner.build_fabric` installs the
+    #: factory's app on every switch.
+    app_factory: object = None
 
     @property
     def aggregated(self) -> bool:
@@ -197,9 +203,25 @@ def build_workload(
             topology, coflows, vector, elements_per_packet, link_bps, load,
             seed, coflow_base,
         )
+    if name.startswith("stateful-"):
+        from ..stateful.workloads import build_stateful_workload
+
+        return build_stateful_workload(
+            name,
+            topology,
+            coflows=coflows,
+            vector=vector,
+            elements_per_packet=elements_per_packet,
+            link_bps=link_bps,
+            load=load,
+            seed=seed,
+            coflow_base=coflow_base,
+        )
+    from ..stateful.workloads import FABRIC_STATEFUL_WORKLOADS
+
     raise ConfigError(
         f"unknown fabric workload {name!r}; choose from "
-        f"{', '.join(FABRIC_WORKLOADS)}"
+        f"{', '.join(FABRIC_WORKLOADS + FABRIC_STATEFUL_WORKLOADS)}"
     )
 
 

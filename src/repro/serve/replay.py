@@ -161,6 +161,9 @@ class ServeSchedule:
     rounds: int
     coflows_per_round: int = 0
     params: dict = field(default_factory=dict)
+    #: Per-switch app factory for stateful workloads (first round's —
+    #: instances persist across rounds, claiming by opcode).
+    app_factory: object = None
 
     @property
     def injected(self) -> int:
@@ -210,6 +213,7 @@ def build_schedule(
     first_departure: dict[int, float] = {}
     terminal_opcode = 0
     aggregated = False
+    app_factory = None
 
     rounds = 0
     while True:
@@ -232,6 +236,8 @@ def build_schedule(
         )
         terminal_opcode = work.terminal_opcode
         aggregated = work.aggregated
+        if app_factory is None:
+            app_factory = work.app_factory
         scheduled_any = False
         for host in sorted(work.arrivals):
             rng = rngs[host]
@@ -283,4 +289,5 @@ def build_schedule(
         first_departure_s=first_departure,
         rounds=rounds,
         coflows_per_round=coflows,
+        app_factory=app_factory,
     )

@@ -423,6 +423,7 @@ def run_serve(
         routing=routing,
         placement_map=placement_map,
         hosted_by_switch=hosted_by_switch,
+        app_factory=schedule.app_factory,
         elements_per_packet=epp,
         link_latency_ns=link_latency_ns,
         flowlet_gap_ns=flowlet_gap_ns,

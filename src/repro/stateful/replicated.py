@@ -1,0 +1,195 @@
+"""LOADER-style replicated state objects with eventual merge.
+
+A :class:`ReplicatedObject` models one logical array of switch state
+kept as N replicas — one per switch instance (fabric) or per pipeline
+partition (single switch).  Each replica absorbs writes locally and at
+full speed; a periodic *merge round* exchanges the dirty entries
+all-to-all and folds them under the object's merge discipline:
+
+* ``"sum"``  — commutative counters: replicas exchange deltas, every
+  replica converges to the global sum.
+* ``"max"``  — monotone high-water marks: replicas exchange candidates,
+  every replica converges to the global max.
+* ``"lww"``  — last-writer-wins cells versioned by a deterministic
+  logical clock: the highest-version write for each slot wins
+  everywhere (the key-cache invalidation discipline).
+
+The object is control-plane bookkeeping: merge traffic is *charged*
+(messages, bytes, rounds) rather than injected as wire packets, the same
+way the coflow placement layer charges steering rather than emitting
+control packets.  Between merges, replicas legitimately disagree — the
+stale-read accounting (:meth:`read` vs the logical clock) is the
+experiment, not a bug.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+__all__ = ["ReplicatedObject"]
+
+_MODES = ("sum", "max", "lww")
+
+
+class ReplicatedObject:
+    """One logical array replicated across ``replicas`` instances."""
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        replicas: int,
+        mode: str = "sum",
+        width_bits: int = 64,
+    ) -> None:
+        if size <= 0:
+            raise ConfigError(f"replicated object {name!r}: size must be > 0")
+        if replicas <= 0:
+            raise ConfigError(
+                f"replicated object {name!r}: replicas must be > 0"
+            )
+        if mode not in _MODES:
+            raise ConfigError(
+                f"replicated object {name!r}: mode {mode!r} not in {_MODES}"
+            )
+        self.name = name
+        self.size = size
+        self.replicas = replicas
+        self.mode = mode
+        self.width_bits = width_bits
+        self._views = [[0] * size for _ in range(replicas)]
+        self._versions = [[0] * size for _ in range(replicas)]
+        #: replica -> {slot: pending payload} awaiting the next merge.
+        #: sum: accumulated delta; max: best candidate; lww: (version, value).
+        self._dirty: list[dict[int, object]] = [{} for _ in range(replicas)]
+        self._clock = 0  # deterministic logical clock for lww versions
+        self.updates = 0
+        self.reads = 0
+        self.stale_reads = 0
+        self.merge_rounds = 0
+        self.merge_messages = 0
+        self.merge_bytes = 0
+
+    def _check(self, replica: int, index: int) -> int:
+        if not 0 <= replica < self.replicas:
+            raise ConfigError(
+                f"replicated object {self.name!r}: replica {replica} out "
+                f"of range [0, {self.replicas})"
+            )
+        return index % self.size
+
+    def update(self, replica: int, index: int, value: int) -> int:
+        """Apply one local write; returns the replica's new cell value.
+
+        ``value`` is a delta for ``sum``, a candidate for ``max``, and
+        the new cell value for ``lww``.
+        """
+        slot = self._check(replica, index)
+        self.updates += 1
+        view = self._views[replica]
+        dirty = self._dirty[replica]
+        if self.mode == "sum":
+            view[slot] += value
+            dirty[slot] = dirty.get(slot, 0) + value
+        elif self.mode == "max":
+            view[slot] = max(view[slot], value)
+            dirty[slot] = max(dirty.get(slot, value), value)
+        else:  # lww
+            self._clock += 1
+            view[slot] = value
+            self._versions[replica][slot] = self._clock
+            dirty[slot] = (self._clock, value)
+        return view[slot]
+
+    def read(self, replica: int, index: int) -> int:
+        """Local read; counts a stale read when a newer lww version
+        exists on some other replica (pre-merge disagreement)."""
+        slot = self._check(replica, index)
+        self.reads += 1
+        if self.mode == "lww":
+            newest = max(v[slot] for v in self._versions)
+            if self._versions[replica][slot] < newest:
+                self.stale_reads += 1
+        return self._views[replica][slot]
+
+    def version(self, replica: int, index: int) -> int:
+        return self._versions[replica][self._check(replica, index)]
+
+    def merge_round(self) -> dict[str, int]:
+        """All-to-all exchange of dirty entries; folds and clears them.
+
+        Each replica with D dirty slots sends one message of D entries to
+        each of the other replicas.  Returns this round's stats.
+        """
+        self.merge_rounds += 1
+        entry_bytes = max(1, self.width_bits // 8) + 8  # value + slot tag
+        outgoing = [dict(d) for d in self._dirty]
+        for d in self._dirty:
+            d.clear()
+        messages = 0
+        transferred = 0
+        for sender, dirty in enumerate(outgoing):
+            if not dirty:
+                continue
+            messages += self.replicas - 1
+            transferred += len(dirty) * (self.replicas - 1)
+            for receiver in range(self.replicas):
+                if receiver == sender:
+                    continue
+                view = self._views[receiver]
+                for slot, payload in dirty.items():
+                    if self.mode == "sum":
+                        view[slot] += payload
+                    elif self.mode == "max":
+                        view[slot] = max(view[slot], payload)
+                    else:  # lww
+                        version, value = payload
+                        if version > self._versions[receiver][slot]:
+                            view[slot] = value
+                            self._versions[receiver][slot] = version
+        round_bytes = transferred * entry_bytes
+        self.merge_messages += messages
+        self.merge_bytes += round_bytes
+        return {
+            "messages": messages,
+            "bytes": round_bytes,
+            "entries": transferred,
+        }
+
+    def converged(self) -> bool:
+        """True when every replica holds the identical view."""
+        first = self._views[0]
+        return all(view == first for view in self._views[1:])
+
+    def rounds_to_convergence(self, limit: int = 8) -> int:
+        """Merge until converged; returns rounds taken (<= ``limit``).
+
+        With all-to-all exchange one round converges sum/max and lww
+        (ties broken by version); the limit guards the loop anyway.
+        """
+        rounds = 0
+        while not self.converged():
+            if rounds >= limit:
+                raise ConfigError(
+                    f"replicated object {self.name!r} failed to converge "
+                    f"in {limit} merge rounds"
+                )
+            self.merge_round()
+            rounds += 1
+        return rounds
+
+    def global_value(self, index: int) -> int:
+        """The converged value a slot would reach (without merging)."""
+        slot = index % self.size
+        if self.mode == "sum":
+            merged = self._views[0][slot]
+            for replica in range(1, self.replicas):
+                merged += self._dirty[replica].get(slot, 0)
+            # view[0] already includes its own dirty delta; others' views
+            # may double-count entries merged earlier, so fold pending
+            # deltas from the other replicas only.
+            return merged
+        if self.mode == "max":
+            return max(view[slot] for view in self._views)
+        best = max(range(self.replicas), key=lambda r: self._versions[r][slot])
+        return self._views[best][slot]

@@ -39,6 +39,7 @@ from .ledger import (
     DEFAULT_THRESHOLD,
     LEDGER_SCHEMA,
     SPAN_LEDGER_SCHEMA,
+    STATEFUL_LEDGER_SCHEMA,
     DiffRow,
     LedgerDiff,
     build_ledger,
@@ -102,6 +103,7 @@ __all__ = [
     "RunProfile",
     "SPAN_HOPS",
     "SPAN_LEDGER_SCHEMA",
+    "STATEFUL_LEDGER_SCHEMA",
     "Segment",
     "SeriesSummary",
     "Severity",

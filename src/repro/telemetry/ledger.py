@@ -46,15 +46,28 @@ SERVE_LEDGER_SCHEMA = "repro.serve_ledger/1"
 #: diff with the same comparator.
 SPAN_LEDGER_SCHEMA = "repro.span_ledger/1"
 
+#: Stateful-primitive ledger format (per-primitive state accesses,
+#: transition counts, detection quality, compile divergence —
+#: docs/PRIMITIVES.md).  Same sections/series shape, same comparator.
+STATEFUL_LEDGER_SCHEMA = "repro.stateful_ledger/1"
+
 #: Schema families :func:`load_ledger` accepts (prefix match on the part
 #: before the version suffix).
-LEDGER_FAMILIES = ("repro.run_ledger", "repro.serve_ledger", "repro.span_ledger")
+LEDGER_FAMILIES = (
+    "repro.run_ledger",
+    "repro.serve_ledger",
+    "repro.span_ledger",
+    "repro.stateful_ledger",
+)
 
 #: Name fragments that mark a series as higher-is-better when its summary
 #: carries no explicit ``direction`` field.  ``coverage`` and ``sampled``
 #: mark the span-ledger goodness metrics (span coverage, sampled-mode
 #: events/s): losing sampled spans or sampled-path throughput at the same
-#: workload is the regression, not the improvement.
+#: workload is the regression, not the improvement.  ``hit_rate`` and
+#: ``detection_rate`` are the stateful-ledger quality metrics (cache
+#: hits, flagged attackers / found heavy keys); ``goodput`` already
+#: covers the token bucket's ``goodput_pps``.
 HIGHER_IS_BETTER_MARKERS = (
     "throughput",
     "goodput",
@@ -63,6 +76,8 @@ HIGHER_IS_BETTER_MARKERS = (
     "completed",
     "coverage",
     "sampled",
+    "hit_rate",
+    "detection_rate",
 )
 
 #: Default relative-change tolerance (fraction) before a verdict flips.

@@ -305,6 +305,27 @@ def _trace_fabric(workload_name: str):
     return factory
 
 
+def _trace_stateful(workload: str):
+    """Factory-of-factories for the stateful workloads: both targets'
+    single-switch runs (see :mod:`repro.stateful.runner`), one section
+    per target."""
+
+    def factory(make_telemetry=None, seed=None, spans=None) -> list[TraceSection]:
+        from ..stateful.runner import single_trace_sections
+
+        return [
+            TraceSection(label, telemetry, result)
+            for label, telemetry, result in single_trace_sections(
+                workload,
+                make_telemetry=make_telemetry or _make_telemetry,
+                seed=0 if seed is None else seed,
+                spans=spans,
+            )
+        ]
+
+    return factory
+
+
 TRACEABLE = {
     "quickstart": _trace_quickstart,
     "recirculate": _trace_recirculate,
@@ -312,6 +333,10 @@ TRACEABLE = {
     "mltrain": _trace_mltrain,
     "fabric-allreduce": _trace_fabric("fabric-allreduce"),
     "fabric-shuffle": _trace_fabric("fabric-shuffle"),
+    "stateful-tokenbucket": _trace_stateful("tokenbucket"),
+    "stateful-synflood": _trace_stateful("synflood"),
+    "stateful-heavyhitter": _trace_stateful("heavyhitter"),
+    "stateful-keycache": _trace_stateful("keycache"),
 }
 
 

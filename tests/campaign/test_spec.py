@@ -192,7 +192,12 @@ class TestOverridesAndLoading:
             resolve_spec("nope")
 
     def test_builtins_validate_and_expand(self):
-        expected = {"design-space": 8, "coflow-mix": 8, "fabric-sweep": 6}
+        expected = {
+            "design-space": 8,
+            "coflow-mix": 8,
+            "fabric-sweep": 6,
+            "stateful-sweep": 8,
+        }
         assert set(expected) == set(BUILTIN_CAMPAIGNS)
         for name in BUILTIN_CAMPAIGNS:
             cells = resolve_spec(name).expand()

@@ -528,3 +528,60 @@ class TestTelemetryLevelEquivalence:
         sampled_ids = {r.span for r in subset.spans.records}
         assert 0 < subset.spans.sampler.admitted < subset.spans.sampler.offered
         assert len(sampled_ids) == subset.spans.sampler.admitted
+
+
+def _stateful_ledger(backend, level=None):
+    """One single-switch stateful run pinned to ``backend``.
+
+    Returns the canonical ledger text (git_sha pinned) — the artifact
+    the backend-equivalence contract promises is byte-identical.
+    """
+    import json
+    import os
+
+    from repro.stateful.runner import run_stateful
+
+    make_telemetry = None
+    if level is not None:
+        from repro.telemetry import Telemetry
+
+        def make_telemetry():
+            return Telemetry.at_level(level, seed=0, sample=4)
+
+    previous = os.environ.get("REPRO_QUEUE_BACKEND")
+    os.environ["REPRO_QUEUE_BACKEND"] = backend
+    try:
+        run = run_stateful(
+            "synflood",
+            flows=32,
+            packets=160,
+            seed=3,
+            make_telemetry=make_telemetry,
+        )
+    finally:
+        if previous is None:
+            del os.environ["REPRO_QUEUE_BACKEND"]
+        else:
+            os.environ["REPRO_QUEUE_BACKEND"] = previous
+    ledger = run.ledger()
+    ledger["git_sha"] = "pinned"
+    return json.dumps(ledger, sort_keys=True)
+
+
+class TestStatefulLedgerEquivalence:
+    """Stateful ledgers are part of the backend-equivalence contract."""
+
+    def test_backends_emit_identical_stateful_ledgers(self):
+        heap = _stateful_ledger("heap")
+        calendar = _stateful_ledger("calendar")
+        auto = _stateful_ledger("auto")
+        assert heap == calendar == auto
+
+    def test_fast_dispatch_matches_instrumented(self):
+        """Full telemetry (instrumented loop, tracing on) and the fast
+        counters level produce byte-identical stateful ledgers: the
+        observability level must never perturb the simulated work."""
+        instrumented = _stateful_ledger("heap", level="full")
+        fast = _stateful_ledger("heap", level="counters")
+        bare = _stateful_ledger("heap")
+        assert instrumented == fast == bare

@@ -1,0 +1,208 @@
+"""EFSM construct: spec validation, transition semantics, lowering.
+
+The compile tests pin the §3.2 divergence for the same machine: the
+scalar RMT target replicates the flow table per key while the ADCP
+array target keeps one copy, so RMT SRAM grows linearly in
+keys-per-packet and ADCP's stays flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.program import Compiler, adcp_target, rmt_target
+from repro.stateful.efsm import (
+    Action,
+    EfsmEngine,
+    EfsmSpec,
+    Guard,
+    Transition,
+    efsm_program,
+)
+
+
+def _toy_spec(**overrides) -> EfsmSpec:
+    fields = dict(
+        name="toy",
+        states=("A", "B"),
+        initial="A",
+        events=("go", "back"),
+        registers=(("count", 32),),
+        transitions=(
+            Transition("A", "go", "B", actions=(Action("count", "add", 1),)),
+            Transition("B", "back", "A"),
+        ),
+    )
+    fields.update(overrides)
+    return EfsmSpec(**fields)
+
+
+class _Ctx:
+    """Minimal PipelineContext stand-in: named register arrays."""
+
+    pipeline_index = 0
+
+    def __init__(self):
+        from repro.tables.registers import RegisterArray
+
+        self._arrays = {}
+        self._cls = RegisterArray
+
+    def register(self, name, size, width_bits=32):
+        if name not in self._arrays:
+            self._arrays[name] = self._cls(name, size, width_bits=width_bits)
+        return self._arrays[name]
+
+
+class TestSpecValidation:
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate states"):
+            _toy_spec(states=("A", "A"))
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(ConfigError, match="initial state"):
+            _toy_spec(initial="Z")
+
+    def test_transition_unknown_state_rejected(self):
+        with pytest.raises(ConfigError, match="unknown state"):
+            _toy_spec(transitions=(Transition("A", "go", "Z"),))
+
+    def test_transition_unknown_event_rejected(self):
+        with pytest.raises(ConfigError, match="unknown\nevent|unknown event"):
+            _toy_spec(transitions=(Transition("A", "warp", "B"),))
+
+    def test_guard_unknown_register_rejected(self):
+        with pytest.raises(ConfigError, match="unknown\nregister|unknown register"):
+            _toy_spec(
+                transitions=(
+                    Transition("A", "go", "B", guard=Guard("nope", "ge", 1)),
+                )
+            )
+
+    def test_bad_guard_op_rejected(self):
+        with pytest.raises(ConfigError, match="guard op"):
+            Guard("count", "xor", 1)
+
+    def test_bad_action_op_rejected(self):
+        with pytest.raises(ConfigError, match="action op"):
+            Action("count", "mul", 2)
+
+    def test_state_width_bits(self):
+        assert _toy_spec().state_width_bits == 1
+        five = _toy_spec(
+            states=("A", "B", "C", "D", "E"), transitions=()
+        )
+        assert five.state_width_bits == 3
+
+    def test_flow_state_bits_sums_registers(self):
+        assert _toy_spec().flow_state_bits == 1 + 32
+
+
+class TestEngineSemantics:
+    def test_transition_fires_and_updates_register(self):
+        engine = EfsmEngine(_toy_spec(), flows=4)
+        ctx = _Ctx()
+        old, new, taken = engine.step(ctx, 0, "go")
+        assert (old, new) == ("A", "B")
+        assert taken is not None
+        assert engine.state_of(0, 0) == "B"
+        assert engine.register_of(0, 0, "count") == 1
+
+    def test_unmatched_event_leaves_state(self):
+        engine = EfsmEngine(_toy_spec(), flows=4)
+        ctx = _Ctx()
+        old, new, taken = engine.step(ctx, 0, "back")  # no rule in A
+        assert (old, new) == ("A", "A")
+        assert taken is None
+        assert engine.unmatched == 1
+
+    def test_guard_blocks_until_satisfied(self):
+        spec = _toy_spec(
+            transitions=(
+                Transition(
+                    "A", "go", "B",
+                    guard=Guard("count", "ge", 2),
+                ),
+                Transition("A", "back", "A", actions=(Action("count", "add", 1),)),
+            ),
+        )
+        engine = EfsmEngine(spec, flows=2)
+        ctx = _Ctx()
+        assert engine.step(ctx, 0, "go")[2] is None  # count=0 < 2
+        engine.step(ctx, 0, "back")
+        engine.step(ctx, 0, "back")
+        assert engine.step(ctx, 0, "go")[1] == "B"
+
+    def test_first_match_in_declaration_order(self):
+        spec = _toy_spec(
+            transitions=(
+                Transition("A", "go", "B"),
+                Transition("A", "go", "A"),  # shadowed
+            ),
+        )
+        engine = EfsmEngine(spec, flows=1)
+        assert engine.step(_Ctx(), 0, "go")[1] == "B"
+
+    def test_event_value_flows_into_action(self):
+        spec = _toy_spec(
+            transitions=(
+                Transition("A", "go", "B", actions=(Action("count", "max"),)),
+            ),
+        )
+        engine = EfsmEngine(spec, flows=1)
+        ctx = _Ctx()
+        engine.step(ctx, 0, "go", value=17)
+        assert engine.register_of(0, 0, "count") == 17
+
+    def test_flows_are_independent_slots(self):
+        engine = EfsmEngine(_toy_spec(), flows=4)
+        ctx = _Ctx()
+        engine.step(ctx, 1, "go")
+        assert engine.state_of(0, 1) == "B"
+        assert engine.state_of(0, 0) == "A"
+
+    def test_transition_counts_labels(self):
+        engine = EfsmEngine(_toy_spec(), flows=2)
+        ctx = _Ctx()
+        engine.step(ctx, 0, "go")
+        engine.step(ctx, 0, "back")
+        engine.step(ctx, 1, "go")
+        assert engine.transition_counts() == {
+            "A--go->B": 2,
+            "B--back->A": 1,
+        }
+
+    def test_state_accesses_charged_on_arrays(self):
+        engine = EfsmEngine(_toy_spec(), flows=2)
+        ctx = _Ctx()
+        engine.step(ctx, 0, "go")
+        assert engine.state_accesses > 0
+
+
+class TestEfsmProgramDivergence:
+    """Lowering + compiling shows the paper's replication asymmetry."""
+
+    def test_program_shape(self):
+        program = efsm_program(_toy_spec(), flows=32, keys_per_packet=4)
+        names = {t.name for t in program.tables()}
+        assert names == {"toy_flow", "toy_trans"}
+
+    def test_rmt_replicates_per_key_adcp_does_not(self):
+        flows = 64
+        sram = {}
+        for k in (1, 2, 4, 8):
+            program = efsm_program(_toy_spec(), flows, keys_per_packet=k)
+            rmt_alloc = Compiler(rmt_target()).allocate(program)
+            adcp_alloc = Compiler(adcp_target(array_width=16)).allocate(
+                program
+            )
+            assert rmt_alloc.replication_factor("toy_flow") == k
+            assert adcp_alloc.replication_factor("toy_flow") == 1
+            sram[k] = (
+                rmt_alloc.total_sram_blocks,
+                adcp_alloc.total_sram_blocks,
+            )
+        # RMT SRAM grows with keys-per-packet; ADCP's stays flat.
+        assert sram[8][0] > sram[1][0]
+        assert sram[8][1] == sram[1][1]

@@ -1,0 +1,130 @@
+"""Replicated-state objects: merge convergence, traffic accounting.
+
+The LOADER-style contract: every replica accepts local updates without
+coordination; a merge round exchanges dirty entries all-to-all; after
+quiescence plus one round every replica converges on the same value
+(sum/max are CRDT-commutative, lww resolves by logical version).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.stateful.replicated import ReplicatedObject
+
+
+class TestConstruction:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigError, match="mode"):
+            ReplicatedObject("x", 4, 2, mode="median")
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            ReplicatedObject("x", 0, 2)
+        with pytest.raises(ConfigError):
+            ReplicatedObject("x", 4, 0)
+
+
+class TestSumMode:
+    def test_local_update_visible_locally(self):
+        obj = ReplicatedObject("ctr", 4, 3, mode="sum")
+        obj.update(0, 1, 5)
+        assert obj.read(0, 1) == 5
+        assert obj.read(1, 1) == 0  # not merged yet
+
+    def test_merge_converges_to_global_sum(self):
+        obj = ReplicatedObject("ctr", 4, 3, mode="sum")
+        obj.update(0, 1, 5)
+        obj.update(1, 1, 7)
+        obj.update(2, 0, 2)
+        assert not obj.converged()
+        obj.merge_round()
+        assert obj.converged()
+        for replica in range(3):
+            assert obj.read(replica, 1) == 12
+            assert obj.read(replica, 0) == 2
+
+    def test_global_value_counts_pending_deltas(self):
+        obj = ReplicatedObject("ctr", 2, 2, mode="sum")
+        obj.update(0, 0, 3)
+        obj.update(1, 0, 4)
+        assert obj.global_value(0) == 7  # before any merge
+
+    def test_rounds_to_convergence_single_round(self):
+        obj = ReplicatedObject("ctr", 2, 4, mode="sum")
+        for replica in range(4):
+            obj.update(replica, 0, replica + 1)
+        assert obj.rounds_to_convergence() == 1
+        assert obj.read(2, 0) == 1 + 2 + 3 + 4
+
+
+class TestMaxMode:
+    def test_max_merge(self):
+        obj = ReplicatedObject("hwm", 2, 3, mode="max")
+        obj.update(0, 0, 10)
+        obj.update(1, 0, 25)
+        obj.update(2, 0, 5)
+        obj.merge_round()
+        for replica in range(3):
+            assert obj.read(replica, 0) == 25
+        assert obj.global_value(0) == 25
+
+
+class TestLwwMode:
+    def test_last_writer_wins_by_version(self):
+        obj = ReplicatedObject("kv", 4, 2, mode="lww")
+        obj.update(0, 2, 100)
+        obj.update(1, 2, 200)  # later logical clock
+        obj.merge_round()
+        assert obj.read(0, 2) == 200
+        assert obj.read(1, 2) == 200
+
+    def test_stale_read_counted_before_merge(self):
+        obj = ReplicatedObject("kv", 4, 2, mode="lww")
+        obj.update(0, 1, 100)
+        obj.merge_round()
+        obj.update(0, 1, 300)  # replica 1 is now stale
+        before = obj.stale_reads
+        obj.read(1, 1)
+        assert obj.stale_reads == before + 1
+        obj.merge_round()
+        before = obj.stale_reads
+        obj.read(1, 1)
+        assert obj.stale_reads == before  # fresh after merge
+
+    def test_versions_advance_monotonically(self):
+        obj = ReplicatedObject("kv", 2, 2, mode="lww")
+        obj.update(0, 0, 1)
+        v1 = obj.version(0, 0)
+        obj.update(0, 0, 2)
+        assert obj.version(0, 0) > v1
+
+
+class TestMergeTraffic:
+    def test_message_and_byte_accounting(self):
+        obj = ReplicatedObject("ctr", 8, 3, mode="sum", width_bits=64)
+        obj.update(0, 0, 1)
+        obj.update(0, 1, 1)
+        obj.update(2, 5, 1)
+        stats = obj.merge_round()
+        # Two dirty replicas, each broadcasting to the 2 peers.
+        assert stats["messages"] == 4
+        # Entries are per-receiver copies: 3 dirty slots x 2 peers each.
+        assert stats["entries"] == 6
+        # One entry = value bytes + slot/version overhead.
+        assert stats["bytes"] == 6 * (64 // 8 + 8)
+        assert obj.merge_messages == 4
+        assert obj.merge_bytes == stats["bytes"]
+
+    def test_quiet_merge_sends_nothing(self):
+        obj = ReplicatedObject("ctr", 4, 3, mode="sum")
+        stats = obj.merge_round()
+        assert stats == {"messages": 0, "bytes": 0, "entries": 0}
+
+    def test_counters_track_reads_and_updates(self):
+        obj = ReplicatedObject("ctr", 4, 2, mode="sum")
+        obj.update(0, 0, 1)
+        obj.read(1, 0)
+        assert obj.updates == 1
+        assert obj.reads == 1

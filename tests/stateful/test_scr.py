@@ -1,0 +1,113 @@
+"""State-compute replication: exact counters, approximate admission.
+
+The two poles of the SCR trade: commutative counters reconcile exactly
+(drift identically zero), while token-bucket admission against per-lane
+budget shares diverges from the sequential bucket — deterministically,
+and bounded by the reconciliation period.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.stateful.scr import ReplicatedCounter, ScrTokenBucket
+
+
+class TestReplicatedCounter:
+    def test_lane_adds_fold_exactly(self):
+        ctr = ReplicatedCounter("pkts", size=8, lanes=4)
+        for lane in range(4):
+            for _ in range(lane + 1):
+                ctr.add(lane, 3)
+        assert ctr.total(3) == 1 + 2 + 3 + 4
+        ctr.reconcile()
+        assert ctr.total(3) == 10
+        assert ctr.drift() == 0
+
+    def test_drift_is_zero_with_or_without_reconcile(self):
+        ctr = ReplicatedCounter("pkts", size=4, lanes=3)
+        for i in range(50):
+            ctr.add(i % 3, i % 4, value=i)
+        assert ctr.drift() == 0
+        ctr.reconcile()
+        assert ctr.drift() == 0
+
+    def test_reconcile_reports_folded_cells(self):
+        ctr = ReplicatedCounter("pkts", size=8, lanes=2)
+        ctr.add(0, 0)
+        ctr.add(1, 5)
+        assert ctr.reconcile() == 2
+        assert ctr.reconcile() == 0  # nothing pending
+
+    def test_bad_lane_rejected(self):
+        ctr = ReplicatedCounter("pkts", size=2, lanes=2)
+        with pytest.raises(ConfigError, match="lane"):
+            ctr.add(2, 0)
+
+
+class TestScrTokenBucket:
+    def test_burst_capacity_split_across_lanes(self):
+        bucket = ScrTokenBucket(flows=1, lanes=4, capacity=8.0, refill_per_s=0.0)
+        # Each lane owns 2 tokens; a one-lane burst exhausts its share
+        # long before the logical bucket would be empty.
+        admitted = sum(
+            bucket.try_consume(0, 0, 1.0, now_s=0.0) for _ in range(8)
+        )
+        assert admitted == 2
+        assert bucket.shadow_admitted == 8
+        assert bucket.admit_divergence == 6
+
+    def test_spread_traffic_matches_shadow(self):
+        bucket = ScrTokenBucket(flows=1, lanes=4, capacity=8.0, refill_per_s=0.0)
+        admitted = sum(
+            bucket.try_consume(lane, 0, 1.0, now_s=0.0)
+            for lane in (0, 1, 2, 3) * 2
+        )
+        assert admitted == 8
+        assert bucket.admit_divergence == 0
+
+    def test_reconcile_rebalances_lane_shares(self):
+        bucket = ScrTokenBucket(flows=1, lanes=2, capacity=4.0, refill_per_s=0.0)
+        for _ in range(2):
+            bucket.try_consume(0, 0, 1.0, now_s=0.0)  # drain lane 0
+        assert bucket.lane_tokens(0, 0) == 0.0
+        moved = bucket.reconcile(now_s=0.0)
+        assert moved == pytest.approx(1.0)
+        assert bucket.lane_tokens(0, 0) == pytest.approx(1.0)
+        assert bucket.lane_tokens(1, 0) == pytest.approx(1.0)
+        assert bucket.tokens_moved == pytest.approx(1.0)
+
+    def test_refill_restores_admission(self):
+        bucket = ScrTokenBucket(flows=1, lanes=1, capacity=2.0, refill_per_s=2.0)
+        assert bucket.try_consume(0, 0, 1.0, now_s=0.0)
+        assert bucket.try_consume(0, 0, 1.0, now_s=0.0)
+        assert not bucket.try_consume(0, 0, 1.0, now_s=0.0)
+        assert bucket.try_consume(0, 0, 1.0, now_s=1.0)  # 2 tokens refilled
+
+    def test_deterministic_divergence(self):
+        def run():
+            bucket = ScrTokenBucket(
+                flows=4, lanes=4, capacity=4.0, refill_per_s=1.0
+            )
+            for i in range(200):
+                bucket.try_consume(i % 4, (i * 7) % 4, 1.0, now_s=i * 0.01)
+                if i % 50 == 49:
+                    bucket.reconcile(now_s=i * 0.01)
+            return (
+                bucket.admitted,
+                bucket.dropped,
+                bucket.admit_divergence,
+                bucket.tokens_moved,
+            )
+
+        assert run() == run()
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigError):
+            ScrTokenBucket(flows=0, lanes=1, capacity=1.0, refill_per_s=0.0)
+        with pytest.raises(ConfigError):
+            ScrTokenBucket(flows=1, lanes=1, capacity=0.0, refill_per_s=0.0)
+        bucket = ScrTokenBucket(flows=1, lanes=2, capacity=2.0, refill_per_s=0.0)
+        with pytest.raises(ConfigError, match="lane"):
+            bucket.try_consume(2, 0, 1.0, now_s=0.0)

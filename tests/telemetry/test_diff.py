@@ -294,7 +294,8 @@ class TestCLI:
         err = capsys.readouterr().err
         assert "unknown artifact" in err
         assert (
-            "subcommands: trace, profile, monitor, fabric, serve, spans, diff"
+            "subcommands: trace, profile, monitor, fabric, serve, spans, "
+            "stateful, diff"
             in err
         )
 
@@ -348,4 +349,61 @@ class TestBaselineByteIdentity:
         run = run_spans("leaf-spine-2x2", "fabric-allreduce", sample=8)
         self._assert_byte_identical(
             tmp_path, "span_ledger_leafspine.json", run.ledger
+        )
+
+
+class TestStatefulLedgerFamily:
+    """``repro.stateful_ledger/1`` joins the diffable ledger family."""
+
+    def test_load_ledger_accepts_stateful_schema(self, tmp_path):
+        from repro.stateful.runner import run_stateful
+        from repro.telemetry.ledger import STATEFUL_LEDGER_SCHEMA
+
+        path = tmp_path / "stateful.json"
+        run_stateful(
+            "synflood", target="adcp", flows=32, packets=120,
+            ledger_out=path,
+        )
+        document = load_ledger(path)
+        assert document["schema"] == STATEFUL_LEDGER_SCHEMA
+
+    def test_quality_metrics_direction_markers(self):
+        for name in ("hit_rate", "detection_rate", "goodput_pps"):
+            assert series_direction(name) == "higher"
+        # Costs keep the default: lower is better.
+        assert series_direction("stale_reads") == "lower"
+        assert series_direction("false_positive_rate") == "lower"
+
+    def test_detection_drop_regresses_in_diff(self):
+        base = _ledger({"detection_rate": (1.0, 1.0)})
+        new = _ledger({"detection_rate": (0.5, 0.5)})
+        diff = diff_ledgers(base, new)
+        assert diff.has_regression
+        (row,) = diff.regressions
+        assert row.series == "detection_rate"
+        assert row.direction == "higher"
+
+    def test_hit_rate_increase_improves(self):
+        base = _ledger({"cache.hit_rate": (0.4, 0.4)})
+        new = _ledger({"cache.hit_rate": (0.8, 0.8)})
+        diff = diff_ledgers(base, new)
+        assert not diff.has_regression
+        assert [row.series for row in diff.improvements] == [
+            "cache.hit_rate"
+        ]
+
+    def test_stateful_baseline_tokenbucket(self, tmp_path):
+        from repro.stateful.runner import run_stateful
+
+        run = run_stateful("tokenbucket")
+        TestBaselineByteIdentity()._assert_byte_identical(
+            tmp_path, "stateful_ledger_tokenbucket.json", run.ledger()
+        )
+
+    def test_stateful_baseline_synflood(self, tmp_path):
+        from repro.stateful.runner import run_stateful
+
+        run = run_stateful("synflood")
+        TestBaselineByteIdentity()._assert_byte_identical(
+            tmp_path, "stateful_ledger_synflood.json", run.ledger()
         )
